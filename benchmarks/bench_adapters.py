@@ -1,0 +1,52 @@
+"""Ablation A4 — MAS portability: Aglets-style vs Voyager-style deployments.
+
+The paper's claim (i): PDAgent "supports the adoption of any kind of mobile
+agent system at network hosts".  The same e-banking batch must produce
+identical application results on both wire-format flavours; only transfer
+bytes/time may differ.
+"""
+
+from repro.experiments.ablations import run_adapter_ablation
+from repro.experiments.report import format_table
+from repro.experiments.scenario import build_scenario, run_pdagent_batch
+
+
+def test_adapter_portability(benchmark, emit):
+    rows = benchmark.pedantic(
+        run_adapter_ablation, kwargs={"seed": 7, "n_txns": 6}, rounds=1, iterations=1
+    )
+    emit(
+        format_table(
+            ["MAS flavour", "completion (s)", "elapsed (s)", "agent hops", "txns ok"],
+            [
+                [r.flavour, r.completion_time, r.elapsed_total, r.agent_hops, r.txn_count]
+                for r in rows
+            ],
+            title="Ablation A4: the same workload on two MAS flavours",
+        )
+    )
+    aglets = next(r for r in rows if r.flavour == "aglets")
+    voyager = next(r for r in rows if r.flavour == "voyager")
+    # identical application outcome
+    assert aglets.txn_count == voyager.txn_count == 6
+    assert aglets.agent_hops == voyager.agent_hops
+    # verbose flavour pays more on the wire (elapsed includes agent travel)
+    assert voyager.elapsed_total >= aglets.elapsed_total
+
+
+def test_aglets_deployment_run(benchmark):
+    metrics = benchmark.pedantic(
+        lambda: run_pdagent_batch(build_scenario(seed=3, mas_flavour="aglets"), 4),
+        rounds=2,
+        iterations=1,
+    )
+    assert len(metrics.result.data["transactions"]) == 4
+
+
+def test_voyager_deployment_run(benchmark):
+    metrics = benchmark.pedantic(
+        lambda: run_pdagent_batch(build_scenario(seed=3, mas_flavour="voyager"), 4),
+        rounds=2,
+        iterations=1,
+    )
+    assert len(metrics.result.data["transactions"]) == 4

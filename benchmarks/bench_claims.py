@@ -1,0 +1,43 @@
+"""Claims C1 and C2 — MA code sizes (1-8 KB, compressible) and the
+platform's device-side footprint (paper prototype: ~120 KB)."""
+
+from repro.experiments.claims import (
+    run_claim_code_sizes,
+    run_claim_footprint,
+)
+from repro.experiments.report import format_table
+
+
+def test_claim_c1_code_sizes(benchmark, emit):
+    rows = benchmark.pedantic(run_claim_code_sizes, rounds=3, iterations=1)
+    emit(
+        format_table(
+            ["service", "code B", "doc B", "doc lzss", "agent B", "agent lzss"],
+            [
+                [
+                    r.service,
+                    r.code_size,
+                    r.download_doc_bytes,
+                    r.download_compressed_bytes,
+                    r.agent_wire_bytes,
+                    r.agent_wire_compressed,
+                ]
+                for r in rows
+            ],
+            title="Claim C1: MA code sizes (paper band: 1-8 KB, compressible)",
+        )
+    )
+    for row in rows:
+        assert row.in_band
+        assert row.download_compressed_bytes < row.download_doc_bytes
+        assert row.agent_wire_compressed < row.agent_wire_bytes
+
+
+def test_claim_c2_footprint(benchmark, emit):
+    result = benchmark.pedantic(run_claim_footprint, rounds=3, iterations=1)
+    emit(
+        f"Claim C2: device-side platform source footprint = "
+        f"{result.total_kb:.1f} KB over {len(result.module_bytes)} modules "
+        f"(paper prototype incl. kXML: ~120 KB)"
+    )
+    assert 30 < result.total_kb < 400

@@ -1,0 +1,113 @@
+"""Extension experiments E1–E3 — device resources, wireless sweep, tour sweep.
+
+These quantify the resource-saving arguments the paper makes in prose (§5:
+"PDAgent also reduces the use of resources within wireless devices").
+"""
+
+from repro.experiments.extensions import (
+    run_bank_sweep,
+    run_energy_comparison,
+    run_wireless_sweep,
+)
+from repro.experiments.report import format_table
+
+
+def test_e1_device_energy(benchmark, emit):
+    rows = benchmark.pedantic(run_energy_comparison, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["approach", "tx bytes", "rx bytes", "cpu (s)", "conn (s)", "energy"],
+            [
+                [r.approach, r.tx_bytes, r.rx_bytes, r.cpu_seconds,
+                 r.connection_seconds, r.total_energy]
+                for r in rows
+            ],
+            title="Extension E1: device resource usage (8-transaction batch)",
+        )
+    )
+    by = {r.approach: r for r in rows}
+    pd, cs = by["pdagent"], by["client-server"]
+    # PDAgent's device moves an order of magnitude fewer bytes and burns
+    # far less total energy for the same work.
+    assert pd.tx_bytes * 5 < cs.tx_bytes
+    assert pd.rx_bytes * 10 < cs.rx_bytes
+    assert pd.total_energy * 5 < cs.total_energy
+
+
+def test_e2_wireless_sweep(benchmark, emit):
+    rows = benchmark.pedantic(run_wireless_sweep, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["technology", "PDAgent conn (s)", "client-server conn (s)", "advantage"],
+            [
+                [r.technology, r.pdagent_conn_time, r.client_server_conn_time,
+                 f"{r.advantage:.1f}x"]
+                for r in rows
+            ],
+            title="Extension E2: wireless technology sweep (8 transactions)",
+        )
+    )
+    # The structural advantage persists on every technology.
+    for row in rows:
+        assert row.advantage > 3.0
+    # Faster radio shrinks both absolute numbers.
+    by = {r.technology: r for r in rows}
+    assert by["WLAN"].pdagent_conn_time < by["GPRS"].pdagent_conn_time
+    assert by["WLAN"].client_server_conn_time < by["GPRS"].client_server_conn_time
+
+
+def test_e3_bank_sweep(benchmark, emit):
+    rows = benchmark.pedantic(run_bank_sweep, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["#banks", "conn (s)", "completion (s)", "elapsed incl. travel (s)"],
+            [
+                [r.n_banks, r.connection_time, r.completion_time, r.elapsed_total]
+                for r in rows
+            ],
+            title="Extension E3: tour length sweep (12 transactions)",
+        )
+    )
+    # Device cost flat in tour length …
+    conns = [r.connection_time for r in rows]
+    assert max(conns) < min(conns) * 1.15
+    # … while the wired-side travel absorbs the growth.
+    assert rows[-1].elapsed_total > rows[0].elapsed_total
+
+
+def test_e4_cas_comparison(benchmark, emit):
+    from repro.experiments.extensions import run_cas_comparison
+    from repro.experiments.stats import flatness
+
+    rows = benchmark.pedantic(run_cas_comparison, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["#txns", "PDAgent conn (s)", "client-agent-server conn (s)"],
+            [[r.n_transactions, r.pdagent_conn_time, r.cas_conn_time] for r in rows],
+            title="Extension E4: the two disconnected models",
+        )
+    )
+    # Both models stay (near-)flat across batch sizes: the distinguishing
+    # factor of the §2 comparison is flexibility, not connection time.
+    assert flatness([r.pdagent_conn_time for r in rows]) < 1.25
+    assert flatness([r.cas_conn_time for r in rows]) < 1.4
+    # And they are within ~2x of each other everywhere.
+    for r in rows:
+        assert r.cas_conn_time < 2 * r.pdagent_conn_time
+        assert r.pdagent_conn_time < 2 * r.cas_conn_time
+
+
+def test_e5_device_class_sweep(benchmark, emit):
+    from repro.experiments.extensions import run_device_class_sweep
+
+    rows = benchmark.pedantic(run_device_class_sweep, rounds=1, iterations=1)
+    emit(
+        format_table(
+            ["device class", "completion (s)", "pack CPU (s)"],
+            [[r.profile, r.completion_time, r.pack_cpu_seconds] for r in rows],
+            title="Extension E5: device hardware class sweep (8 transactions)",
+        )
+    )
+    by = {r.profile: r for r in rows}
+    assert by["PHONE"].pack_cpu_seconds > by["PDA"].pack_cpu_seconds
+    assert by["PHONE"].completion_time < 2 * by["DESKTOP"].completion_time

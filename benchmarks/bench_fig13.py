@@ -1,0 +1,40 @@
+"""Figure 13 — transaction completion times over four trials.
+
+Regenerates both panels (client-server 13a, PDAgent 13b), prints them, and
+asserts the paper's variance story: PDAgent completion time is small, flat
+in the batch size, and stable across trials; client-server grows and its
+across-trial variance grows with the batch size.
+"""
+
+from repro.experiments.fig13 import run_fig13
+
+
+def test_fig13_full_sweep(benchmark, emit):
+    result = benchmark.pedantic(
+        run_fig13, kwargs={"base_seed": 100}, rounds=1, iterations=1
+    )
+    emit(result.render())
+
+    cs_var = result.trial_variance(result.client_server)
+    pd_var = result.trial_variance(result.pdagent)
+
+    # 13b: PDAgent small, flat, trial-stable.
+    for series in result.pdagent:
+        assert all(v < 15.0 for v in series)
+        assert max(series) < min(series) * 1.3
+    # 13a: client-server grows with n, every trial.
+    for series in result.client_server:
+        assert series[-1] > 5 * series[0]
+    # The instability claim.
+    assert cs_var[-1] > 3 * pd_var[-1]
+    assert cs_var[-1] > cs_var[0]
+
+
+def test_fig13_single_trial(benchmark):
+    result = benchmark.pedantic(
+        run_fig13,
+        kwargs={"base_seed": 200, "ns": (1, 5, 10), "trials": 1},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.pdagent) == 1

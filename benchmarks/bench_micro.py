@@ -1,0 +1,116 @@
+"""Micro-benchmarks (M1) — substrate throughput.
+
+These catch performance regressions in the hot paths every experiment runs
+through: the event kernel, agent migration, XML encode/parse, and MD5.
+"""
+
+from repro.crypto import md5
+from repro.mas import (
+    AgentClassRegistry,
+    Itinerary,
+    MobileAgent,
+    MobileAgentServer,
+    Stop,
+)
+from repro.simnet import LinkSpec, Network, Simulator
+from repro.xmlcodec import Element, parse, write
+
+
+def test_kernel_event_throughput(benchmark):
+    """Schedule-and-process cost for 10k timeout events."""
+
+    def run():
+        sim = Simulator()
+        for i in range(10_000):
+            sim.timeout(float(i % 97))
+        sim.run()
+        return sim.events_processed
+
+    processed = benchmark(run)
+    assert processed == 10_000
+
+
+def test_kernel_process_chain(benchmark):
+    """1k chained processes (each waits on its predecessor)."""
+
+    def run():
+        sim = Simulator()
+
+        def link(prev):
+            if prev is not None:
+                yield prev
+            yield sim.timeout(0.001)
+            return True
+
+        prev = None
+        for _ in range(1_000):
+            prev = sim.process(link(prev))
+        sim.run()
+        return prev.value
+
+    assert benchmark(run) is True
+
+
+class _Hopper(MobileAgent):
+    code_size = 2048
+
+    def on_arrival(self, ctx):
+        if self.itinerary.next_stop() is None:
+            if ctx.here == self.home:
+                ctx.complete(self.hops)
+            ctx.return_home()
+        ctx.follow_itinerary()
+        yield ctx.idle()  # pragma: no cover
+
+
+def test_agent_migration_throughput(benchmark):
+    """An agent doing a 20-hop tour (serialize + transfer + land, x20)."""
+
+    def run():
+        net = Network(master_seed=0)
+        reg = AgentClassRegistry()
+        reg.register(_Hopper)
+        names = [f"s{i}" for i in range(5)]
+        for name in names:
+            net.add_node(name)
+        fast = LinkSpec(latency=0.001, bandwidth=10_000_000)
+        for i, a in enumerate(names):
+            for b in names[i + 1 :]:
+                net.add_duplex_link(a, b, fast)
+        servers = {n: MobileAgentServer(net, n, reg) for n in names}
+        stops = [Stop(names[(i % 4) + 1]) for i in range(20)]
+        agent = servers["s0"].create_agent(
+            "_Hopper", owner="bench", itinerary=Itinerary(origin="s0", stops=stops)
+        )
+        done = servers["s0"].completion_event(agent.agent_id)
+        return net.sim.run(until=done)
+
+    hops = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert hops == 21  # 20 stops + return home
+
+
+def _xml_doc():
+    root = Element("pi", {"version": "1"})
+    for i in range(50):
+        t = root.add("transaction", {"id": str(i)})
+        t.add("amount", text=str(100 + i))
+        t.add("dest", text=f"bank-{i % 3}")
+    return root
+
+
+def test_xml_write_throughput(benchmark):
+    doc = _xml_doc()
+    out = benchmark(write, doc)
+    assert len(out) > 1000
+
+
+def test_xml_parse_throughput(benchmark):
+    text = write(_xml_doc())
+    root = benchmark(parse, text)
+    assert len(root) == 50
+
+
+def test_md5_throughput(benchmark):
+    data = b"x" * 65536
+    digest = benchmark(md5, data)
+    assert len(digest) == 16

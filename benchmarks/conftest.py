@@ -1,0 +1,20 @@
+"""Shared benchmark helpers.
+
+Every benchmark that regenerates a paper figure prints its series through
+``emit`` (bypassing pytest's capture) so a plain
+``pytest benchmarks/ --benchmark-only`` run leaves the reproduced
+tables/series in the terminal transcript alongside the timing stats.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print through pytest's capture (so benchmark logs reach the console)."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print(f"\n{text}")
+
+    return _emit

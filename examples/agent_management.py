@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Mobile agent management from the handheld (§3.6).
+
+The paper: "the mobile user can invoke functions to clone an agent, retract
+an agent, dispatch an agent, and view agent status" — all from the wireless
+device, through the gateway.
+
+This example dispatches a slow newswire agent across four feed sites, then,
+from the device:
+
+1. polls its **status** while it travels,
+2. **clones** it mid-trip (the clone finishes the remaining sites in
+   parallel with the original),
+3. dispatches a second agent and **retracts** it before it finishes,
+   collecting the partial-result document,
+4. **disposes** of the retracted agent's gateway workspace.
+
+Run:  python examples/agent_management.py
+"""
+
+from repro.apps.newswire import (
+    FeedServiceAgent,
+    NewswireAgent,
+    make_stories,
+    newswire_service_code,
+)
+from repro.core import DeploymentBuilder
+from repro.mas import Stop
+
+SITES = ["feed-a", "feed-b", "feed-c", "feed-d"]
+
+
+def main() -> None:
+    builder = DeploymentBuilder(master_seed=13)
+    builder.add_central("central")
+    builder.add_gateway("gw-0")
+    for i, site in enumerate(SITES):
+        builder.add_site(site, services=[FeedServiceAgent(make_stories(i))])
+    builder.add_device("pda", profile="PDA", wireless="WLAN")
+    builder.register_agent_class(NewswireAgent)
+    builder.publish(newswire_service_code())
+    deployment = builder.build()
+
+    platform = deployment.platform("pda")
+    sim = deployment.sim
+    stops = [Stop(site) for site in SITES]
+
+    def session():
+        yield from platform.subscribe("newswire")
+
+        # --- status + clone ------------------------------------------------
+        handle = yield from platform.deploy(
+            "newswire",
+            {"topic": "tech", "dwell": 2.0},  # dwell slows the agent down
+            stops=stops,
+        )
+        print(f"[{sim.now:6.2f}s] dispatched {handle.agent_id}")
+        yield sim.timeout(3.0)
+        state = yield from platform.agent_status(handle)
+        print(f"[{sim.now:6.2f}s] status while travelling: {state}")
+        clone = yield from platform.clone_agent(handle)
+        print(f"[{sim.now:6.2f}s] cloned -> {clone.agent_id} (ticket {clone.ticket})")
+
+        gateway = deployment.gateway(handle.gateway)
+        yield gateway.ticket(handle.ticket).completed
+        original = yield from platform.collect(handle)
+        yield gateway.ticket(clone.ticket).completed
+        cloned = yield from platform.collect(clone)
+        print(f"[{sim.now:6.2f}s] original gathered {len(original.data['stories'])} "
+              f"stories; clone gathered {len(cloned.data['stories'])}")
+
+        # --- retract + dispose ------------------------------------------------
+        handle2 = yield from platform.deploy(
+            "newswire", {"topic": "markets", "dwell": 5.0}, stops=stops
+        )
+        print(f"[{sim.now:6.2f}s] dispatched {handle2.agent_id} (will retract)")
+        yield sim.timeout(4.0)
+        state = yield from platform.retract_agent(handle2)
+        print(f"[{sim.now:6.2f}s] retract -> {state}")
+        partial = yield from platform.collect(handle2)
+        print(f"[{sim.now:6.2f}s] partial result document: status={partial.status}")
+        state = yield from platform.dispose_agent(handle2)
+        print(f"[{sim.now:6.2f}s] dispose -> {state}")
+
+        print("\nDevice-side dispatch ledger (Internal Database Management):")
+        for rec in platform.list_dispatches():
+            print(f"    {rec.ticket:12s} {rec.service:9s} {rec.status}")
+        return True
+
+    proc = sim.process(session(), name="management")
+    sim.run(until=proc)
+
+
+if __name__ == "__main__":
+    main()

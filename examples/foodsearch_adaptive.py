@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Food Search: context-adaptive itineraries (the paper's other §4 example).
+
+The user subscribes to the food-search application, asks for cheap
+Cantonese restaurants, and dispatches the agent to two directory sites.
+Site ``food-hub-a`` advertises a *partner* directory the user never listed —
+the agent extends its own itinerary en route (the context-awareness §2
+motivates: "MA programs can be designed in a way that can be parameterized
+… to reflect the current user's context").
+
+Run:  python examples/foodsearch_adaptive.py
+"""
+
+from repro.apps.foodsearch import (
+    DirectoryServiceAgent,
+    FoodSearchAgent,
+    foodsearch_service_code,
+    make_listings,
+)
+from repro.core import DeploymentBuilder
+from repro.mas import Stop
+
+
+def main() -> None:
+    builder = DeploymentBuilder(master_seed=7)
+    builder.add_central("central")
+    builder.add_gateway("gw-0")
+    # Two directories the user knows about; hub-a refers to a hidden partner.
+    builder.add_site(
+        "food-hub-a",
+        services=[DirectoryServiceAgent(make_listings(0), partner="food-hub-c")],
+    )
+    builder.add_site(
+        "food-hub-b",
+        services=[DirectoryServiceAgent(make_listings(1))],
+    )
+    builder.add_site(
+        "food-hub-c",
+        services=[DirectoryServiceAgent(make_listings(2))],
+    )
+    builder.add_device("pda", profile="PDA", wireless="WLAN")
+    builder.register_agent_class(FoodSearchAgent)
+    builder.publish(foodsearch_service_code())
+    deployment = builder.build()
+
+    platform = deployment.platform("pda")
+    sim = deployment.sim
+
+    def session():
+        yield from platform.subscribe("foodsearch")
+        handle = yield from platform.deploy(
+            "foodsearch",
+            {"cuisine": "cantonese", "max_price": 120, "limit": 5},
+            stops=[Stop("food-hub-a"), Stop("food-hub-b")],
+        )
+        print(f"[{sim.now:6.2f}s] agent {handle.agent_id} dispatched to 2 sites")
+        yield deployment.gateway(handle.gateway).ticket(handle.ticket).completed
+        result = yield from platform.collect(handle)
+        return handle, result
+
+    proc = sim.process(session(), name="foodsearch")
+    handle, result = sim.run(until=proc)
+
+    agent_logs = deployment.mas("gw-0").agent_logs.get(handle.agent_id, [])
+    print(f"[{sim.now:6.2f}s] search complete — "
+          f"{result.data['examined']} matches examined, top picks:")
+    for match in result.data["matches"]:
+        print(f"    {match['name']:20s} {match['cuisine']:10s} "
+              f"${match['price']:<4} rating {match['rating']} @ {match['site']}")
+    sites = {m["site"] for m in result.data["matches"]}
+    if "food-hub-c" in sites:
+        print("\nThe agent visited food-hub-c — a site the user never listed —")
+        print("because food-hub-a's directory referred it (itinerary adaptation).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""The paper's §5 future-work applications: m-commerce and mobile workflow.
+
+Scenario: a field sales engineer with a PDA
+
+1. runs a **comparison-shopping agent** across three vendor sites to buy a
+   replacement camera within budget (quote everywhere → return to the
+   cheapest in-stock vendor → purchase → bring back the receipt), then
+2. files the purchase as an expense through a **mobile workflow agent**
+   that carries the claim along an approval chain — the department head
+   escalates anything over his limit to the division director, and the
+   agent re-routes itself accordingly.
+
+Run:  python examples/mcommerce_workflow.py
+"""
+
+from repro.apps.mcommerce import (
+    ShoppingAgent,
+    VendorServiceAgent,
+    mcommerce_service_code,
+)
+from repro.apps.workflow import (
+    ApproverServiceAgent,
+    WorkflowAgent,
+    threshold_policy,
+    workflow_service_code,
+)
+from repro.core import DeploymentBuilder
+from repro.mas import Stop
+
+
+def main() -> None:
+    builder = DeploymentBuilder(master_seed=99)
+    builder.add_central("central")
+    builder.add_gateway("gw-0")
+    # vendor sites
+    builder.add_site("shop-east", services=[
+        VendorServiceAgent({"camera": {"price": 329.0, "stock": 3}},
+                           vendor_name="East Electronics")])
+    builder.add_site("shop-west", services=[
+        VendorServiceAgent({"camera": {"price": 289.0, "stock": 1}},
+                           vendor_name="West Photo")])
+    builder.add_site("shop-mall", services=[
+        VendorServiceAgent({"camera": {"price": 269.0, "stock": 0}},  # sold out!
+                           vendor_name="Mall Cameras")])
+    # approval chain sites
+    builder.add_site("dept-office", services=[
+        ApproverServiceAgent("dept-head",
+                             threshold_policy(250.0, escalate_to="division-hq"))])
+    builder.add_site("division-hq", services=[
+        ApproverServiceAgent("division-director",
+                             threshold_policy(5000.0, reject_above=20000.0))])
+    builder.add_device("pda", profile="PDA", wireless="WLAN")
+    builder.register_agent_class(ShoppingAgent)
+    builder.register_agent_class(WorkflowAgent)
+    builder.publish(mcommerce_service_code())
+    builder.publish(workflow_service_code())
+    dep = builder.build()
+
+    platform, sim = dep.platform("pda"), dep.sim
+
+    def session():
+        # ---- phase 1: buy the camera -------------------------------------
+        yield from platform.subscribe("mcommerce")
+        handle = yield from platform.deploy(
+            "mcommerce",
+            {"item": "camera", "budget": 400.0},
+            stops=[Stop("shop-east"), Stop("shop-west"), Stop("shop-mall")],
+        )
+        print(f"[{sim.now:6.2f}s] shopping agent {handle.agent_id} dispatched")
+        yield dep.gateway(handle.gateway).ticket(handle.ticket).completed
+        shopping = yield from platform.collect(handle)
+        receipt = shopping.data["receipt"]
+        print(f"[{sim.now:6.2f}s] quotes received:")
+        for quote in shopping.data["quotes"]:
+            price = quote.get("price", "out of stock")
+            print(f"    {quote['vendor']:18s} -> {price}")
+        print(f"[{sim.now:6.2f}s] purchased at {receipt['vendor']} "
+              f"for ${receipt['price']:.2f} (order {receipt['order_id']})")
+
+        # ---- phase 2: file the expense ------------------------------------
+        yield from platform.subscribe("workflow")
+        handle = yield from platform.deploy(
+            "workflow",
+            {"document": {"id": receipt["order_id"], "amount": receipt["price"]}},
+            stops=[Stop("dept-office")],
+        )
+        print(f"[{sim.now:6.2f}s] expense claim dispatched "
+              f"(${receipt['price']:.2f} > dept limit $250 — expect escalation)")
+        yield dep.gateway(handle.gateway).ticket(handle.ticket).completed
+        claim = yield from platform.collect(handle)
+        print(f"[{sim.now:6.2f}s] workflow outcome: {claim.data['outcome']} "
+              f"after {claim.data['escalations']} escalation(s)")
+        for step in claim.data["trail"]:
+            print(f"    {step['approver']:18s} {step['verdict']:9s} "
+                  f"sig={step['signature'][:12]}…")
+        return shopping, claim
+
+    proc = sim.process(session(), name="mcommerce-workflow")
+    sim.run(until=proc)
+
+
+if __name__ == "__main__":
+    main()

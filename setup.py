@@ -1,0 +1,9 @@
+"""Setup shim for legacy editable installs (offline environments without
+the ``wheel`` package, where PEP-517 editable builds are unavailable).
+
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""MA-enabled example applications built on the PDAgent public API.
+
+* :mod:`~repro.apps.ebanking` — the paper's evaluation workload (§4);
+* :mod:`~repro.apps.foodsearch` — the paper's other named example, with
+  context-adaptive itinerary extension;
+* :mod:`~repro.apps.newswire` — a fan-out digest exercising cloning.
+"""
+
+from .ebanking import (
+    BANK_THINK_TIME,
+    BankServiceAgent,
+    EBankingAgent,
+    ebanking_service_code,
+    make_transactions,
+)
+from .foodsearch import (
+    DirectoryServiceAgent,
+    FoodSearchAgent,
+    foodsearch_service_code,
+    make_listings,
+)
+from .mcommerce import (
+    ShoppingAgent,
+    VendorServiceAgent,
+    make_inventory,
+    mcommerce_service_code,
+)
+from .newswire import (
+    FeedServiceAgent,
+    NewswireAgent,
+    make_stories,
+    newswire_service_code,
+)
+from .workflow import (
+    ApproverServiceAgent,
+    WorkflowAgent,
+    threshold_policy,
+    workflow_service_code,
+)
+
+__all__ = [
+    "BankServiceAgent",
+    "EBankingAgent",
+    "ebanking_service_code",
+    "make_transactions",
+    "BANK_THINK_TIME",
+    "DirectoryServiceAgent",
+    "FoodSearchAgent",
+    "foodsearch_service_code",
+    "make_listings",
+    "FeedServiceAgent",
+    "NewswireAgent",
+    "newswire_service_code",
+    "make_stories",
+    "VendorServiceAgent",
+    "ShoppingAgent",
+    "mcommerce_service_code",
+    "make_inventory",
+    "ApproverServiceAgent",
+    "WorkflowAgent",
+    "workflow_service_code",
+    "threshold_policy",
+]

@@ -1,0 +1,138 @@
+"""Food Search Engine: the paper's other named example application (§4).
+
+A mobile user searches for restaurants matching a cuisine/price constraint
+across several restaurant-directory sites.  Each site hosts a
+:class:`DirectoryServiceAgent` with a searchable listing table; the
+travelling :class:`FoodSearchAgent` filters listings site by site, carrying
+only matches (mobile agents "search for, filter, and process information" at
+the data's location — §1), and completes with the merged, ranked results.
+
+Demonstrates a different agent pattern than e-banking: the agent *adapts its
+itinerary* — if a site's directory advertises a partner site, the agent
+appends it to its travel plan (the context-adaptivity the paper motivates).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..core.subscription import ServiceCode
+from ..mas import AgentContext, MobileAgent, ServiceAgent
+
+__all__ = [
+    "DirectoryServiceAgent",
+    "FoodSearchAgent",
+    "foodsearch_service_code",
+    "make_listings",
+]
+
+
+class DirectoryServiceAgent(ServiceAgent):
+    """A restaurant-directory site's resident agent.
+
+    ``listings`` is a list of dicts with keys ``name``, ``cuisine``,
+    ``price``, ``rating``.  ``partner`` optionally names another directory
+    site worth visiting (drives itinerary adaptation).
+    """
+
+    def __init__(
+        self,
+        listings: list[dict[str, Any]],
+        name: str = "food-directory",
+        partner: str = "",
+        search_time: float = 0.08,
+    ) -> None:
+        super().__init__(name, processing_time=search_time)
+        self.listings = listings
+        self.partner = partner
+
+    def handle(self, caller_id: str, request: dict) -> Generator:
+        yield self.server.node.compute(self.processing_time)
+        op = request.get("op")
+        if op != "search":
+            return {"status": "error", "reason": f"unknown op {op!r}"}
+        cuisine = request.get("cuisine")
+        max_price = float(request.get("max_price", float("inf")))
+        matches = [
+            dict(entry, site=self.server.address)
+            for entry in self.listings
+            if (cuisine is None or entry["cuisine"] == cuisine)
+            and entry["price"] <= max_price
+        ]
+        return {"status": "ok", "matches": matches, "partner": self.partner}
+
+
+class FoodSearchAgent(MobileAgent):
+    """Travelling searcher: filters at each site, merges, ranks, returns.
+
+    Params: ``cuisine``, ``max_price``, ``limit`` (top-N by rating).
+    The agent follows partner referrals it has not already planned,
+    bounded by ``max_extra_sites`` to keep trips finite.
+    """
+
+    code_size = 2304
+    MAX_EXTRA_SITES = 3
+
+    def on_arrival(self, ctx: AgentContext) -> Generator:
+        params = self.state.get("params", {})
+        if ctx.here != self.home and "food-directory" in ctx.services_here():
+            reply = yield from ctx.ask_service(
+                "food-directory",
+                {
+                    "op": "search",
+                    "cuisine": params.get("cuisine"),
+                    "max_price": params.get("max_price", 1e9),
+                },
+            )
+            if reply.get("status") == "ok":
+                self.state.setdefault("results", []).extend(reply["matches"])
+                partner = reply.get("partner")
+                planned = {s.address for s in self.itinerary.stops} | {ctx.here}
+                extra = self.state.get("extra_sites", 0)
+                if (
+                    partner
+                    and partner not in planned
+                    and extra < self.MAX_EXTRA_SITES
+                ):
+                    # Context adaptation: extend the trip to the referral.
+                    ctx.extend_itinerary(partner, task="referral")
+                    self.state["extra_sites"] = extra + 1
+            ctx.log(f"searched {ctx.here}: {len(self.state.get('results', []))} total")
+        if self.itinerary.next_stop() is None:
+            if ctx.here == self.home:
+                matches = self.state.get("results", [])
+                matches.sort(key=lambda m: (-float(m.get("rating", 0)), m.get("name", "")))
+                limit = int(params.get("limit", 10))
+                ctx.complete({"matches": matches[:limit], "examined": len(matches)})
+            ctx.return_home()
+        ctx.follow_itinerary()
+        yield ctx.idle()  # pragma: no cover - follow_itinerary always raises
+
+
+def foodsearch_service_code(version: int = 1) -> ServiceCode:
+    """The downloadable food-search MA application."""
+    return ServiceCode(
+        service="foodsearch",
+        version=version,
+        agent_class="FoodSearchAgent",
+        param_schema=("cuisine", "max_price", "limit"),
+        code_size=2304,
+        description="Cross-directory restaurant search via mobile agent",
+    )
+
+
+def make_listings(site_index: int, count: int = 12) -> list[dict[str, Any]]:
+    """Deterministic synthetic directory content for site ``site_index``."""
+    cuisines = ["cantonese", "sichuan", "thai", "italian", "japanese"]
+    listings = []
+    for i in range(count):
+        k = site_index * 31 + i * 7
+        listings.append(
+            {
+                "name": f"restaurant-{site_index}-{i}",
+                "cuisine": cuisines[k % len(cuisines)],
+                "price": 40 + (k * 13) % 160,
+                "rating": round(2.0 + ((k * 17) % 30) / 10.0, 1),
+            }
+        )
+    return listings

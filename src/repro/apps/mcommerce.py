@@ -1,0 +1,198 @@
+"""M-commerce: comparison shopping + purchase (the paper's §5 future work).
+
+"In our future work, we will further enhance the functionality … as well as
+developing more practical applications, including m-commerce and mobile
+workflow management."
+
+The :class:`ShoppingAgent` implements the classic MAgNET-style mobile
+commerce pattern the paper cites ([4] Dasgupta et al.):
+
+1. visit every vendor site on the itinerary and collect quotes for the
+   requested item (price + stock from the resident :class:`VendorServiceAgent`);
+2. after the last vendor, pick the best admissible quote (lowest price
+   within the user's budget, in stock);
+3. travel **back** to the winning vendor and execute the purchase —
+   a second visit, exercising non-linear itineraries;
+4. return home with the receipt (or a "no admissible offer" report).
+
+The purchase step is idempotent per agent (vendors track order ids), so a
+retried agent cannot double-buy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..core.subscription import ServiceCode
+from ..mas import AgentContext, MobileAgent, ServiceAgent
+
+__all__ = [
+    "VendorServiceAgent",
+    "ShoppingAgent",
+    "mcommerce_service_code",
+    "make_inventory",
+]
+
+
+class VendorServiceAgent(ServiceAgent):
+    """A vendor site's resident agent: quotes and sells from an inventory.
+
+    ``inventory`` maps item name → ``{"price": float, "stock": int}``.
+    """
+
+    def __init__(
+        self,
+        inventory: dict[str, dict[str, Any]],
+        name: str = "vendor",
+        vendor_name: str = "",
+        quote_time: float = 0.06,
+    ) -> None:
+        super().__init__(name, processing_time=quote_time)
+        self.inventory = inventory
+        self.vendor_name = vendor_name
+        self.orders: dict[str, dict[str, Any]] = {}
+
+    def handle(self, caller_id: str, request: dict) -> Generator:
+        yield self.server.node.compute(self.processing_time)
+        op = request.get("op")
+        if op == "quote":
+            return self._quote(request)
+        if op == "purchase":
+            return self._purchase(caller_id, request)
+        return {"status": "error", "reason": f"unknown op {op!r}"}
+
+    def _quote(self, request: dict) -> dict:
+        item = str(request.get("item", ""))
+        entry = self.inventory.get(item)
+        if entry is None or entry["stock"] <= 0:
+            return {"status": "no-stock", "item": item, "vendor": self._id()}
+        return {
+            "status": "ok",
+            "item": item,
+            "vendor": self._id(),
+            "price": float(entry["price"]),
+            "stock": int(entry["stock"]),
+        }
+
+    def _purchase(self, caller_id: str, request: dict) -> dict:
+        item = str(request.get("item", ""))
+        order_id = str(request.get("order_id", ""))
+        if not order_id:
+            return {"status": "error", "reason": "purchase needs an order_id"}
+        if order_id in self.orders:
+            # Idempotent retry: return the original receipt.
+            return dict(self.orders[order_id])
+        entry = self.inventory.get(item)
+        if entry is None or entry["stock"] <= 0:
+            return {"status": "no-stock", "item": item, "vendor": self._id()}
+        entry["stock"] -= 1
+        receipt = {
+            "status": "purchased",
+            "item": item,
+            "vendor": self._id(),
+            "price": float(entry["price"]),
+            "order_id": order_id,
+            "buyer": caller_id,
+        }
+        self.orders[order_id] = dict(receipt)
+        return receipt
+
+    def _id(self) -> str:
+        return self.vendor_name or (self.server.address if self.server else "?")
+
+
+class ShoppingAgent(MobileAgent):
+    """Quote-gathering + best-offer purchase across vendor sites.
+
+    Params: ``item``, ``budget``; internal state: ``quotes`` (collected),
+    ``phase`` (``"quote"`` → ``"buy"`` → done), ``winner`` (site address).
+    """
+
+    code_size = 4096
+
+    def on_arrival(self, ctx: AgentContext) -> Generator:
+        params = self.state.get("params", {})
+        phase = self.state.get("phase", "quote")
+        item = str(params.get("item", ""))
+
+        if phase == "quote" and ctx.here != self.home and "vendor" in ctx.services_here():
+            reply = yield from ctx.ask_service("vendor", {"op": "quote", "item": item})
+            self.state.setdefault("quotes", []).append(
+                dict(reply, site=ctx.here)
+            )
+            ctx.log(f"quoted {ctx.here}: {reply.get('price', 'n/a')}")
+
+        if phase == "buy" and ctx.here == self.state.get("winner"):
+            reply = yield from ctx.ask_service(
+                "vendor",
+                {
+                    "op": "purchase",
+                    "item": item,
+                    "order_id": f"{self.agent_id}/order",
+                },
+            )
+            self.state["receipt"] = dict(reply)
+            self.state["phase"] = "done"
+            ctx.log(f"purchased at {ctx.here}")
+            ctx.return_home()
+
+        if self.itinerary.next_stop() is None:
+            if phase == "quote":
+                winner = self._pick_winner(float(params.get("budget", float("inf"))))
+                if winner is None:
+                    self.state["phase"] = "done"
+                    if ctx.here == self.home:
+                        ctx.complete(self._report())
+                    ctx.return_home()
+                self.state["phase"] = "buy"
+                self.state["winner"] = winner
+                ctx.move_to(winner)
+            # phase done: deliver the report at home
+            if ctx.here == self.home:
+                ctx.complete(self._report())
+            ctx.return_home()
+        ctx.follow_itinerary()
+        yield ctx.idle()  # pragma: no cover - follow_itinerary always raises
+
+    def _pick_winner(self, budget: float):
+        admissible = [
+            q
+            for q in self.state.get("quotes", [])
+            if q.get("status") == "ok" and q.get("price", 1e18) <= budget
+        ]
+        if not admissible:
+            return None
+        best = min(admissible, key=lambda q: (q["price"], q["site"]))
+        return best["site"]
+
+    def _report(self) -> dict:
+        return {
+            "quotes": self.state.get("quotes", []),
+            "receipt": self.state.get("receipt"),
+            "purchased": self.state.get("receipt", {}) is not None
+            and self.state.get("receipt", {}).get("status") == "purchased",
+        }
+
+
+def mcommerce_service_code(version: int = 1) -> ServiceCode:
+    """The downloadable m-commerce MA application."""
+    return ServiceCode(
+        service="mcommerce",
+        version=version,
+        agent_class="ShoppingAgent",
+        param_schema=("item", "budget"),
+        code_size=4096,
+        description="Comparison shopping + best-offer purchase via mobile agent",
+    )
+
+
+def make_inventory(site_index: int, items: tuple[str, ...] = ("camera", "phone", "pda")) -> dict:
+    """Deterministic synthetic vendor inventory."""
+    inventory = {}
+    for i, item in enumerate(items):
+        k = site_index * 37 + i * 11
+        inventory[item] = {
+            "price": 200.0 + (k * 13) % 150,
+            "stock": (k % 4),  # some vendors are out of stock
+        }
+    return inventory

@@ -1,0 +1,113 @@
+"""Newswire digest: a fan-out application exercising agent cloning.
+
+A user wants headline digests from several news sites.  The travelling
+:class:`NewswireAgent` visits feed sites and collects headlines matching a
+topic; the interesting twist is the **clone fan-out** the §3.6 API enables:
+from the handheld, the user clones a dispatched agent so two copies cover
+the remaining sites concurrently (``examples/agent_management.py`` drives
+that flow).
+
+:class:`FeedServiceAgent` is the per-site stationary agent serving stories.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..core.subscription import ServiceCode
+from ..mas import AgentContext, MobileAgent, ServiceAgent
+
+__all__ = [
+    "FeedServiceAgent",
+    "NewswireAgent",
+    "newswire_service_code",
+    "make_stories",
+]
+
+
+class FeedServiceAgent(ServiceAgent):
+    """A news site's resident agent; serves stories by topic."""
+
+    def __init__(
+        self,
+        stories: list[dict[str, Any]],
+        name: str = "newsfeed",
+        fetch_time: float = 0.06,
+    ) -> None:
+        super().__init__(name, processing_time=fetch_time)
+        self.stories = stories
+
+    def handle(self, caller_id: str, request: dict) -> Generator:
+        yield self.server.node.compute(self.processing_time)
+        if request.get("op") != "headlines":
+            return {"status": "error", "reason": "unknown op"}
+        topic = request.get("topic")
+        hits = [
+            dict(story, site=self.server.address)
+            for story in self.stories
+            if topic is None or topic in story.get("topics", [])
+        ]
+        return {"status": "ok", "stories": hits}
+
+
+class NewswireAgent(MobileAgent):
+    """Visits feed sites, gathers matching headlines, returns a digest.
+
+    Params: ``topic``, ``max_per_site``.  A slow variant is obtained by
+    setting ``params["dwell"]`` (> 0 seconds of on-site work), which gives
+    retraction/cloning tests and examples a window while the agent is
+    travelling.
+    """
+
+    code_size = 1792
+
+    def on_arrival(self, ctx: AgentContext) -> Generator:
+        params = self.state.get("params", {})
+        if ctx.here != self.home and "newsfeed" in ctx.services_here():
+            dwell = float(params.get("dwell", 0.0))
+            if dwell > 0:
+                yield ctx.sleep(dwell)
+            reply = yield from ctx.ask_service(
+                "newsfeed", {"op": "headlines", "topic": params.get("topic")}
+            )
+            if reply.get("status") == "ok":
+                cap = int(params.get("max_per_site", 5))
+                self.state.setdefault("results", []).extend(reply["stories"][:cap])
+        if self.itinerary.next_stop() is None:
+            if ctx.here == self.home:
+                stories = self.state.get("results", [])
+                ctx.complete({"stories": stories, "sites": self.hops})
+            ctx.return_home()
+        ctx.follow_itinerary()
+        yield ctx.idle()  # pragma: no cover - follow_itinerary always raises
+
+
+def newswire_service_code(version: int = 1) -> ServiceCode:
+    """The downloadable newswire MA application."""
+    return ServiceCode(
+        service="newswire",
+        version=version,
+        agent_class="NewswireAgent",
+        param_schema=("topic",),
+        code_size=1792,
+        description="Multi-site headline digest via mobile agent",
+    )
+
+
+def make_stories(site_index: int, count: int = 10) -> list[dict[str, Any]]:
+    """Deterministic synthetic stories for feed site ``site_index``."""
+    topics_pool = ["markets", "tech", "sport", "local", "science"]
+    stories = []
+    for i in range(count):
+        k = site_index * 19 + i * 5
+        stories.append(
+            {
+                "headline": f"story-{site_index}-{i}",
+                "topics": [
+                    topics_pool[k % len(topics_pool)],
+                    topics_pool[(k + 2) % len(topics_pool)],
+                ],
+                "words": 120 + (k * 11) % 500,
+            }
+        )
+    return stories

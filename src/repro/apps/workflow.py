@@ -1,0 +1,165 @@
+"""Mobile workflow management (the paper's other §5 future-work item).
+
+A document (e.g. an expense claim) must be approved by a chain of
+authorities, each living at a different network site.  The
+:class:`WorkflowAgent` carries the document along the approval chain:
+
+* at each step's site it presents the document to the resident
+  :class:`ApproverServiceAgent`;
+* **conditional routing**: an approver may approve, reject (terminating the
+  workflow early), or *escalate* — in which case the agent inserts the
+  escalation authority as its next stop (dynamic itinerary, like real
+  workflow engines' ad-hoc routing);
+* the agent returns home with the full signed audit trail.
+
+This exercises parts of the MAS the other apps do not: early termination,
+`insert_next` routing, and a decision function living on the *site* side.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from ..core.subscription import ServiceCode
+from ..mas import AgentContext, MobileAgent, ServiceAgent
+
+__all__ = [
+    "ApproverServiceAgent",
+    "WorkflowAgent",
+    "workflow_service_code",
+    "threshold_policy",
+]
+
+Decision = dict  # {"verdict": "approve"|"reject"|"escalate", ...}
+
+
+def threshold_policy(
+    approve_below: float,
+    escalate_to: Optional[str] = None,
+    reject_above: float = float("inf"),
+) -> Callable[[dict], Decision]:
+    """Standard approval policy: amounts below the limit pass, amounts above
+    the hard ceiling are rejected, anything between is escalated."""
+
+    def decide(document: dict) -> Decision:
+        amount = float(document.get("amount", 0.0))
+        if amount >= reject_above:
+            return {"verdict": "reject", "reason": f"amount {amount} over ceiling"}
+        if amount < approve_below:
+            return {"verdict": "approve"}
+        if escalate_to:
+            return {"verdict": "escalate", "to": escalate_to}
+        return {"verdict": "reject", "reason": "over limit, no escalation path"}
+
+    return decide
+
+
+class ApproverServiceAgent(ServiceAgent):
+    """A site's resident approval authority."""
+
+    def __init__(
+        self,
+        approver: str,
+        policy: Callable[[dict], Decision],
+        name: str = "approver",
+        review_time: float = 0.1,
+    ) -> None:
+        super().__init__(name, processing_time=review_time)
+        self.approver = approver
+        self.policy = policy
+        self.decisions: list[Decision] = []
+
+    def handle(self, caller_id: str, request: dict) -> Generator:
+        yield self.server.node.compute(self.processing_time)
+        if request.get("op") != "review":
+            return {"status": "error", "reason": "unknown op"}
+        document = request.get("document", {})
+        decision = dict(self.policy(document))
+        decision.update(
+            status="ok",
+            approver=self.approver,
+            site=self.server.address,
+            # "signature": a keyed digest over the document + verdict, so
+            # the audit trail is tamper-evident end to end.
+            signature=self._sign(document, decision["verdict"]),
+        )
+        self.decisions.append(decision)
+        return decision
+
+    def _sign(self, document: dict, verdict: str) -> str:
+        from ..crypto import md5_hex
+
+        doc_id = str(document.get("id", ""))
+        amount = str(document.get("amount", ""))
+        return md5_hex(f"{self.approver}|{doc_id}|{amount}|{verdict}".encode())
+
+
+class WorkflowAgent(MobileAgent):
+    """Carries a document along an approval chain with conditional routing.
+
+    Params: ``document`` (dict with at least ``id`` and ``amount``).
+    State: ``trail`` — ordered list of signed decisions; ``outcome``.
+    """
+
+    code_size = 3584
+    MAX_ESCALATIONS = 4
+
+    def on_arrival(self, ctx: AgentContext) -> Generator:
+        if ctx.here != self.home and "approver" in ctx.services_here():
+            document = self.state.get("params", {}).get("document", {})
+            decision = yield from ctx.ask_service(
+                "approver", {"op": "review", "document": document}
+            )
+            self.state.setdefault("trail", []).append(dict(decision))
+            verdict = decision.get("verdict")
+            ctx.log(f"{decision.get('approver')}: {verdict}")
+            if verdict == "reject":
+                # Early termination: skip the rest of the chain.
+                self.state["outcome"] = "rejected"
+                ctx.return_home()
+            if verdict == "escalate":
+                escalations = self.state.get("escalations", 0)
+                target = decision.get("to", "")
+                if target and escalations < self.MAX_ESCALATIONS:
+                    self.state["escalations"] = escalations + 1
+                    ctx.extend_itinerary(target, task="escalation")
+        # A decided workflow (early rejection) completes at home even though
+        # itinerary stops remain — the rest of the chain is moot.
+        if self.itinerary.next_stop() is None or (
+            ctx.here == self.home and self.state.get("outcome") is not None
+        ):
+            if ctx.here == self.home:
+                outcome = self.state.get("outcome")
+                if outcome is None:
+                    trail = self.state.get("trail", [])
+                    # Approved: the chain ended on an approval and nobody
+                    # rejected; intermediate "escalate" verdicts are fine —
+                    # the escalation authority's decision is what counts.
+                    approved = (
+                        bool(trail)
+                        and trail[-1].get("verdict") == "approve"
+                        and not any(d.get("verdict") == "reject" for d in trail)
+                    )
+                    outcome = "approved" if approved else "incomplete"
+                ctx.complete(
+                    {
+                        "outcome": outcome,
+                        "trail": self.state.get("trail", []),
+                        "escalations": self.state.get("escalations", 0),
+                    }
+                )
+            ctx.return_home()
+        ctx.follow_itinerary()
+        yield ctx.idle()  # pragma: no cover - follow_itinerary always raises
+
+
+def workflow_service_code(version: int = 1) -> ServiceCode:
+    """The downloadable mobile-workflow MA application."""
+    return ServiceCode(
+        service="workflow",
+        version=version,
+        agent_class="WorkflowAgent",
+        param_schema=("document",),
+        code_size=3584,
+        description="Document approval chain with conditional routing",
+    )

@@ -1,0 +1,46 @@
+"""Comparison approaches from the paper's §2 (Fig. 1) and §4 evaluation.
+
+* :class:`ClientServerRunner` — mobile client keeps a session open to each
+  bank's web server for the whole batch;
+* :class:`WebBasedRunner` — browser on a high-end desktop, one connection
+  per page, several pages per transaction;
+* :class:`AgentServer` / :class:`ClientAgentServerRunner` — the middle-tier
+  agent server with pre-installed applications.
+
+All runners produce :class:`BaselineRunResult` records measured by the same
+connection ledger as PDAgent.
+"""
+
+from .client_agent_server import (
+    AGENT_SERVER_PORT,
+    AgentServer,
+    ClientAgentServerRunner,
+    InstalledApp,
+)
+from .client_server import ClientServerRunner
+from .common import (
+    BANK_WEB_PORT,
+    PAGE_BYTES,
+    PAGES_PER_TXN,
+    TXN_FORM_BYTES,
+    TXN_RESPONSE_BYTES,
+    BankWebServer,
+    BaselineRunResult,
+)
+from .web_based import WebBasedRunner
+
+__all__ = [
+    "BankWebServer",
+    "BaselineRunResult",
+    "ClientServerRunner",
+    "WebBasedRunner",
+    "AgentServer",
+    "InstalledApp",
+    "ClientAgentServerRunner",
+    "BANK_WEB_PORT",
+    "AGENT_SERVER_PORT",
+    "TXN_FORM_BYTES",
+    "TXN_RESPONSE_BYTES",
+    "PAGE_BYTES",
+    "PAGES_PER_TXN",
+]

@@ -1,0 +1,127 @@
+"""The Client-Server approach (§2, Fig. 1 left).
+
+"A mobile client communicates with the web-server to invoke Internet
+services.  In this approach, the mobile user has to keep the connection with
+the wired network until the service is completed and the result is
+obtained."
+
+The runner opens one connection per bank (session semantics) and keeps it
+open while every transaction targeted at that bank is submitted and answered
+in sequence — so *connection time ≈ completion time* and both grow linearly
+in the number of transactions, amplified by every wireless latency sample
+along the way.  That is exactly the behaviour Figs. 12/13a show.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from ..simnet.http import HttpRequest, HttpResponse
+from ..simnet.transport import connect
+from ..xmlcodec import Element, parse_bytes, write_bytes
+from .common import BANK_WEB_PORT, TXN_FORM_BYTES, BaselineRunResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..device import Device
+
+__all__ = ["ClientServerRunner"]
+
+#: Offline form-filling time per transaction (nominal seconds; same for all
+#: approaches — the paper assumes "the time for submitting a transaction is
+#: the same for every single trial").
+SUBMIT_TIME_PER_TXN = 0.02
+
+#: Round trips per transaction while connected: fetch the transaction form,
+#: submit it, confirm the result — typical 2004 online-banking flows.
+EXCHANGES_PER_TXN = 3
+
+
+class ClientServerRunner:
+    """Runs a transaction batch in the classic client-server style."""
+
+    def __init__(self, device: "Device") -> None:
+        self.device = device
+        self.network = device.network
+
+    def run(self, transactions: list[dict[str, Any]]) -> Generator:
+        """Process: execute the batch; returns a :class:`BaselineRunResult`.
+
+        Transactions are grouped by bank; the device stays connected to each
+        bank's web server for that bank's whole share of the batch.
+        """
+        sim = self.network.sim
+        tracer = self.network.tracer
+        t0 = sim.now
+        # Offline preparation (identical across approaches).
+        yield self.device.compute(SUBMIT_TIME_PER_TXN * len(transactions))
+        details: list[dict[str, Any]] = []
+        banks: list[str] = []
+        for txn in transactions:
+            if txn["bank"] not in banks:
+                banks.append(txn["bank"])
+        for bank in banks:
+            sock = yield from connect(
+                self.network,
+                self.device.address,
+                bank,
+                BANK_WEB_PORT,
+                purpose="client-server-session",
+            )
+            try:
+                for txn in transactions:
+                    if txn["bank"] != bank:
+                        continue
+                    # Preliminary exchanges of the flow (form fetch,
+                    # validation) — full round trips over the wireless link,
+                    # answered as pages without committing the transaction.
+                    for _ in range(EXCHANGES_PER_TXN - 1):
+                        form_req = HttpRequest(
+                            method="GET",
+                            path="/form",
+                            client=self.device.address,
+                        )
+                        yield from sock.send(form_req, form_req.wire_size)
+                        yield from sock.recv()
+                    doc = Element(
+                        "txn",
+                        {
+                            "id": str(txn.get("txn_id", "")),
+                            "amount": str(txn.get("amount", 0)),
+                        },
+                    )
+                    body = write_bytes(doc)
+                    req = HttpRequest(
+                        method="POST",
+                        path="/txn",
+                        body=body,
+                        body_size=len(body) + TXN_FORM_BYTES,
+                        client=self.device.address,
+                    )
+                    yield from sock.send(req, req.wire_size)
+                    message = yield from sock.recv()
+                    resp: HttpResponse = message.payload
+                    if not resp.ok:
+                        details.append({"txn_id": txn.get("txn_id"), "status": "error"})
+                        continue
+                    reply = parse_bytes(resp.body)
+                    details.append(
+                        {
+                            "txn_id": reply.get("id"),
+                            "status": reply.get("status"),
+                            "bank": reply.findtext("bank"),
+                        }
+                    )
+            finally:
+                sock.close()
+        completion = sim.now - t0
+        sent, received = tracer.bytes_transferred(self.device.address, since=t0)
+        return BaselineRunResult(
+            approach="client-server",
+            n_transactions=len(transactions),
+            completion_time=completion,
+            connection_time=tracer.connection_time(self.device.address, since=t0),
+            connections=tracer.connection_count(self.device.address, since=t0),
+            bytes_sent=sent,
+            bytes_received=received,
+            details=details,
+        )

@@ -1,0 +1,124 @@
+"""Shared pieces of the comparison approaches (§2, Fig. 1).
+
+Every baseline runs the *same* e-banking workload against the *same* bank
+backends on the *same* simulated network as PDAgent, so the measured
+differences come from the interaction model alone.
+
+:class:`BankWebServer` is the HTTP front a bank exposes for the
+client-server and web-based approaches.  It charges the same per-transaction
+backend think time as the bank's MAS service agent
+(:data:`repro.apps.ebanking.BANK_THINK_TIME`), plus page-rendering costs for
+browser-style access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Generator
+
+from ..simnet.http import HttpRequest, HttpResponse, HttpServer
+from ..xmlcodec import Element, parse_bytes, write_bytes
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simnet.node import Node
+
+__all__ = [
+    "BankWebServer",
+    "BaselineRunResult",
+    "TXN_FORM_BYTES",
+    "TXN_RESPONSE_BYTES",
+    "PAGE_BYTES",
+    "PAGES_PER_TXN",
+    "PAGE_RENDER_TIME",
+    "BANK_WEB_PORT",
+]
+
+BANK_WEB_PORT = 8000
+
+#: Bytes of an uploaded transaction form (client-server approach).
+TXN_FORM_BYTES = 1536
+#: Bytes of a transaction response document.
+TXN_RESPONSE_BYTES = 4096
+#: Bytes of one rendered banking web page (2004-era dynamic page + assets).
+PAGE_BYTES = 56 * 1024
+#: Page navigations a browser needs per transaction (account view → form →
+#: validate → confirm → receipt).
+PAGES_PER_TXN = 5
+#: Server-side page generation time (nominal seconds, server class).
+PAGE_RENDER_TIME = 0.45
+
+
+@dataclass
+class BaselineRunResult:
+    """Uniform measurement record produced by every approach runner."""
+
+    approach: str
+    n_transactions: int
+    completion_time: float
+    connection_time: float
+    connections: int
+    bytes_sent: int
+    bytes_received: int
+    details: list[dict[str, Any]] = field(default_factory=list)
+
+
+class BankWebServer:
+    """A bank site's web front for the non-agent approaches.
+
+    Routes
+    ------
+    ``POST /txn``  — execute one transaction (XML body); used by the
+                     client-server approach.
+    ``GET /form``  — fetch one lightweight transaction form (WAP-era sized);
+                     the client-server flow's preliminary round trips.
+    ``GET /page``  — fetch one rendered banking page; used by the
+                     web-based approach (the transaction itself executes on
+                     the final page of each :data:`PAGES_PER_TXN` sequence).
+    """
+
+    def __init__(
+        self,
+        node: "Node",
+        think_time: float,
+        port: int = BANK_WEB_PORT,
+    ) -> None:
+        self.node = node
+        self.think_time = think_time
+        self.transactions_processed = 0
+        self.pages_served = 0
+        self.http = HttpServer(node, port=port, service_time=0.004)
+        self.http.route("/txn", self._handle_txn)
+        self.http.route("/form", self._handle_form)
+        self.http.route("/page", self._handle_page)
+
+    def _handle_txn(self, req: HttpRequest) -> Generator:
+        try:
+            doc = parse_bytes(req.body)
+            txn_id = doc.require("id")
+            amount = float(doc.require("amount"))
+        except Exception as exc:
+            return HttpResponse(400, reason=str(exc))
+            yield  # pragma: no cover - keeps the handler a generator
+        yield self.node.compute(self.think_time)
+        self.transactions_processed += 1
+        reply = Element("txnresult", {"id": txn_id, "status": "ok"})
+        reply.add("bank", text=self.node.address)
+        reply.add("amount", text=str(amount))
+        body = write_bytes(reply)
+        # Pad the response to a realistic document size.
+        pad = max(0, TXN_RESPONSE_BYTES - len(body))
+        return HttpResponse(200, body=body, body_size=len(body) + pad)
+
+    def _handle_form(self, req: HttpRequest) -> Generator:
+        yield self.node.compute(0.05)  # lightweight form generation
+        self.pages_served += 1
+        return HttpResponse(200, body=b"<form/>", body_size=TXN_RESPONSE_BYTES)
+
+    def _handle_page(self, req: HttpRequest) -> Generator:
+        yield self.node.compute(PAGE_RENDER_TIME)
+        if req.headers.get("step") == "final":
+            # The last page of a transaction's sequence commits it.
+            yield self.node.compute(self.think_time)
+            self.transactions_processed += 1
+        self.pages_served += 1
+        return HttpResponse(200, body=b"<html/>", body_size=PAGE_BYTES)

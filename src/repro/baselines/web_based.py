@@ -1,0 +1,97 @@
+"""The Web-based approach (§4): a browser on a high-end desktop.
+
+"Performance is evaluated by … comparing … with a web-based approach —
+accessing Internet services through a web browser on a high-end desktop."
+
+A browser-era transaction is a *sequence of page navigations* (form →
+validation → confirmation → receipt); each page is a fresh HTTP/1.0
+connection fetching a heavy dynamic page.  The desktop's wired link is fast,
+but the user is online for the whole session and per-page server rendering
+adds up — so connection time still grows linearly in the number of
+transactions (Fig. 12's middle curve).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from ..simnet.http import request
+from .common import BANK_WEB_PORT, PAGES_PER_TXN, BaselineRunResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..device import Device
+
+__all__ = ["WebBasedRunner"]
+
+#: Human/browser time between page navigations (form filling, rendering).
+PAGE_TURN_TIME = 0.15
+#: Pages of the per-bank login sequence (landing page + credentials).
+LOGIN_PAGES = 2
+
+
+class WebBasedRunner:
+    """Runs a transaction batch through browser-style page sequences."""
+
+    def __init__(self, device: "Device", pages_per_txn: int = PAGES_PER_TXN) -> None:
+        if pages_per_txn < 1:
+            raise ValueError("pages_per_txn must be >= 1")
+        self.device = device
+        self.network = device.network
+        self.pages_per_txn = pages_per_txn
+
+    def run(self, transactions: list[dict[str, Any]]) -> Generator:
+        """Process: execute the batch; returns a :class:`BaselineRunResult`."""
+        sim = self.network.sim
+        tracer = self.network.tracer
+        t0 = sim.now
+        details: list[dict[str, Any]] = []
+        logged_in: set[str] = set()
+        for txn in transactions:
+            bank = txn["bank"]
+            if bank not in logged_in:
+                # Per-bank login sequence before any transaction pages.
+                for _ in range(LOGIN_PAGES):
+                    yield self.device.compute(PAGE_TURN_TIME)
+                    yield from request(
+                        self.network,
+                        self.device.address,
+                        bank,
+                        "GET",
+                        "/page",
+                        port=BANK_WEB_PORT,
+                        purpose="web-login",
+                    )
+                logged_in.add(bank)
+            for step in range(self.pages_per_txn):
+                is_final = step == self.pages_per_txn - 1
+                yield self.device.compute(PAGE_TURN_TIME)
+                resp = yield from request(
+                    self.network,
+                    self.device.address,
+                    bank,
+                    "GET",
+                    "/page",
+                    port=BANK_WEB_PORT,
+                    purpose="web-page",
+                    headers={"step": "final"} if is_final else {},
+                )
+                if is_final:
+                    details.append(
+                        {
+                            "txn_id": txn.get("txn_id"),
+                            "status": "ok" if resp.ok else "error",
+                            "bank": bank,
+                        }
+                    )
+        completion = sim.now - t0
+        sent, received = tracer.bytes_transferred(self.device.address, since=t0)
+        return BaselineRunResult(
+            approach="web-based",
+            n_transactions=len(transactions),
+            completion_time=completion,
+            connection_time=tracer.connection_time(self.device.address, since=t0),
+            connections=tracer.connection_count(self.device.address, since=t0),
+            bytes_sent=sent,
+            bytes_received=received,
+            details=details,
+        )

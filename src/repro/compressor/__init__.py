@@ -1,0 +1,40 @@
+"""Text compression substrate.
+
+PDAgent compresses the XML Packed Information on the device before wireless
+upload ("Using simple text compression algorithms, the compression process
+requires only a small amount of CPU time" — §3).  Three codecs behind one
+self-describing frame format:
+
+>>> from repro.compressor import compress, decompress
+>>> frame = compress(b"<pi><t>100</t><t>100</t><t>100</t></pi>", "lzss")
+>>> decompress(frame)
+b'<pi><t>100</t><t>100</t><t>100</t></pi>'
+"""
+
+from .api import (
+    Codec,
+    CompressionError,
+    codec_names,
+    compress,
+    compression_ratio,
+    decompress,
+    get_codec,
+    register,
+)
+from .huffman import HuffmanCodec
+from .lzss import LzssCodec
+from .null import NullCodec
+
+__all__ = [
+    "Codec",
+    "CompressionError",
+    "register",
+    "get_codec",
+    "codec_names",
+    "compress",
+    "decompress",
+    "compression_ratio",
+    "NullCodec",
+    "HuffmanCodec",
+    "LzssCodec",
+]

@@ -1,0 +1,73 @@
+"""Bit-level I/O helpers shared by the Huffman and LZSS codecs.
+
+MSB-first bit order throughout (the conventional order for Huffman tables,
+and it makes the encoded streams easy to inspect in tests).
+"""
+
+from __future__ import annotations
+
+__all__ = ["BitWriter", "BitReader"]
+
+
+class BitWriter:
+    """Accumulates bits MSB-first into a bytearray."""
+
+    __slots__ = ("_buf", "_acc", "_nbits")
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def write_bit(self, bit: int) -> None:
+        self._acc = (self._acc << 1) | (bit & 1)
+        self._nbits += 1
+        if self._nbits == 8:
+            self._buf.append(self._acc)
+            self._acc = 0
+            self._nbits = 0
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Write ``width`` bits of ``value``, most significant first."""
+        if width < 0:
+            raise ValueError("negative width")
+        for shift in range(width - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def getvalue(self) -> bytes:
+        """Flush (zero-padding the final byte) and return the bytes."""
+        buf = bytearray(self._buf)
+        if self._nbits:
+            buf.append(self._acc << (8 - self._nbits))
+        return bytes(buf)
+
+    def __len__(self) -> int:
+        """Number of bits written so far."""
+        return len(self._buf) * 8 + self._nbits
+
+
+class BitReader:
+    """Reads bits MSB-first from a bytes object."""
+
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # bit position
+
+    @property
+    def bits_remaining(self) -> int:
+        return len(self._data) * 8 - self._pos
+
+    def read_bit(self) -> int:
+        byte_index, bit_index = divmod(self._pos, 8)
+        if byte_index >= len(self._data):
+            raise EOFError("bit stream exhausted")
+        self._pos += 1
+        return (self._data[byte_index] >> (7 - bit_index)) & 1
+
+    def read_bits(self, width: int) -> int:
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value

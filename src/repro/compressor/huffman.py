@@ -1,0 +1,141 @@
+"""Canonical Huffman codec.
+
+Encoding: build a Huffman tree from byte frequencies, convert to *canonical*
+code lengths, emit a 256-byte code-length table followed by the bit stream.
+Canonical codes make the table compact and the decoder table-driven.
+
+Code lengths are capped at 15 bits via the standard heuristic (rebalancing
+frequencies) so the table fits 4 bits per symbol packed... we keep one byte
+per symbol for clarity — the table is 256 bytes, negligible for the multi-KB
+XML documents this codec is applied to (and the framing layer falls back to
+the null codec whenever encoding would expand tiny inputs).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+
+from .bitio import BitReader, BitWriter
+
+__all__ = ["HuffmanCodec", "code_lengths", "canonical_codes"]
+
+_MAX_BITS = 15
+
+
+def code_lengths(data: bytes) -> list[int]:
+    """Per-symbol code lengths (0 = symbol unused) from byte frequencies."""
+    freq = Counter(data)
+    if not freq:
+        return [0] * 256
+    if len(freq) == 1:
+        # Degenerate single-symbol input: give it a 1-bit code.
+        lengths = [0] * 256
+        lengths[next(iter(freq))] = 1
+        return lengths
+    # Heap of (weight, tiebreak, node). Leaves are ints, internal nodes tuples.
+    heap: list[tuple[int, int, object]] = []
+    tiebreak = 0
+    for sym, count in sorted(freq.items()):
+        heap.append((count, tiebreak, sym))
+        tiebreak += 1
+    heapq.heapify(heap)
+    while len(heap) > 1:
+        w1, _, n1 = heapq.heappop(heap)
+        w2, _, n2 = heapq.heappop(heap)
+        heapq.heappush(heap, (w1 + w2, tiebreak, (n1, n2)))
+        tiebreak += 1
+    lengths = [0] * 256
+
+    def walk(node: object, depth: int) -> None:
+        if isinstance(node, tuple):
+            walk(node[0], depth + 1)
+            walk(node[1], depth + 1)
+        else:
+            lengths[node] = max(depth, 1)
+
+    walk(heap[0][2], 0)
+    # Depth cap: with 256 symbols the tree depth can exceed _MAX_BITS only
+    # for astronomically skewed inputs; clamp and re-normalise if it happens.
+    if max(lengths) > _MAX_BITS:
+        lengths = _limit_lengths(lengths)
+    return lengths
+
+
+def _limit_lengths(lengths: list[int]) -> list[int]:
+    """Clamp code lengths to ``_MAX_BITS`` preserving Kraft validity."""
+    clamped = [min(l, _MAX_BITS) if l else 0 for l in lengths]
+    # Repair the Kraft inequality sum(2^-l) <= 1 by lengthening the
+    # shortest over-budget codes.
+    def kraft(ls: list[int]) -> float:
+        return sum(2.0 ** -l for l in ls if l)
+
+    while kraft(clamped) > 1.0:
+        # Lengthen the currently shortest code that is still < cap.
+        candidates = [i for i, l in enumerate(clamped) if 0 < l < _MAX_BITS]
+        if not candidates:  # pragma: no cover - cannot happen for n<=2^15
+            raise RuntimeError("cannot satisfy Kraft inequality")
+        best = min(candidates, key=lambda i: clamped[i])
+        clamped[best] += 1
+    return clamped
+
+
+def canonical_codes(lengths: list[int]) -> dict[int, tuple[int, int]]:
+    """Map symbol → (code, length) using canonical ordering."""
+    symbols = sorted(
+        (length, sym) for sym, length in enumerate(lengths) if length > 0
+    )
+    codes: dict[int, tuple[int, int]] = {}
+    code = 0
+    prev_len = 0
+    for length, sym in symbols:
+        code <<= length - prev_len
+        codes[sym] = (code, length)
+        code += 1
+        prev_len = length
+    return codes
+
+
+class HuffmanCodec:
+    """Canonical Huffman entropy coder."""
+
+    name = "huffman"
+    codec_id = 1
+
+    def encode(self, data: bytes) -> bytes:
+        if not data:
+            return bytes(256)
+        lengths = code_lengths(data)
+        codes = canonical_codes(lengths)
+        writer = BitWriter()
+        for byte in data:
+            code, width = codes[byte]
+            writer.write_bits(code, width)
+        return bytes(lengths) + writer.getvalue()
+
+    def decode(self, data: bytes, original_length: int) -> bytes:
+        if original_length == 0:
+            return b""
+        if len(data) < 256:
+            raise ValueError("huffman frame missing code-length table")
+        lengths = list(data[:256])
+        codes = canonical_codes(lengths)
+        # Invert: (length, code) -> symbol.
+        decode_table = {
+            (width, code): sym for sym, (code, width) in codes.items()
+        }
+        reader = BitReader(data[256:])
+        out = bytearray()
+        while len(out) < original_length:
+            code = 0
+            width = 0
+            while True:
+                code = (code << 1) | reader.read_bit()
+                width += 1
+                sym = decode_table.get((width, code))
+                if sym is not None:
+                    out.append(sym)
+                    break
+                if width > _MAX_BITS:
+                    raise ValueError("corrupt huffman stream")
+        return bytes(out)

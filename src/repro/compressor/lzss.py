@@ -1,0 +1,111 @@
+"""LZSS dictionary codec.
+
+LZ77-family coder with a 4 KB sliding window and 2–33 byte matches — the
+classic "simple text compression" profile that suits repetitive XML markup
+and was computationally feasible on 2004-era handhelds.
+
+Stream format (MSB-first bits):
+
+* flag bit ``0`` → literal: 8 bits of the byte;
+* flag bit ``1`` → match: 12-bit backward distance (1-based) + 5-bit
+  length-minus-``MIN_MATCH``.
+
+Encoding uses a hash-chain match finder (3-byte hash heads, bounded chain
+walk) so it stays near-linear on pathological inputs.
+"""
+
+from __future__ import annotations
+
+from .bitio import BitReader, BitWriter
+
+__all__ = ["LzssCodec", "WINDOW_SIZE", "MIN_MATCH", "MAX_MATCH"]
+
+WINDOW_SIZE = 1 << 12  # 4096-byte window → 12-bit distances
+MIN_MATCH = 3
+MAX_MATCH = MIN_MATCH + (1 << 5) - 1  # 5-bit length field
+_MAX_CHAIN = 64  # bound the match-finder work per position
+
+
+def _hash3(data: bytes, i: int) -> int:
+    return (data[i] * 131 + data[i + 1] * 31 + data[i + 2]) & 0xFFFF
+
+
+class LzssCodec:
+    """Sliding-window dictionary coder."""
+
+    name = "lzss"
+    codec_id = 2
+
+    def encode(self, data: bytes) -> bytes:
+        n = len(data)
+        writer = BitWriter()
+        # Hash chains: head[h] = most recent position with hash h;
+        # prev[i] = previous position with the same hash as i.
+        head: dict[int, int] = {}
+        prev = [-1] * n
+        i = 0
+        while i < n:
+            best_len = 0
+            best_dist = 0
+            if i + MIN_MATCH <= n:
+                h = _hash3(data, i)
+                candidate = head.get(h, -1)
+                chain = 0
+                limit = min(MAX_MATCH, n - i)
+                while candidate >= 0 and chain < _MAX_CHAIN:
+                    dist = i - candidate
+                    if dist > WINDOW_SIZE:
+                        break
+                    # Extend the match.
+                    length = 0
+                    while (
+                        length < limit
+                        and data[candidate + length] == data[i + length]
+                    ):
+                        length += 1
+                    if length > best_len:
+                        best_len = length
+                        best_dist = dist
+                        if length == limit:
+                            break
+                    candidate = prev[candidate]
+                    chain += 1
+            if best_len >= MIN_MATCH:
+                writer.write_bit(1)
+                writer.write_bits(best_dist - 1, 12)
+                writer.write_bits(best_len - MIN_MATCH, 5)
+                # Insert every covered position into the chains.
+                end = i + best_len
+                while i < end:
+                    if i + MIN_MATCH <= n:
+                        h = _hash3(data, i)
+                        prev[i] = head.get(h, -1)
+                        head[h] = i
+                    i += 1
+            else:
+                writer.write_bit(0)
+                writer.write_bits(data[i], 8)
+                if i + MIN_MATCH <= n:
+                    h = _hash3(data, i)
+                    prev[i] = head.get(h, -1)
+                    head[h] = i
+                i += 1
+        return writer.getvalue()
+
+    def decode(self, data: bytes, original_length: int) -> bytes:
+        out = bytearray()
+        reader = BitReader(data)
+        while len(out) < original_length:
+            if reader.read_bit():
+                dist = reader.read_bits(12) + 1
+                length = reader.read_bits(5) + MIN_MATCH
+                start = len(out) - dist
+                if start < 0:
+                    raise ValueError("corrupt lzss stream: distance underflow")
+                for k in range(length):
+                    out.append(out[start + k])
+            else:
+                out.append(reader.read_bits(8))
+        if len(out) != original_length:
+            raise ValueError("corrupt lzss stream: length overshoot")
+        return bytes(out)

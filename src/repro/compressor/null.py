@@ -1,0 +1,18 @@
+"""Identity codec — compression disabled (baseline for ablation A2)."""
+
+from __future__ import annotations
+
+__all__ = ["NullCodec"]
+
+
+class NullCodec:
+    """Pass-through codec."""
+
+    name = "null"
+    codec_id = 0
+
+    def encode(self, data: bytes) -> bytes:
+        return data
+
+    def decode(self, data: bytes, original_length: int) -> bytes:
+        return data

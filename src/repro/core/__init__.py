@@ -1,0 +1,85 @@
+"""PDAgent core — the paper's contribution.
+
+Device side: :class:`PDAgentPlatform` (facade), :mod:`~repro.core.api`
+(§3.6 primitives), Agent Dispatcher, Network Manager, gateway selector,
+internal RMS database, security.
+
+Infrastructure side: :class:`Gateway` (Fig. 6 pipeline over a pluggable MAS
+adapter), :class:`CentralServer` (address list + trust anchor), and the
+:class:`DeploymentBuilder` that wires complete environments.
+"""
+
+from .config import DEFAULT_CONFIG, PDAgentConfig
+from .deployment import Deployment, DeploymentBuilder
+from .device_db import DispatchRecord, InternalDatabase, StoredCode
+from .dispatcher import AgentDispatcher
+from .errors import (
+    AuthorizationError,
+    DeploymentError,
+    GatewayError,
+    NoGatewayAvailableError,
+    PDAgentError,
+    ResultNotReadyError,
+    SubscriptionError,
+)
+from .gateway import GATEWAY_PORT, Gateway, Ticket
+from .netmanager import NetworkManager
+from .packed_info import PackedInfo, PIContent, pack, pi_from_xml, pi_to_xml, unpack
+from .platform import CollectedResult, DispatchHandle, PDAgentPlatform
+from .registry import CentralServer, GatewayEntry, fetch_gateway_list
+from .security import DeviceSecurity, GatewaySecurity
+from .selection import GatewaySelector, ProbeResult
+from .ui import DeviceUI
+from .subscription import (
+    ServiceCatalog,
+    ServiceCode,
+    Subscription,
+    SubscriptionDirectory,
+    code_from_xml,
+    code_to_xml,
+)
+
+__all__ = [
+    "PDAgentConfig",
+    "DeviceUI",
+    "DEFAULT_CONFIG",
+    "PDAgentPlatform",
+    "DispatchHandle",
+    "CollectedResult",
+    "Gateway",
+    "Ticket",
+    "GATEWAY_PORT",
+    "CentralServer",
+    "GatewayEntry",
+    "fetch_gateway_list",
+    "GatewaySelector",
+    "ProbeResult",
+    "AgentDispatcher",
+    "NetworkManager",
+    "DeviceSecurity",
+    "GatewaySecurity",
+    "InternalDatabase",
+    "StoredCode",
+    "DispatchRecord",
+    "ServiceCode",
+    "ServiceCatalog",
+    "Subscription",
+    "SubscriptionDirectory",
+    "code_to_xml",
+    "code_from_xml",
+    "PIContent",
+    "PackedInfo",
+    "pack",
+    "unpack",
+    "pi_to_xml",
+    "pi_from_xml",
+    "Deployment",
+    "DeploymentBuilder",
+    "PDAgentError",
+    "SubscriptionError",
+    "DeploymentError",
+    "AuthorizationError",
+    "ResultNotReadyError",
+    "GatewayError",
+    "NoGatewayAvailableError",
+]

@@ -1,0 +1,150 @@
+"""PDAgent public API primitives (§3.6).
+
+"PDAgent provides a set of APIs that help application developers to build
+their own mobile applications.  The API contains primitives for dispatching
+mobile agents, monitoring mobile agent activities, retracting mobile agents
+from the Internet, and disposing mobile agents.  In addition … functions for
+internal system management and network management."
+
+This module is the stable, documented surface a PDAgent application is
+written against.  Each primitive is a thin, named wrapper over the platform
+facade so application code reads like the paper's API list:
+
+================================  ========================================
+paper primitive                    function here
+================================  ========================================
+download mobile agent code         :func:`download_code`
+dispatch mobile agent              :func:`dispatch_agent`
+monitor mobile agent activities    :func:`monitor_agent`
+retract agent from the Internet    :func:`retract_agent`
+clone an agent                     :func:`clone_agent`
+dispose a mobile agent             :func:`dispose_agent`
+collect execution result           :func:`collect_result`
+generate unique keys               :func:`generate_unique_key`
+read/write XML documents           :func:`read_xml` / :func:`write_xml`
+network management                 :func:`find_nearest_gateway`
+================================  ========================================
+
+All network-touching primitives are *processes* — run them with
+``yield from`` inside a simulation process, or drive them with
+:func:`run_api_call` from plain code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from ..crypto import derive_dispatch_key
+from ..mas.itinerary import Stop
+from ..xmlcodec import Element, parse, write
+from .platform import CollectedResult, DispatchHandle, PDAgentPlatform
+
+__all__ = [
+    "download_code",
+    "dispatch_agent",
+    "monitor_agent",
+    "retract_agent",
+    "clone_agent",
+    "dispose_agent",
+    "collect_result",
+    "generate_unique_key",
+    "read_xml",
+    "write_xml",
+    "find_nearest_gateway",
+    "run_api_call",
+]
+
+
+def download_code(
+    platform: PDAgentPlatform, service: str, gateway: Optional[str] = None
+) -> Generator:
+    """Process: subscribe to ``service`` (§3.1) and store its MA code."""
+    stored = yield from platform.subscribe(service, gateway=gateway)
+    return stored
+
+
+def dispatch_agent(
+    platform: PDAgentPlatform,
+    service: str,
+    params: dict[str, Any],
+    stops: Optional[list[Stop]] = None,
+) -> Generator:
+    """Process: deploy a subscribed application (§3.2).
+
+    Returns a :class:`~repro.core.platform.DispatchHandle`; the device may
+    disconnect as soon as this returns.
+    """
+    handle = yield from platform.deploy(service, params, stops=stops)
+    return handle
+
+
+def monitor_agent(platform: PDAgentPlatform, handle: DispatchHandle) -> Generator:
+    """Process: the agent's current lifecycle state ("view agent status")."""
+    state = yield from platform.agent_status(handle)
+    return state
+
+
+def retract_agent(platform: PDAgentPlatform, handle: DispatchHandle) -> Generator:
+    """Process: pull the agent back from the network (§3.6)."""
+    state = yield from platform.retract_agent(handle)
+    return state
+
+
+def clone_agent(platform: PDAgentPlatform, handle: DispatchHandle) -> Generator:
+    """Process: clone the agent at its current site; returns the clone's handle."""
+    clone = yield from platform.clone_agent(handle)
+    return clone
+
+
+def dispose_agent(platform: PDAgentPlatform, handle: DispatchHandle) -> Generator:
+    """Process: dispose the agent and release gateway workspace."""
+    state = yield from platform.dispose_agent(handle)
+    return state
+
+
+def collect_result(
+    platform: PDAgentPlatform, handle: DispatchHandle, poll: bool = False
+) -> Generator:
+    """Process: download the result XML document (§3.3).
+
+    ``poll=True`` keeps retrying at the configured interval instead of
+    raising :class:`~repro.core.errors.ResultNotReadyError`.
+    """
+    if poll:
+        result: CollectedResult = yield from platform.collect_poll(handle)
+    else:
+        result = yield from platform.collect(handle)
+    return result
+
+
+def generate_unique_key(code_id: str, device_id: str, nonce: str) -> str:
+    """System management: the dispatch key for an assigned code id (§3.2)."""
+    return derive_dispatch_key(code_id, device_id, nonce)
+
+
+def read_xml(text: str) -> Element:
+    """System management: parse an XML document (kXML-equivalent)."""
+    return parse(text)
+
+
+def write_xml(root: Element, indent: str = "") -> str:
+    """System management: serialise an XML document."""
+    return write(root, indent=indent)
+
+
+def find_nearest_gateway(platform: PDAgentPlatform) -> Generator:
+    """Process: network management — probe and pick the shortest-RTT gateway."""
+    address = yield from platform.selector.select()
+    return address
+
+
+def run_api_call(platform: PDAgentPlatform, call: Generator) -> Any:
+    """Drive one API process to completion on the platform's simulator.
+
+    Convenience for scripts and tests::
+
+        handle = run_api_call(platform, dispatch_agent(platform, "ebanking", params))
+    """
+    sim = platform.device.sim
+    proc = sim.process(call)
+    return sim.run(until=proc)

@@ -1,0 +1,101 @@
+"""Platform configuration.
+
+One frozen dataclass gathers every tunable the experiments sweep: the
+compression codec, the security switch, gateway-selection policy parameters,
+and the CPU cost model for device-side packing work.
+
+Cost model: nominal seconds per operation on the *server* hardware class;
+actual simulated time scales by the executing node's ``cpu_factor`` (a PDA
+pays ×25).  The defaults make PI packing cost a few hundred milliseconds on
+a PDA — the paper's "only [a] small amount of CPU time".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["PDAgentConfig", "DEFAULT_CONFIG"]
+
+
+@dataclass(frozen=True)
+class PDAgentConfig:
+    """All platform tunables (device and gateway side)."""
+
+    # --- interoperability / packing -------------------------------------
+    #: Compression codec for PI and result documents ("lzss", "huffman",
+    #: "null" = compression disabled).
+    codec: str = "lzss"
+    #: Encrypt the PI with the gateway's public key (§3.4).  When False the
+    #: PI is sent with an MD5 integrity tag only.
+    encrypt: bool = True
+    #: RSA modulus size for gateway keys.
+    rsa_bits: int = 512
+
+    # --- gateway selection (§3.5) ------------------------------------------
+    #: Selection policy: "nearest" (paper), "first", "random", "round_robin".
+    selection_policy: str = "nearest"
+    #: Probe size in bytes (the paper sends "1-bit data"; one byte is the
+    #: minimum the byte-granular simulator can carry).
+    probe_size: int = 1
+    #: Re-download the address list when the chosen gateway's RTT exceeds
+    #: this threshold (seconds).
+    rtt_threshold: float = 2.5
+    #: How long a measured RTT stays fresh before re-probing (seconds).
+    rtt_cache_ttl: float = 300.0
+
+    # --- device-side CPU cost model (nominal seconds, server class) ---------
+    xml_encode_s_per_kb: float = 0.0008
+    xml_parse_s_per_kb: float = 0.0010
+    compress_s_per_kb: float = 0.0015
+    decompress_s_per_kb: float = 0.0008
+    encrypt_base_s: float = 0.004  # RSA seal of the session key
+    encrypt_s_per_kb: float = 0.0006  # keystream XOR
+    md5_s_per_kb: float = 0.0002
+
+    # --- gateway-side processing ------------------------------------------
+    #: Fixed servlet overhead per gateway request.
+    gateway_service_time: float = 0.008
+    #: Unpack (decrypt+decompress+parse) nominal cost per KB at the gateway.
+    gateway_unpack_s_per_kb: float = 0.0012
+
+    # --- result collection -----------------------------------------------------
+    #: Device polling interval when using poll-based collection (seconds).
+    poll_interval: float = 5.0
+    #: Maximum polls before giving up.
+    max_polls: int = 240
+
+    def __post_init__(self) -> None:
+        if self.selection_policy not in ("nearest", "first", "random", "round_robin"):
+            raise ValueError(f"unknown selection policy {self.selection_policy!r}")
+        if self.probe_size < 1:
+            raise ValueError("probe_size must be >= 1")
+        if self.rtt_threshold <= 0:
+            raise ValueError("rtt_threshold must be positive")
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
+
+    def with_(self, **changes) -> "PDAgentConfig":
+        """A modified copy (convenience for sweeps)."""
+        return replace(self, **changes)
+
+    # -- cost helpers (nominal seconds for n bytes) -----------------------------
+    def pack_cost(self, xml_bytes: int) -> float:
+        """Device-side cost to encode+compress+(encrypt) a PI of given size."""
+        kb = xml_bytes / 1024.0
+        cost = self.xml_encode_s_per_kb * kb + self.compress_s_per_kb * kb
+        cost += self.md5_s_per_kb * kb
+        if self.encrypt:
+            cost += self.encrypt_base_s + self.encrypt_s_per_kb * kb
+        return cost
+
+    def unpack_cost(self, wire_bytes: int) -> float:
+        """Receiver-side cost to verify+(decrypt)+decompress+parse."""
+        kb = wire_bytes / 1024.0
+        cost = self.md5_s_per_kb * kb + self.decompress_s_per_kb * kb
+        cost += self.xml_parse_s_per_kb * kb
+        if self.encrypt:
+            cost += self.encrypt_base_s + self.encrypt_s_per_kb * kb
+        return cost
+
+
+DEFAULT_CONFIG = PDAgentConfig()

@@ -1,0 +1,92 @@
+"""The Agent Dispatcher: offline PI preparation on the device (§3.2).
+
+"The Agent Dispatcher will collect the agent code and parameters, generate a
+unique key from the assigned code id, encode them into a XML document, and
+pass it on as a single package … to the Network Manager."
+
+Everything here happens **offline** — the device is not connected while the
+user fills in parameters and the dispatcher packs.  The packing CPU time is
+charged to the device (scaled by its cpu factor), which is how the
+"compression requires only a small amount of CPU time" claim is measured.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from ..crypto import derive_dispatch_key
+from ..mas.itinerary import Itinerary, Stop
+from .config import PDAgentConfig
+from .device_db import InternalDatabase, StoredCode
+from .errors import DeploymentError
+from .packed_info import PackedInfo, PIContent, pack
+from .security import DeviceSecurity
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..device import Device
+
+__all__ = ["AgentDispatcher"]
+
+
+class AgentDispatcher:
+    """Builds Packed Information from stored code + user parameters."""
+
+    def __init__(
+        self,
+        device: "Device",
+        db: InternalDatabase,
+        config: PDAgentConfig,
+        security: DeviceSecurity,
+    ) -> None:
+        self.device = device
+        self.db = db
+        self.config = config
+        self.security = security
+        self._nonce_counter = itertools.count(1)
+
+    def _next_nonce(self) -> str:
+        return f"{self.device.device_id}-n{next(self._nonce_counter)}"
+
+    def build_content(
+        self,
+        stored: StoredCode,
+        params: dict[str, Any],
+        stops: Optional[list[Stop]] = None,
+        origin: str = "",
+    ) -> PIContent:
+        """Assemble the logical PI (validates params against the schema)."""
+        schema = stored.code.param_schema
+        missing = [name for name in schema if name not in params]
+        if missing:
+            raise DeploymentError(
+                f"service {stored.code.service!r} missing params {missing}"
+            )
+        nonce = self._next_nonce()
+        key = derive_dispatch_key(stored.code_id, self.device.device_id, nonce)
+        itinerary = None
+        if stops is not None:
+            if not origin:
+                raise DeploymentError("an itinerary needs the gateway origin")
+            itinerary = Itinerary(origin=origin, stops=list(stops))
+        return PIContent(
+            code_id=stored.code_id,
+            device_id=self.device.device_id,
+            service=stored.code.service,
+            agent_class=stored.code.agent_class,
+            dispatch_key=key,
+            nonce=nonce,
+            params=dict(params),
+            itinerary=itinerary,
+            code_body=stored.code.payload(),
+        )
+
+    def pack_for(self, content: PIContent, gateway: str) -> Generator:
+        """Process: run the packing pipeline, charging device CPU time.
+
+        Returns the :class:`~repro.core.packed_info.PackedInfo`.
+        """
+        packed: PackedInfo = pack(content, self.config, self.security, gateway)
+        yield self.device.compute(self.config.pack_cost(packed.xml_size))
+        self.device.network.tracer.record("pi_wire_size", packed.wire_size)
+        return packed

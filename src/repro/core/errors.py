@@ -1,0 +1,41 @@
+"""PDAgent platform exceptions."""
+
+from __future__ import annotations
+
+__all__ = [
+    "PDAgentError",
+    "SubscriptionError",
+    "DeploymentError",
+    "AuthorizationError",
+    "ResultNotReadyError",
+    "GatewayError",
+    "NoGatewayAvailableError",
+]
+
+
+class PDAgentError(Exception):
+    """Base class for platform failures."""
+
+
+class SubscriptionError(PDAgentError):
+    """Service code download/registration failed (§3.1)."""
+
+
+class DeploymentError(PDAgentError):
+    """Packed Information upload or agent creation failed (§3.2)."""
+
+
+class AuthorizationError(PDAgentError):
+    """Gateway rejected the PI's unique dispatch key."""
+
+
+class ResultNotReadyError(PDAgentError):
+    """Result document not yet available at the gateway (§3.3)."""
+
+
+class GatewayError(PDAgentError):
+    """Gateway-side processing failure surfaced to the device."""
+
+
+class NoGatewayAvailableError(PDAgentError):
+    """Gateway selection found no reachable gateway (§3.5)."""

@@ -1,0 +1,480 @@
+"""The Gateway: PDAgent's middle-tier service bridge (§3.2, Figs. 4–6).
+
+The gateway accepts Packed Information over HTTP, verifies and unpacks it,
+validates the dispatch key, materialises a mobile agent on the attached MAS
+(through the :class:`~repro.mas.adapters.MASAdapter` boundary — never a
+concrete runtime), and hands the device back a **ticket** it can later
+redeem for the result XML document.
+
+Internal components mirror the paper's Fig. 6 architecture:
+
+* :class:`AgentDispatchHandler` — separates a received PI into modules;
+* :class:`XmlWriter` — "read[s] the xml document and parse[s] all the user
+  requirement parameters";
+* :class:`AgentCreator` — "generate[s] mobile agent classes from the
+  information if the supplied unique key is valid";
+* :class:`DocumentCreator` — "create[s] different files … for the Mobile
+  Agent Server to collect";
+* :class:`FileDirectory` — "allocate[s] a space for storing these document
+  and classes, and then … signal[s] the Mobile Agent Server".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from ..compressor import compress
+from ..crypto import CryptoError, IntegrityError, KeyVault, validate_dispatch_key
+from ..mas.adapters import MASAdapter
+from ..mas.itinerary import Itinerary
+from ..simnet.http import HttpRequest, HttpResponse, HttpServer
+from ..simnet.primitives import Event
+from ..xmlcodec import Element, XmlError, parse_bytes, write_bytes
+from ..mas.serializer import value_to_xml
+from .config import PDAgentConfig
+from .errors import AuthorizationError, DeploymentError, GatewayError
+from .packed_info import PIContent, unpack
+from .security import GatewaySecurity
+from .subscription import ServiceCatalog, SubscriptionDirectory, code_to_xml
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simnet.topology import Network
+
+__all__ = [
+    "Gateway",
+    "Ticket",
+    "GATEWAY_PORT",
+    "AgentDispatchHandler",
+    "XmlWriter",
+    "AgentCreator",
+    "DocumentCreator",
+    "FileDirectory",
+]
+
+GATEWAY_PORT = 80
+
+
+@dataclass
+class Ticket:
+    """Gateway-side record of one deployed application instance."""
+
+    ticket_id: str
+    agent_id: str
+    device_id: str
+    service: str
+    status: str  # dispatched | completed | retracted | disposed | failed
+    created_at: float
+    result_frame: Optional[bytes] = None
+    completed: Optional[Event] = None
+    children: list[str] = field(default_factory=list)  # clone tickets
+
+
+class XmlWriter:
+    """Parses the decrypted PI document into parameters (Fig. 6)."""
+
+    def __init__(self, security: GatewaySecurity) -> None:
+        self._security = security
+
+    def extract(self, frame: bytes) -> PIContent:
+        try:
+            return unpack(frame, self._security)
+        except IntegrityError:
+            raise
+        except (XmlError, ValueError, KeyError) as exc:
+            raise DeploymentError(f"malformed PI: {exc}") from exc
+
+
+class AgentCreator:
+    """Validates the dispatch key and deploys through the MAS adapter."""
+
+    def __init__(self, directory: SubscriptionDirectory, adapter: MASAdapter) -> None:
+        self._directory = directory
+        self._adapter = adapter
+        self._seen_nonces: set[tuple[str, str]] = set()
+
+    def authorize(self, content: PIContent) -> None:
+        """The §3.2 check: the unique key must match the subscription.
+
+        Also enforces nonce freshness: a captured PI replayed later (same
+        code id + nonce) is rejected, closing the §3.4 threat of stolen
+        packages being re-submitted.
+        """
+        sub = self._directory.lookup(content.code_id)
+        if sub is None:
+            raise AuthorizationError(f"unknown code id {content.code_id!r}")
+        if sub.device_id != content.device_id:
+            raise AuthorizationError(
+                f"code {content.code_id!r} belongs to {sub.device_id!r}"
+            )
+        if not validate_dispatch_key(
+            content.dispatch_key, content.code_id, content.device_id, content.nonce
+        ):
+            raise AuthorizationError("invalid dispatch key")
+        nonce_key = (content.code_id, content.nonce)
+        if nonce_key in self._seen_nonces:
+            raise AuthorizationError(
+                f"replayed dispatch: nonce {content.nonce!r} already used "
+                f"for {content.code_id!r}"
+            )
+        self._seen_nonces.add(nonce_key)
+
+    def create(self, content: PIContent, home: str) -> Generator:
+        """Process: instantiate + dispatch the agent; returns agent id."""
+        if not self._adapter.supports(content.agent_class):
+            raise DeploymentError(
+                f"MAS does not support agent class {content.agent_class!r}"
+            )
+        itinerary = content.itinerary or Itinerary(origin=home)
+        agent_id = yield from self._adapter.deploy(
+            content.agent_class,
+            owner=content.device_id,
+            itinerary=itinerary,
+            state={"params": content.params, "results": []},
+        )
+        return agent_id
+
+
+class DocumentCreator:
+    """Builds the result XML documents the device later downloads (§3.3)."""
+
+    def build(self, ticket: "Ticket", result: Any, disposition: str) -> Element:
+        doc = Element("result", {"ticket": ticket.ticket_id, "status": disposition})
+        doc.add("agent", text=ticket.agent_id)
+        doc.add("service", text=ticket.service)
+        doc.append(value_to_xml(result, "data"))
+        return doc
+
+
+class FileDirectory:
+    """Workspace allocator for per-dispatch documents and classes."""
+
+    def __init__(self, quota_bytes: int = 64 * 1024 * 1024) -> None:
+        self.quota_bytes = quota_bytes
+        self._used = 0
+        self._spaces: dict[str, int] = {}
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    def allocate(self, ticket_id: str, size: int) -> None:
+        if self._used + size > self.quota_bytes:
+            raise GatewayError("gateway file directory quota exceeded")
+        self._spaces[ticket_id] = self._spaces.get(ticket_id, 0) + size
+        self._used += size
+
+    def release(self, ticket_id: str) -> None:
+        self._used -= self._spaces.pop(ticket_id, 0)
+
+
+class AgentDispatchHandler:
+    """Separates a received PI and drives the Fig. 6 pipeline."""
+
+    def __init__(self, gateway: "Gateway") -> None:
+        self.gateway = gateway
+
+    def handle(self, frame: bytes) -> Generator:
+        """Process: full PI intake; returns ``(ticket_id, agent_id)``."""
+        gw = self.gateway
+        # Unpack cost scales with the received frame.
+        yield gw.node.compute(gw.config.unpack_cost(len(frame)))
+        content = gw.xml_writer.extract(frame)
+        gw.agent_creator.authorize(content)
+        ticket = gw._new_ticket(content)
+        gw.file_directory.allocate(
+            ticket.ticket_id, len(content.code_body) + 2048
+        )
+        try:
+            agent_id = yield from gw.agent_creator.create(content, gw.address)
+        except Exception:
+            gw.file_directory.release(ticket.ticket_id)
+            ticket.status = "failed"
+            raise
+        ticket.agent_id = agent_id
+        gw.network.tracer.count("gateway_dispatches")
+        # Background: watch for the agent's completion and build the doc.
+        gw.sim.process(
+            gw._await_completion(ticket), name=f"gw-await:{ticket.ticket_id}"
+        )
+        return ticket.ticket_id, agent_id
+
+
+class Gateway:
+    """A PDAgent gateway node.
+
+    Parameters
+    ----------
+    network, address:
+        Where the gateway lives (the node must already exist).
+    adapter:
+        The MAS boundary (usually a
+        :class:`~repro.mas.adapters.LocalServerAdapter` over a co-located
+        server).
+    catalog, directory:
+        Shared service catalogue and subscriber directory of the deployment.
+    vault:
+        Shared key vault; this gateway uses the keypair for its address.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        address: str,
+        adapter: MASAdapter,
+        catalog: ServiceCatalog,
+        directory: SubscriptionDirectory,
+        vault: KeyVault,
+        config: Optional[PDAgentConfig] = None,
+        port: int = GATEWAY_PORT,
+    ) -> None:
+        self.network = network
+        self.node = network.node(address)
+        self.adapter = adapter
+        self.catalog = catalog
+        self.directory = directory
+        self.config = config or PDAgentConfig()
+        self.security = GatewaySecurity(self.config, vault.keypair(address))
+        self.xml_writer = XmlWriter(self.security)
+        self.agent_creator = AgentCreator(directory, adapter)
+        self.document_creator = DocumentCreator()
+        self.file_directory = FileDirectory()
+        self.dispatch_handler = AgentDispatchHandler(self)
+        self._tickets: dict[str, Ticket] = {}
+        self._ticket_counter = itertools.count(1)
+        self.http = HttpServer(
+            self.node, port=port, service_time=self.config.gateway_service_time
+        )
+        self.http.route("/subscribe", self._handle_subscribe)
+        self.http.route("/pi", self._handle_pi)
+        self.http.route("/result/", self._handle_result)
+        self.http.route("/relay/", self._handle_relay)
+        self.http.route("/agent", self._handle_agent_op)
+        self.http.route("/status", self._handle_status)
+
+    # ------------------------------------------------------------ plumbing
+    @property
+    def address(self) -> str:
+        return self.node.address
+
+    @property
+    def sim(self):
+        return self.network.sim
+
+    def _new_ticket(self, content: PIContent) -> Ticket:
+        ticket = Ticket(
+            ticket_id=f"{self.address}/t-{next(self._ticket_counter)}",
+            agent_id="",
+            device_id=content.device_id,
+            service=content.service,
+            status="dispatched",
+            created_at=self.sim.now,
+            completed=Event(self.sim),
+        )
+        self._tickets[ticket.ticket_id] = ticket
+        return ticket
+
+    def ticket(self, ticket_id: str) -> Ticket:
+        try:
+            return self._tickets[ticket_id]
+        except KeyError:
+            raise GatewayError(f"unknown ticket {ticket_id!r}") from None
+
+    def _await_completion(self, ticket: Ticket) -> Generator:
+        result = yield self.adapter.wait_completion(ticket.agent_id)
+        self._finalize_ticket(ticket, result, "completed")
+
+    def _finalize_ticket(self, ticket: Ticket, result: Any, disposition: str) -> None:
+        if ticket.status in ("completed", "retracted", "disposed"):
+            return
+        doc = self.document_creator.build(ticket, result, disposition)
+        payload = compress(write_bytes(doc), self.config.codec)
+        ticket.result_frame = self.security.protect_result(payload)
+        ticket.status = disposition
+        self.file_directory.allocate(ticket.ticket_id, len(ticket.result_frame))
+        if ticket.completed is not None and not ticket.completed.triggered:
+            ticket.completed.succeed(disposition)
+        self.network.tracer.count(f"gateway_results:{disposition}")
+
+    # ------------------------------------------------------------ HTTP handlers
+    def _handle_subscribe(self, req: HttpRequest) -> HttpResponse:
+        """§3.1 code download: body is ``<subscribe service device>``."""
+        try:
+            doc = parse_bytes(req.body)
+            service = doc.require("service")
+            device_id = doc.require("device")
+            code = self.catalog.lookup(service)
+        except Exception as exc:
+            return HttpResponse(400, reason=str(exc))
+        sub = self.directory.subscribe(device_id, code)
+        xml = write_bytes(code_to_xml(code, sub.code_id))
+        frame = self.security.protect_result(compress(xml, self.config.codec))
+        self.network.tracer.count("gateway_subscriptions")
+        return HttpResponse(200, body=frame, body_size=len(frame))
+
+    def _handle_pi(self, req: HttpRequest) -> Generator:
+        """§3.2 service execution: body is the PI wire frame."""
+        if not isinstance(req.body, (bytes, bytearray)):
+            return HttpResponse(400, reason="PI body must be bytes")
+            yield  # pragma: no cover - unreachable; keeps handler a generator
+        try:
+            ticket_id, agent_id = yield from self.dispatch_handler.handle(
+                bytes(req.body)
+            )
+        except AuthorizationError as exc:
+            return HttpResponse(403, reason=str(exc))
+        except (DeploymentError, IntegrityError, CryptoError) as exc:
+            # Structural damage (bad envelope/frame) and integrity failures
+            # are the client's problem, not a server fault.
+            return HttpResponse(400, reason=str(exc))
+        doc = Element("dispatched")
+        doc.add("ticket", text=ticket_id)
+        doc.add("agent", text=agent_id)
+        body = write_bytes(doc)
+        return HttpResponse(200, body=body, body_size=len(body))
+
+    def _handle_result(self, req: HttpRequest) -> HttpResponse:
+        """§3.3 result collection: GET /result/<ticket-id>."""
+        ticket_id = req.path[len("/result/") :]
+        try:
+            ticket = self.ticket(ticket_id)
+        except GatewayError as exc:
+            return HttpResponse(404, reason=str(exc))
+        if ticket.result_frame is None:
+            return HttpResponse(204, reason="result not ready")
+        return HttpResponse(
+            200, body=ticket.result_frame, body_size=len(ticket.result_frame)
+        )
+
+    def _handle_status(self, req: HttpRequest) -> HttpResponse:
+        """Gateway self-monitoring: ticket counts and workspace usage.
+
+        Administration endpoint for operators (and for tests/benchmarks
+        verifying gateway-side state without reaching into internals).
+        """
+        by_status: dict[str, int] = {}
+        for ticket in self._tickets.values():
+            by_status[ticket.status] = by_status.get(ticket.status, 0) + 1
+        doc = Element("gatewaystatus", {"address": self.address})
+        doc.add("mas", text=getattr(self.adapter, "name", "unknown"))
+        doc.add(
+            "workspace",
+            {
+                "used": str(self.file_directory.used_bytes),
+                "quota": str(self.file_directory.quota_bytes),
+            },
+        )
+        tickets = doc.add("tickets", {"total": str(len(self._tickets))})
+        for status, count in sorted(by_status.items()):
+            tickets.add("bucket", {"status": status, "count": str(count)})
+        body = write_bytes(doc)
+        return HttpResponse(200, body=body, body_size=len(body))
+
+    def _handle_relay(self, req: HttpRequest) -> Generator:
+        """Result relay (mobility extension to §3.3).
+
+        ``GET /relay/<origin-gateway>/<ticket-id>``: a user who moved after
+        dispatching collects from *this* (now-nearest) gateway; we fetch the
+        result document from the dispatching gateway over the wired network
+        and hand it through.  The wired hop is cheap; the user's wireless hop
+        stays short — the same asymmetry the whole design exploits.
+        """
+        rest = req.path[len("/relay/") :]
+        origin, _, ticket_id = rest.partition("/")
+        if not origin or not ticket_id:
+            return HttpResponse(400, reason="need /relay/<gateway>/<ticket>")
+            yield  # pragma: no cover - keeps the handler a generator
+        if origin == self.address:
+            return self._handle_result(
+                HttpRequest(method="GET", path=f"/result/{ticket_id}", client=req.client)
+            )
+        from ..simnet.http import request as http_request
+        from ..simnet.transport import TransportError
+
+        try:
+            upstream = yield from http_request(
+                self.network,
+                self.address,
+                origin,
+                "GET",
+                f"/result/{ticket_id}",
+                port=GATEWAY_PORT,
+                purpose="gw-relay",
+                raise_for_status=False,
+            )
+        except TransportError as exc:
+            return HttpResponse(502, reason=f"origin gateway unreachable: {exc}")
+        if upstream.status == 204:
+            return HttpResponse(204, reason="result not ready")
+        if not upstream.ok:
+            return HttpResponse(upstream.status, reason=upstream.reason)
+        self.network.tracer.count("gateway_relays")
+        # The frame is integrity-tagged by the origin gateway; pass through.
+        return HttpResponse(
+            200, body=upstream.body, body_size=upstream.body_size
+        )
+
+    def _handle_agent_op(self, req: HttpRequest) -> Generator:
+        """§3.6 remote agent management: ``<agentop op ticket>``."""
+        try:
+            doc = parse_bytes(req.body)
+            op = doc.require("op")
+            ticket = self.ticket(doc.require("ticket"))
+        except (XmlError, KeyError, GatewayError, TypeError) as exc:
+            return HttpResponse(400, reason=str(exc))
+            yield  # pragma: no cover - unreachable; keeps handler a generator
+        if op == "status":
+            try:
+                state = yield from self.adapter.status(ticket.agent_id)
+            except Exception:
+                state = ticket.status
+            body = _op_reply(ticket, state=state)
+        elif op == "retract":
+            try:
+                yield from self.adapter.retract(ticket.agent_id)
+            except Exception as exc:
+                return HttpResponse(409, reason=f"retract failed: {exc}")
+            # A retracted agent yields a partial-result document.
+            self._finalize_ticket(ticket, {"partial": True}, "retracted")
+            body = _op_reply(ticket, state="retracted")
+        elif op == "clone":
+            try:
+                clone_id = yield from self.adapter.clone(ticket.agent_id)
+            except Exception as exc:
+                return HttpResponse(409, reason=f"clone failed: {exc}")
+            clone_ticket = Ticket(
+                ticket_id=f"{self.address}/t-{next(self._ticket_counter)}",
+                agent_id=clone_id,
+                device_id=ticket.device_id,
+                service=ticket.service,
+                status="dispatched",
+                created_at=self.sim.now,
+                completed=Event(self.sim),
+            )
+            self._tickets[clone_ticket.ticket_id] = clone_ticket
+            ticket.children.append(clone_ticket.ticket_id)
+            self.sim.process(
+                self._await_completion(clone_ticket),
+                name=f"gw-await:{clone_ticket.ticket_id}",
+            )
+            body = _op_reply(clone_ticket, state="dispatched")
+        elif op == "dispose":
+            try:
+                yield from self.adapter.dispose(ticket.agent_id)
+            except Exception as exc:
+                return HttpResponse(409, reason=f"dispose failed: {exc}")
+            ticket.status = "disposed"
+            self.file_directory.release(ticket.ticket_id)
+            body = _op_reply(ticket, state="disposed")
+        else:
+            return HttpResponse(400, reason=f"unknown op {op!r}")
+        return HttpResponse(200, body=body, body_size=len(body))
+
+
+def _op_reply(ticket: Ticket, state: str) -> bytes:
+    doc = Element("agentop")
+    doc.add("ticket", text=ticket.ticket_id)
+    doc.add("agent", text=ticket.agent_id)
+    doc.add("state", text=state)
+    return write_bytes(doc)

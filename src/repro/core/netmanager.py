@@ -1,0 +1,121 @@
+"""The Network Manager: all wireless traffic of the platform (§3.2, §3.6).
+
+"Network management is responsible [for] managing all the activities that
+require wireless network connections from wireless devices to gateways, such
+as downloading mobile agent code and upload[ing] packed information."
+
+Every method is a process performing exactly one HTTP exchange — the
+device is online only for the duration of that exchange, which is what the
+connection-time ledger measures.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from ..simnet.http import HttpError, HttpResponse, request
+from ..simnet.transport import TransportError
+from ..xmlcodec import Element, parse_bytes, write_bytes
+from .errors import GatewayError, ResultNotReadyError
+from .gateway import GATEWAY_PORT
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..device import Device
+
+__all__ = ["NetworkManager"]
+
+
+class NetworkManager:
+    """Device-side HTTP client for gateway interactions."""
+
+    def __init__(self, device: "Device") -> None:
+        self.device = device
+        self.network = device.network
+        self.uploads = 0
+        self.downloads = 0
+
+    # ------------------------------------------------------------ subscription
+    def download_code(self, gateway: str, service: str) -> Generator:
+        """Process: §3.1 code download; returns the protected code frame."""
+        doc = Element("subscribe", {"service": service, "device": self.device.device_id})
+        body = write_bytes(doc)
+        resp = yield from self._post(gateway, "/subscribe", body, "subscribe")
+        self.downloads += 1
+        return resp.body
+
+    # ------------------------------------------------------------ deployment
+    def upload_pi(self, gateway: str, frame: bytes) -> Generator:
+        """Process: §3.2 PI upload; returns ``(ticket_id, agent_id)``."""
+        resp = yield from self._post(gateway, "/pi", frame, "upload-pi")
+        self.uploads += 1
+        doc = parse_bytes(resp.body)
+        return doc.require_child("ticket").text, doc.require_child("agent").text
+
+    # ------------------------------------------------------------ results
+    def download_result(
+        self, gateway: str, ticket_id: str, origin: Optional[str] = None
+    ) -> Generator:
+        """Process: §3.3 result download; returns the protected result frame.
+
+        When ``origin`` names a different gateway than ``gateway``, the
+        request uses the relay path: the contacted gateway fetches the
+        document from the dispatching gateway over the wired network
+        (mobility extension — the user collects wherever they now are).
+
+        Raises :class:`ResultNotReadyError` on a 204 (the agent is still
+        travelling) so callers can implement their own polling policy.
+        """
+        if origin and origin != gateway:
+            path = f"/relay/{origin}/{ticket_id}"
+        else:
+            path = f"/result/{ticket_id}"
+        try:
+            resp = yield from request(
+                self.network,
+                self.device.address,
+                gateway,
+                "GET",
+                path,
+                port=GATEWAY_PORT,
+                purpose="download-result",
+                raise_for_status=False,
+            )
+        except TransportError as exc:
+            raise GatewayError(f"download-result failed: {exc}") from exc
+        if resp.status == 204:
+            raise ResultNotReadyError(ticket_id)
+        if not resp.ok:
+            raise GatewayError(f"result download failed: {resp.status} {resp.reason}")
+        self.downloads += 1
+        return resp.body
+
+    # ------------------------------------------------------------ agent ops
+    def agent_op(self, gateway: str, ticket_id: str, op: str) -> Generator:
+        """Process: §3.6 remote agent management; returns the reply element."""
+        doc = Element("agentop", {"op": op, "ticket": ticket_id})
+        body = write_bytes(doc)
+        resp = yield from self._post(gateway, "/agent", body, f"agent-{op}")
+        return parse_bytes(resp.body)
+
+    # ------------------------------------------------------------ internals
+    def _post(
+        self, gateway: str, path: str, body: bytes, purpose: str
+    ) -> Generator:
+        try:
+            resp: HttpResponse = yield from request(
+                self.network,
+                self.device.address,
+                gateway,
+                "POST",
+                path,
+                body=body,
+                body_size=len(body),
+                port=GATEWAY_PORT,
+                purpose=purpose,
+            )
+        except (HttpError, TransportError) as exc:
+            # Both application-level rejections and transport failures
+            # (refused/unreachable gateway) surface uniformly, so callers —
+            # notably the deploy failover — can treat the gateway as bad.
+            raise GatewayError(f"{purpose} failed: {exc}") from exc
+        return resp

@@ -1,0 +1,135 @@
+"""Packed Information (PI): the device → gateway dispatch package (§3.2).
+
+The Agent Dispatcher "collect[s] the agent code and parameters, generate[s]
+a unique key from the assigned code id, encode[s] them into a XML document,
+and pass[es] it on as a single package".  The full pipeline is::
+
+    PIContent → XML → compress(codec) → protect(encrypt | md5-tag) → bytes
+
+:func:`pack` / :func:`unpack` run the pipeline and its inverse; the sizes at
+each stage are reported so experiments can account CPU and transfer costs
+against real byte counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..compressor import compress, decompress
+from ..xmlcodec import Element, parse_bytes, write_bytes
+from ..mas.itinerary import Itinerary
+from ..mas.serializer import value_from_xml, value_to_xml
+from .config import PDAgentConfig
+from .errors import DeploymentError
+from .security import DeviceSecurity, GatewaySecurity
+
+__all__ = ["PIContent", "PackedInfo", "pack", "unpack", "pi_to_xml", "pi_from_xml"]
+
+
+@dataclass
+class PIContent:
+    """The logical content of a Packed Information document."""
+
+    code_id: str
+    device_id: str
+    service: str
+    agent_class: str
+    dispatch_key: str
+    nonce: str
+    params: dict[str, Any] = field(default_factory=dict)
+    itinerary: Optional[Itinerary] = None
+    code_body: str = ""
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("code_id", self.code_id),
+            ("device_id", self.device_id),
+            ("agent_class", self.agent_class),
+            ("dispatch_key", self.dispatch_key),
+        ):
+            if not value:
+                raise DeploymentError(f"PI field {name!r} must be non-empty")
+
+
+@dataclass(frozen=True)
+class PackedInfo:
+    """The wire package plus stage-by-stage size accounting."""
+
+    data: bytes
+    xml_size: int
+    compressed_size: int
+    wire_size: int
+
+    @property
+    def compression_gain(self) -> float:
+        """Fraction of XML bytes removed by compression."""
+        if self.xml_size == 0:
+            return 0.0
+        return 1.0 - self.compressed_size / self.xml_size
+
+
+def pi_to_xml(content: PIContent) -> Element:
+    """Encode PI content as the interoperable XML document."""
+    root = Element("pi", {"version": "1"})
+    root.add("codeid", text=content.code_id)
+    root.add("device", text=content.device_id)
+    root.add("service", text=content.service)
+    root.add("class", text=content.agent_class)
+    root.add("key", text=content.dispatch_key)
+    root.add("nonce", text=content.nonce)
+    root.append(value_to_xml(content.params, "params"))
+    if content.itinerary is not None:
+        root.append(value_to_xml(content.itinerary.to_dict(), "itinerary"))
+    root.add("code", {"size": str(len(content.code_body))}, text=content.code_body)
+    return root
+
+
+def pi_from_xml(root: Element) -> PIContent:
+    """Decode the XML document back to PI content."""
+    if root.tag != "pi":
+        raise DeploymentError(f"expected <pi>, got <{root.tag}>")
+    itinerary_elem = root.find("itinerary")
+    params = value_from_xml(root.require_child("params"))
+    if not isinstance(params, dict):
+        raise DeploymentError("<params> did not decode to a dict")
+    return PIContent(
+        code_id=root.require_child("codeid").text,
+        device_id=root.require_child("device").text,
+        service=root.findtext("service"),
+        agent_class=root.require_child("class").text,
+        dispatch_key=root.require_child("key").text,
+        nonce=root.findtext("nonce"),
+        params=params,
+        itinerary=(
+            Itinerary.from_dict(value_from_xml(itinerary_elem))
+            if itinerary_elem is not None
+            else None
+        ),
+        code_body=root.findtext("code"),
+    )
+
+
+def pack(
+    content: PIContent,
+    config: PDAgentConfig,
+    security: DeviceSecurity,
+    gateway: str,
+) -> PackedInfo:
+    """Run the device-side packing pipeline for ``gateway``."""
+    xml_bytes = write_bytes(pi_to_xml(content))
+    compressed = compress(xml_bytes, config.codec)
+    wire = security.protect(compressed, gateway)
+    return PackedInfo(
+        data=wire,
+        xml_size=len(xml_bytes),
+        compressed_size=len(compressed),
+        wire_size=len(wire),
+    )
+
+
+def unpack(frame: bytes, security: GatewaySecurity) -> PIContent:
+    """Gateway-side inverse: verify, decrypt, decompress, parse."""
+    compressed = security.unprotect(frame)
+    xml_bytes = decompress(compressed)
+    return pi_from_xml(parse_bytes(xml_bytes))

@@ -1,0 +1,296 @@
+"""The PDAgent Platform: the device-side facade (Fig. 4).
+
+Combines the UI-facing operations (subscribe / deploy / collect / manage)
+with the background System API components (Agent Dispatcher, Network
+Manager, internal database, gateway selector, security).  All operations
+that touch the network are processes; everything else happens offline.
+
+Typical flow (mirrors Figs. 5–6)::
+
+    platform = PDAgentPlatform(device, central_address="central")
+    # online: download code once
+    stored = yield from platform.subscribe("ebanking")
+    # offline: user enters parameters …
+    # online: one short connection to upload the PI
+    handle = yield from platform.deploy("ebanking", params, stops=stops)
+    # offline while the agent travels; later, one short connection:
+    result = yield from platform.collect(handle)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from ..compressor import decompress
+from ..crypto import KeyRing
+from ..mas.itinerary import Stop
+from ..mas.serializer import value_from_xml
+from ..xmlcodec import parse_bytes
+from .config import DEFAULT_CONFIG, PDAgentConfig
+from .device_db import DispatchRecord, InternalDatabase, StoredCode
+from .dispatcher import AgentDispatcher
+from .errors import GatewayError, ResultNotReadyError, SubscriptionError
+from .netmanager import NetworkManager
+from .security import DeviceSecurity
+from .selection import GatewaySelector
+from .subscription import code_from_xml
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..device import Device
+
+__all__ = ["PDAgentPlatform", "DispatchHandle", "CollectedResult"]
+
+
+@dataclass(frozen=True)
+class DispatchHandle:
+    """What the user holds after a deployment: enough to manage the agent."""
+
+    ticket: str
+    agent_id: str
+    gateway: str
+    service: str
+
+
+@dataclass(frozen=True)
+class CollectedResult:
+    """A downloaded, verified, parsed result document."""
+
+    ticket: str
+    status: str
+    data: Any
+    document_bytes: int
+
+
+class PDAgentPlatform:
+    """The lightweight platform running on the wireless device."""
+
+    def __init__(
+        self,
+        device: "Device",
+        central_address: str,
+        config: Optional[PDAgentConfig] = None,
+    ) -> None:
+        self.device = device
+        self.config = config or DEFAULT_CONFIG
+        self.keyring = KeyRing()
+        rng = device.network.streams.get(f"crypto:{device.device_id}")
+        self.security = DeviceSecurity(self.config, self.keyring, rng.bytes)
+        self.db = InternalDatabase(device.storage, self.config.codec)
+        self.dispatcher = AgentDispatcher(device, self.db, self.config, self.security)
+        self.netmanager = NetworkManager(device)
+        self.selector = GatewaySelector(
+            device.network,
+            device.address,
+            central_address,
+            self.config,
+            self.keyring,
+        )
+
+    def _resolve_gateway(self, gateway: Optional[str]) -> Generator:
+        """Process: pick a gateway (policy) or vet an explicitly named one.
+
+        Even for an explicit gateway, the device must hold its public key —
+        keys are distributed with the central server's trusted address list
+        (§3.4), so the list is fetched lazily on first need.
+        """
+        if gateway is None:
+            gateway = yield from self.selector.select()
+        elif not self.keyring.knows(gateway):
+            yield from self.selector.refresh_list()
+            if not self.keyring.knows(gateway):
+                from .errors import NoGatewayAvailableError
+
+                raise NoGatewayAvailableError(
+                    f"gateway {gateway!r} is not on the trusted address list"
+                )
+        return gateway
+
+    # ------------------------------------------------------------ subscription
+    def subscribe(self, service: str, gateway: Optional[str] = None) -> Generator:
+        """Process (§3.1): download MA code and store it in the database.
+
+        Returns the :class:`~repro.core.device_db.StoredCode`.  "Once the
+        service agent code is present in PDAgent's database, the
+        subscription is no longer needed."
+        """
+        gateway = yield from self._resolve_gateway(gateway)
+        frame = yield from self.netmanager.download_code(gateway, service)
+        yield self.device.compute(self.config.unpack_cost(len(frame)))
+        xml_bytes = decompress(self.security.unprotect_result(frame))
+        code, code_id = code_from_xml(parse_bytes(xml_bytes))
+        if not code_id:
+            raise SubscriptionError("gateway did not assign a code id")
+        return self.db.store_code(code, code_id)
+
+    def is_subscribed(self, service: str) -> bool:
+        return self.db.find_code_by_service(service) is not None
+
+    # ------------------------------------------------------------ deployment
+    def deploy(
+        self,
+        service: str,
+        params: dict[str, Any],
+        stops: Optional[list[Stop]] = None,
+        gateway: Optional[str] = None,
+    ) -> Generator:
+        """Process (§3.2): pack and upload the application.
+
+        Parameter entry and packing happen offline; only the PI upload opens
+        a connection.  Returns a :class:`DispatchHandle`.
+        """
+        stored = self.db.find_code_by_service(service)
+        if stored is None:
+            raise SubscriptionError(
+                f"not subscribed to {service!r}; call subscribe() first"
+            )
+        explicit = gateway is not None
+        gateway = yield from self._resolve_gateway(gateway)
+        failed: set[str] = set()
+        while True:
+            content = self.dispatcher.build_content(
+                stored, params, stops=stops, origin=gateway
+            )
+            packed = yield from self.dispatcher.pack_for(content, gateway)
+            try:
+                ticket, agent_id = yield from self.netmanager.upload_pi(
+                    gateway, packed.data
+                )
+                break
+            except GatewayError:
+                # Failover (§3.5 reliability): an unreachable or failing
+                # gateway is struck from consideration and the next-best
+                # candidate is tried.  Explicitly named gateways never fail
+                # over — the caller asked for that one specifically.
+                if explicit:
+                    raise
+                failed.add(gateway)
+                gateway = yield from self.selector.select(exclude=failed)
+        handle = DispatchHandle(
+            ticket=ticket, agent_id=agent_id, gateway=gateway, service=service
+        )
+        self.db.record_dispatch(
+            DispatchRecord(
+                ticket=ticket,
+                agent_id=agent_id,
+                gateway=gateway,
+                service=service,
+                status="dispatched",
+                dispatched_at=self.device.sim.now,
+            )
+        )
+        return handle
+
+    # ------------------------------------------------------------ results
+    def collect(
+        self, handle: DispatchHandle, via: Optional[str] = None
+    ) -> Generator:
+        """Process (§3.3): one download attempt for the result document.
+
+        ``via`` names a different gateway to collect through (mobility: the
+        user moved; the nearest gateway relays the document from the
+        dispatching one over the wired network).  ``via=""`` auto-selects
+        the currently nearest gateway.
+
+        Raises :class:`ResultNotReadyError` if the agent has not returned
+        yet.  On success the document is verified, parsed, stored in the
+        internal database, and returned as a :class:`CollectedResult`.
+        """
+        if via == "":
+            via = yield from self.selector.select()
+        gateway = via or handle.gateway
+        frame = yield from self.netmanager.download_result(
+            gateway, handle.ticket, origin=handle.gateway
+        )
+        yield self.device.compute(self.config.unpack_cost(len(frame)))
+        xml_bytes = decompress(self.security.unprotect_result(frame))
+        doc = parse_bytes(xml_bytes)
+        self.db.store_result(handle.ticket, xml_bytes)
+        self.db.update_dispatch_status(handle.ticket, "collected")
+        return CollectedResult(
+            ticket=handle.ticket,
+            status=doc.get("status", ""),
+            data=value_from_xml(doc.require_child("data")),
+            document_bytes=len(xml_bytes),
+        )
+
+    def collect_poll(self, handle: DispatchHandle) -> Generator:
+        """Process: poll :meth:`collect` until the result is ready.
+
+        Each poll is a real (short) connection; the poll interval is
+        configured by :attr:`~repro.core.config.PDAgentConfig.poll_interval`.
+        """
+        for _ in range(self.config.max_polls):
+            try:
+                result = yield from self.collect(handle)
+                return result
+            except ResultNotReadyError:
+                yield self.device.sim.timeout(self.config.poll_interval)
+        raise ResultNotReadyError(
+            f"{handle.ticket}: no result after {self.config.max_polls} polls"
+        )
+
+    # ------------------------------------------------------------ agent management
+    def agent_status(self, handle: DispatchHandle) -> Generator:
+        """Process (§3.6): query the agent's lifecycle state via the gateway."""
+        doc = yield from self.netmanager.agent_op(handle.gateway, handle.ticket, "status")
+        return doc.require_child("state").text
+
+    def retract_agent(self, handle: DispatchHandle) -> Generator:
+        """Process (§3.6): pull the agent back; a partial result document
+        becomes available for collection afterwards."""
+        doc = yield from self.netmanager.agent_op(handle.gateway, handle.ticket, "retract")
+        self.db.update_dispatch_status(handle.ticket, "retracted")
+        return doc.require_child("state").text
+
+    def clone_agent(self, handle: DispatchHandle) -> Generator:
+        """Process (§3.6): clone the agent; returns the clone's handle."""
+        doc = yield from self.netmanager.agent_op(handle.gateway, handle.ticket, "clone")
+        clone = DispatchHandle(
+            ticket=doc.require_child("ticket").text,
+            agent_id=doc.require_child("agent").text,
+            gateway=handle.gateway,
+            service=handle.service,
+        )
+        self.db.record_dispatch(
+            DispatchRecord(
+                ticket=clone.ticket,
+                agent_id=clone.agent_id,
+                gateway=clone.gateway,
+                service=clone.service,
+                status="dispatched",
+                dispatched_at=self.device.sim.now,
+            )
+        )
+        return clone
+
+    def dispose_agent(self, handle: DispatchHandle) -> Generator:
+        """Process (§3.6): dispose of the agent and its gateway workspace."""
+        doc = yield from self.netmanager.agent_op(handle.gateway, handle.ticket, "dispose")
+        self.db.update_dispatch_status(handle.ticket, "disposed")
+        return doc.require_child("state").text
+
+    # ------------------------------------------------------------ mobility
+    def relocate(self, access_point: str, wireless) -> None:
+        """Mobility (§3): re-home the device to a new access point.
+
+        Tears down the wireless link, attaches at the new location, and
+        invalidates the RTT cache so the next deployment re-runs the §3.5
+        nearest-gateway discovery from the new position.
+        """
+        self.device.move_to(access_point, wireless)
+        self.selector.invalidate_probes()
+
+    # ------------------------------------------------------------ local queries
+    def list_codes(self) -> list[StoredCode]:
+        """Internal database management: stored MA applications."""
+        return self.db.list_codes()
+
+    def list_dispatches(self) -> list[DispatchRecord]:
+        """Mobile agent management: every deployment this device made."""
+        return self.db.list_dispatches()
+
+    def stored_result(self, ticket: str) -> Any:
+        """Re-read a collected result from the internal database."""
+        doc = parse_bytes(self.db.get_result(ticket))
+        return value_from_xml(doc.require_child("data"))

@@ -1,0 +1,113 @@
+"""The central server: gateway address-list distribution (§3.5).
+
+"Initially, PDAgent will download a list of gateway addresses from the
+central server.  This list will be used until the Round Trip Time from the
+nearest gateway found in the list exceeds the pre-defined threshold.  In
+this case, the PDAgent will request a new address list from [the] central
+server or through one [of] the gateways."
+
+The central server also distributes gateway **public keys** with the list
+(the trust anchor of §3.4: devices learn keys from the central authority,
+not from the gateways themselves).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from ..crypto import KeyVault, PublicKey
+from ..xmlcodec import Element, parse_bytes, write_bytes
+from ..simnet.http import HttpResponse, HttpServer, request
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simnet.topology import Network
+
+__all__ = ["CentralServer", "GatewayEntry", "fetch_gateway_list"]
+
+CENTRAL_PORT = 8080
+
+
+class GatewayEntry:
+    """One row of the address list: address + public key."""
+
+    __slots__ = ("address", "public_key")
+
+    def __init__(self, address: str, public_key: PublicKey) -> None:
+        self.address = address
+        self.public_key = public_key
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<GatewayEntry {self.address!r}>"
+
+
+class CentralServer:
+    """Authoritative registry of trusted gateways."""
+
+    def __init__(self, network: "Network", address: str, vault: KeyVault) -> None:
+        self.network = network
+        self.node = network.node(address)
+        self.vault = vault
+        self._gateways: list[str] = []
+        self.http = HttpServer(self.node, port=CENTRAL_PORT, service_time=0.002)
+        self.http.route("/gateways", self._handle_list)
+
+    @property
+    def address(self) -> str:
+        return self.node.address
+
+    def register_gateway(self, gateway_address: str) -> None:
+        """Enrol a gateway (its keypair comes from the shared vault)."""
+        if gateway_address in self._gateways:
+            raise ValueError(f"gateway {gateway_address!r} already registered")
+        self._gateways.append(gateway_address)
+
+    def deregister_gateway(self, gateway_address: str) -> None:
+        self._gateways.remove(gateway_address)
+
+    def gateway_addresses(self) -> list[str]:
+        return list(self._gateways)
+
+    def _handle_list(self, req) -> HttpResponse:
+        doc = Element("gateways")
+        for address in self._gateways:
+            key = self.vault.public_key(address)
+            entry = doc.add("gateway", {"address": address})
+            entry.add("n", text=str(key.n))
+            entry.add("e", text=str(key.e))
+        body = write_bytes(doc)
+        return HttpResponse(200, body=body, body_size=len(body))
+
+
+def parse_gateway_list(body: bytes) -> list[GatewayEntry]:
+    """Decode the /gateways response document."""
+    doc = parse_bytes(body)
+    if doc.tag != "gateways":
+        raise ValueError(f"expected <gateways>, got <{doc.tag}>")
+    entries = []
+    for elem in doc.findall("gateway"):
+        entries.append(
+            GatewayEntry(
+                address=elem.require("address"),
+                public_key=PublicKey(
+                    n=int(elem.require_child("n").text),
+                    e=int(elem.require_child("e").text),
+                ),
+            )
+        )
+    return entries
+
+
+def fetch_gateway_list(
+    network: "Network", client: str, central: str
+) -> Generator:
+    """Process: download and decode the address list from the central server."""
+    resp = yield from request(
+        network,
+        client,
+        central,
+        "GET",
+        "/gateways",
+        port=CENTRAL_PORT,
+        purpose="gateway-list",
+    )
+    return parse_gateway_list(resp.body)

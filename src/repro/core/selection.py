@@ -1,0 +1,181 @@
+"""High-performance service management: nearest-gateway selection (§3.5).
+
+"The PDAgent platform will find the nearest Gateway by sending 1-bit data to
+all the gateways on the address list and calculating which Gateway takes the
+shortest Round Trip Time.  The PDAgent platform will send the Packed
+Information to the Gateway with the shortest RTT."
+
+:class:`GatewaySelector` implements that probe-all/pick-min policy, the RTT
+cache, and the threshold-driven address-list refresh.  Alternative policies
+(``first``, ``random``, ``round_robin``) exist for the selection ablation
+(bench A1).
+
+RTT probing: probes are connectionless datagrams (they do not open a
+transport connection and therefore do not count toward "internet connection
+time" — matching the paper's model where probe traffic is negligible 1-bit
+data), but their latency *is* simulated, so probing is not free in
+wall-clock terms.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from ..crypto import KeyRing
+from .config import PDAgentConfig
+from .errors import NoGatewayAvailableError
+from .registry import GatewayEntry, fetch_gateway_list
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simnet.topology import Network
+
+__all__ = ["GatewaySelector", "ProbeResult"]
+
+
+class ProbeResult:
+    """One gateway's measured RTT."""
+
+    __slots__ = ("address", "rtt", "measured_at")
+
+    def __init__(self, address: str, rtt: float, measured_at: float) -> None:
+        self.address = address
+        self.rtt = rtt
+        self.measured_at = measured_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ProbeResult {self.address!r} rtt={self.rtt:.4f}>"
+
+
+class GatewaySelector:
+    """Maintains the address list and picks the upload target."""
+
+    def __init__(
+        self,
+        network: "Network",
+        device_address: str,
+        central_address: str,
+        config: PDAgentConfig,
+        keyring: KeyRing,
+    ) -> None:
+        self.network = network
+        self.device_address = device_address
+        self.central_address = central_address
+        self.config = config
+        self.keyring = keyring
+        self._entries: list[GatewayEntry] = []
+        self._probes: dict[str, ProbeResult] = {}
+        self._round_robin_index = 0
+        self.list_refreshes = 0
+        self.probes_sent = 0
+
+    # ------------------------------------------------------------ address list
+    @property
+    def has_list(self) -> bool:
+        return bool(self._entries)
+
+    def gateway_addresses(self) -> list[str]:
+        return [e.address for e in self._entries]
+
+    def install_list(self, entries: list[GatewayEntry]) -> None:
+        """Adopt a downloaded address list (also learns public keys)."""
+        if not entries:
+            raise NoGatewayAvailableError("central server returned no gateways")
+        self._entries = list(entries)
+        self._probes.clear()
+        for entry in entries:
+            self.keyring.add(entry.address, entry.public_key)
+
+    def refresh_list(self) -> Generator:
+        """Process: (re-)download the address list from the central server."""
+        entries = yield from fetch_gateway_list(
+            self.network, self.device_address, self.central_address
+        )
+        self.install_list(entries)
+        self.list_refreshes += 1
+        return entries
+
+    # ------------------------------------------------------------ probing
+    def probe_all(self) -> Generator:
+        """Process: ping every listed gateway; returns sorted ProbeResults."""
+        sim = self.network.sim
+        if not self._entries:
+            raise NoGatewayAvailableError("no address list installed")
+        # Launch all probes concurrently — the paper sends to *all* gateways.
+        processes = [
+            sim.process(
+                self.network.ping(
+                    self.device_address, entry.address, self.config.probe_size
+                ),
+                name=f"probe:{entry.address}",
+            )
+            for entry in self._entries
+        ]
+        self.probes_sent += len(processes)
+        results = yield sim.all_of(processes)
+        probes = []
+        for entry, proc in zip(self._entries, processes):
+            probe = ProbeResult(entry.address, results[proc], sim.now)
+            self._probes[entry.address] = probe
+            probes.append(probe)
+        probes.sort(key=lambda p: p.rtt)
+        return probes
+
+    def _cached_probes(self) -> list[ProbeResult]:
+        """Fresh cached probes, sorted by RTT."""
+        now = self.network.sim.now
+        fresh = [
+            p
+            for p in self._probes.values()
+            if now - p.measured_at <= self.config.rtt_cache_ttl
+        ]
+        fresh.sort(key=lambda p: p.rtt)
+        return fresh
+
+    # ------------------------------------------------------------ selection
+    def select(self, exclude: Optional[set[str]] = None) -> Generator:
+        """Process: pick the upload gateway per the configured policy.
+
+        Ensures an address list is present (downloading one on first use),
+        probes when the policy needs RTTs, and refreshes the list when even
+        the nearest gateway exceeds the RTT threshold.  ``exclude`` removes
+        gateways that just failed (the deploy failover path).
+        """
+        if not self._entries:
+            yield from self.refresh_list()
+        exclude = exclude or set()
+        entries = [e for e in self._entries if e.address not in exclude]
+        if not entries:
+            raise NoGatewayAvailableError(
+                f"all {len(self._entries)} gateways excluded/unreachable"
+            )
+        policy = self.config.selection_policy
+        if policy == "first":
+            return entries[0].address
+        if policy == "random":
+            stream = self.network.streams.get(f"select:{self.device_address}")
+            return stream.choice([e.address for e in entries])
+        if policy == "round_robin":
+            entry = entries[self._round_robin_index % len(entries)]
+            self._round_robin_index += 1
+            return entry.address
+        # nearest (the paper's policy)
+        probes = [p for p in self._cached_probes() if p.address not in exclude]
+        if len(probes) < len(entries):
+            probes = yield from self.probe_all()
+            probes = [p for p in probes if p.address not in exclude]
+        best = probes[0]
+        if best.rtt > self.config.rtt_threshold and not exclude:
+            # Even the nearest gateway is too far: fetch a fresh list and
+            # re-probe once; accept the best we can get after that.
+            yield from self.refresh_list()
+            probes = yield from self.probe_all()
+            best = probes[0]
+        return best.address
+
+    def last_rtt(self, address: str) -> Optional[float]:
+        probe = self._probes.get(address)
+        return probe.rtt if probe else None
+
+    def invalidate_probes(self) -> None:
+        """Drop cached RTTs (after a handover the old values are garbage)."""
+        self._probes.clear()

@@ -1,0 +1,174 @@
+"""Service subscription (§3.1): MA application code as a downloadable artifact.
+
+A :class:`ServiceCode` is what a gateway offers and a device stores: the MA
+application's name, the agent class it instantiates, its parameter schema,
+and a synthetic code payload sized like the real class files (the paper
+observes 1–8 KB).  The :class:`ServiceCatalog` is the gateway's code shop;
+the :class:`SubscriptionDirectory` records which device subscribed to which
+code under which **unique code id** — the id the dispatch-key scheme (§3.2)
+validates against.
+
+The directory is shared by all gateways of a deployment, modelling the
+backend through which trusted gateways synchronise subscriber state.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from ..xmlcodec import Element
+from .errors import SubscriptionError
+
+__all__ = [
+    "ServiceCode",
+    "ServiceCatalog",
+    "Subscription",
+    "SubscriptionDirectory",
+    "code_to_xml",
+    "code_from_xml",
+]
+
+
+@dataclass(frozen=True)
+class ServiceCode:
+    """A downloadable MA-enabled application.
+
+    Parameters
+    ----------
+    service:
+        Catalogue name users subscribe to (e.g. ``"ebanking"``).
+    version:
+        Code version; re-subscription upgrades.
+    agent_class:
+        Registry name of the agent class the gateway will instantiate.
+    param_schema:
+        Ordered parameter names the application expects.
+    code_size:
+        Nominal size of the MA code in bytes (drives storage/transfer cost).
+    description:
+        Human-readable blurb shown in the device UI.
+    """
+
+    service: str
+    version: int
+    agent_class: str
+    param_schema: tuple[str, ...] = ()
+    code_size: int = 4096
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.service:
+            raise ValueError("service name must be non-empty")
+        if self.version < 1:
+            raise ValueError("version must be >= 1")
+        if self.code_size < 0:
+            raise ValueError("code_size must be >= 0")
+
+    def payload(self) -> str:
+        """Deterministic synthetic code body of ``code_size`` characters."""
+        unit = f"{self.agent_class}/{self.service}v{self.version};"
+        reps = self.code_size // len(unit) + 1
+        return (unit * reps)[: self.code_size]
+
+
+def code_to_xml(code: ServiceCode, code_id: str = "") -> Element:
+    """Encode a service code (plus its assigned id) as the download document."""
+    root = Element("macode", {"version": str(code.version)})
+    if code_id:
+        root.set("id", code_id)
+    root.add("service", text=code.service)
+    root.add("class", text=code.agent_class)
+    root.add("description", text=code.description)
+    schema = root.add("params")
+    for name in code.param_schema:
+        schema.add("param", {"name": name})
+    root.add("body", {"size": str(code.code_size)}, text=code.payload())
+    return root
+
+
+def code_from_xml(root: Element) -> tuple[ServiceCode, str]:
+    """Decode a download document; returns ``(code, code_id)``."""
+    if root.tag != "macode":
+        raise SubscriptionError(f"expected <macode>, got <{root.tag}>")
+    body = root.require_child("body")
+    code = ServiceCode(
+        service=root.require_child("service").text,
+        version=int(root.require("version")),
+        agent_class=root.require_child("class").text,
+        param_schema=tuple(
+            p.require("name") for p in root.require_child("params").findall("param")
+        ),
+        code_size=int(body.require("size")),
+        description=root.findtext("description"),
+    )
+    return code, root.get("id", "")
+
+
+class ServiceCatalog:
+    """The set of MA applications a deployment's gateways offer."""
+
+    def __init__(self) -> None:
+        self._codes: dict[str, ServiceCode] = {}
+
+    def publish(self, code: ServiceCode) -> None:
+        """Add or upgrade a service."""
+        existing = self._codes.get(code.service)
+        if existing is not None and existing.version >= code.version:
+            raise SubscriptionError(
+                f"{code.service!r} v{code.version} does not upgrade v{existing.version}"
+            )
+        self._codes[code.service] = code
+
+    def lookup(self, service: str) -> ServiceCode:
+        try:
+            return self._codes[service]
+        except KeyError:
+            raise SubscriptionError(
+                f"unknown service {service!r}; have {sorted(self._codes)}"
+            ) from None
+
+    def services(self) -> list[str]:
+        return sorted(self._codes)
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """One device's entitlement to run one service's code."""
+
+    code_id: str
+    device_id: str
+    service: str
+    version: int
+
+
+class SubscriptionDirectory:
+    """Deployment-wide subscriber registry (shared by trusted gateways)."""
+
+    def __init__(self) -> None:
+        self._by_id: dict[str, Subscription] = {}
+        self._counter = itertools.count(1)
+
+    def subscribe(self, device_id: str, code: ServiceCode) -> Subscription:
+        """Record a subscription and mint its unique code id."""
+        if not device_id:
+            raise SubscriptionError("device id must be non-empty")
+        code_id = f"mac-{next(self._counter):06d}"
+        sub = Subscription(
+            code_id=code_id,
+            device_id=device_id,
+            service=code.service,
+            version=code.version,
+        )
+        self._by_id[code_id] = sub
+        return sub
+
+    def lookup(self, code_id: str) -> Optional[Subscription]:
+        return self._by_id.get(code_id)
+
+    def subscriptions_of(self, device_id: str) -> list[Subscription]:
+        return [s for s in self._by_id.values() if s.device_id == device_id]
+
+    def __len__(self) -> int:
+        return len(self._by_id)

@@ -1,0 +1,147 @@
+"""The platform UI (Fig. 4's "UI" component; Figs. 9/11 screens).
+
+"UI is the interface via which mobile users submit service requirements and
+administer mobile agent activities both internally and externally."
+
+This is a *programmatic* MIDP-style screen machine — the reproduction of
+the prototype's LCDUI forms.  Each screen renders to text (what the Fig. 9
+captures show) and exposes the actions a softkey would trigger.  Actions
+that touch the network return processes; :class:`DeviceUI` runs them on the
+device's simulator, so the UI can be driven synchronously from scripts and
+tests:
+
+>>> ui = DeviceUI(platform)                       # doctest: +SKIP
+>>> print(ui.main_screen())                       # doctest: +SKIP
+>>> ui.subscribe("ebanking")                      # doctest: +SKIP
+>>> ticket = ui.deploy("ebanking", params, stops) # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..mas.itinerary import Stop
+from .errors import PDAgentError, ResultNotReadyError
+from .platform import DispatchHandle, PDAgentPlatform
+
+__all__ = ["DeviceUI"]
+
+_RULE = "-" * 34
+
+
+class DeviceUI:
+    """Text-screen front end over a :class:`PDAgentPlatform`."""
+
+    def __init__(self, platform: PDAgentPlatform) -> None:
+        self.platform = platform
+        self._handles: dict[str, DispatchHandle] = {}
+        self.status_line = "ready"
+
+    # ------------------------------------------------------------ plumbing
+    def _run(self, process) -> Any:
+        """Drive one platform process to completion on the simulator."""
+        sim = self.platform.device.sim
+        proc = sim.process(process)
+        return sim.run(until=proc)
+
+    def _remember(self, handle: DispatchHandle) -> None:
+        self._handles[handle.ticket] = handle
+
+    def handle_for(self, ticket: str) -> DispatchHandle:
+        try:
+            return self._handles[ticket]
+        except KeyError:
+            raise PDAgentError(f"UI knows no ticket {ticket!r}") from None
+
+    # ------------------------------------------------------------ screens
+    def main_screen(self) -> str:
+        """Fig. 9a: Platform Main Screen."""
+        lines = [
+            "PDAgent Platform",
+            _RULE,
+            "1. Service Subscription",
+            "2. Deploy Application",
+            "3. Mobile Agent Management",
+            "4. Internal Database Management",
+            _RULE,
+            f"[{self.status_line}]",
+        ]
+        return "\n".join(lines)
+
+    def agent_management_screen(self) -> str:
+        """Fig. 9b: Mobile Agent Management — dispatched agents + actions."""
+        lines = ["Mobile Agent Management", _RULE]
+        records = self.platform.list_dispatches()
+        if not records:
+            lines.append("(no agents dispatched)")
+        for rec in records:
+            lines.append(f"{rec.ticket}  {rec.service:<10s} {rec.status}")
+        lines += [_RULE, "actions: status / retract / clone / dispose / collect"]
+        return "\n".join(lines)
+
+    def database_screen(self) -> str:
+        """Fig. 9c: Internal Database Management — stored code + results."""
+        lines = ["Internal Database", _RULE, "MA code:"]
+        for stored in self.platform.list_codes():
+            code = stored.code
+            lines.append(
+                f"  {stored.code_id}  {code.service} v{code.version} "
+                f"({stored.stored_bytes} B stored)"
+            )
+        lines.append("results:")
+        for ticket in self.platform.db.list_results():
+            lines.append(f"  {ticket}")
+        used = self.platform.device.storage.used_bytes
+        quota = self.platform.device.storage.quota_bytes
+        lines += [_RULE, f"storage: {used}/{quota} B"]
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------ actions
+    def subscribe(self, service: str, gateway: Optional[str] = None) -> str:
+        """Service Subscription screen's confirm action; returns the code id."""
+        stored = self._run(self.platform.subscribe(service, gateway=gateway))
+        self.status_line = f"subscribed {service} as {stored.code_id}"
+        return stored.code_id
+
+    def deploy(
+        self,
+        service: str,
+        params: dict[str, Any],
+        stops: Optional[list[Stop]] = None,
+    ) -> str:
+        """Fig. 11b/11c: submit the form, show the dispatched agent id."""
+        handle = self._run(self.platform.deploy(service, params, stops=stops))
+        self._remember(handle)
+        self.status_line = f"dispatched {handle.agent_id}"
+        return handle.ticket
+
+    def agent_status(self, ticket: str) -> str:
+        state = self._run(self.platform.agent_status(self.handle_for(ticket)))
+        self.status_line = f"{ticket}: {state}"
+        return state
+
+    def retract(self, ticket: str) -> str:
+        state = self._run(self.platform.retract_agent(self.handle_for(ticket)))
+        self.status_line = f"{ticket}: {state}"
+        return state
+
+    def clone(self, ticket: str) -> str:
+        clone = self._run(self.platform.clone_agent(self.handle_for(ticket)))
+        self._remember(clone)
+        self.status_line = f"cloned {ticket} -> {clone.ticket}"
+        return clone.ticket
+
+    def dispose(self, ticket: str) -> str:
+        state = self._run(self.platform.dispose_agent(self.handle_for(ticket)))
+        self.status_line = f"{ticket}: {state}"
+        return state
+
+    def collect(self, ticket: str) -> Optional[dict]:
+        """Fig. 11d: Obtain Transaction Results; None if not ready yet."""
+        try:
+            result = self._run(self.platform.collect(self.handle_for(ticket)))
+        except ResultNotReadyError:
+            self.status_line = f"{ticket}: result not ready"
+            return None
+        self.status_line = f"{ticket}: collected"
+        return {"status": result.status, "data": result.data}

@@ -1,0 +1,55 @@
+"""Security substrate for PDAgent's §3.4 information security model.
+
+From-scratch implementations (no external crypto dependency):
+
+* :mod:`~repro.crypto.md5` — RFC 1321 MD5 (the paper's integrity check);
+* :mod:`~repro.crypto.rsa` — textbook RSA with Miller–Rabin keygen (the
+  paper's "Asymmetric Key Encryption");
+* :mod:`~repro.crypto.envelope` — the hybrid seal/open protocol applied to
+  Packed Information;
+* :mod:`~repro.crypto.keys` — key registries and the unique dispatch-key
+  scheme for authorising MA code execution.
+
+**Not production crypto** — a faithful protocol model sized to measure the
+overheads the paper's design pays.
+"""
+
+from .envelope import SESSION_KEY_BYTES, keystream, open_envelope, seal
+from .errors import CryptoError, IntegrityError
+from .keys import (
+    KeyRing,
+    KeyVault,
+    derive_dispatch_key,
+    validate_dispatch_key,
+)
+from .md5 import MD5, md5, md5_hex
+from .rsa import (
+    PrivateKey,
+    PublicKey,
+    decrypt_int,
+    encrypt_int,
+    generate_keypair,
+    is_probable_prime,
+)
+
+__all__ = [
+    "md5",
+    "md5_hex",
+    "MD5",
+    "PublicKey",
+    "PrivateKey",
+    "generate_keypair",
+    "is_probable_prime",
+    "encrypt_int",
+    "decrypt_int",
+    "seal",
+    "open_envelope",
+    "keystream",
+    "SESSION_KEY_BYTES",
+    "KeyRing",
+    "KeyVault",
+    "derive_dispatch_key",
+    "validate_dispatch_key",
+    "CryptoError",
+    "IntegrityError",
+]

@@ -1,0 +1,13 @@
+"""Crypto exceptions."""
+
+from __future__ import annotations
+
+__all__ = ["CryptoError", "IntegrityError"]
+
+
+class CryptoError(Exception):
+    """Base class for cryptographic failures."""
+
+
+class IntegrityError(CryptoError):
+    """MD5 verification of a received package failed (§3.4)."""

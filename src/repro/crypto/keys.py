@@ -1,0 +1,111 @@
+"""Key management: registries and the PDAgent unique-id/key scheme.
+
+Two concerns from the paper:
+
+* §3.4 — each gateway owns an RSA keypair; devices know gateway public keys
+  (distributed with the gateway address list).  :class:`KeyRing` models the
+  device-side public-key store; :class:`KeyVault` the gateway-side private
+  keys.
+* §3.1/§3.2 — each downloaded MA code gets a **unique id**, and at dispatch
+  time the platform derives a **unique key** from that id which the gateway
+  validates before creating agent classes.  :func:`derive_dispatch_key` and
+  :func:`validate_dispatch_key` implement that scheme as a keyed MD5 over
+  ``(code_id, device_id, nonce)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from .errors import CryptoError
+from .md5 import md5_hex
+from .rsa import PrivateKey, PublicKey, generate_keypair
+
+__all__ = [
+    "KeyRing",
+    "KeyVault",
+    "derive_dispatch_key",
+    "validate_dispatch_key",
+]
+
+
+@dataclass
+class KeyRing:
+    """Device-side store of gateway public keys, indexed by address."""
+
+    _keys: dict[str, PublicKey] = field(default_factory=dict)
+
+    def add(self, address: str, key: PublicKey) -> None:
+        existing = self._keys.get(address)
+        if existing is not None and existing != key:
+            raise CryptoError(f"conflicting public key for {address!r}")
+        self._keys[address] = key
+
+    def get(self, address: str) -> PublicKey:
+        try:
+            return self._keys[address]
+        except KeyError:
+            raise CryptoError(f"no public key for gateway {address!r}") from None
+
+    def knows(self, address: str) -> bool:
+        return address in self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+class KeyVault:
+    """Gateway-side private key holder.
+
+    Generates a deterministic keypair per gateway address so simulator runs
+    are reproducible; a shared vault hands each gateway its own keys.
+    """
+
+    def __init__(self, bits: int = 512, seed: int = 0) -> None:
+        self._bits = bits
+        self._seed = seed
+        self._keys: dict[str, PrivateKey] = {}
+
+    def keypair(self, address: str) -> PrivateKey:
+        """The (lazily generated) keypair for ``address``."""
+        key = self._keys.get(address)
+        if key is None:
+            # Stable per-address derivation from the vault seed.
+            sub_seed = int(md5_hex(f"{self._seed}:{address}".encode())[:12], 16)
+            key = generate_keypair(self._bits, seed=sub_seed)
+            self._keys[address] = key
+        return key
+
+    def public_key(self, address: str) -> PublicKey:
+        return self.keypair(address).public
+
+
+def derive_dispatch_key(code_id: str, device_id: str, nonce: str) -> str:
+    """Unique key sent with a PI, derived from the subscription's code id.
+
+    The gateway can recompute and compare it (it learns ``code_id`` at
+    subscription time), so a PI citing a code id the device never subscribed
+    to — or replaying another device's key — is rejected.
+    """
+    if not code_id or not device_id:
+        raise ValueError("code_id and device_id must be non-empty")
+    return md5_hex(f"{code_id}|{device_id}|{nonce}".encode())
+
+
+def validate_dispatch_key(
+    key: str, code_id: str, device_id: str, nonce: str
+) -> bool:
+    """Gateway-side check of a PI's dispatch key."""
+    try:
+        expected = derive_dispatch_key(code_id, device_id, nonce)
+    except ValueError:
+        return False
+    return _constant_time_eq(key, expected)
+
+
+def _constant_time_eq(a: str, b: str) -> bool:
+    if len(a) != len(b):
+        return False
+    diff = 0
+    for x, y in zip(a.encode(), b.encode()):
+        diff |= x ^ y
+    return diff == 0

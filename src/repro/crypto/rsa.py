@@ -1,0 +1,162 @@
+"""Textbook RSA with Miller–Rabin key generation.
+
+PDAgent's §3.4 security model: the device encrypts the Packed Information
+with the gateway's *public* key; the gateway decrypts with its private key.
+This module provides the asymmetric primitive; :mod:`repro.crypto.envelope`
+builds the hybrid scheme actually used on PI payloads.
+
+This is a **protocol model**, not production cryptography: default keys are
+512 bits, padding is a simple random prefix (not OAEP), and no blinding is
+performed.  That is faithful to the paper's scope ("implementing a
+comprehensive security service is beyond the scope of this paper") while
+letting the benchmarks measure the real byte and CPU overheads the design
+pays.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .errors import CryptoError
+
+__all__ = [
+    "PublicKey",
+    "PrivateKey",
+    "generate_keypair",
+    "is_probable_prime",
+    "encrypt_int",
+    "decrypt_int",
+]
+
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+]
+_DEFAULT_E = 65537
+
+
+def is_probable_prime(n: int, rounds: int = 40, rng: random.Random | None = None) -> bool:
+    """Miller–Rabin primality test."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    rng = rng or random.Random()
+    # Write n-1 = d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _random_prime(bits: int, rng: random.Random) -> int:
+    """Random prime with exactly ``bits`` bits."""
+    if bits < 8:
+        raise ValueError("prime size must be >= 8 bits")
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # force top bit and oddness
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """RSA public key ``(n, e)``."""
+
+    n: int
+    e: int
+
+    @property
+    def bits(self) -> int:
+        return self.n.bit_length()
+
+    @property
+    def byte_size(self) -> int:
+        """Bytes needed to hold one ciphertext block."""
+        return (self.bits + 7) // 8
+
+    def fingerprint(self) -> str:
+        """Short stable identifier used in traces and key registries."""
+        from .md5 import md5_hex
+
+        return md5_hex(f"{self.n}:{self.e}".encode())[:16]
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """RSA private key; carries the public part for convenience."""
+
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+
+    @property
+    def public(self) -> PublicKey:
+        return PublicKey(self.n, self.e)
+
+
+def generate_keypair(bits: int = 512, seed: int | None = None) -> PrivateKey:
+    """Generate an RSA keypair with an ``bits``-bit modulus.
+
+    ``seed`` makes generation deterministic (used by tests and by the
+    simulator so every run uses identical keys).
+    """
+    if bits < 64:
+        raise ValueError("modulus must be >= 64 bits")
+    rng = random.Random(seed)
+    half = bits // 2
+    while True:
+        p = _random_prime(half, rng)
+        q = _random_prime(bits - half, rng)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        phi = (p - 1) * (q - 1)
+        e = _DEFAULT_E
+        if phi % e == 0:
+            continue
+        d = pow(e, -1, phi)
+        return PrivateKey(n=n, e=e, d=d, p=p, q=q)
+
+
+def encrypt_int(m: int, key: PublicKey) -> int:
+    """Raw RSA: ``m^e mod n``.  ``m`` must be < n."""
+    if not 0 <= m < key.n:
+        raise CryptoError("plaintext integer out of range for this key")
+    return pow(m, key.e, key.n)
+
+
+def decrypt_int(c: int, key: PrivateKey) -> int:
+    """Raw RSA decryption using the CRT for speed."""
+    if not 0 <= c < key.n:
+        raise CryptoError("ciphertext integer out of range for this key")
+    # CRT: m_p = c^(d mod p-1) mod p, m_q likewise, recombine.
+    dp = key.d % (key.p - 1)
+    dq = key.d % (key.q - 1)
+    q_inv = pow(key.q, -1, key.p)
+    m_p = pow(c % key.p, dp, key.p)
+    m_q = pow(c % key.q, dq, key.q)
+    h = (q_inv * (m_p - m_q)) % key.p
+    return m_q + h * key.q

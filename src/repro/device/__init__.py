@@ -1,0 +1,25 @@
+"""Wireless-handheld device model (J2ME hardware substitute).
+
+Bundles a network node with CPU scaling, an RMS storage quota, and an energy
+ledger.  Canned profiles in :mod:`~repro.device.profiles` encode the paper's
+2004-era hardware classes and link technologies.
+"""
+
+from .device import Device, EnergyLedger
+from .profiles import (
+    DEVICES,
+    LINKS,
+    DeviceProfile,
+    device_profile,
+    link_profile,
+)
+
+__all__ = [
+    "Device",
+    "EnergyLedger",
+    "DeviceProfile",
+    "device_profile",
+    "link_profile",
+    "DEVICES",
+    "LINKS",
+]

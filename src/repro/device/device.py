@@ -1,0 +1,161 @@
+"""The wireless handheld device model.
+
+A :class:`Device` bundles what the PDAgent platform runs on top of:
+
+* a network :class:`~repro.simnet.node.Node` with a slow-CPU factor,
+* a :class:`~repro.rms.StorageManager` enforcing the persistent-storage
+  quota,
+* a simple battery/energy ledger (transmission and CPU draw charge it —
+  the paper motivates the design with "limited computing, battery power and
+  storage capability"),
+* a device id used by the dispatch-key scheme.
+
+The device does **not** know about PDAgent; the platform object
+(:class:`repro.core.platform.PDAgentPlatform`) is constructed *on* a device.
+The baselines reuse the same device model, so resource accounting is
+comparable across approaches.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..rms import StorageManager
+from .profiles import DeviceProfile, device_profile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simnet.node import Node
+    from ..simnet.topology import Network
+
+__all__ = ["Device", "EnergyLedger"]
+
+#: Energy unit costs (arbitrary mJ-like units; only ratios matter).
+ENERGY_PER_TX_BYTE = 0.008
+ENERGY_PER_RX_BYTE = 0.005
+ENERGY_PER_CPU_SECOND = 1.0
+ENERGY_PER_CONN_SECOND = 2.5
+
+
+class EnergyLedger:
+    """Accumulates the device's energy expenditure by category."""
+
+    def __init__(self) -> None:
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+        self.cpu_seconds = 0.0
+        self.connection_seconds = 0.0
+
+    def charge_tx(self, n: int) -> None:
+        self.tx_bytes += n
+
+    def charge_rx(self, n: int) -> None:
+        self.rx_bytes += n
+
+    def charge_cpu(self, seconds: float) -> None:
+        self.cpu_seconds += seconds
+
+    def charge_connection(self, seconds: float) -> None:
+        self.connection_seconds += seconds
+
+    @property
+    def total(self) -> float:
+        """Total energy in abstract units."""
+        return (
+            self.tx_bytes * ENERGY_PER_TX_BYTE
+            + self.rx_bytes * ENERGY_PER_RX_BYTE
+            + self.cpu_seconds * ENERGY_PER_CPU_SECOND
+            + self.connection_seconds * ENERGY_PER_CONN_SECOND
+        )
+
+
+class Device:
+    """A wireless handheld attached to the simulated network.
+
+    Parameters
+    ----------
+    network:
+        The simulation to attach to.
+    address:
+        Unique node address (also used as the default device id).
+    profile:
+        A :class:`~repro.device.profiles.DeviceProfile` or profile name
+        (``"PDA"``, ``"PHONE"``, ``"DESKTOP"``).
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        address: str,
+        profile: DeviceProfile | str = "PDA",
+        device_id: Optional[str] = None,
+    ) -> None:
+        if isinstance(profile, str):
+            profile = device_profile(profile)
+        self.network = network
+        self.profile = profile
+        self.device_id = device_id or address
+        self.node: "Node" = network.add_node(
+            address, kind=profile.kind, cpu_factor=profile.cpu_factor
+        )
+        self.storage = StorageManager(profile.storage_bytes)
+        self.energy = EnergyLedger()
+        self.attachment: Optional[str] = None  # current access point
+        self.handovers = 0
+
+    @property
+    def address(self) -> str:
+        return self.node.address
+
+    @property
+    def sim(self):
+        return self.network.sim
+
+    def compute(self, seconds: float):
+        """Event for ``seconds`` of nominal work on this device's CPU.
+
+        The elapsed simulated time is scaled by the profile's cpu factor and
+        the energy ledger is charged for the *actual* busy time.
+        """
+        actual = seconds * self.profile.cpu_factor
+        self.energy.charge_cpu(actual)
+        return self.sim.timeout(actual)
+
+    def attach_wireless(self, access_point: str, spec) -> None:
+        """Bring the wireless interface up against ``access_point``.
+
+        Creates the duplex device↔AP links; the deployment builder calls
+        this at construction and :meth:`move_to` on handover.
+        """
+        self.network.add_duplex_link(self.address, access_point, spec)
+        self.attachment = access_point
+
+    def move_to(self, access_point: str, spec) -> None:
+        """Mobility (§3 design issue): re-home to a different access point.
+
+        Tears down the current wireless links and attaches to the new AP —
+        the user walked out of one coverage area into another.  In-flight
+        transfers over the old links fail exactly as a real handover drops
+        them; the platform's gateway selection re-probes afterwards.
+        """
+        if self.attachment is None:
+            raise RuntimeError(f"{self.address!r} has no wireless attachment")
+        if access_point == self.attachment:
+            return
+        self.network.remove_duplex_link(self.address, self.attachment)
+        self.attach_wireless(access_point, spec)
+        self.handovers += 1
+
+    def settle_energy(self, since: float = 0.0) -> None:
+        """Fold network activity from the connection ledger into energy.
+
+        Call after a workload completes; idempotence is the caller's concern
+        (typically called once per experiment run).
+        """
+        tracer = self.network.tracer
+        sent, received = tracer.bytes_transferred(self.address, since)
+        self.energy.charge_tx(sent)
+        self.energy.charge_rx(received)
+        self.energy.charge_connection(tracer.connection_time(self.address, since))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Device {self.address!r} profile={self.profile.name}>"

@@ -1,0 +1,131 @@
+"""Canned device and link profiles for the paper's operating environment.
+
+The prototype ran on 2003/4-era wireless handhelds (J2ME CLDC/MIDP phones and
+PDAs) reaching a campus gateway.  The profiles below encode the era's
+representative figures; experiments reference profiles by name so sweeps can
+scale them without touching protocol code.
+
+Link profiles
+-------------
+``GPRS``      — cellular data of the period: ~4 KB/s, 600 ms RTT, heavy
+                jitter, noticeable channel-acquisition (setup) delay.
+``WLAN``      — 802.11b PDA radio: ~200 KB/s effective, tens of ms latency.
+``LAN``       — the desktop baseline's wired campus network.
+``WAN``       — gateway ↔ internet sites (bank servers etc.).
+``WAN_FAR``   — a distant site (higher latency), for multi-gateway topologies.
+
+Device profiles
+---------------
+``PDA``       — constrained handheld: slow CPU (×25 over the gateway class),
+                512 KB persistent storage.
+``PHONE``     — even smaller MIDP phone.
+``DESKTOP``   — the web-based baseline's client machine.
+``SERVER``    — gateway / MAS hosts ("high-end desktop in a network site").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simnet.link import LinkSpec
+
+__all__ = [
+    "DeviceProfile",
+    "LINKS",
+    "DEVICES",
+    "link_profile",
+    "device_profile",
+]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Hardware-class description used when building nodes."""
+
+    name: str
+    cpu_factor: float  # compute-delay multiplier vs. the server class
+    storage_bytes: int  # persistent storage quota (RMS budget)
+    kind: str = "device"
+
+
+LINKS: dict[str, LinkSpec] = {
+    "GPRS": LinkSpec(
+        latency=0.30,
+        bandwidth=4_000,
+        jitter=0.12,
+        jitter_model="exponential",
+        loss=0.02,
+        setup_time=1.2,
+        rto=1.5,
+        name="GPRS",
+    ),
+    "WLAN": LinkSpec(
+        latency=0.025,
+        bandwidth=200_000,
+        jitter=0.01,
+        jitter_model="exponential",
+        loss=0.005,
+        setup_time=0.15,
+        rto=0.5,
+        name="WLAN",
+    ),
+    "LAN": LinkSpec(
+        latency=0.002,
+        bandwidth=1_250_000,
+        jitter=0.0005,
+        jitter_model="normal",
+        loss=0.0,
+        setup_time=0.01,
+        rto=0.2,
+        name="LAN",
+    ),
+    "WAN": LinkSpec(
+        latency=0.045,
+        bandwidth=250_000,
+        jitter=0.02,
+        jitter_model="exponential",
+        loss=0.002,
+        setup_time=0.02,
+        rto=0.8,
+        name="WAN",
+    ),
+    "WAN_FAR": LinkSpec(
+        latency=0.180,
+        bandwidth=120_000,
+        jitter=0.06,
+        jitter_model="exponential",
+        loss=0.004,
+        setup_time=0.02,
+        rto=1.0,
+        name="WAN_FAR",
+    ),
+}
+
+DEVICES: dict[str, DeviceProfile] = {
+    "PDA": DeviceProfile("PDA", cpu_factor=25.0, storage_bytes=512 * 1024),
+    "PHONE": DeviceProfile("PHONE", cpu_factor=60.0, storage_bytes=192 * 1024),
+    "DESKTOP": DeviceProfile(
+        "DESKTOP", cpu_factor=1.5, storage_bytes=64 * 1024 * 1024, kind="desktop"
+    ),
+    "SERVER": DeviceProfile(
+        "SERVER", cpu_factor=1.0, storage_bytes=1024 * 1024 * 1024, kind="server"
+    ),
+}
+
+
+def link_profile(name: str) -> LinkSpec:
+    """Look up a canned link profile by name."""
+    try:
+        return LINKS[name]
+    except KeyError:
+        raise KeyError(f"unknown link profile {name!r}; have {sorted(LINKS)}") from None
+
+
+def device_profile(name: str) -> DeviceProfile:
+    """Look up a canned device profile by name."""
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device profile {name!r}; have {sorted(DEVICES)}"
+        ) from None

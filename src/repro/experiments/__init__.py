@@ -1,0 +1,33 @@
+"""Experiment harness: regenerates every figure and claim of the paper.
+
+* :mod:`~repro.experiments.scenario` — the §4 evaluation environment;
+* :mod:`~repro.experiments.fig12` — internet connection time, 3 approaches;
+* :mod:`~repro.experiments.fig13` — completion times over 4 trials;
+* :mod:`~repro.experiments.claims` — code-size (C1) and footprint (C2);
+* :mod:`~repro.experiments.ablations` — selection / codec / security /
+  adapter ablations (A1–A4);
+* :mod:`~repro.experiments.runner` — the ``pdagent-experiments`` CLI.
+"""
+
+from .stats import flatness, growth_ratio, linear_fit, mean_ci
+from .sweep import SweepCell, SweepGrid, sweep
+from .scenario import (
+    EvaluationScenario,
+    PDAgentRunMetrics,
+    build_scenario,
+    run_pdagent_batch,
+)
+
+__all__ = [
+    "linear_fit",
+    "flatness",
+    "mean_ci",
+    "growth_ratio",
+    "sweep",
+    "SweepGrid",
+    "SweepCell",
+    "EvaluationScenario",
+    "PDAgentRunMetrics",
+    "build_scenario",
+    "run_pdagent_batch",
+]

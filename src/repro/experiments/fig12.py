@@ -1,0 +1,99 @@
+"""Figure 12 — "Internet connection times: three different approaches".
+
+The paper sweeps the number of transactions from 1 to 10 and plots the
+device's total internet connection time for PDAgent, the client-server
+model, and the web-based approach.  Expected shape:
+
+* client-server and web-based grow roughly linearly (the user stays
+  connected from request until the service completes);
+* PDAgent stays flat: one short PI upload + one short result download,
+  independent of the batch size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .report import format_series, format_table
+from .scenario import build_scenario, run_pdagent_batch
+
+__all__ = ["Fig12Result", "run_fig12", "main"]
+
+DEFAULT_NS = tuple(range(1, 11))
+
+
+@dataclass
+class Fig12Result:
+    """The three series of Figure 12."""
+
+    ns: list[int]
+    pdagent: list[float] = field(default_factory=list)
+    client_server: list[float] = field(default_factory=list)
+    web_based: list[float] = field(default_factory=list)
+
+    def rows(self) -> list[list]:
+        return [
+            [n, p, c, w]
+            for n, p, c, w in zip(self.ns, self.pdagent, self.client_server, self.web_based)
+        ]
+
+    def to_csv(self) -> str:
+        """CSV form of the figure (full precision, for plotting)."""
+        from .report import to_csv
+
+        return to_csv(
+            ["n_transactions", "pdagent_s", "client_server_s", "web_based_s"],
+            self.rows(),
+        )
+
+    def render(self) -> str:
+        table = format_table(
+            ["#txns", "PDAgent (s)", "Client-Server (s)", "Web-based (s)"],
+            self.rows(),
+            title="Figure 12: Internet connection time vs number of transactions",
+        )
+        lines = [
+            table,
+            "",
+            format_series("PDAgent", self.ns, self.pdagent),
+            format_series("Client-Server", self.ns, self.client_server),
+            format_series("Web-based", self.ns, self.web_based),
+        ]
+        return "\n".join(lines)
+
+
+def run_fig12(seed: int = 0, ns: tuple[int, ...] = DEFAULT_NS) -> Fig12Result:
+    """Regenerate Figure 12's three series.
+
+    Every (approach, n) cell runs in a fresh scenario seeded from ``seed``
+    so the ledger only contains that cell's traffic.
+    """
+    result = Fig12Result(ns=list(ns))
+    for n in ns:
+        # --- PDAgent ---------------------------------------------------------
+        scenario = build_scenario(seed=seed)
+        metrics = run_pdagent_batch(scenario, n)
+        result.pdagent.append(metrics.connection_time)
+        # --- client-server ---------------------------------------------------
+        scenario = build_scenario(seed=seed)
+        runner = scenario.client_server_runner()
+        proc = scenario.sim.process(runner.run(scenario.transactions(n)))
+        cs = scenario.sim.run(until=proc)
+        result.client_server.append(cs.connection_time)
+        # --- web-based --------------------------------------------------------
+        scenario = build_scenario(seed=seed)
+        runner = scenario.web_based_runner()
+        proc = scenario.sim.process(runner.run(scenario.transactions(n)))
+        wb = scenario.sim.run(until=proc)
+        result.web_based.append(wb.connection_time)
+    return result
+
+
+def main(seed: int = 0) -> Fig12Result:
+    result = run_fig12(seed=seed)
+    print(result.render())
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,88 @@
+"""Experiment CLI: regenerate every paper result from one entry point.
+
+Usage (installed as ``pdagent-experiments``)::
+
+    pdagent-experiments all          # everything below
+    pdagent-experiments fig12        # Figure 12 series
+    pdagent-experiments fig13        # Figure 13 trials + variances
+    pdagent-experiments claims       # C1 code sizes, C2 footprint
+    pdagent-experiments ablations    # A1-A4
+    pdagent-experiments extensions   # E1-E4
+
+``--csv DIR`` additionally writes the figure data as CSV files (full
+precision) into ``DIR`` for external plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from . import ablations, claims, extensions, fig12, fig13
+
+__all__ = ["main"]
+
+
+def _run_fig12(args):
+    result = fig12.main(seed=args.seed)
+    if args.csv:
+        path = os.path.join(args.csv, "fig12.csv")
+        with open(path, "w") as fh:
+            fh.write(result.to_csv())
+        print(f"[csv] wrote {path}")
+    return result
+
+
+def _run_fig13(args):
+    result = fig13.main(base_seed=args.seed + 100)
+    if args.csv:
+        path = os.path.join(args.csv, "fig13.csv")
+        with open(path, "w") as fh:
+            fh.write(result.to_csv())
+        print(f"[csv] wrote {path}")
+    return result
+
+
+_EXPERIMENTS = {
+    "fig12": _run_fig12,
+    "fig13": _run_fig13,
+    "claims": lambda args: claims.main(),
+    "ablations": lambda args: ablations.main(),
+    "extensions": lambda args: extensions.main(),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pdagent-experiments",
+        description="Regenerate the PDAgent paper's evaluation results",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all"],
+        help="which result to regenerate",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base master seed (default 0)"
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write figure data as CSV into DIR",
+    )
+    args = parser.parse_args(argv)
+    if args.csv:
+        os.makedirs(args.csv, exist_ok=True)
+    if args.experiment == "all":
+        for name in ("fig12", "fig13", "claims", "ablations", "extensions"):
+            print(f"\n### {name} " + "#" * (60 - len(name)))
+            _EXPERIMENTS[name](args)
+    else:
+        _EXPERIMENTS[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,147 @@
+"""Generic parameter sweeps over the evaluation scenario.
+
+The figure harnesses sweep one knob each; :func:`sweep` generalises that
+for exploratory use: a grid of (config fields × scenario fields × batch
+sizes), one fresh seeded scenario per cell, one
+:class:`~repro.experiments.scenario.PDAgentRunMetrics` per cell.
+
+>>> grid = sweep(
+...     config_axes={"codec": ["lzss", "null"]},
+...     scenario_axes={"wireless": ["GPRS", "WLAN"]},
+...     ns=(4,),
+... )                                                     # doctest: +SKIP
+>>> table = grid.table(metric="completion_time")          # doctest: +SKIP
+
+The result grid renders to a flat table (one row per cell) or to CSV, so a
+user can study interactions (e.g. "is compression still worth it on WLAN?")
+without writing harness code.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from .report import format_table, to_csv
+from .scenario import PDAgentRunMetrics, build_scenario, run_pdagent_batch
+from ..core import PDAgentConfig
+
+__all__ = ["SweepCell", "SweepGrid", "sweep"]
+
+#: Metrics a sweep table may select (attribute names on PDAgentRunMetrics).
+_METRICS = (
+    "completion_time",
+    "connection_time",
+    "upload_time",
+    "download_time",
+    "elapsed_total",
+    "pi_wire_bytes",
+    "connections",
+)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid point: the swept values plus its measured metrics."""
+
+    config_values: dict[str, Any]
+    scenario_values: dict[str, Any]
+    n_transactions: int
+    metrics: PDAgentRunMetrics
+
+    def value(self, metric: str) -> Any:
+        if metric == "completion_time":
+            return self.metrics.completion_time
+        if metric not in _METRICS:
+            raise KeyError(f"unknown metric {metric!r}; have {_METRICS}")
+        return getattr(self.metrics, metric)
+
+
+@dataclass
+class SweepGrid:
+    """All cells of one sweep, with table/CSV rendering."""
+
+    config_axes: dict[str, Sequence[Any]]
+    scenario_axes: dict[str, Sequence[Any]]
+    ns: tuple[int, ...]
+    cells: list[SweepCell] = field(default_factory=list)
+
+    @property
+    def axis_names(self) -> list[str]:
+        return list(self.config_axes) + list(self.scenario_axes) + ["n_txns"]
+
+    def _rows(self, metric: str) -> list[list[Any]]:
+        rows = []
+        for cell in self.cells:
+            row = (
+                [cell.config_values[k] for k in self.config_axes]
+                + [cell.scenario_values[k] for k in self.scenario_axes]
+                + [cell.n_transactions, cell.value(metric)]
+            )
+            rows.append(row)
+        return rows
+
+    def table(self, metric: str = "completion_time", title: str = "") -> str:
+        """Fixed-width table, one row per cell."""
+        return format_table(
+            self.axis_names + [metric],
+            self._rows(metric),
+            title=title or f"sweep: {metric}",
+        )
+
+    def csv(self, metric: str = "completion_time") -> str:
+        return to_csv(self.axis_names + [metric], self._rows(metric))
+
+    def best(self, metric: str = "completion_time") -> SweepCell:
+        """The cell minimising ``metric``."""
+        if not self.cells:
+            raise ValueError("empty sweep")
+        return min(self.cells, key=lambda c: c.value(metric))
+
+
+def sweep(
+    config_axes: dict[str, Sequence[Any]] | None = None,
+    scenario_axes: dict[str, Sequence[Any]] | None = None,
+    ns: tuple[int, ...] = (5,),
+    seed: int = 0,
+    base_config: PDAgentConfig | None = None,
+) -> SweepGrid:
+    """Run the full cartesian grid; returns the populated :class:`SweepGrid`.
+
+    ``config_axes`` keys are :class:`~repro.core.PDAgentConfig` fields
+    (``codec``, ``encrypt``, …); ``scenario_axes`` keys are
+    :func:`~repro.experiments.scenario.build_scenario` keyword arguments
+    (``wireless``, ``mas_flavour``, ``device_profile``, ``banks``, …).
+    Every cell runs in a fresh scenario with the same master ``seed``, so
+    cells differ only by the swept values.
+    """
+    config_axes = dict(config_axes or {})
+    scenario_axes = dict(scenario_axes or {})
+    base = base_config or PDAgentConfig()
+    grid = SweepGrid(config_axes=config_axes, scenario_axes=scenario_axes, ns=tuple(ns))
+
+    config_keys = list(config_axes)
+    scenario_keys = list(scenario_axes)
+    config_space = list(itertools.product(*(config_axes[k] for k in config_keys))) or [()]
+    scenario_space = list(
+        itertools.product(*(scenario_axes[k] for k in scenario_keys))
+    ) or [()]
+
+    for config_combo in config_space:
+        config_values = dict(zip(config_keys, config_combo))
+        config = base.with_(**config_values) if config_values else base
+        for scenario_combo in scenario_space:
+            scenario_values = dict(zip(scenario_keys, scenario_combo))
+            for n in grid.ns:
+                scenario = build_scenario(seed=seed, config=config, **scenario_values)
+                metrics = run_pdagent_batch(scenario, n)
+                grid.cells.append(
+                    SweepCell(
+                        config_values=config_values,
+                        scenario_values=scenario_values,
+                        n_transactions=n,
+                        metrics=metrics,
+                    )
+                )
+    return grid

@@ -1,0 +1,205 @@
+"""MAS portability layer: wire formats and the gateway-side adapter.
+
+The paper's headline portability claim is that PDAgent "supports the
+adoption of any kind of mobile agent system at network hosts".  The gateway
+therefore never touches a concrete agent runtime; it programs against
+:class:`MASAdapter`.  Two concrete deployment flavours are provided, styled
+after the systems the paper names (§3.6: "Aglets, Voyager etc."):
+
+* :class:`AgletsWireFormat` — compact binary-ish transfers (LZSS-compressed
+  XML), small per-hop overhead, like Aglets' Java serialisation stream;
+* :class:`VoyagerWireFormat` — verbose self-describing XML inside an extra
+  RPC envelope, larger per-hop overhead, like Voyager's ORB-flavoured
+  remoting.
+
+Both carry the *same* canonical agent document from
+:mod:`repro.mas.serializer`, so a deployment can be switched wholesale by
+constructing its servers with the other flavour — which is exactly what the
+adapter-portability ablation (bench A4) does.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Protocol
+
+from ..compressor import compress, decompress
+from ..xmlcodec import Element, parse_bytes, write_bytes
+from .errors import MigrationError
+from .itinerary import Itinerary
+from .serializer import AgentSnapshot, deserialize_agent, serialize_agent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .agent import MobileAgent
+    from .server import MobileAgentServer
+
+__all__ = [
+    "WireFormat",
+    "AgletsWireFormat",
+    "VoyagerWireFormat",
+    "MASAdapter",
+    "LocalServerAdapter",
+    "wire_format_by_name",
+]
+
+
+class WireFormat(Protocol):
+    """How a deployment's servers put travelling agents on the wire."""
+
+    name: str
+    #: Extra bytes per hop (protocol headers, class manifests, etc.).
+    per_hop_overhead: int
+    #: Nominal CPU seconds to encode / decode one agent (charged on the
+    #: sending / receiving host, scaled by its cpu factor).
+    encode_cost_s: float
+    decode_cost_s: float
+
+    def encode(self, agent: "MobileAgent") -> bytes: ...  # pragma: no cover
+
+    def decode(self, data: bytes) -> AgentSnapshot: ...  # pragma: no cover
+
+
+class AgletsWireFormat:
+    """Compact transfers: canonical agent XML, LZSS-compressed."""
+
+    name = "aglets"
+    per_hop_overhead = 96
+    encode_cost_s = 0.004
+    decode_cost_s = 0.003
+
+    def encode(self, agent: "MobileAgent") -> bytes:
+        return compress(serialize_agent(agent), "lzss")
+
+    def decode(self, data: bytes) -> AgentSnapshot:
+        try:
+            return deserialize_agent(decompress(data))
+        except MigrationError:
+            raise
+        except Exception as exc:
+            raise MigrationError(f"bad aglets wire form: {exc}") from exc
+
+
+class VoyagerWireFormat:
+    """Verbose transfers: uncompressed XML inside an RPC envelope."""
+
+    name = "voyager"
+    per_hop_overhead = 420
+    encode_cost_s = 0.002
+    decode_cost_s = 0.002
+
+    def encode(self, agent: "MobileAgent") -> bytes:
+        body = serialize_agent(agent)
+        envelope = Element("rpc", {"system": "voyager", "op": "moveTo"})
+        envelope.add("meta", {"class": agent.class_name, "id": agent.agent_id})
+        envelope.add("payload", {"encoding": "hex"}, text=body.hex())
+        return write_bytes(envelope)
+
+    def decode(self, data: bytes) -> AgentSnapshot:
+        try:
+            envelope = parse_bytes(data)
+            if envelope.tag != "rpc" or envelope.get("system") != "voyager":
+                raise ValueError("not a voyager RPC envelope")
+            payload = envelope.require_child("payload")
+            return deserialize_agent(bytes.fromhex(payload.text))
+        except MigrationError:
+            raise
+        except Exception as exc:
+            raise MigrationError(f"bad voyager wire form: {exc}") from exc
+
+
+_WIRE_FORMATS = {"aglets": AgletsWireFormat, "voyager": VoyagerWireFormat}
+
+
+def wire_format_by_name(name: str) -> WireFormat:
+    """Instantiate a wire format flavour by name."""
+    try:
+        return _WIRE_FORMATS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown wire format {name!r}; have {sorted(_WIRE_FORMATS)}"
+        ) from None
+
+
+class MASAdapter(Protocol):
+    """What the gateway needs from *any* mobile agent system.
+
+    Every method that does work returns a generator process (the gateway's
+    handlers ``yield from`` them).
+    """
+
+    def deploy(
+        self,
+        class_name: str,
+        owner: str,
+        itinerary: Itinerary,
+        state: dict[str, Any],
+    ) -> Generator: ...  # pragma: no cover - protocol
+
+    def wait_completion(self, agent_id: str): ...  # pragma: no cover
+
+    def result_of(self, agent_id: str) -> Any: ...  # pragma: no cover
+
+    def retract(self, agent_id: str) -> Generator: ...  # pragma: no cover
+
+    def status(self, agent_id: str) -> Generator: ...  # pragma: no cover
+
+    def clone(self, agent_id: str) -> Generator: ...  # pragma: no cover
+
+    def dispose(self, agent_id: str) -> Generator: ...  # pragma: no cover
+
+    def supports(self, class_name: str) -> bool: ...  # pragma: no cover
+
+
+class LocalServerAdapter:
+    """Adapter over a :class:`MobileAgentServer` co-located with the gateway.
+
+    This is the deployment in the paper's Fig. 4 (MAS inside the gateway
+    host); the adapter boundary still isolates the gateway from the server
+    API so a remote-MAS adapter could be dropped in instead.
+    """
+
+    def __init__(self, server: "MobileAgentServer") -> None:
+        self.server = server
+
+    @property
+    def name(self) -> str:
+        return f"local:{self.server.wire_format.name}@{self.server.address}"
+
+    def supports(self, class_name: str) -> bool:
+        return class_name in self.server.registry
+
+    def deploy(
+        self,
+        class_name: str,
+        owner: str,
+        itinerary: Itinerary,
+        state: dict[str, Any],
+    ) -> Generator:
+        """Process: create + autostart the agent; returns its id."""
+        agent = self.server.create_agent(
+            class_name, owner=owner, itinerary=itinerary, state=state
+        )
+        yield self.server.sim.timeout(0.0)  # creation is immediate, keep shape
+        return agent.agent_id
+
+    def wait_completion(self, agent_id: str):
+        return self.server.completion_event(agent_id)
+
+    def result_of(self, agent_id: str) -> Any:
+        return self.server.result_of(agent_id)
+
+    def retract(self, agent_id: str) -> Generator:
+        agent = yield from self.server.retract_agent(agent_id)
+        return agent.agent_id
+
+    def status(self, agent_id: str) -> Generator:
+        state = yield from self.server.query_status(agent_id)
+        return state
+
+    def clone(self, agent_id: str) -> Generator:
+        clone_id = yield from self.server.clone_anywhere(agent_id)
+        return clone_id
+
+    def dispose(self, agent_id: str) -> Generator:
+        self.server.dispose_agent(agent_id)
+        yield self.server.sim.timeout(0.0)
+        return True

@@ -1,0 +1,36 @@
+"""Mobile agent system exceptions."""
+
+from __future__ import annotations
+
+__all__ = [
+    "AgentError",
+    "UnknownAgentError",
+    "UnknownClassError",
+    "AgentBusyError",
+    "MigrationError",
+    "AgentLifecycleError",
+]
+
+
+class AgentError(Exception):
+    """Base class for MAS failures."""
+
+
+class UnknownAgentError(AgentError):
+    """No agent with the given id at this server."""
+
+
+class UnknownClassError(AgentError):
+    """Agent class name not present in the class registry."""
+
+
+class AgentBusyError(AgentError):
+    """Operation (e.g. retract) attempted while the agent is executing."""
+
+
+class MigrationError(AgentError):
+    """Agent transfer failed (unreachable server, refused, corrupt wire form)."""
+
+
+class AgentLifecycleError(AgentError):
+    """Operation invalid in the agent's current lifecycle state."""

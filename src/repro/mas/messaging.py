@@ -1,0 +1,95 @@
+"""Inter-agent messaging and stationary service agents.
+
+Two communication patterns from the paper's e-banking scenario:
+
+* A travelling client agent *locally* queries the resident **service agent**
+  of the site it has landed on (``ServiceAgent.handle``) — this costs only
+  the service's simulated processing time.
+* Agents can also exchange :class:`AgentMessage` objects across servers; the
+  hosting servers forward them over the wired network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Generator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .server import MobileAgentServer
+
+__all__ = ["AgentMessage", "ServiceAgent"]
+
+
+@dataclass(frozen=True)
+class AgentMessage:
+    """A routed inter-agent message."""
+
+    sender: str
+    recipient: str
+    subject: str
+    body: dict[str, Any] = field(default_factory=dict)
+    sent_at: float = 0.0
+
+    def wire_size(self) -> int:
+        """Approximate encoded size for transfer-time accounting."""
+        base = 64 + len(self.sender) + len(self.recipient) + len(self.subject)
+        return base + _dict_size(self.body)
+
+
+def _dict_size(value: Any) -> int:
+    if isinstance(value, dict):
+        return sum(len(k) + _dict_size(v) + 8 for k, v in value.items())
+    if isinstance(value, (list, tuple)):
+        return sum(_dict_size(v) + 4 for v in value)
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, bytes):
+        return len(value)
+    return 8
+
+
+class ServiceAgent:
+    """A stationary agent owned by a site, answering local queries.
+
+    Subclasses override :meth:`handle` (a generator: it may ``yield`` events
+    for simulated processing time) and return a reply dict.
+
+    Parameters
+    ----------
+    name:
+        Service name client agents address (e.g. ``"banking"``).
+    processing_time:
+        Default nominal CPU seconds charged per request.
+    """
+
+    def __init__(self, name: str, processing_time: float = 0.05) -> None:
+        if not name:
+            raise ValueError("service name must be non-empty")
+        self.name = name
+        self.processing_time = processing_time
+        self.server: "MobileAgentServer | None" = None
+        self.requests_served = 0
+
+    def bind(self, server: "MobileAgentServer") -> None:
+        """Attach to a hosting server (called by ``register_service``)."""
+        self.server = server
+
+    def handle(self, caller_id: str, request: dict) -> Generator:
+        """Process one request; override in subclasses.
+
+        The base implementation models fixed processing time and echoes.
+        """
+        if self.server is None:
+            raise RuntimeError(f"service {self.name!r} is unbound")
+        yield self.server.node.compute(self.processing_time)
+        return {"status": "ok", "echo": request}
+
+    def _serve(self, caller_id: str, request: dict) -> Generator:
+        """Internal wrapper: accounting around :meth:`handle`."""
+        self.requests_served += 1
+        reply = yield from self.handle(caller_id, request)
+        if not isinstance(reply, dict):
+            raise TypeError(
+                f"service {self.name!r} returned {type(reply).__name__}, expected dict"
+            )
+        return reply

@@ -1,0 +1,786 @@
+"""The mobile agent server (Aglets-substitute runtime).
+
+A :class:`MobileAgentServer` is installed on a network node ("a high-end
+desktop in a network site").  It hosts resident agents and service agents,
+executes agent behaviour as kernel processes, and speaks a small
+Agent Transfer Protocol (ATP) to peer servers over the simulated transport:
+
+========== ==========================================================
+ATP type    semantics
+========== ==========================================================
+transfer    serialized agent → land, run behaviour, ack
+retract     pull an idle/completed agent back to the requester
+status      lifecycle query (home servers also answer from tracking)
+message     inter-agent message delivery
+completion  remote completion report routed to the agent's home
+dispose     remote disposal request
+========== ==========================================================
+
+Agents report arrivals to their *home* server (datagram), so homes can
+answer status queries and find agents for retraction — the mechanism behind
+the paper's requirement that users can "administer the mobile agent server
+to manage the mobile agent operations" from the handheld.
+
+The on-the-wire encoding of a travelling agent is pluggable via a
+*wire format* (see :mod:`repro.mas.adapters`), which is how the reproduction
+models PDAgent's "any kind of mobile agent system" portability claim.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Generator, Optional, Type
+
+from ..simnet.primitives import Event, InterruptException, Process
+from ..simnet.resources import Mailbox
+from ..simnet.transport import ConnectionClosed, connect
+from .agent import AgentContext, MobileAgent
+from .errors import (
+    AgentBusyError,
+    AgentLifecycleError,
+    MigrationError,
+    UnknownAgentError,
+    UnknownClassError,
+)
+from .itinerary import Itinerary
+from .messaging import AgentMessage, ServiceAgent
+from .state import AgentState, CompleteSignal, DisposeSignal, MigrationSignal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..simnet.topology import Network
+    from .adapters import WireFormat
+
+__all__ = ["MobileAgentServer", "AgentClassRegistry", "MAS_PORT"]
+
+MAS_PORT = 4434
+_RETRACT_RETRY_DELAY = 0.25
+_RETRACT_MAX_TRIES = 40
+
+
+class AgentClassRegistry:
+    """Name → agent class mapping shared by the servers of a deployment.
+
+    Plays the role of the code base every MAS host has installed: the
+    travelling wire form names the class; the landing server instantiates
+    it locally.
+    """
+
+    def __init__(self) -> None:
+        self._classes: dict[str, Type[MobileAgent]] = {}
+
+    def register(self, cls: Type[MobileAgent]) -> Type[MobileAgent]:
+        """Register a class under its ``__name__`` (usable as a decorator)."""
+        if not (isinstance(cls, type) and issubclass(cls, MobileAgent)):
+            raise TypeError(f"{cls!r} is not a MobileAgent subclass")
+        existing = self._classes.get(cls.__name__)
+        if existing is not None and existing is not cls:
+            raise ValueError(f"duplicate agent class name {cls.__name__!r}")
+        self._classes[cls.__name__] = cls
+        return cls
+
+    def get(self, name: str) -> Type[MobileAgent]:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise UnknownClassError(
+                f"agent class {name!r} not registered; have {sorted(self._classes)}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._classes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+
+class MobileAgentServer:
+    """Agent runtime bound to one network node."""
+
+    def __init__(
+        self,
+        network: "Network",
+        address: str,
+        registry: AgentClassRegistry,
+        wire_format: Optional["WireFormat"] = None,
+        port: int = MAS_PORT,
+    ) -> None:
+        from .adapters import AgletsWireFormat  # default flavour
+
+        self.network = network
+        self.node = network.node(address)
+        self.registry = registry
+        self.port = port
+        self.wire_format = wire_format or AgletsWireFormat()
+        self._agents: dict[str, MobileAgent] = {}
+        self._services: dict[str, ServiceAgent] = {}
+        self._mailboxes: dict[str, Mailbox] = {}
+        self._results: dict[str, Any] = {}
+        self._completion_events: dict[str, Event] = {}
+        self._locations: dict[str, str] = {}  # home-side tracking
+        self._running: set[str] = set()
+        self._behaviour_procs: dict[str, Process] = {}
+        self._deactivated: dict[str, bytes] = {}  # agent_id -> stored form
+        self.agent_logs: dict[str, list[tuple[float, str, str]]] = {}
+        self._id_counter = itertools.count(1)
+        self.node.listen(port, self._accept)
+        self.node.metadata["mas_server"] = self
+        # Background consumer of arrival-notification datagrams (home-side
+        # location tracking).  The pump blocks on an empty mailbox, which
+        # does not keep the simulation alive.
+        self.sim.process(self._datagram_pump(), name=f"mas-dgram:{self.address}")
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def address(self) -> str:
+        return self.node.address
+
+    @property
+    def sim(self):
+        return self.network.sim
+
+    def new_agent_id(self) -> str:
+        return f"{self.address}/agent-{next(self._id_counter)}"
+
+    def resident_agents(self) -> list[str]:
+        return sorted(self._agents)
+
+    def get_agent(self, agent_id: str) -> MobileAgent:
+        try:
+            return self._agents[agent_id]
+        except KeyError:
+            raise UnknownAgentError(f"{agent_id!r} not resident at {self.address}") from None
+
+    def mailbox_of(self, agent_id: str) -> Mailbox:
+        box = self._mailboxes.get(agent_id)
+        if box is None:
+            box = Mailbox(self.sim)
+            self._mailboxes[agent_id] = box
+        return box
+
+    # ------------------------------------------------------------ service agents
+    def register_service(self, service: ServiceAgent) -> None:
+        """Install a stationary service agent on this host."""
+        if service.name in self._services:
+            raise ValueError(f"duplicate service {service.name!r} at {self.address}")
+        service.bind(self)
+        self._services[service.name] = service
+
+    def service_names(self) -> list[str]:
+        return sorted(self._services)
+
+    def invoke_service(
+        self, name: str, caller: MobileAgent, request: dict
+    ) -> Generator:
+        """Process: run a local service-agent request."""
+        service = self._services.get(name)
+        if service is None:
+            raise UnknownAgentError(f"no service {name!r} at {self.address}")
+        reply = yield from service._serve(caller.agent_id, request)
+        return reply
+
+    # ------------------------------------------------------------ agent lifecycle
+    def create_agent(
+        self,
+        class_name: str | Type[MobileAgent],
+        owner: str,
+        itinerary: Optional[Itinerary] = None,
+        state: Optional[dict[str, Any]] = None,
+        agent_id: Optional[str] = None,
+        autostart: bool = True,
+    ) -> MobileAgent:
+        """Instantiate an agent at this server (its home) and start it."""
+        cls = (
+            self.registry.get(class_name)
+            if isinstance(class_name, str)
+            else class_name
+        )
+        if not issubclass(cls, MobileAgent):
+            raise TypeError(f"{cls!r} is not a MobileAgent subclass")
+        agent = cls(
+            agent_id=agent_id or self.new_agent_id(),
+            owner=owner,
+            home=self.address,
+            itinerary=itinerary or Itinerary(origin=self.address),
+            state=state,
+        )
+        self._land(agent, autostart=autostart)
+        self.network.tracer.count("agents_created")
+        return agent
+
+    def clone_agent(self, agent_id: str) -> MobileAgent:
+        """Create a copy with fresh identity and the remaining itinerary.
+
+        Cloning a *running* agent is allowed (as in Aglets): the clone
+        starts from a snapshot of the source's current state and covers the
+        itinerary stops the source has not yet visited.
+        """
+        source = self.get_agent(agent_id)
+        if source.lifecycle.terminal:
+            raise AgentLifecycleError(f"{agent_id!r} is {source.lifecycle.value}")
+        clone = type(source)(
+            agent_id=self.new_agent_id(),
+            owner=source.owner,
+            home=source.home,
+            itinerary=Itinerary(
+                origin=source.itinerary.origin,
+                stops=source.itinerary.remaining(),
+            ),
+            state=_deep_copy_state(source.state),
+        )
+        self._land(clone, autostart=True)
+        self.network.tracer.count("agents_cloned")
+        return clone
+
+    def dispose_agent(self, agent_id: str) -> None:
+        """Remove a resident agent permanently."""
+        agent = self.get_agent(agent_id)
+        if agent.lifecycle is AgentState.ACTIVE:
+            raise AgentBusyError(f"{agent_id!r} is executing; cannot dispose")
+        self._remove(agent, AgentState.DISPOSED)
+        self.network.tracer.count("agents_disposed")
+
+    def agent_status(self, agent_id: str) -> str:
+        """Lifecycle of a resident, deactivated, or home-tracked agent."""
+        agent = self._agents.get(agent_id)
+        if agent is not None:
+            return agent.lifecycle.value
+        if agent_id in self._deactivated:
+            return AgentState.DEACTIVATED.value
+        if agent_id in self._locations:
+            return f"remote@{self._locations[agent_id]}"
+        if agent_id in self._results:
+            return AgentState.COMPLETED.value
+        raise UnknownAgentError(f"{agent_id!r} unknown at {self.address}")
+
+    # -- deactivation (Aglets-style persistence) ------------------------------
+    def deactivate_agent(self, agent_id: str) -> int:
+        """Serialise an idle agent to server storage and evict it from memory.
+
+        Long-lived agents waiting for rare events need not occupy the
+        runtime (Aglets' ``deactivate``).  Returns the stored byte count.
+        The agent keeps its identity; :meth:`activate_agent` restores it.
+        """
+        agent = self.get_agent(agent_id)
+        if agent.lifecycle is AgentState.ACTIVE or agent_id in self._running:
+            raise AgentBusyError(f"{agent_id!r} is executing; cannot deactivate")
+        if agent.lifecycle.terminal:
+            raise AgentLifecycleError(f"{agent_id!r} is {agent.lifecycle.value}")
+        data = self.wire_format.encode(agent)
+        self._deactivated[agent_id] = data
+        self._agents.pop(agent_id, None)
+        agent.lifecycle = AgentState.DEACTIVATED
+        self.network.tracer.count("agents_deactivated")
+        return len(data)
+
+    def activate_agent(self, agent_id: str) -> MobileAgent:
+        """Restore a deactivated agent to resident (idle) state."""
+        data = self._deactivated.pop(agent_id, None)
+        if data is None:
+            raise UnknownAgentError(f"{agent_id!r} is not deactivated here")
+        snapshot = self.wire_format.decode(data)
+        cls = self.registry.get(snapshot.class_name)
+        agent = cls(
+            agent_id=snapshot.agent_id,
+            owner=snapshot.owner,
+            home=snapshot.home,
+            itinerary=snapshot.itinerary,
+            state=snapshot.state,
+        )
+        agent.hops = snapshot.hops
+        self._agents[agent.agent_id] = agent
+        agent._location_is_home = agent.home == self.address
+        agent.lifecycle = AgentState.IDLE
+        self.network.tracer.count("agents_activated")
+        return agent
+
+    # -- completion -----------------------------------------------------------
+    def completion_event(self, agent_id: str) -> Event:
+        """Event fired with the agent's result when it completes."""
+        event = self._completion_events.get(agent_id)
+        if event is None:
+            event = Event(self.sim)
+            self._completion_events[agent_id] = event
+            if agent_id in self._results:
+                event.succeed(self._results[agent_id])
+        return event
+
+    def result_of(self, agent_id: str) -> Any:
+        try:
+            return self._results[agent_id]
+        except KeyError:
+            raise UnknownAgentError(f"no result for {agent_id!r}") from None
+
+    def _record_completion(self, agent: MobileAgent, result: Any) -> None:
+        agent.lifecycle = AgentState.COMPLETED
+        self._results[agent.agent_id] = result
+        event = self._completion_events.get(agent.agent_id)
+        if event is not None and not event.triggered:
+            event.succeed(result)
+        self.network.tracer.count("agents_completed")
+        if agent.home != self.address:
+            # Report completion to the home server so waiters there wake up.
+            self.sim.process(
+                self._send_control(
+                    agent.home,
+                    {
+                        "type": "completion",
+                        "agent_id": agent.agent_id,
+                        "result": result,
+                    },
+                    size=256,
+                ),
+                name=f"mas-completion:{agent.agent_id}",
+            )
+
+    # ------------------------------------------------------------ landing/running
+    def _land(self, agent: MobileAgent, autostart: bool = True) -> None:
+        """Make ``agent`` resident here and (optionally) run its behaviour."""
+        self._agents[agent.agent_id] = agent
+        agent._location_is_home = agent.home == self.address
+        if agent.home == self.address:
+            self._locations[agent.agent_id] = self.address
+        else:
+            # Tell home where we are (cheap fire-and-forget probe).
+            self.network.send_datagram(
+                self.address,
+                agent.home,
+                payload={
+                    "type": "notify_arrival",
+                    "agent_id": agent.agent_id,
+                    "location": self.address,
+                },
+                size=96,
+            )
+        if autostart:
+            proc = self.sim.process(
+                self._run_behaviour(agent), name=f"agent:{agent.agent_id}"
+            )
+            self._behaviour_procs[agent.agent_id] = proc
+
+    def _run_behaviour(self, agent: MobileAgent) -> Generator:
+        agent.lifecycle = AgentState.ACTIVE
+        self._running.add(agent.agent_id)
+        ctx = AgentContext(self, agent)
+        try:
+            yield from agent.on_arrival(ctx)
+        except MigrationSignal as signal:
+            self._running.discard(agent.agent_id)
+            yield from self._transfer(agent, signal.destination)
+            return
+        except CompleteSignal as signal:
+            self._record_completion(agent, signal.result)
+            return
+        except DisposeSignal:
+            self._remove(agent, AgentState.DISPOSED)
+            self.network.tracer.count("agents_disposed")
+            return
+        except InterruptException:
+            # Management preemption (retract/dispose request): abort the
+            # current execution; the agent stays resident and idle so the
+            # pending management operation can take it.
+            agent.lifecycle = AgentState.IDLE
+            self.network.tracer.count("agents_preempted")
+            return
+        finally:
+            self._running.discard(agent.agent_id)
+            self._behaviour_procs.pop(agent.agent_id, None)
+        # Behaviour returned without a control signal: agent stays resident.
+        agent.lifecycle = AgentState.IDLE
+
+    def _remove(self, agent: MobileAgent, final_state: AgentState) -> None:
+        self._agents.pop(agent.agent_id, None)
+        self._mailboxes.pop(agent.agent_id, None)
+        agent.lifecycle = final_state
+
+    # ------------------------------------------------------------ migration (ATP)
+    def _transfer(self, agent: MobileAgent, destination: str) -> Generator:
+        """Process: serialise and move ``agent`` to ``destination``."""
+        agent.lifecycle = AgentState.MIGRATING
+        self._agents.pop(agent.agent_id, None)
+        if destination == self.address:
+            # Degenerate move-to-self: re-land immediately.
+            agent.lifecycle = AgentState.CREATED
+            self._land(agent)
+            return
+        data = self.wire_format.encode(agent)
+        wire_size = len(data) + self.wire_format.per_hop_overhead
+        yield self.node.compute(self.wire_format.encode_cost_s)
+        sock = yield from connect(
+            self.network,
+            self.address,
+            destination,
+            self.port,
+            purpose=f"atp-transfer:{agent.agent_id}",
+        )
+        try:
+            yield from sock.send({"type": "transfer", "data": data}, wire_size)
+            ack = yield from sock.recv()
+        except ConnectionClosed as exc:
+            raise MigrationError(f"transfer to {destination} aborted: {exc}") from exc
+        finally:
+            sock.close()
+        if not (isinstance(ack.payload, dict) and ack.payload.get("status") == "ok"):
+            raise MigrationError(
+                f"{destination} refused agent {agent.agent_id}: {ack.payload!r}"
+            )
+        self.network.tracer.count("agent_hops")
+
+    def _accept(self, conn) -> None:
+        self.sim.process(
+            self._serve_peer(conn.responder_socket), name=f"atp-serve:{self.address}"
+        )
+
+    def _serve_peer(self, sock) -> Generator:
+        try:
+            message = yield from sock.recv()
+        except ConnectionClosed:
+            return
+        payload = message.payload
+        reply: dict[str, Any]
+        reply_size = 64
+        if not isinstance(payload, dict) or "type" not in payload:
+            reply = {"status": "error", "reason": "malformed ATP message"}
+        else:
+            kind = payload["type"]
+            try:
+                if kind == "transfer":
+                    reply = yield from self._handle_transfer(payload)
+                elif kind == "retract":
+                    reply, reply_size = self._handle_retract(payload)
+                elif kind == "status":
+                    reply = self._handle_status(payload)
+                elif kind == "message":
+                    reply = yield from self._handle_message(payload)
+                elif kind == "completion":
+                    reply = self._handle_completion(payload)
+                elif kind == "clone":
+                    reply = self._handle_clone(payload)
+                elif kind == "dispose":
+                    reply = self._handle_dispose(payload)
+                else:
+                    reply = {"status": "error", "reason": f"unknown type {kind!r}"}
+            except Exception as exc:  # protocol robustness: errors become replies
+                reply = {"status": "error", "reason": f"{type(exc).__name__}: {exc}"}
+        try:
+            yield from sock.send(reply, reply_size)
+        except ConnectionClosed:
+            pass
+
+    def _handle_transfer(self, payload: dict) -> Generator:
+        data = payload.get("data")
+        if not isinstance(data, (bytes, bytearray)):
+            return {"status": "error", "reason": "transfer without agent data"}
+        yield self.node.compute(self.wire_format.decode_cost_s)
+        snapshot = self.wire_format.decode(bytes(data))
+        cls = self.registry.get(snapshot.class_name)
+        agent = cls(
+            agent_id=snapshot.agent_id,
+            owner=snapshot.owner,
+            home=snapshot.home,
+            itinerary=snapshot.itinerary,
+            state=snapshot.state,
+        )
+        agent.hops = snapshot.hops + 1
+        self._land(agent)
+        self.network.tracer.count("agents_received")
+        return {"status": "ok"}
+
+    def _handle_retract(self, payload: dict) -> tuple[dict, int]:
+        agent_id = payload.get("agent_id", "")
+        agent = self._agents.get(agent_id)
+        if agent is None:
+            location = self._locations.get(agent_id)
+            if location and location != self.address:
+                return {"status": "redirect", "location": location}, 96
+            return {"status": "unknown"}, 64
+        if agent.lifecycle is AgentState.ACTIVE or agent_id in self._running:
+            # Preempt the running behaviour (Aglets aborts the current
+            # execution on retraction); the requester retries shortly and
+            # finds the agent idle.
+            self._preempt(agent_id)
+            return {"status": "busy"}, 64
+        data = self.wire_format.encode(agent)
+        self._remove(agent, AgentState.RETRACTED)
+        self.network.tracer.count("agents_retracted")
+        return (
+            {"status": "ok", "data": data},
+            len(data) + self.wire_format.per_hop_overhead,
+        )
+
+    def _handle_status(self, payload: dict) -> dict:
+        agent_id = payload.get("agent_id", "")
+        try:
+            return {"status": "ok", "state": self.agent_status(agent_id)}
+        except UnknownAgentError:
+            return {"status": "unknown"}
+
+    def _handle_message(self, payload: dict) -> Generator:
+        """Process: deliver or forward an inbound agent message.
+
+        A message for a non-resident agent is forwarded to its last known
+        location (home servers track their travellers), bounded by a hop
+        counter so routing loops cannot arise from stale tables.
+        """
+        msg = payload.get("message")
+        if not isinstance(msg, AgentMessage):
+            return {"status": "error", "reason": "no AgentMessage"}
+        if msg.recipient in self._deactivated:
+            # Activation-on-message: wake the stored agent to receive.
+            self.activate_agent(msg.recipient)
+        if msg.recipient in self._agents:
+            self._deliver_local(msg)
+            return {"status": "ok"}
+        hops = int(payload.get("fwd", 0))
+        location = self._locations.get(msg.recipient)
+        if location and location != self.address and hops < 4:
+            reply = yield from self._send_control(
+                location,
+                {"type": "message", "message": msg, "fwd": hops + 1},
+                size=msg.wire_size(),
+            )
+            return reply if isinstance(reply, dict) else {"status": "unknown"}
+        return {"status": "unknown"}
+
+    def _handle_completion(self, payload: dict) -> dict:
+        agent_id = payload.get("agent_id", "")
+        self._results[agent_id] = payload.get("result")
+        event = self._completion_events.get(agent_id)
+        if event is not None and not event.triggered:
+            event.succeed(payload.get("result"))
+        return {"status": "ok"}
+
+    def _handle_clone(self, payload: dict) -> dict:
+        agent_id = payload.get("agent_id", "")
+        if agent_id not in self._agents:
+            location = self._locations.get(agent_id)
+            if location and location != self.address:
+                return {"status": "redirect", "location": location}
+            return {"status": "unknown"}
+        try:
+            clone = self.clone_agent(agent_id)
+            return {"status": "ok", "clone_id": clone.agent_id}
+        except (AgentBusyError, AgentLifecycleError) as exc:
+            return {"status": "busy", "reason": str(exc)}
+
+    def _handle_dispose(self, payload: dict) -> dict:
+        agent_id = payload.get("agent_id", "")
+        try:
+            self.dispose_agent(agent_id)
+            return {"status": "ok"}
+        except UnknownAgentError:
+            return {"status": "unknown"}
+        except AgentBusyError:
+            return {"status": "busy"}
+
+    def _preempt(self, agent_id: str) -> None:
+        """Interrupt a running behaviour (management preemption)."""
+        proc = self._behaviour_procs.get(agent_id)
+        if proc is not None and proc.is_alive and proc.target is not None:
+            try:
+                proc.interrupt("management-preempt")
+            except RuntimeError:  # terminated in this very tick
+                pass
+
+    # ------------------------------------------------------------ remote control
+    def _send_control(self, destination: str, payload: dict, size: int) -> Generator:
+        """Process: one ATP request/response exchange; returns the reply."""
+        sock = yield from connect(
+            self.network,
+            self.address,
+            destination,
+            self.port,
+            purpose=f"atp-{payload.get('type', '?')}",
+        )
+        try:
+            yield from sock.send(payload, size)
+            reply = yield from sock.recv()
+        finally:
+            sock.close()
+        return reply.payload
+
+    def retract_agent(self, agent_id: str) -> Generator:
+        """Process: pull an agent back here; returns the live agent.
+
+        Follows home tracking and ``redirect`` replies; waits out ``busy``
+        answers with bounded retries (the agent may be mid-hop or mid-task).
+        """
+        for _ in range(_RETRACT_MAX_TRIES):
+            agent = self._agents.get(agent_id)
+            if agent is not None:
+                if agent.lifecycle is AgentState.ACTIVE:
+                    yield self.sim.timeout(_RETRACT_RETRY_DELAY)
+                    continue
+                return agent  # already here
+            target = self._locations.get(agent_id)
+            if target is None or target == self.address:
+                yield self.sim.timeout(_RETRACT_RETRY_DELAY)
+                continue
+            reply = yield from self._send_control(
+                target, {"type": "retract", "agent_id": agent_id}, size=96
+            )
+            status = reply.get("status") if isinstance(reply, dict) else None
+            if status == "ok":
+                snapshot = self.wire_format.decode(bytes(reply["data"]))
+                cls = self.registry.get(snapshot.class_name)
+                agent = cls(
+                    agent_id=snapshot.agent_id,
+                    owner=snapshot.owner,
+                    home=snapshot.home,
+                    itinerary=snapshot.itinerary,
+                    state=snapshot.state,
+                )
+                agent.hops = snapshot.hops + 1
+                agent.lifecycle = AgentState.RETRACTED
+                self._agents[agent.agent_id] = agent
+                self._locations[agent_id] = self.address
+                return agent
+            if status == "redirect":
+                self._locations[agent_id] = reply.get("location", target)
+                continue
+            if status in ("busy", "unknown"):
+                # "unknown" is usually a mid-hop race: the agent left that
+                # server before our request landed.  Wait for the next
+                # arrival notification to refresh the location, then retry.
+                yield self.sim.timeout(_RETRACT_RETRY_DELAY)
+                continue
+            raise UnknownAgentError(
+                f"retract of {agent_id!r} failed at {target}: {reply!r}"
+            )
+        raise AgentBusyError(f"could not retract {agent_id!r}: kept busy/moving")
+
+    def clone_anywhere(self, agent_id: str) -> Generator:
+        """Process: clone an agent wherever it currently is.
+
+        Resident agents clone locally; travelling agents are cloned at
+        their last reported location (following redirects, waiting out
+        mid-hop windows).  Returns the clone's agent id.
+        """
+        for _ in range(_RETRACT_MAX_TRIES):
+            if agent_id in self._agents:
+                return self.clone_agent(agent_id).agent_id
+            target = self._locations.get(agent_id)
+            if target is None or target == self.address:
+                yield self.sim.timeout(_RETRACT_RETRY_DELAY)
+                continue
+            reply = yield from self._send_control(
+                target, {"type": "clone", "agent_id": agent_id}, size=96
+            )
+            status = reply.get("status") if isinstance(reply, dict) else None
+            if status == "ok":
+                return reply["clone_id"]
+            if status == "redirect":
+                self._locations[agent_id] = reply.get("location", target)
+                continue
+            if status in ("busy", "unknown"):
+                # mid-hop or mid-migration; wait for the next arrival report
+                yield self.sim.timeout(_RETRACT_RETRY_DELAY)
+                continue
+            raise UnknownAgentError(
+                f"clone of {agent_id!r} failed at {target}: {reply!r}"
+            )
+        raise AgentBusyError(f"could not clone {agent_id!r}: kept moving")
+
+    def _datagram_pump(self) -> Generator:
+        """Consume arrival notifications for home-side location tracking."""
+        while True:
+            dgram = yield self.node.datagrams.get()
+            payload = getattr(dgram, "payload", None)
+            if not isinstance(payload, dict):
+                continue
+            if payload.get("type") != "notify_arrival":
+                continue
+            agent_id = payload.get("agent_id", "")
+            # A resident agent's location is authoritative; otherwise adopt
+            # the freshest report.
+            if agent_id not in self._agents:
+                self._locations[agent_id] = payload.get("location", "")
+
+    def query_status(self, agent_id: str, home: Optional[str] = None) -> Generator:
+        """Process: lifecycle state of ``agent_id`` asking ``home`` if remote."""
+        try:
+            return self.agent_status(agent_id)
+        except UnknownAgentError:
+            if home is None or home == self.address:
+                raise
+        reply = yield from self._send_control(
+            home, {"type": "status", "agent_id": agent_id}, size=96
+        )
+        if isinstance(reply, dict) and reply.get("status") == "ok":
+            return reply["state"]
+        raise UnknownAgentError(f"{agent_id!r} unknown at {home}")
+
+    # ------------------------------------------------------------ messaging
+    def _deliver_local(self, msg: AgentMessage) -> None:
+        self.mailbox_of(msg.recipient).put(msg)
+        agent = self._agents.get(msg.recipient)
+        if agent is not None and agent.lifecycle is AgentState.IDLE:
+            self.sim.process(
+                self._run_message_hook(agent), name=f"agent-msg:{agent.agent_id}"
+            )
+
+    def _run_message_hook(self, agent: MobileAgent) -> Generator:
+        box = self.mailbox_of(agent.agent_id)
+        if not len(box):
+            return
+        msg = yield box.receive()
+        ctx = AgentContext(self, agent)
+        agent.lifecycle = AgentState.ACTIVE
+        try:
+            yield from agent.on_message(ctx, msg)
+        except MigrationSignal as signal:
+            yield from self._transfer(agent, signal.destination)
+            return
+        except CompleteSignal as signal:
+            self._record_completion(agent, signal.result)
+            return
+        except DisposeSignal:
+            self._remove(agent, AgentState.DISPOSED)
+            return
+        agent.lifecycle = AgentState.IDLE
+
+    def send_agent_message(
+        self, sender_id: str, recipient_id: str, subject: str, body: dict
+    ) -> Generator:
+        """Process: route a message to a (possibly remote) agent."""
+        msg = AgentMessage(
+            sender=sender_id,
+            recipient=recipient_id,
+            subject=subject,
+            body=body,
+            sent_at=self.sim.now,
+        )
+        if recipient_id in self._deactivated:
+            self.activate_agent(recipient_id)
+        if recipient_id in self._agents:
+            self._deliver_local(msg)
+            return True
+        target = self._locations.get(recipient_id)
+        if target is None:
+            # Agent ids embed their home server ("<home>/agent-N"); route
+            # unknown recipients via their home, which tracks them.
+            home = recipient_id.partition("/")[0]
+            if home and home != self.address and self.network.has_node(home):
+                target = home
+            else:
+                raise UnknownAgentError(
+                    f"cannot route message: {recipient_id!r} unknown at {self.address}"
+                )
+        reply = yield from self._send_control(
+            target, {"type": "message", "message": msg}, size=msg.wire_size()
+        )
+        return isinstance(reply, dict) and reply.get("status") == "ok"
+
+
+def _deep_copy_state(state: dict) -> dict:
+    """Copy nested plain data (the only thing agent state may contain)."""
+
+    def copy(value):
+        if isinstance(value, dict):
+            return {k: copy(v) for k, v in value.items()}
+        if isinstance(value, list):
+            return [copy(v) for v in value]
+        if isinstance(value, tuple):
+            return [copy(v) for v in value]
+        return value
+
+    return {k: copy(v) for k, v in state.items()}

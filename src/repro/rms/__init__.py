@@ -1,0 +1,29 @@
+"""J2ME Record Management System substitute.
+
+PDAgent's on-device database ("managing internal Database", §3) is built on
+RMS.  :class:`StorageManager` owns the device-wide quota; :class:`RecordStore`
+provides the record-oriented API (add/get/set/delete/enumerate with
+never-reused ids, version counters, and listeners).
+"""
+
+from .errors import (
+    InvalidRecordIDError,
+    RecordStoreError,
+    RecordStoreFullError,
+    RecordStoreNotFoundError,
+    RecordStoreNotOpenError,
+)
+from .listener import CallbackListener, RecordListener
+from .record_store import RecordStore, StorageManager
+
+__all__ = [
+    "StorageManager",
+    "RecordStore",
+    "RecordListener",
+    "CallbackListener",
+    "RecordStoreError",
+    "RecordStoreNotFoundError",
+    "RecordStoreFullError",
+    "InvalidRecordIDError",
+    "RecordStoreNotOpenError",
+]

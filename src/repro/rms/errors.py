@@ -1,0 +1,31 @@
+"""Record Management System exceptions (mirroring javax.microedition.rms)."""
+
+from __future__ import annotations
+
+__all__ = [
+    "RecordStoreError",
+    "RecordStoreNotFoundError",
+    "RecordStoreFullError",
+    "InvalidRecordIDError",
+    "RecordStoreNotOpenError",
+]
+
+
+class RecordStoreError(Exception):
+    """Base class for RMS failures."""
+
+
+class RecordStoreNotFoundError(RecordStoreError):
+    """Named record store does not exist."""
+
+
+class RecordStoreFullError(RecordStoreError):
+    """Device storage quota exceeded."""
+
+
+class InvalidRecordIDError(RecordStoreError):
+    """No record with the given id."""
+
+
+class RecordStoreNotOpenError(RecordStoreError):
+    """Operation on a closed record store."""

@@ -1,0 +1,49 @@
+"""Record listeners (RMS RecordListener equivalent)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .record_store import RecordStore
+
+__all__ = ["RecordListener", "CallbackListener"]
+
+
+class RecordListener:
+    """Observer of record store mutations.  Subclass and override."""
+
+    def record_added(self, store: "RecordStore", record_id: int) -> None:
+        """A record was added."""
+
+    def record_changed(self, store: "RecordStore", record_id: int) -> None:
+        """A record was replaced."""
+
+    def record_deleted(self, store: "RecordStore", record_id: int) -> None:
+        """A record was deleted."""
+
+
+class CallbackListener(RecordListener):
+    """Listener adapter taking plain callables."""
+
+    def __init__(
+        self,
+        on_added: Optional[Callable[["RecordStore", int], None]] = None,
+        on_changed: Optional[Callable[["RecordStore", int], None]] = None,
+        on_deleted: Optional[Callable[["RecordStore", int], None]] = None,
+    ) -> None:
+        self._on_added = on_added
+        self._on_changed = on_changed
+        self._on_deleted = on_deleted
+
+    def record_added(self, store: "RecordStore", record_id: int) -> None:
+        if self._on_added:
+            self._on_added(store, record_id)
+
+    def record_changed(self, store: "RecordStore", record_id: int) -> None:
+        if self._on_changed:
+            self._on_changed(store, record_id)
+
+    def record_deleted(self, store: "RecordStore", record_id: int) -> None:
+        if self._on_deleted:
+            self._on_deleted(store, record_id)

@@ -1,0 +1,191 @@
+"""Process-synchronisation resources: stores, resources, and mailboxes.
+
+These are the coordination primitives protocol code is written against:
+
+* :class:`Store` — an unbounded/bounded FIFO buffer of Python objects;
+  ``put`` and ``get`` return events.  Used for message queues.
+* :class:`Resource` — a counted semaphore (e.g. a server worker pool).
+* :class:`Mailbox` — a :class:`Store` specialised for addressed messages with
+  optional predicate-matching receive, used by the MAS messaging layer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Deque, Optional
+
+from .primitives import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Simulator
+
+__all__ = ["Store", "Resource", "Mailbox", "StorePut", "StoreGet"]
+
+
+class StorePut(Event):
+    """Event returned by :meth:`Store.put`; succeeds when the item is stored."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, sim: "Simulator", item: Any) -> None:
+        super().__init__(sim)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Event returned by :meth:`Store.get`; succeeds with the retrieved item."""
+
+    __slots__ = ("predicate",)
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        predicate: Optional[Callable[[Any], bool]] = None,
+    ) -> None:
+        super().__init__(sim)
+        self.predicate = predicate
+
+
+class Store:
+    """FIFO object buffer with optional capacity.
+
+    ``put`` blocks (i.e. its event stays pending) while the buffer is full;
+    ``get`` blocks while no (matching) item is available.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._putters: Deque[StorePut] = deque()
+        self._getters: Deque[StoreGet] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; the returned event fires once it is buffered."""
+        event = StorePut(self.sim, item)
+        self._putters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self, predicate: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Remove and return the first item (matching ``predicate`` if given)."""
+        event = StoreGet(self.sim, predicate)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Admit pending putters while there is room.
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.popleft()
+                self.items.append(put.item)
+                put.succeed()
+                progress = True
+            # Satisfy getters in arrival order.  A predicate getter scans the
+            # buffer; a plain getter takes the head.
+            idx = 0
+            while idx < len(self._getters):
+                get = self._getters[idx]
+                matched = self._match(get)
+                if matched is _NO_MATCH:
+                    idx += 1
+                    continue
+                del self._getters[idx]
+                get.succeed(matched)
+                progress = True
+
+    def _match(self, get: StoreGet) -> Any:
+        if not self.items:
+            return _NO_MATCH
+        if get.predicate is None:
+            return self.items.popleft()
+        for i, item in enumerate(self.items):
+            if get.predicate(item):
+                del self.items[i]
+                return item
+        return _NO_MATCH
+
+
+class _NoMatch:
+    __slots__ = ()
+
+
+_NO_MATCH = _NoMatch()
+
+
+class Resource:
+    """Counted resource (semaphore) with FIFO queuing.
+
+    >>> res = Resource(sim, capacity=2)
+    >>> def worker(sim, res):
+    ...     req = res.request()
+    ...     yield req
+    ...     try:
+    ...         yield sim.timeout(1.0)
+    ...     finally:
+    ...         res.release(req)
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self._users: set[Event] = set()
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Request a slot; the event fires when the slot is granted."""
+        event = Event(self.sim)
+        if len(self._users) < self.capacity:
+            self._users.add(event)
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self, request: Event) -> None:
+        """Release a previously granted slot."""
+        if request in self._users:
+            self._users.remove(request)
+        elif request in self._waiters:  # cancelled before being granted
+            self._waiters.remove(request)
+            return
+        else:
+            raise ValueError("release() of a request that was never granted")
+        while self._waiters and len(self._users) < self.capacity:
+            nxt = self._waiters.popleft()
+            self._users.add(nxt)
+            nxt.succeed()
+
+
+class Mailbox(Store):
+    """Addressed message buffer used by agent messaging.
+
+    Identical to :class:`Store` plus a convenience :meth:`receive` that
+    matches on a message attribute (e.g. ``subject``).
+    """
+
+    def receive(self, subject: Optional[str] = None) -> StoreGet:
+        """Get the next message, optionally filtered by ``msg.subject``."""
+        if subject is None:
+            return self.get()
+        return self.get(lambda msg: getattr(msg, "subject", None) == subject)

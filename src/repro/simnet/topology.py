@@ -1,0 +1,242 @@
+"""Network topology: nodes, links, routing, and datagram delivery.
+
+The :class:`Network` ties together the kernel, the RNG streams, the node
+table and the link table.  Routing uses networkx shortest paths weighted by
+base link latency, recomputed lazily whenever the topology changes.
+
+Multi-hop transfers are modelled end-to-end: propagation delay is the sum of
+per-link latency samples and serialisation uses the bottleneck (minimum)
+bandwidth along the route — the standard fluid approximation, adequate
+because the evaluation's quantities are dominated by the wireless first hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Iterable, Optional
+
+import networkx as nx
+
+from .kernel import Simulator
+from .link import Link, LinkSpec
+from .node import Node
+from .rng import StreamFactory
+from .trace import Tracer
+
+__all__ = ["Network", "Datagram", "NoRouteError"]
+
+
+class NoRouteError(Exception):
+    """Raised when no path exists between two attached nodes."""
+
+
+@dataclass(frozen=True)
+class Datagram:
+    """Connectionless probe message (the paper's '1-bit data' RTT probe)."""
+
+    src: str
+    dst: str
+    payload: Any
+    size: int
+    sent_at: float
+
+
+class Network:
+    """A simulated internetwork.
+
+    Parameters
+    ----------
+    sim:
+        The event kernel.  Created internally if omitted.
+    master_seed:
+        Seed for the :class:`~repro.simnet.rng.StreamFactory`; fully
+        determines all stochastic behaviour of a run.
+    """
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        master_seed: int = 0,
+    ) -> None:
+        self.sim = sim if sim is not None else Simulator()
+        self.streams = StreamFactory(master_seed)
+        self.tracer = Tracer(self.sim)
+        self._nodes: dict[str, Node] = {}
+        self._links: dict[tuple[str, str], Link] = {}
+        self._graph = nx.DiGraph()
+        self._routes: dict[tuple[str, str], list[str]] = {}
+
+    # -- topology construction -------------------------------------------------
+    def add_node(self, node: Node | str, kind: str = "host", cpu_factor: float = 1.0) -> Node:
+        """Attach ``node`` (or create one from an address string)."""
+        if isinstance(node, str):
+            node = Node(node, kind=kind, cpu_factor=cpu_factor)
+        if node.address in self._nodes:
+            raise ValueError(f"duplicate node address {node.address!r}")
+        node._attach(self)
+        self._nodes[node.address] = node
+        self._graph.add_node(node.address)
+        return node
+
+    def node(self, address: str) -> Node:
+        """Look up a node by address."""
+        try:
+            return self._nodes[address]
+        except KeyError:
+            raise KeyError(f"unknown node {address!r}") from None
+
+    def has_node(self, address: str) -> bool:
+        return address in self._nodes
+
+    @property
+    def nodes(self) -> Iterable[Node]:
+        return self._nodes.values()
+
+    def add_link(self, src: str, dst: str, spec: LinkSpec) -> Link:
+        """Add a directed link; both endpoints must already be attached."""
+        if src not in self._nodes or dst not in self._nodes:
+            raise KeyError(f"both endpoints of {src}->{dst} must be nodes")
+        if src == dst:
+            raise ValueError("self-links are not allowed")
+        if (src, dst) in self._links:
+            raise ValueError(f"duplicate link {src}->{dst}")
+        link = Link(src, dst, spec)
+        link.attach_stream(self.streams.get(f"link:{src}->{dst}"))
+        self._links[(src, dst)] = link
+        self._graph.add_edge(src, dst, weight=spec.latency, link=link)
+        self._routes.clear()
+        return link
+
+    def add_duplex_link(self, a: str, b: str, spec: LinkSpec) -> tuple[Link, Link]:
+        """Add symmetric links a→b and b→a with the same spec."""
+        return self.add_link(a, b, spec), self.add_link(b, a, spec)
+
+    def remove_link(self, src: str, dst: str) -> None:
+        """Remove a directed link permanently (device mobility/re-homing)."""
+        if (src, dst) not in self._links:
+            raise KeyError(f"no link {src}->{dst}")
+        del self._links[(src, dst)]
+        if self._graph.has_edge(src, dst):
+            self._graph.remove_edge(src, dst)
+        self._routes.clear()
+
+    def remove_duplex_link(self, a: str, b: str) -> None:
+        """Remove both directions between ``a`` and ``b``."""
+        self.remove_link(a, b)
+        self.remove_link(b, a)
+
+    def link(self, src: str, dst: str) -> Link:
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise KeyError(f"no link {src}->{dst}") from None
+
+    @property
+    def links(self) -> Iterable[Link]:
+        return self._links.values()
+
+    def set_link_state(self, src: str, dst: str, up: bool) -> None:
+        """Take a link down / bring it up; routes are recomputed."""
+        link = self.link(src, dst)
+        if link.up == up:
+            return
+        link.up = up
+        if up:
+            self._graph.add_edge(src, dst, weight=link.spec.latency, link=link)
+        else:
+            self._graph.remove_edge(src, dst)
+        self._routes.clear()
+
+    # -- routing ------------------------------------------------------------
+    def route(self, src: str, dst: str) -> list[str]:
+        """Shortest-latency node path from ``src`` to ``dst`` (inclusive)."""
+        if src == dst:
+            return [src]
+        key = (src, dst)
+        path = self._routes.get(key)
+        if path is None:
+            if src not in self._nodes or dst not in self._nodes:
+                raise KeyError(f"route endpoints {src!r}/{dst!r} must be nodes")
+            try:
+                path = nx.shortest_path(self._graph, src, dst, weight="weight")
+            except nx.NetworkXNoPath:
+                raise NoRouteError(f"no route {src} -> {dst}") from None
+            self._routes[key] = path
+        return path
+
+    def path_links(self, src: str, dst: str) -> list[Link]:
+        """Links along the current route from ``src`` to ``dst``."""
+        path = self.route(src, dst)
+        return [self._links[(a, b)] for a, b in zip(path, path[1:])]
+
+    def bottleneck_bandwidth(self, src: str, dst: str) -> float:
+        """Minimum bandwidth along the route (fluid model)."""
+        links = self.path_links(src, dst)
+        if not links:
+            return float("inf")
+        return min(l.spec.bandwidth for l in links)
+
+    def base_rtt(self, src: str, dst: str) -> float:
+        """Deterministic (jitter-free) round-trip latency between two nodes."""
+        fwd = sum(l.spec.latency for l in self.path_links(src, dst))
+        back = sum(l.spec.latency for l in self.path_links(dst, src))
+        return fwd + back
+
+    # -- end-to-end delay sampling ------------------------------------------
+    def sample_path_delay(self, src: str, dst: str, size: int) -> tuple[float, int]:
+        """One end-to-end delivery attempt: ``(delay, retries)``.
+
+        Each link samples its own jitter; a sampled loss on any link costs
+        that link's RTO and restarts the attempt (bounded retries are the
+        transport's job — here we model until success, counting retries).
+        """
+        links = self.path_links(src, dst)
+        if not links:
+            return 0.0, 0
+        delay = 0.0
+        retries = 0
+        bottleneck = min(l.spec.bandwidth for l in links)
+        for link in links:
+            while link.spec.sample_loss(link.stream):
+                retries += 1
+                delay += link.spec.rto
+                if retries > 64:  # pathological spec; avoid unbounded loop
+                    raise RuntimeError(
+                        f"link {link.key} lost 64 consecutive transfers"
+                    )
+            delay += link.spec.sample_latency(link.stream)
+            link.record_transfer(size, 0)
+        delay += size / bottleneck
+        return delay, retries
+
+    # -- datagram service ------------------------------------------------------
+    def send_datagram(
+        self, src: str, dst: str, payload: Any = None, size: int = 1
+    ) -> None:
+        """Fire-and-forget delivery of a small probe message.
+
+        Delivery is a background process; the datagram appears in the
+        destination node's :attr:`~repro.simnet.node.Node.datagrams` mailbox
+        after the sampled one-way delay.
+        """
+        dgram = Datagram(src, dst, payload, size, self.sim.now)
+        self.sim.process(self._deliver(dgram), name=f"dgram:{src}->{dst}")
+
+    def _deliver(self, dgram: Datagram) -> Generator:
+        delay, _ = self.sample_path_delay(dgram.src, dgram.dst, dgram.size)
+        yield self.sim.timeout(delay)
+        self.node(dgram.dst).datagrams.put(dgram)
+        self.tracer.count("datagrams_delivered")
+
+    def ping(self, src: str, dst: str, size: int = 1) -> Generator:
+        """Process: measure one RTT ``src`` → ``dst`` → ``src`` (returns seconds).
+
+        This is the §3.5 probe: the reflector echoes immediately, so the
+        measured value is the two sampled one-way delays.
+        """
+        t0 = self.sim.now
+        fwd, _ = self.sample_path_delay(src, dst, size)
+        yield self.sim.timeout(fwd)
+        back, _ = self.sample_path_delay(dst, src, size)
+        yield self.sim.timeout(back)
+        return self.sim.now - t0

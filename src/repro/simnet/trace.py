@@ -1,0 +1,136 @@
+"""Metric collection: counters, time series, and the connection ledger.
+
+The connection ledger is the measurement backbone of the reproduction: the
+paper's headline metric, *internet connection time*, is the total wall-clock
+time a device holds network connections open.  Every transport connection
+reports its ``(opened_at, closed_at, bytes)`` here, so PDAgent and all
+baselines are measured by identical machinery.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Simulator
+
+__all__ = ["ConnectionRecord", "Tracer"]
+
+
+@dataclass
+class ConnectionRecord:
+    """One transport connection's lifetime, as seen by its initiator."""
+
+    conn_id: int
+    initiator: str
+    peer: str
+    opened_at: float
+    closed_at: Optional[float] = None
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    purpose: str = ""
+
+    @property
+    def open(self) -> bool:
+        return self.closed_at is None
+
+    def duration(self, now: Optional[float] = None) -> float:
+        """Connection open time; open connections need ``now``."""
+        if self.closed_at is not None:
+            return self.closed_at - self.opened_at
+        if now is None:
+            raise ValueError("connection still open; pass now= for duration")
+        return now - self.opened_at
+
+
+@dataclass
+class _Series:
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+
+class Tracer:
+    """Per-network metric sink."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.counters: dict[str, int] = defaultdict(int)
+        self._series: dict[str, _Series] = defaultdict(_Series)
+        self.connections: list[ConnectionRecord] = []
+        self._next_conn_id = 0
+
+    # -- counters / series -----------------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment counter ``name`` by ``n``."""
+        self.counters[name] += n
+
+    def record(self, name: str, value: float) -> None:
+        """Append ``(now, value)`` to time series ``name``."""
+        series = self._series[name]
+        series.times.append(self.sim.now)
+        series.values.append(float(value))
+
+    def series(self, name: str) -> tuple[list[float], list[float]]:
+        """Return ``(times, values)`` for series ``name`` (empty if unknown)."""
+        series = self._series.get(name)
+        if series is None:
+            return [], []
+        return list(series.times), list(series.values)
+
+    # -- connection ledger -----------------------------------------------------
+    def open_connection(self, initiator: str, peer: str, purpose: str = "") -> ConnectionRecord:
+        """Register a newly opened connection and return its ledger record."""
+        record = ConnectionRecord(
+            conn_id=self._next_conn_id,
+            initiator=initiator,
+            peer=peer,
+            opened_at=self.sim.now,
+            purpose=purpose,
+        )
+        self._next_conn_id += 1
+        self.connections.append(record)
+        return record
+
+    def close_connection(self, record: ConnectionRecord) -> None:
+        if record.closed_at is not None:
+            raise ValueError(f"connection {record.conn_id} already closed")
+        record.closed_at = self.sim.now
+
+    def connection_time(self, initiator: str, since: float = 0.0) -> float:
+        """Total open time of connections initiated by ``initiator``.
+
+        This is the paper's "internet connection time" for a device.  Open
+        connections are charged up to the current simulated time.
+        """
+        total = 0.0
+        for rec in self.connections:
+            if rec.initiator != initiator or rec.opened_at < since:
+                continue
+            total += rec.duration(now=self.sim.now)
+        return total
+
+    def connection_count(self, initiator: str, since: float = 0.0) -> int:
+        """Number of connections ``initiator`` opened at/after ``since``."""
+        return sum(
+            1
+            for rec in self.connections
+            if rec.initiator == initiator and rec.opened_at >= since
+        )
+
+    def bytes_transferred(self, initiator: str, since: float = 0.0) -> tuple[int, int]:
+        """``(sent, received)`` bytes over connections opened by ``initiator``."""
+        sent = received = 0
+        for rec in self.connections:
+            if rec.initiator != initiator or rec.opened_at < since:
+                continue
+            sent += rec.bytes_sent
+            received += rec.bytes_received
+        return sent, received
+
+    def reset(self) -> None:
+        """Clear all metrics (ledger, counters, series)."""
+        self.counters.clear()
+        self._series.clear()
+        self.connections.clear()

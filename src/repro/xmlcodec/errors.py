@@ -1,0 +1,21 @@
+"""XML codec exceptions."""
+
+from __future__ import annotations
+
+__all__ = ["XmlError", "XmlParseError", "XmlWriteError"]
+
+
+class XmlError(Exception):
+    """Base class for XML codec failures."""
+
+
+class XmlParseError(XmlError):
+    """Malformed XML input.  Carries the byte/character offset."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at position {position})")
+        self.position = position
+
+
+class XmlWriteError(XmlError):
+    """Attempt to serialise an invalid document (bad tag names etc.)."""

@@ -1,0 +1,211 @@
+"""Recursive-descent XML parser (kXML-substitute).
+
+Supports the subset PDAgent's interoperability format needs — elements,
+attributes (single- or double-quoted), character data with the predefined
+entities and numeric character references, comments, CDATA sections,
+processing instructions, and the XML declaration.  DTDs are recognised and
+skipped (kXML parsed but did not validate them either).
+
+The parser is strict where it matters for a wire format: mismatched tags,
+unterminated constructs, duplicate attributes and trailing garbage all raise
+:class:`~repro.xmlcodec.errors.XmlParseError` with a position.
+"""
+
+from __future__ import annotations
+
+import re
+from .dom import Element
+from .errors import XmlParseError
+from .escape import unescape
+
+__all__ = ["parse", "parse_bytes"]
+
+_NAME_RE = re.compile(r"[A-Za-z_:][A-Za-z0-9_:.\-]*")
+_WS = " \t\r\n"
+
+
+class _Cursor:
+    """Scanning state over the input string."""
+
+    __slots__ = ("text", "pos")
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    @property
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, n: int = 1) -> str:
+        return self.text[self.pos : self.pos + n]
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def advance(self, n: int) -> None:
+        self.pos += n
+
+    def skip_ws(self) -> None:
+        text, pos, n = self.text, self.pos, len(self.text)
+        while pos < n and text[pos] in _WS:
+            pos += 1
+        self.pos = pos
+
+    def expect(self, token: str) -> None:
+        if not self.startswith(token):
+            raise XmlParseError(f"expected {token!r}", self.pos)
+        self.pos += len(token)
+
+    def read_until(self, token: str, what: str) -> str:
+        end = self.text.find(token, self.pos)
+        if end == -1:
+            raise XmlParseError(f"unterminated {what}", self.pos)
+        out = self.text[self.pos : end]
+        self.pos = end + len(token)
+        return out
+
+    def read_name(self, what: str) -> str:
+        match = _NAME_RE.match(self.text, self.pos)
+        if not match:
+            raise XmlParseError(f"expected {what} name", self.pos)
+        self.pos = match.end()
+        return match.group()
+
+
+def _skip_misc(cur: _Cursor, allow_doctype: bool) -> None:
+    """Skip whitespace, comments, PIs and (optionally) a DOCTYPE."""
+    while True:
+        cur.skip_ws()
+        if cur.startswith("<!--"):
+            cur.advance(4)
+            cur.read_until("-->", "comment")
+        elif cur.startswith("<?"):
+            cur.advance(2)
+            cur.read_until("?>", "processing instruction")
+        elif allow_doctype and cur.startswith("<!DOCTYPE"):
+            _skip_doctype(cur)
+        else:
+            return
+
+
+def _skip_doctype(cur: _Cursor) -> None:
+    cur.expect("<!DOCTYPE")
+    depth = 1
+    while depth > 0:
+        if cur.eof:
+            raise XmlParseError("unterminated DOCTYPE", cur.pos)
+        ch = cur.peek()
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            depth -= 1
+        cur.advance(1)
+
+
+def _parse_attributes(cur: _Cursor, tag: str) -> dict[str, str]:
+    attrib: dict[str, str] = {}
+    while True:
+        cur.skip_ws()
+        ch = cur.peek()
+        if ch in (">", "/") or cur.eof:
+            return attrib
+        name = cur.read_name("attribute")
+        cur.skip_ws()
+        cur.expect("=")
+        cur.skip_ws()
+        quote = cur.peek()
+        if quote not in ("'", '"'):
+            raise XmlParseError(
+                f"attribute {name!r} of <{tag}> must be quoted", cur.pos
+            )
+        cur.advance(1)
+        start = cur.pos
+        raw = cur.read_until(quote, f"attribute value of {name!r}")
+        if "<" in raw:
+            raise XmlParseError(f"'<' in attribute value of {name!r}", start)
+        if name in attrib:
+            raise XmlParseError(f"duplicate attribute {name!r} in <{tag}>", start)
+        attrib[name] = unescape(raw, start)
+
+
+def _parse_element(cur: _Cursor) -> Element:
+    cur.expect("<")
+    tag = cur.read_name("element")
+    attrib = _parse_attributes(cur, tag)
+    elem = Element(tag, attrib)
+    cur.skip_ws()
+    if cur.startswith("/>"):
+        cur.advance(2)
+        return elem
+    cur.expect(">")
+    _parse_content(cur, elem)
+    # _parse_content consumed "</"; match the closing name.
+    close = cur.read_name("closing tag")
+    if close != tag:
+        raise XmlParseError(f"mismatched </{close}>; expected </{tag}>", cur.pos)
+    cur.skip_ws()
+    cur.expect(">")
+    return elem
+
+
+def _parse_content(cur: _Cursor, elem: Element) -> None:
+    """Fill ``elem.text``, children and their tails until the closing tag."""
+    last_child: Element | None = None
+
+    def add_text(chunk: str) -> None:
+        nonlocal last_child
+        if not chunk:
+            return
+        if last_child is None:
+            elem.text += chunk
+        else:
+            last_child.tail += chunk
+
+    while True:
+        if cur.eof:
+            raise XmlParseError(f"unterminated <{elem.tag}>", cur.pos)
+        if cur.startswith("</"):
+            cur.advance(2)
+            return
+        if cur.startswith("<!--"):
+            cur.advance(4)
+            cur.read_until("-->", "comment")
+        elif cur.startswith("<![CDATA["):
+            cur.advance(9)
+            add_text(cur.read_until("]]>", "CDATA section"))
+        elif cur.startswith("<?"):
+            cur.advance(2)
+            cur.read_until("?>", "processing instruction")
+        elif cur.startswith("<"):
+            last_child = elem.append(_parse_element(cur))
+        else:
+            start = cur.pos
+            end = cur.text.find("<", start)
+            if end == -1:
+                raise XmlParseError(f"unterminated <{elem.tag}>", start)
+            cur.pos = end
+            add_text(unescape(cur.text[start:end], start))
+
+
+def parse(text: str) -> Element:
+    """Parse an XML document string and return the root element."""
+    if not isinstance(text, str):
+        raise TypeError(f"parse() wants str, got {type(text).__name__}")
+    cur = _Cursor(text)
+    _skip_misc(cur, allow_doctype=True)
+    if not cur.startswith("<") or cur.startswith("<!") or cur.startswith("<?"):
+        raise XmlParseError("no root element", cur.pos)
+    root = _parse_element(cur)
+    _skip_misc(cur, allow_doctype=False)
+    if not cur.eof:
+        raise XmlParseError("trailing content after root element", cur.pos)
+    return root
+
+
+def parse_bytes(data: bytes) -> Element:
+    """Parse UTF-8 encoded XML bytes."""
+    try:
+        return parse(data.decode("utf-8"))
+    except UnicodeDecodeError as exc:
+        raise XmlParseError(f"invalid UTF-8: {exc.reason}", exc.start) from exc

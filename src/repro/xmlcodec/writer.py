@@ -1,0 +1,66 @@
+"""XML serialisation.
+
+Produces byte-stable output: attributes are written in insertion order and
+formatting is deterministic, so Packed Information sizes (and therefore
+transfer times) are reproducible across runs.
+"""
+
+from __future__ import annotations
+
+from .dom import Element
+from .escape import escape_attr, escape_text
+
+__all__ = ["write", "write_bytes", "XML_DECLARATION"]
+
+XML_DECLARATION = '<?xml version="1.0" encoding="UTF-8"?>'
+
+
+def _write_element(elem: Element, parts: list[str], indent: str, depth: int) -> None:
+    pad = indent * depth if indent else ""
+    attrs = "".join(
+        f' {key}="{escape_attr(value)}"' for key, value in elem.attrib.items()
+    )
+    has_children = len(elem) > 0
+    has_text = bool(elem.text)
+    if not has_children and not has_text:
+        parts.append(f"{pad}<{elem.tag}{attrs}/>")
+    else:
+        parts.append(f"{pad}<{elem.tag}{attrs}>")
+        if has_text:
+            parts.append(escape_text(elem.text))
+        if has_children:
+            for child in elem:
+                if indent:
+                    parts.append("\n")
+                _write_element(child, parts, indent, depth + 1)
+                if child.tail:
+                    parts.append(escape_text(child.tail))
+            if indent:
+                parts.append(f"\n{pad}")
+        parts.append(f"</{elem.tag}>")
+
+
+def write(root: Element, declaration: bool = True, indent: str = "") -> str:
+    """Serialise ``root`` to a string.
+
+    Parameters
+    ----------
+    declaration:
+        Prepend the XML declaration.
+    indent:
+        Pretty-print indentation unit (empty string = compact one-line
+        output, the on-the-wire form).  Note: pretty-printing inserts
+        whitespace text nodes, so compact form should be used whenever the
+        document will be re-parsed and compared.
+    """
+    parts: list[str] = []
+    if declaration:
+        parts.append(XML_DECLARATION)
+        parts.append("\n" if indent else "")
+    _write_element(root, parts, indent, 0)
+    return "".join(parts)
+
+
+def write_bytes(root: Element, declaration: bool = True) -> bytes:
+    """Compact UTF-8 wire form of the document."""
+    return write(root, declaration=declaration, indent="").encode("utf-8")

@@ -1,0 +1,172 @@
+"""Concurrency tests: multiple devices, interleaved dispatches, and the
+single-residency invariant of travelling agents."""
+
+import pytest
+
+from repro.apps.ebanking import (
+    BankServiceAgent,
+    EBankingAgent,
+    ebanking_service_code,
+    make_transactions,
+)
+from repro.core import DeploymentBuilder
+from repro.mas import Stop
+
+
+def build_multi_device(n_devices=3, seed=41):
+    builder = DeploymentBuilder(master_seed=seed)
+    builder.add_central("central")
+    builder.add_gateway("gw-0")
+    builder.add_gateway("gw-1")
+    for bank in ("bank-a", "bank-b"):
+        builder.add_site(bank, services=[BankServiceAgent(bank_name=bank)])
+    for i in range(n_devices):
+        builder.add_device(f"pda-{i}", wireless="WLAN")
+    builder.register_agent_class(EBankingAgent)
+    builder.publish(ebanking_service_code())
+    return builder.build()
+
+
+class TestMultiDevice:
+    def test_concurrent_dispatches_all_complete(self):
+        dep = build_multi_device(3)
+        results = {}
+
+        def session(name, gateway):
+            platform = dep.platform(name)
+            yield from platform.subscribe("ebanking", gateway=gateway)
+            handle = yield from platform.deploy(
+                "ebanking",
+                {"transactions": make_transactions(["bank-a", "bank-b"], 3)},
+                stops=[Stop("bank-a"), Stop("bank-b")],
+                gateway=gateway,
+            )
+            yield dep.gateway(gateway).ticket(handle.ticket).completed
+            result = yield from platform.collect(handle)
+            results[name] = result
+            return result
+
+        procs = [
+            dep.sim.process(session(f"pda-{i}", f"gw-{i % 2}"))
+            for i in range(3)
+        ]
+        dep.sim.run(until=dep.sim.all_of(procs))
+        assert len(results) == 3
+        for result in results.values():
+            assert len(result.data["transactions"]) == 3
+
+    def test_code_ids_isolated_per_device(self):
+        dep = build_multi_device(2)
+        ids = {}
+
+        def subscribe(name):
+            platform = dep.platform(name)
+            stored = yield from platform.subscribe("ebanking", gateway="gw-0")
+            ids[name] = stored.code_id
+
+        procs = [dep.sim.process(subscribe(f"pda-{i}")) for i in range(2)]
+        dep.sim.run(until=dep.sim.all_of(procs))
+        assert ids["pda-0"] != ids["pda-1"]
+
+    def test_device_cannot_use_other_devices_key(self):
+        """pda-1 replaying pda-0's code id is rejected by the gateway."""
+        from repro.core.errors import GatewayError
+
+        dep = build_multi_device(2)
+        p0, p1 = dep.platform("pda-0"), dep.platform("pda-1")
+
+        def flow():
+            stored0 = yield from p0.subscribe("ebanking", gateway="gw-0")
+            yield from p1.subscribe("ebanking", gateway="gw-0")
+            # p1 crafts a PI citing p0's code id
+            content = p1.dispatcher.build_content(
+                stored0, {"transactions": []}, stops=[], origin="gw-0"
+            )
+            packed = yield from p1.dispatcher.pack_for(content, "gw-0")
+            yield from p1.netmanager.upload_pi("gw-0", packed.data)
+
+        proc = dep.sim.process(flow())
+        with pytest.raises(GatewayError):
+            dep.sim.run(until=proc)
+
+    def test_concurrent_agents_at_same_bank(self):
+        """Two agents interleave at one bank; the ledger stays consistent."""
+        dep = build_multi_device(2)
+        teller_a = dep.mas("bank-a")._services["banking"]
+
+        def session(name):
+            platform = dep.platform(name)
+            yield from platform.subscribe("ebanking", gateway="gw-0")
+            handle = yield from platform.deploy(
+                "ebanking",
+                {"transactions": make_transactions(["bank-a"], 4,
+                                                   account=f"acct-{name}")},
+                stops=[Stop("bank-a")],
+                gateway="gw-0",
+            )
+            yield dep.gateway("gw-0").ticket(handle.ticket).completed
+            result = yield from platform.collect(handle)
+            return result
+
+        procs = [dep.sim.process(session(f"pda-{i}")) for i in range(2)]
+        dep.sim.run(until=dep.sim.all_of(procs))
+        assert len(teller_a.journal) == 8
+        # each device's account saw exactly its own 4 transfers
+        assert teller_a.accounts["acct-pda-0"] == 1000.0 - 4 * 25.0
+        assert teller_a.accounts["acct-pda-1"] == 1000.0 - 4 * 25.0
+
+
+class TestSingleResidency:
+    def test_agent_never_resident_at_two_servers(self):
+        """Instrumented tour: after every event, the agent is resident at
+        most once across all servers (exactly once when not in transit)."""
+        dep = build_multi_device(1)
+        platform = dep.platform("pda-0")
+
+        def flow():
+            yield from platform.subscribe("ebanking", gateway="gw-0")
+            handle = yield from platform.deploy(
+                "ebanking",
+                {"transactions": make_transactions(["bank-a", "bank-b"], 2)},
+                stops=[Stop("bank-a"), Stop("bank-b")],
+                gateway="gw-0",
+            )
+            return handle
+
+        proc = dep.sim.process(flow())
+        handle = dep.sim.run(until=proc)
+        servers = list(dep.mas_servers.values())
+        done = dep.gateway("gw-0").ticket(handle.ticket).completed
+        violations = []
+        while not done.triggered and dep.sim.peek() != float("inf"):
+            dep.sim.step()
+            residents = [
+                s.address for s in servers if handle.agent_id in s._agents
+            ]
+            if len(residents) > 1:
+                violations.append((dep.sim.now, residents))
+        assert violations == []
+
+    def test_completed_agent_exactly_at_home(self):
+        dep = build_multi_device(1)
+        platform = dep.platform("pda-0")
+
+        def flow():
+            yield from platform.subscribe("ebanking", gateway="gw-0")
+            handle = yield from platform.deploy(
+                "ebanking",
+                {"transactions": make_transactions(["bank-a"], 1)},
+                stops=[Stop("bank-a")],
+                gateway="gw-0",
+            )
+            yield dep.gateway("gw-0").ticket(handle.ticket).completed
+            return handle
+
+        proc = dep.sim.process(flow())
+        handle = dep.sim.run(until=proc)
+        residents = [
+            s.address
+            for s in dep.mas_servers.values()
+            if handle.agent_id in s._agents
+        ]
+        assert residents == ["gw-0"]

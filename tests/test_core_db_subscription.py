@@ -1,0 +1,181 @@
+"""Tests for the device's internal database and the subscription machinery."""
+
+import pytest
+
+from repro.core import ServiceCatalog, ServiceCode, SubscriptionDirectory
+from repro.core.device_db import DispatchRecord, InternalDatabase
+from repro.core.errors import PDAgentError, SubscriptionError
+from repro.core.subscription import code_from_xml, code_to_xml
+from repro.rms import StorageManager
+from repro.xmlcodec import parse, write
+
+
+def make_code(service="ebanking", version=1, size=3000):
+    return ServiceCode(
+        service=service,
+        version=version,
+        agent_class="EBankingAgent",
+        param_schema=("transactions",),
+        code_size=size,
+        description="test app",
+    )
+
+
+class TestServiceCode:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceCode(service="", version=1, agent_class="X")
+        with pytest.raises(ValueError):
+            ServiceCode(service="s", version=0, agent_class="X")
+        with pytest.raises(ValueError):
+            ServiceCode(service="s", version=1, agent_class="X", code_size=-1)
+
+    def test_payload_deterministic_and_sized(self):
+        code = make_code(size=2048)
+        assert len(code.payload()) == 2048
+        assert code.payload() == code.payload()
+
+    def test_xml_roundtrip(self):
+        code = make_code()
+        doc = code_to_xml(code, "mac-42")
+        recovered, code_id = code_from_xml(parse(write(doc, declaration=False)))
+        assert code_id == "mac-42"
+        assert recovered == code
+
+    def test_wrong_root_raises(self):
+        from repro.xmlcodec import Element
+
+        with pytest.raises(SubscriptionError):
+            code_from_xml(Element("nope"))
+
+
+class TestCatalog:
+    def test_publish_lookup(self):
+        cat = ServiceCatalog()
+        code = make_code()
+        cat.publish(code)
+        assert cat.lookup("ebanking") is code
+        assert cat.services() == ["ebanking"]
+
+    def test_unknown_service_raises(self):
+        with pytest.raises(SubscriptionError):
+            ServiceCatalog().lookup("ghost")
+
+    def test_upgrade_requires_higher_version(self):
+        cat = ServiceCatalog()
+        cat.publish(make_code(version=2))
+        with pytest.raises(SubscriptionError):
+            cat.publish(make_code(version=2))
+        cat.publish(make_code(version=3))
+        assert cat.lookup("ebanking").version == 3
+
+
+class TestDirectory:
+    def test_subscribe_assigns_unique_ids(self):
+        directory = SubscriptionDirectory()
+        code = make_code()
+        s1 = directory.subscribe("pda-1", code)
+        s2 = directory.subscribe("pda-2", code)
+        assert s1.code_id != s2.code_id
+        assert directory.lookup(s1.code_id).device_id == "pda-1"
+        assert len(directory) == 2
+
+    def test_lookup_unknown_is_none(self):
+        assert SubscriptionDirectory().lookup("mac-x") is None
+
+    def test_subscriptions_of(self):
+        directory = SubscriptionDirectory()
+        directory.subscribe("pda-1", make_code())
+        directory.subscribe("pda-1", make_code(service="other"))
+        directory.subscribe("pda-2", make_code())
+        assert len(directory.subscriptions_of("pda-1")) == 2
+
+    def test_empty_device_id_raises(self):
+        with pytest.raises(SubscriptionError):
+            SubscriptionDirectory().subscribe("", make_code())
+
+
+class TestInternalDatabase:
+    @pytest.fixture
+    def db(self):
+        return InternalDatabase(StorageManager(512 * 1024))
+
+    def test_store_and_load_code(self, db):
+        stored = db.store_code(make_code(), "mac-1")
+        assert stored.code_id == "mac-1"
+        code, code_id = db.load_code_document("mac-1")
+        assert code_id == "mac-1"
+        assert code.service == "ebanking"
+
+    def test_stored_compressed(self, db):
+        stored = db.store_code(make_code(size=4000), "mac-1")
+        # synthetic code payload is highly repetitive -> strong compression
+        assert stored.stored_bytes < 2000
+
+    def test_store_requires_id(self, db):
+        with pytest.raises(SubscriptionError):
+            db.store_code(make_code(), "")
+
+    def test_resubscribe_overwrites_in_place(self, db):
+        db.store_code(make_code(version=1), "mac-1")
+        db.store_code(make_code(version=2), "mac-1")
+        assert len(db.list_codes()) == 1
+        assert db.get_code("mac-1").code.version == 2
+
+    def test_find_by_service_latest_version(self, db):
+        db.store_code(make_code(version=1), "mac-1")
+        db.store_code(make_code(version=3), "mac-2")
+        found = db.find_code_by_service("ebanking")
+        assert found.code.version == 3
+        assert db.find_code_by_service("missing") is None
+
+    def test_delete_code(self, db):
+        db.store_code(make_code(), "mac-1")
+        db.delete_code("mac-1")
+        with pytest.raises(SubscriptionError):
+            db.get_code("mac-1")
+
+    def test_results_roundtrip(self, db):
+        xml = b"<result><data type='str'>yo</data></result>"
+        db.store_result("t-1", xml)
+        assert db.get_result("t-1") == xml
+        assert db.list_results() == ["t-1"]
+
+    def test_missing_result_raises(self, db):
+        with pytest.raises(PDAgentError):
+            db.get_result("t-x")
+
+    def test_dispatch_ledger(self, db):
+        rec = DispatchRecord(
+            ticket="t-1",
+            agent_id="gw/a-1",
+            gateway="gw",
+            service="ebanking",
+            status="dispatched",
+            dispatched_at=1.5,
+        )
+        db.record_dispatch(rec)
+        assert db.get_dispatch("t-1").status == "dispatched"
+        db.update_dispatch_status("t-1", "collected")
+        assert db.get_dispatch("t-1").status == "collected"
+        assert len(db.list_dispatches()) == 1
+
+    def test_unknown_ticket_raises(self, db):
+        with pytest.raises(PDAgentError):
+            db.get_dispatch("ghost")
+        with pytest.raises(PDAgentError):
+            db.update_dispatch_status("ghost", "x")
+
+    def test_stored_bytes_tracks_all_stores(self, db):
+        assert db.stored_bytes == 0
+        db.store_code(make_code(), "mac-1")
+        db.store_result("t-1", b"<r/>")
+        assert db.stored_bytes > 0
+
+    def test_quota_exceeded_surfaces(self):
+        from repro.rms import RecordStoreFullError
+
+        db = InternalDatabase(StorageManager(600))
+        with pytest.raises(RecordStoreFullError):
+            for i in range(100):
+                db.store_result(f"t-{i}", b"<data>" + bytes(100) + b"</data>")

@@ -1,0 +1,341 @@
+"""Integration tests: PDAgentPlatform ↔ Gateway ↔ MAS, full §3 lifecycle.
+
+These exercise the Fig. 5 (subscription), Fig. 6 (execution), §3.3 (result
+collection), §3.4 (security failures), and §3.6 (agent management) flows
+over the simulated network, including the error paths.
+"""
+
+import pytest
+
+from repro.apps.ebanking import (
+    BankServiceAgent,
+    EBankingAgent,
+    ebanking_service_code,
+    make_transactions,
+)
+from repro.core import DeploymentBuilder, PDAgentConfig
+from repro.core.errors import (
+    GatewayError,
+    ResultNotReadyError,
+    SubscriptionError,
+)
+from repro.mas import Stop
+
+
+def build_dep(seed=21, config=None, banks=("bank-a", "bank-b")):
+    builder = DeploymentBuilder(master_seed=seed, config=config)
+    builder.add_central("central")
+    builder.add_gateway("gw-0")
+    for bank in banks:
+        builder.add_site(bank, services=[BankServiceAgent(bank_name=bank)])
+    builder.add_device("pda", wireless="WLAN")
+    builder.register_agent_class(EBankingAgent)
+    builder.publish(ebanking_service_code())
+    return builder.build()
+
+
+def drive(dep, gen):
+    proc = dep.sim.process(gen)
+    return dep.sim.run(until=proc)
+
+
+@pytest.fixture
+def dep():
+    return build_dep()
+
+
+@pytest.fixture
+def platform(dep):
+    return dep.platform("pda")
+
+
+def subscribe(dep, platform):
+    return drive(dep, platform.subscribe("ebanking", gateway="gw-0"))
+
+
+def deploy(dep, platform, n=3):
+    txns = make_transactions(["bank-a", "bank-b"], n)
+    return drive(
+        dep,
+        platform.deploy(
+            "ebanking",
+            {"transactions": txns},
+            stops=[Stop("bank-a"), Stop("bank-b")],
+            gateway="gw-0",
+        ),
+    )
+
+
+def wait_ticket(dep, handle):
+    dep.sim.run(until=dep.gateway("gw-0").ticket(handle.ticket).completed)
+
+
+class TestSubscription:
+    def test_subscribe_stores_code(self, dep, platform):
+        stored = subscribe(dep, platform)
+        assert stored.code_id.startswith("mac-")
+        assert platform.is_subscribed("ebanking")
+        assert stored.code.agent_class == "EBankingAgent"
+
+    def test_unknown_service_rejected(self, dep, platform):
+        with pytest.raises(GatewayError):
+            drive(dep, platform.subscribe("ghost-app", gateway="gw-0"))
+
+    def test_directory_records_subscription(self, dep, platform):
+        stored = subscribe(dep, platform)
+        sub = dep.directory.lookup(stored.code_id)
+        assert sub.device_id == "pda"
+        assert sub.service == "ebanking"
+
+    def test_two_devices_get_distinct_code_ids(self, dep):
+        dep2 = build_dep()
+        builder_platform = dep2.platform("pda")
+        s1 = subscribe(dep2, builder_platform)
+        # same deployment, second subscription (re-subscribe) gets new id
+        s2 = subscribe(dep2, builder_platform)
+        assert s1.code_id != s2.code_id
+
+
+class TestDeployment:
+    def test_deploy_returns_handle(self, dep, platform):
+        subscribe(dep, platform)
+        handle = deploy(dep, platform)
+        assert handle.ticket.startswith("gw-0/t-")
+        assert handle.agent_id.startswith("gw-0/agent-")
+        assert handle.gateway == "gw-0"
+
+    def test_deploy_without_subscription_raises(self, dep, platform):
+        with pytest.raises(SubscriptionError):
+            deploy(dep, platform)
+
+    def test_missing_params_rejected_offline(self, dep, platform):
+        from repro.core.errors import DeploymentError
+
+        subscribe(dep, platform)
+        with pytest.raises(DeploymentError):
+            drive(dep, platform.deploy("ebanking", {}, gateway="gw-0"))
+
+    def test_agent_executes_transactions(self, dep, platform):
+        subscribe(dep, platform)
+        handle = deploy(dep, platform, n=4)
+        wait_ticket(dep, handle)
+        result = drive(dep, platform.collect(handle))
+        txns = result.data["transactions"]
+        assert len(txns) == 4
+        assert all(t["status"] == "ok" for t in txns)
+        assert {t["bank"] for t in txns} == {"bank-a", "bank-b"}
+
+    def test_bank_state_mutated(self, dep, platform):
+        subscribe(dep, platform)
+        handle = deploy(dep, platform, n=2)
+        wait_ticket(dep, handle)
+        mas_a = dep.mas("bank-a")
+        teller = mas_a._services["banking"]
+        assert teller.journal  # transfers hit the ledger
+        assert teller.accounts["acct-main"] < 1000.0
+
+    def test_dispatch_recorded_in_device_db(self, dep, platform):
+        subscribe(dep, platform)
+        handle = deploy(dep, platform)
+        records = platform.list_dispatches()
+        assert len(records) == 1
+        assert records[0].ticket == handle.ticket
+        assert records[0].status == "dispatched"
+
+    def test_forged_dispatch_key_rejected(self, dep, platform):
+        stored = subscribe(dep, platform)
+        # craft a PI with a wrong key by lying about the code id
+        content = platform.dispatcher.build_content(
+            stored, {"transactions": []}, stops=[], origin="gw-0"
+        )
+        content.dispatch_key = "0" * 32
+
+        def bad_deploy():
+            packed = yield from platform.dispatcher.pack_for(content, "gw-0")
+            yield from platform.netmanager.upload_pi("gw-0", packed.data)
+
+        with pytest.raises(GatewayError, match="403|upload-pi"):
+            drive(dep, bad_deploy())
+
+    def test_other_devices_code_id_rejected(self, dep, platform):
+        stored = subscribe(dep, platform)
+        content = platform.dispatcher.build_content(
+            stored, {"transactions": []}, stops=[], origin="gw-0"
+        )
+        content.device_id = "impostor"
+
+        def bad_deploy():
+            packed = yield from platform.dispatcher.pack_for(content, "gw-0")
+            yield from platform.netmanager.upload_pi("gw-0", packed.data)
+
+        with pytest.raises(GatewayError):
+            drive(dep, bad_deploy())
+
+    def test_unsupported_agent_class_rejected(self, dep, platform):
+        from repro.core import ServiceCode
+
+        dep.catalog.publish(
+            ServiceCode(
+                service="mystery",
+                version=1,
+                agent_class="UnregisteredAgent",
+                param_schema=(),
+            )
+        )
+        drive(dep, platform.subscribe("mystery", gateway="gw-0"))
+        with pytest.raises(GatewayError, match="400"):
+            drive(dep, platform.deploy("mystery", {}, gateway="gw-0"))
+
+
+class TestResultCollection:
+    def test_collect_before_ready_raises(self, dep, platform):
+        subscribe(dep, platform)
+        handle = deploy(dep, platform)
+        with pytest.raises(ResultNotReadyError):
+            drive(dep, platform.collect(handle))
+
+    def test_collect_poll_waits(self, dep, platform):
+        subscribe(dep, platform)
+        handle = deploy(dep, platform, n=2)
+        result = drive(dep, platform.collect_poll(handle))
+        assert result.status == "completed"
+
+    def test_result_stored_in_device_db(self, dep, platform):
+        subscribe(dep, platform)
+        handle = deploy(dep, platform, n=1)
+        wait_ticket(dep, handle)
+        drive(dep, platform.collect(handle))
+        assert handle.ticket in platform.db.list_results()
+        stored = platform.stored_result(handle.ticket)
+        assert len(stored["transactions"]) == 1
+        assert platform.db.get_dispatch(handle.ticket).status == "collected"
+
+    def test_unknown_ticket_404(self, dep, platform):
+        subscribe(dep, platform)
+        handle = deploy(dep, platform)
+        fake = type(handle)(
+            ticket="gw-0/t-999", agent_id="x", gateway="gw-0", service="ebanking"
+        )
+        with pytest.raises(GatewayError):
+            drive(dep, platform.collect(fake))
+
+
+class TestAgentManagement:
+    def test_status_after_completion(self, dep, platform):
+        subscribe(dep, platform)
+        handle = deploy(dep, platform, n=1)
+        wait_ticket(dep, handle)
+        state = drive(dep, platform.agent_status(handle))
+        assert state == "completed"
+
+    def test_clone_completes_independently(self, dep, platform):
+        subscribe(dep, platform)
+        handle = deploy(dep, platform, n=2)
+        wait_ticket(dep, handle)
+        clone = drive(dep, platform.clone_agent(handle))
+        assert clone.ticket != handle.ticket
+        dep.sim.run(until=dep.gateway("gw-0").ticket(clone.ticket).completed)
+        result = drive(dep, platform.collect(clone))
+        assert result.status == "completed"
+
+    def test_retract_travelling_agent_gives_partial(self, dep):
+        # slow banks so the agent is still out when we retract
+        dep2 = build_dep()
+        for bank in ("bank-a", "bank-b"):
+            dep2.mas(bank)._services["banking"].processing_time = 10.0
+        platform = dep2.platform("pda")
+        subscribe(dep2, platform)
+        handle = deploy(dep2, platform, n=4)
+
+        def retract_flow():
+            yield dep2.sim.timeout(2.0)
+            state = yield from platform.retract_agent(handle)
+            return state
+
+        state = drive(dep2, retract_flow())
+        assert state == "retracted"
+        result = drive(dep2, platform.collect(handle))
+        assert result.status == "retracted"
+
+    def test_dispose_releases_gateway_space(self, dep, platform):
+        subscribe(dep, platform)
+        handle = deploy(dep, platform, n=1)
+        wait_ticket(dep, handle)
+        gw = dep.gateway("gw-0")
+        used_before = gw.file_directory.used_bytes
+        assert used_before > 0
+        drive(dep, platform.dispose_agent(handle))
+        assert gw.file_directory.used_bytes < used_before
+        assert platform.db.get_dispatch(handle.ticket).status == "disposed"
+
+
+class TestConnectionAccounting:
+    def test_pdagent_connection_count_is_two_per_batch(self, dep, platform):
+        """The §4 claim: PI upload + result download, nothing else."""
+        subscribe(dep, platform)
+        tracer = dep.network.tracer
+        mark = dep.sim.now
+        handle = deploy(dep, platform, n=5)
+        wait_ticket(dep, handle)
+        drive(dep, platform.collect(handle))
+        assert tracer.connection_count("pda", since=mark) == 2
+
+    def test_connection_time_insensitive_to_batch_size(self, dep, platform):
+        subscribe(dep, platform)
+        tracer = dep.network.tracer
+        times = []
+        for n in (1, 8):
+            mark = dep.sim.now
+            handle = deploy(dep, platform, n=n)
+            wait_ticket(dep, handle)
+            drive(dep, platform.collect(handle))
+            times.append(tracer.connection_time("pda", since=mark))
+        # 8x the transactions must cost well under 2x the connection time
+        assert times[1] < times[0] * 2
+
+
+class TestEncryptionModes:
+    @pytest.mark.parametrize("encrypt", [True, False])
+    def test_end_to_end_both_modes(self, encrypt):
+        dep = build_dep(config=PDAgentConfig(encrypt=encrypt))
+        platform = dep.platform("pda")
+        subscribe(dep, platform)
+        handle = deploy(dep, platform, n=2)
+        wait_ticket(dep, handle)
+        result = drive(dep, platform.collect(handle))
+        assert len(result.data["transactions"]) == 2
+
+    @pytest.mark.parametrize("codec", ["lzss", "huffman", "null"])
+    def test_end_to_end_all_codecs(self, codec):
+        dep = build_dep(config=PDAgentConfig(codec=codec))
+        platform = dep.platform("pda")
+        subscribe(dep, platform)
+        handle = deploy(dep, platform, n=2)
+        wait_ticket(dep, handle)
+        result = drive(dep, platform.collect(handle))
+        assert result.status == "completed"
+
+
+class TestReplayProtection:
+    def test_replayed_pi_rejected(self, dep, platform):
+        """A captured PI re-submitted verbatim is refused (nonce reuse)."""
+        stored = subscribe(dep, platform)
+        content = platform.dispatcher.build_content(
+            stored, {"transactions": []}, stops=[], origin="gw-0"
+        )
+
+        def first_and_replay():
+            packed = yield from platform.dispatcher.pack_for(content, "gw-0")
+            yield from platform.netmanager.upload_pi("gw-0", packed.data)
+            # the attacker replays the very same frame
+            yield from platform.netmanager.upload_pi("gw-0", packed.data)
+
+        with pytest.raises(GatewayError, match="403|replay"):
+            drive(dep, first_and_replay())
+
+    def test_fresh_nonces_not_affected(self, dep, platform):
+        """Normal repeated deployments mint fresh nonces and all succeed."""
+        subscribe(dep, platform)
+        h1 = deploy(dep, platform, n=1)
+        h2 = deploy(dep, platform, n=1)
+        assert h1.ticket != h2.ticket

@@ -1,0 +1,157 @@
+"""Tests for the central server and nearest-gateway selection (§3.5)."""
+
+import pytest
+
+from repro.core import DeploymentBuilder, PDAgentConfig
+from repro.core.errors import NoGatewayAvailableError
+from repro.core.registry import fetch_gateway_list
+
+
+def build(n_gateways=3, policy="nearest", seed=1, **config_kw):
+    config = PDAgentConfig(selection_policy=policy, **config_kw)
+    builder = DeploymentBuilder(master_seed=seed, config=config)
+    builder.add_central("central")
+    for i in range(n_gateways):
+        builder.add_gateway(f"gw-{i}")
+    builder.add_device("pda", wireless="WLAN")
+    return builder.build()
+
+
+class TestCentralServer:
+    def test_list_download(self):
+        dep = build()
+        proc = dep.sim.process(
+            fetch_gateway_list(dep.network, "pda", "central")
+        )
+        entries = dep.sim.run(until=proc)
+        assert [e.address for e in entries] == ["gw-0", "gw-1", "gw-2"]
+        # public keys distributed with the list
+        for entry in entries:
+            assert entry.public_key.n > 0
+
+    def test_register_deregister(self):
+        dep = build()
+        dep.central.deregister_gateway("gw-2")
+        assert dep.central.gateway_addresses() == ["gw-0", "gw-1"]
+        with pytest.raises(ValueError):
+            dep.central.register_gateway("gw-0")
+
+    def test_keys_match_vault(self):
+        dep = build()
+        proc = dep.sim.process(fetch_gateway_list(dep.network, "pda", "central"))
+        entries = dep.sim.run(until=proc)
+        assert entries[0].public_key == dep.vault.public_key("gw-0")
+
+
+class TestSelector:
+    def test_select_downloads_list_on_first_use(self):
+        dep = build()
+        selector = dep.platform("pda").selector
+        assert not selector.has_list
+        proc = dep.sim.process(selector.select())
+        chosen = dep.sim.run(until=proc)
+        assert chosen in ("gw-0", "gw-1", "gw-2")
+        assert selector.has_list
+        assert selector.list_refreshes == 1
+
+    def test_nearest_probes_all_gateways(self):
+        dep = build(policy="nearest")
+        selector = dep.platform("pda").selector
+        proc = dep.sim.process(selector.select())
+        dep.sim.run(until=proc)
+        assert selector.probes_sent == 3
+        for gw in ("gw-0", "gw-1", "gw-2"):
+            assert selector.last_rtt(gw) is not None
+
+    def test_nearest_picks_lowest_rtt(self):
+        from dataclasses import replace
+
+        dep = build(policy="nearest")
+        net = dep.network
+        # gw-1 gets a much faster uplink
+        for src, dst in (("gw-1", "backbone"), ("backbone", "gw-1")):
+            link = net.link(src, dst)
+            link.spec = replace(link.spec, latency=0.0001, jitter=0.0)
+        for i in (0, 2):
+            for src, dst in ((f"gw-{i}", "backbone"), ("backbone", f"gw-{i}")):
+                link = net.link(src, dst)
+                link.spec = replace(link.spec, latency=0.5, jitter=0.0)
+        selector = dep.platform("pda").selector
+        proc = dep.sim.process(selector.select())
+        assert dep.sim.run(until=proc) == "gw-1"
+
+    def test_probe_cache_reused(self):
+        dep = build(policy="nearest")
+        selector = dep.platform("pda").selector
+        for _ in range(3):
+            proc = dep.sim.process(selector.select())
+            dep.sim.run(until=proc)
+        assert selector.probes_sent == 3  # probed once, cached after
+
+    def test_cache_expires_after_ttl(self):
+        dep = build(policy="nearest", rtt_cache_ttl=10.0)
+        selector = dep.platform("pda").selector
+        proc = dep.sim.process(selector.select())
+        dep.sim.run(until=proc)
+        dep.sim.run(until=dep.sim.now + 60.0)
+        proc = dep.sim.process(selector.select())
+        dep.sim.run(until=proc)
+        assert selector.probes_sent == 6
+
+    def test_threshold_triggers_list_refresh(self):
+        from dataclasses import replace
+
+        dep = build(policy="nearest", rtt_threshold=0.05)
+        net = dep.network
+        # every gateway farther than the threshold
+        for i in range(3):
+            for src, dst in ((f"gw-{i}", "backbone"), ("backbone", f"gw-{i}")):
+                link = net.link(src, dst)
+                link.spec = replace(link.spec, latency=1.0, jitter=0.0)
+        selector = dep.platform("pda").selector
+        proc = dep.sim.process(selector.select())
+        chosen = dep.sim.run(until=proc)
+        # refreshed once at bootstrap + once on threshold breach
+        assert selector.list_refreshes == 2
+        assert chosen in ("gw-0", "gw-1", "gw-2")
+
+    def test_first_policy(self):
+        dep = build(policy="first")
+        selector = dep.platform("pda").selector
+        proc = dep.sim.process(selector.select())
+        assert dep.sim.run(until=proc) == "gw-0"
+        assert selector.probes_sent == 0
+
+    def test_round_robin_policy(self):
+        dep = build(policy="round_robin")
+        selector = dep.platform("pda").selector
+        chosen = []
+        for _ in range(4):
+            proc = dep.sim.process(selector.select())
+            chosen.append(dep.sim.run(until=proc))
+        assert chosen == ["gw-0", "gw-1", "gw-2", "gw-0"]
+
+    def test_random_policy_deterministic_per_seed(self):
+        def run_once():
+            dep = build(policy="random", seed=33)
+            selector = dep.platform("pda").selector
+            proc = dep.sim.process(selector.select())
+            return dep.sim.run(until=proc)
+
+        assert run_once() == run_once()
+
+    def test_empty_list_raises(self):
+        dep = build(n_gateways=1)
+        dep.central.deregister_gateway("gw-0")
+        selector = dep.platform("pda").selector
+        proc = dep.sim.process(selector.select())
+        with pytest.raises(NoGatewayAvailableError):
+            dep.sim.run(until=proc)
+
+    def test_install_list_learns_keys(self):
+        dep = build()
+        platform = dep.platform("pda")
+        proc = dep.sim.process(platform.selector.refresh_list())
+        dep.sim.run(until=proc)
+        assert platform.keyring.knows("gw-0")
+        assert platform.keyring.knows("gw-2")

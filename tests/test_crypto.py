@@ -1,0 +1,255 @@
+"""Tests for the security substrate: MD5 vs hashlib, RSA, envelope, keys."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import (
+    MD5,
+    CryptoError,
+    IntegrityError,
+    KeyRing,
+    KeyVault,
+    PublicKey,
+    decrypt_int,
+    derive_dispatch_key,
+    encrypt_int,
+    generate_keypair,
+    is_probable_prime,
+    keystream,
+    md5,
+    md5_hex,
+    open_envelope,
+    seal,
+    validate_dispatch_key,
+)
+
+
+# Shared deterministic keypair (keygen is the slow part).
+KEYPAIR = generate_keypair(512, seed=1234)
+
+
+def _rng_bytes():
+    import random
+
+    rng = random.Random(99)
+    return lambda n: bytes(rng.randrange(256) for _ in range(n))
+
+
+class TestMD5:
+    RFC_VECTORS = {
+        b"": "d41d8cd98f00b204e9800998ecf8427e",
+        b"a": "0cc175b9c0f1b6a831c399e269772661",
+        b"abc": "900150983cd24fb0d6963f7d28e17f72",
+        b"message digest": "f96b697d7cb7938d525a2f31aaf161d0",
+        b"abcdefghijklmnopqrstuvwxyz": "c3fcd3d76192e4007dfb496cca67e13b",
+    }
+
+    def test_rfc1321_vectors(self):
+        for data, expected in self.RFC_VECTORS.items():
+            assert md5_hex(data) == expected
+
+    def test_block_boundaries(self):
+        for n in (55, 56, 57, 63, 64, 65, 127, 128, 129):
+            data = b"x" * n
+            assert md5(data) == hashlib.md5(data).digest()
+
+    def test_incremental_equals_oneshot(self):
+        h = MD5()
+        h.update(b"hello ")
+        h.update(b"world")
+        assert h.digest() == md5(b"hello world")
+
+    def test_digest_does_not_finalise(self):
+        h = MD5(b"abc")
+        first = h.digest()
+        assert h.digest() == first
+        h.update(b"def")
+        assert h.digest() == md5(b"abcdef")
+
+    def test_copy_is_independent(self):
+        h = MD5(b"abc")
+        clone = h.copy()
+        h.update(b"x")
+        assert clone.digest() == md5(b"abc")
+
+    def test_update_type_check(self):
+        with pytest.raises(TypeError):
+            MD5().update("text")
+
+    @given(st.binary(max_size=2000))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_hashlib(self, data):
+        assert md5(data) == hashlib.md5(data).digest()
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 97, 101, 65537):
+            assert is_probable_prime(p)
+
+    def test_small_composites(self):
+        for c in (0, 1, 4, 9, 91, 561, 65536):
+            assert not is_probable_prime(c)
+
+    def test_carmichael_numbers_rejected(self):
+        # strong pseudoprime traps for weak tests
+        for c in (561, 1105, 1729, 2465, 6601):
+            assert not is_probable_prime(c)
+
+    def test_large_known_prime(self):
+        assert is_probable_prime(2**127 - 1)  # Mersenne
+
+    def test_large_known_composite(self):
+        assert not is_probable_prime(2**128 - 1)
+
+
+class TestRSA:
+    def test_key_structure(self):
+        kp = KEYPAIR
+        assert kp.n == kp.p * kp.q
+        assert kp.public.n == kp.n
+        assert kp.n.bit_length() == 512
+
+    def test_deterministic_generation(self):
+        assert generate_keypair(256, seed=5) == generate_keypair(256, seed=5)
+
+    def test_different_seeds_differ(self):
+        assert generate_keypair(256, seed=5) != generate_keypair(256, seed=6)
+
+    def test_encrypt_decrypt_roundtrip(self):
+        m = 123456789
+        assert decrypt_int(encrypt_int(m, KEYPAIR.public), KEYPAIR) == m
+
+    def test_plaintext_out_of_range(self):
+        with pytest.raises(CryptoError):
+            encrypt_int(KEYPAIR.n, KEYPAIR.public)
+        with pytest.raises(CryptoError):
+            encrypt_int(-1, KEYPAIR.public)
+
+    def test_small_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            generate_keypair(32)
+
+    def test_fingerprint_stable(self):
+        assert KEYPAIR.public.fingerprint() == KEYPAIR.public.fingerprint()
+        other = generate_keypair(256, seed=8)
+        assert KEYPAIR.public.fingerprint() != other.public.fingerprint()
+
+
+class TestEnvelope:
+    def test_roundtrip(self):
+        rng = _rng_bytes()
+        pt = b"<pi>the user's transactions</pi>" * 20
+        assert open_envelope(seal(pt, KEYPAIR.public, rng), KEYPAIR) == pt
+
+    def test_empty_plaintext(self):
+        rng = _rng_bytes()
+        assert open_envelope(seal(b"", KEYPAIR.public, rng), KEYPAIR) == b""
+
+    def test_tampered_ciphertext_fails_integrity(self):
+        rng = _rng_bytes()
+        frame = bytearray(seal(b"data" * 50, KEYPAIR.public, rng))
+        frame[-1] ^= 0x01
+        with pytest.raises(IntegrityError):
+            open_envelope(bytes(frame), KEYPAIR)
+
+    def test_tampered_header_fails(self):
+        rng = _rng_bytes()
+        frame = bytearray(seal(b"data" * 50, KEYPAIR.public, rng))
+        frame[10] ^= 0x01
+        with pytest.raises((IntegrityError, CryptoError)):
+            open_envelope(bytes(frame), KEYPAIR)
+
+    def test_truncated_frame_rejected(self):
+        rng = _rng_bytes()
+        frame = seal(b"data", KEYPAIR.public, rng)
+        with pytest.raises(CryptoError):
+            open_envelope(frame[:10], KEYPAIR)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(CryptoError):
+            open_envelope(b"NOPE" + b"\x00" * 100, KEYPAIR)
+
+    def test_wrong_key_fails(self):
+        rng = _rng_bytes()
+        other = generate_keypair(512, seed=777)
+        frame = seal(b"secret" * 30, KEYPAIR.public, rng)
+        with pytest.raises(CryptoError):
+            open_envelope(frame, other)
+
+    def test_keystream_deterministic(self):
+        assert keystream(b"k" * 16, 100) == keystream(b"k" * 16, 100)
+        assert keystream(b"k" * 16, 100) != keystream(b"j" * 16, 100)
+
+    def test_distinct_seals_differ(self):
+        rng = _rng_bytes()
+        a = seal(b"same", KEYPAIR.public, rng)
+        b = seal(b"same", KEYPAIR.public, rng)
+        assert a != b  # fresh session key each time
+
+    @given(st.binary(max_size=1500))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, pt):
+        rng = _rng_bytes()
+        assert open_envelope(seal(pt, KEYPAIR.public, rng), KEYPAIR) == pt
+
+
+class TestKeyRegistries:
+    def test_keyring_add_get(self):
+        ring = KeyRing()
+        ring.add("gw-0", KEYPAIR.public)
+        assert ring.get("gw-0") == KEYPAIR.public
+        assert ring.knows("gw-0")
+        assert not ring.knows("gw-1")
+
+    def test_keyring_conflict_raises(self):
+        ring = KeyRing()
+        ring.add("gw-0", KEYPAIR.public)
+        other = generate_keypair(256, seed=3).public
+        with pytest.raises(CryptoError):
+            ring.add("gw-0", other)
+
+    def test_keyring_idempotent_add(self):
+        ring = KeyRing()
+        ring.add("gw-0", KEYPAIR.public)
+        ring.add("gw-0", KEYPAIR.public)
+        assert len(ring) == 1
+
+    def test_keyring_unknown_raises(self):
+        with pytest.raises(CryptoError):
+            KeyRing().get("missing")
+
+    def test_vault_stable_per_address(self):
+        vault = KeyVault(bits=256, seed=1)
+        assert vault.keypair("gw-0") is vault.keypair("gw-0")
+        assert vault.public_key("gw-0") != vault.public_key("gw-1")
+
+    def test_vault_reproducible_across_instances(self):
+        a = KeyVault(bits=256, seed=9).public_key("gw-x")
+        b = KeyVault(bits=256, seed=9).public_key("gw-x")
+        assert a == b
+
+
+class TestDispatchKeys:
+    def test_derive_and_validate(self):
+        key = derive_dispatch_key("mac-1", "pda", "n1")
+        assert validate_dispatch_key(key, "mac-1", "pda", "n1")
+
+    def test_wrong_fields_fail(self):
+        key = derive_dispatch_key("mac-1", "pda", "n1")
+        assert not validate_dispatch_key(key, "mac-2", "pda", "n1")
+        assert not validate_dispatch_key(key, "mac-1", "other", "n1")
+        assert not validate_dispatch_key(key, "mac-1", "pda", "n2")
+
+    def test_empty_fields_raise(self):
+        with pytest.raises(ValueError):
+            derive_dispatch_key("", "pda", "n")
+        assert not validate_dispatch_key("k", "", "pda", "n")
+
+    def test_key_is_hex_md5(self):
+        key = derive_dispatch_key("a", "b", "c")
+        assert len(key) == 32
+        int(key, 16)  # parses as hex

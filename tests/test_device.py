@@ -1,0 +1,92 @@
+"""Tests for the device model and hardware profiles."""
+
+import pytest
+
+from repro.device import (
+    DEVICES,
+    LINKS,
+    Device,
+    device_profile,
+    link_profile,
+)
+from repro.simnet import LinkSpec, Network
+
+
+class TestProfiles:
+    def test_all_link_profiles_valid(self):
+        for name, spec in LINKS.items():
+            assert spec.latency >= 0
+            assert spec.bandwidth > 0
+            assert spec.name == name
+
+    def test_wireless_slower_than_wired(self):
+        assert LINKS["GPRS"].bandwidth < LINKS["WLAN"].bandwidth < LINKS["LAN"].bandwidth
+        assert LINKS["GPRS"].latency > LINKS["LAN"].latency
+
+    def test_device_classes_ordered_by_cpu(self):
+        assert (
+            DEVICES["SERVER"].cpu_factor
+            < DEVICES["DESKTOP"].cpu_factor
+            < DEVICES["PDA"].cpu_factor
+            < DEVICES["PHONE"].cpu_factor
+        )
+
+    def test_lookup_helpers(self):
+        assert link_profile("GPRS") is LINKS["GPRS"]
+        assert device_profile("PDA") is DEVICES["PDA"]
+        with pytest.raises(KeyError):
+            link_profile("5G")
+        with pytest.raises(KeyError):
+            device_profile("QUANTUM")
+
+
+class TestDevice:
+    @pytest.fixture
+    def net(self):
+        return Network(master_seed=0)
+
+    def test_device_attaches_node(self, net):
+        dev = Device(net, "pda", profile="PDA")
+        assert net.has_node("pda")
+        assert dev.node.cpu_factor == DEVICES["PDA"].cpu_factor
+        assert dev.device_id == "pda"
+
+    def test_custom_device_id(self, net):
+        dev = Device(net, "pda", device_id="user-7")
+        assert dev.device_id == "user-7"
+
+    def test_storage_quota_from_profile(self, net):
+        dev = Device(net, "phone", profile="PHONE")
+        assert dev.storage.quota_bytes == DEVICES["PHONE"].storage_bytes
+
+    def test_compute_scales_and_charges_energy(self, net):
+        dev = Device(net, "pda", profile="PDA")
+        dev.compute(0.1)
+        net.sim.run()
+        assert net.sim.now == pytest.approx(0.1 * 25.0)
+        assert dev.energy.cpu_seconds == pytest.approx(2.5)
+
+    def test_settle_energy_folds_network_activity(self, net):
+        from repro.simnet import HttpResponse, HttpServer, request
+
+        dev = Device(net, "pda", profile="PDA")
+        net.add_node("srv")
+        net.add_duplex_link("pda", "srv", LinkSpec(latency=0.01, bandwidth=1e5))
+        srv = HttpServer(net.node("srv"))
+        srv.route("/x", lambda r: HttpResponse(200, body_size=1000))
+
+        def client():
+            yield from request(net, "pda", "srv", "GET", "/x")
+
+        proc = net.sim.process(client())
+        net.sim.run(until=proc)
+        dev.settle_energy()
+        assert dev.energy.tx_bytes > 0
+        assert dev.energy.rx_bytes > 1000
+        assert dev.energy.connection_seconds > 0
+        assert dev.energy.total > 0
+
+    def test_profile_instance_accepted(self, net):
+        prof = device_profile("DESKTOP")
+        dev = Device(net, "desk", profile=prof)
+        assert dev.profile is prof

@@ -1,0 +1,24 @@
+"""Docstring examples must stay runnable (they are the API's first docs)."""
+
+import doctest
+
+import pytest
+
+import repro.compressor
+import repro.mas.itinerary
+import repro.simnet.kernel
+import repro.xmlcodec
+
+MODULES = [
+    repro.xmlcodec,
+    repro.compressor,
+    repro.mas.itinerary,
+    repro.simnet.kernel,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

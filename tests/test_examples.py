@@ -1,0 +1,39 @@
+"""Smoke tests: every shipped example must run cleanly end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "examples")
+
+EXAMPLES = [
+    ("quickstart.py", ["collected result", "Device was online"]),
+    ("ebanking_comparison.py", ["PDAgent", "client-agent-server"]),
+    ("foodsearch_adaptive.py", ["search complete", "food-hub-c"]),
+    ("agent_management.py", ["cloned", "retract -> retracted", "dispose -> disposed"]),
+    ("mcommerce_workflow.py", ["purchased at", "workflow outcome: approved"]),
+    ("commuter_mobility.py", ["nearest gateway is now: gw-west", "gateway-to-gateway fetch"]),
+]
+
+
+@pytest.mark.parametrize("script,expected", EXAMPLES, ids=[e[0] for e in EXAMPLES])
+def test_example_runs(script, expected):
+    path = os.path.join(EXAMPLES_DIR, script)
+    assert os.path.exists(path), f"missing example {script}"
+    proc = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stderr}"
+    for needle in expected:
+        assert needle in proc.stdout, f"{script}: {needle!r} not in output"
+
+
+def test_all_examples_covered():
+    """Every example on disk is in the smoke list (no untested examples)."""
+    on_disk = {f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")}
+    assert on_disk == {e[0] for e in EXAMPLES}

@@ -1,0 +1,102 @@
+"""Tests for the extension experiments (E1–E3) and the failover selector."""
+
+import pytest
+
+from repro.experiments.extensions import (
+    run_bank_sweep,
+    run_energy_comparison,
+    run_wireless_sweep,
+)
+
+
+class TestEnergyComparison:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_energy_comparison(seed=17, n_txns=6)
+
+    def test_two_approaches_measured(self, rows):
+        assert {r.approach for r in rows} == {"pdagent", "client-server"}
+
+    def test_pdagent_moves_fewer_bytes(self, rows):
+        by = {r.approach: r for r in rows}
+        assert by["pdagent"].tx_bytes < by["client-server"].tx_bytes
+        assert by["pdagent"].rx_bytes < by["client-server"].rx_bytes
+
+    def test_pdagent_uses_less_energy(self, rows):
+        by = {r.approach: r for r in rows}
+        assert by["pdagent"].total_energy < by["client-server"].total_energy
+
+    def test_energy_components_positive(self, rows):
+        for row in rows:
+            assert row.tx_bytes > 0
+            assert row.rx_bytes > 0
+            assert row.connection_seconds > 0
+            assert row.total_energy > 0
+
+
+class TestWirelessSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_wireless_sweep(seed=18, n_txns=5)
+
+    def test_both_technologies(self, rows):
+        assert [r.technology for r in rows] == ["GPRS", "WLAN"]
+
+    def test_advantage_everywhere(self, rows):
+        for row in rows:
+            assert row.advantage > 2.0
+
+    def test_faster_link_faster_absolute(self, rows):
+        by = {r.technology: r for r in rows}
+        assert by["WLAN"].pdagent_conn_time < by["GPRS"].pdagent_conn_time
+
+
+class TestBankSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_bank_sweep(seed=19, n_txns=8, bank_counts=(1, 3, 5))
+
+    def test_device_cost_flat(self, rows):
+        conns = [r.connection_time for r in rows]
+        assert max(conns) < min(conns) * 1.2
+
+    def test_travel_grows(self, rows):
+        assert rows[-1].elapsed_total > rows[0].elapsed_total
+
+    def test_completion_stays_small(self, rows):
+        for row in rows:
+            assert row.completion_time < 15.0
+
+
+class TestCasComparison:
+    def test_both_models_flat_and_close(self):
+        from repro.experiments.extensions import run_cas_comparison
+        from repro.experiments.stats import flatness
+
+        rows = run_cas_comparison(seed=20, ns=(1, 6))
+        assert flatness([r.pdagent_conn_time for r in rows]) < 1.3
+        assert flatness([r.cas_conn_time for r in rows]) < 1.5
+        for r in rows:
+            assert abs(r.cas_conn_time - r.pdagent_conn_time) < r.pdagent_conn_time
+
+
+class TestDeviceClassSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        from repro.experiments.extensions import run_device_class_sweep
+
+        return run_device_class_sweep(seed=21, n_txns=5)
+
+    def test_pack_cpu_ordered_by_hardware(self, rows):
+        by = {r.profile: r for r in rows}
+        assert (
+            by["DESKTOP"].pack_cpu_seconds
+            < by["PDA"].pack_cpu_seconds
+            < by["PHONE"].pack_cpu_seconds
+        )
+
+    def test_completion_stays_practical_on_weakest_device(self, rows):
+        by = {r.profile: r for r in rows}
+        # even a MIDP phone finishes within 2x the desktop time: the
+        # wireless link, not the CPU, dominates
+        assert by["PHONE"].completion_time < 2 * by["DESKTOP"].completion_time

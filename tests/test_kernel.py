@@ -1,0 +1,447 @@
+"""Unit tests for the discrete-event kernel (events, processes, conditions)."""
+
+import pytest
+
+from repro.simnet.kernel import Simulator
+from repro.simnet.primitives import (
+    AllOf,
+    AnyOf,
+    Event,
+    InterruptException,
+    Timeout,
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestClock:
+    def test_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_run_until_time_advances_clock(self, sim):
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_run_until_past_raises(self, sim):
+        sim.run(until=5.0)
+        with pytest.raises(ValueError):
+            sim.run(until=1.0)
+
+    def test_timeout_advances_clock_exactly(self, sim):
+        sim.timeout(3.5)
+        sim.run()
+        assert sim.now == 3.5
+
+    def test_peek_empty_queue_is_inf(self, sim):
+        assert sim.peek() == float("inf")
+
+
+class TestEvents:
+    def test_event_initially_pending(self, sim):
+        ev = sim.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_value_before_trigger_raises(self, sim):
+        with pytest.raises(RuntimeError):
+            sim.event().value
+
+    def test_succeed_carries_value(self, sim):
+        ev = sim.event()
+        ev.succeed(42)
+        assert ev.triggered and ev.ok
+        assert ev.value == 42
+
+    def test_double_succeed_raises(self, sim):
+        ev = sim.event()
+        ev.succeed()
+        with pytest.raises(RuntimeError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self, sim):
+        with pytest.raises(TypeError):
+            sim.event().fail("not an exception")
+
+    def test_fail_carries_exception(self, sim):
+        ev = sim.event()
+        exc = ValueError("boom")
+        ev.fail(exc)
+        assert ev.triggered and not ev.ok
+        assert ev.value is exc
+
+    def test_callback_runs_on_processing(self, sim):
+        ev = sim.event()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        ev.succeed("x")
+        assert seen == []  # not yet processed
+        sim.run()
+        assert seen == ["x"]
+
+    def test_callback_after_processed_runs_immediately(self, sim):
+        ev = sim.event()
+        ev.succeed(1)
+        sim.run()
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        assert seen == [1]
+
+    def test_negative_timeout_raises(self, sim):
+        with pytest.raises(ValueError):
+            sim.timeout(-1)
+
+    def test_timeout_value(self, sim):
+        to = sim.timeout(1.0, value="done")
+        sim.run()
+        assert to.value == "done"
+
+
+class TestProcesses:
+    def test_process_return_value(self, sim):
+        def body():
+            yield sim.timeout(2.0)
+            return "finished"
+
+        proc = sim.process(body())
+        result = sim.run(until=proc)
+        assert result == "finished"
+        assert sim.now == 2.0
+
+    def test_process_requires_generator(self, sim):
+        with pytest.raises(TypeError):
+            sim.process(lambda: None)
+
+    def test_process_exception_propagates_to_run(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+            raise RuntimeError("agent crashed")
+
+        proc = sim.process(body())
+        with pytest.raises(RuntimeError, match="agent crashed"):
+            sim.run(until=proc)
+
+    def test_process_waits_on_event(self, sim):
+        ev = sim.event()
+        log = []
+
+        def waiter():
+            value = yield ev
+            log.append((sim.now, value))
+
+        def firer():
+            yield sim.timeout(5.0)
+            ev.succeed("ping")
+
+        sim.process(waiter())
+        sim.process(firer())
+        sim.run()
+        assert log == [(5.0, "ping")]
+
+    def test_failed_event_raises_in_process(self, sim):
+        ev = sim.event()
+
+        def waiter():
+            try:
+                yield ev
+            except ValueError as exc:
+                return f"caught {exc}"
+
+        def firer():
+            yield sim.timeout(1.0)
+            ev.fail(ValueError("nope"))
+
+        proc = sim.process(waiter())
+        sim.process(firer())
+        assert sim.run(until=proc) == "caught nope"
+
+    def test_yielding_non_event_raises(self, sim):
+        def body():
+            yield 42
+
+        proc = sim.process(body())
+        with pytest.raises(TypeError):
+            sim.run(until=proc)
+
+    def test_same_time_events_fifo_order(self, sim):
+        order = []
+
+        def worker(tag):
+            yield sim.timeout(1.0)
+            order.append(tag)
+
+        for tag in ("a", "b", "c"):
+            sim.process(worker(tag))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_nested_yield_from(self, sim):
+        def inner():
+            yield sim.timeout(1.0)
+            return 10
+
+        def outer():
+            x = yield from inner()
+            yield sim.timeout(1.0)
+            return x + 5
+
+        proc = sim.process(outer())
+        assert sim.run(until=proc) == 15
+        assert sim.now == 2.0
+
+    def test_is_alive_lifecycle(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+
+        proc = sim.process(body())
+        assert proc.is_alive
+        sim.run()
+        assert not proc.is_alive
+
+    def test_process_is_event_waitable(self, sim):
+        def child():
+            yield sim.timeout(3.0)
+            return "child-done"
+
+        def parent():
+            result = yield sim.process(child())
+            return result
+
+        proc = sim.process(parent())
+        assert sim.run(until=proc) == "child-done"
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self, sim):
+        def sleeper():
+            try:
+                yield sim.timeout(100.0)
+            except InterruptException as exc:
+                return f"interrupted: {exc.cause}"
+
+        proc = sim.process(sleeper())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            proc.interrupt("wake up")
+
+        sim.process(interrupter())
+        assert sim.run(until=proc) == "interrupted: wake up"
+        assert sim.now == pytest.approx(1.0)
+
+    def test_interrupt_dead_process_raises(self, sim):
+        def body():
+            yield sim.timeout(1.0)
+
+        proc = sim.process(body())
+        sim.run()
+        with pytest.raises(RuntimeError):
+            proc.interrupt()
+
+    def test_uncaught_interrupt_fails_process(self, sim):
+        def sleeper():
+            yield sim.timeout(100.0)
+
+        proc = sim.process(sleeper())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            proc.interrupt("bye")
+
+        sim.process(interrupter())
+        with pytest.raises(InterruptException):
+            sim.run(until=proc)
+
+    def test_original_event_does_not_resume_after_interrupt(self, sim):
+        resumed = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(2.0)
+                resumed.append("timeout")
+            except InterruptException:
+                yield sim.timeout(10.0)
+                resumed.append("post-interrupt")
+
+        proc = sim.process(sleeper())
+
+        def interrupter():
+            yield sim.timeout(1.0)
+            proc.interrupt()
+
+        sim.process(interrupter())
+        sim.run()
+        assert resumed == ["post-interrupt"]
+
+
+class TestConditions:
+    def test_all_of_collects_values(self, sim):
+        t1 = sim.timeout(1.0, value="a")
+        t2 = sim.timeout(2.0, value="b")
+        cond = sim.all_of([t1, t2])
+
+        def waiter():
+            results = yield cond
+            return sorted(results.values())
+
+        proc = sim.process(waiter())
+        assert sim.run(until=proc) == ["a", "b"]
+        assert sim.now == 2.0
+
+    def test_any_of_fires_on_first(self, sim):
+        t1 = sim.timeout(1.0, value="fast")
+        t2 = sim.timeout(50.0, value="slow")
+
+        def waiter():
+            results = yield sim.any_of([t1, t2])
+            return list(results.values())
+
+        proc = sim.process(waiter())
+        assert sim.run(until=proc) == ["fast"]
+        assert sim.now == pytest.approx(1.0)
+
+    def test_all_of_empty_fires_immediately(self, sim):
+        cond = sim.all_of([])
+        sim.run()
+        assert cond.processed and cond.value == {}
+
+    def test_all_of_fails_if_child_fails(self, sim):
+        ev = sim.event()
+        good = sim.timeout(1.0)
+        cond = sim.all_of([good, ev])
+
+        def firer():
+            yield sim.timeout(2.0)
+            ev.fail(RuntimeError("child died"))
+
+        sim.process(firer())
+
+        def waiter():
+            yield cond
+
+        proc = sim.process(waiter())
+        with pytest.raises(RuntimeError, match="child died"):
+            sim.run(until=proc)
+
+    def test_cross_simulator_event_rejected(self, sim):
+        other = Simulator()
+        with pytest.raises(RuntimeError):
+            AllOf(sim, [Event(other)])
+
+
+class TestRunSemantics:
+    def test_run_until_event_returns_value(self, sim):
+        ev = sim.event()
+
+        def firer():
+            yield sim.timeout(3.0)
+            ev.succeed(99)
+
+        sim.process(firer())
+        assert sim.run(until=ev) == 99
+
+    def test_run_until_already_processed_event(self, sim):
+        ev = sim.event()
+        ev.succeed(7)
+        sim.run()
+        assert sim.run(until=ev) == 7
+
+    def test_run_until_never_triggered_raises(self, sim):
+        ev = sim.event()
+        with pytest.raises(RuntimeError):
+            sim.run(until=ev)
+
+    def test_events_processed_counter(self, sim):
+        for _ in range(5):
+            sim.timeout(1.0)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_step_empty_raises(self, sim):
+        with pytest.raises(IndexError):
+            sim.step()
+
+    def test_deterministic_replay(self):
+        def build_and_run():
+            sim = Simulator()
+            log = []
+
+            def worker(tag, delay):
+                yield sim.timeout(delay)
+                log.append((sim.now, tag))
+
+            for i, d in enumerate([3.0, 1.0, 2.0, 1.0]):
+                sim.process(worker(i, d))
+            sim.run()
+            return log
+
+        assert build_and_run() == build_and_run()
+
+
+class TestConditionEdgeCases:
+    def test_any_of_empty_fires_immediately(self, sim):
+        cond = sim.any_of([])
+        sim.run()
+        assert cond.processed and cond.value == {}
+
+    def test_any_of_failure_propagates(self, sim):
+        ev = sim.event()
+        cond = sim.any_of([ev, sim.timeout(10.0)])
+
+        def firer():
+            yield sim.timeout(1.0)
+            ev.fail(ValueError("first child died"))
+
+        sim.process(firer())
+
+        def waiter():
+            yield cond
+
+        proc = sim.process(waiter())
+        with pytest.raises(ValueError, match="first child died"):
+            sim.run(until=proc)
+
+    def test_all_of_with_pre_triggered_children(self, sim):
+        done = sim.event()
+        done.succeed("early")
+        sim.run()
+        cond = sim.all_of([done, sim.timeout(1.0, value="late")])
+
+        def waiter():
+            results = yield cond
+            return sorted(results.values())
+
+        proc = sim.process(waiter())
+        assert sim.run(until=proc) == ["early", "late"]
+
+    def test_condition_results_keyed_by_event(self, sim):
+        t1 = sim.timeout(1.0, value="a")
+        t2 = sim.timeout(2.0, value="b")
+        cond = sim.all_of([t1, t2])
+
+        def waiter():
+            results = yield cond
+            return results
+
+        proc = sim.process(waiter())
+        results = sim.run(until=proc)
+        assert results[t1] == "a" and results[t2] == "b"
+
+    def test_trigger_mirrors_outcome(self, sim):
+        source = sim.event()
+        mirror = sim.event()
+        source.succeed(5)
+        mirror.trigger(source)
+        sim.run()
+        assert mirror.value == 5
+
+    def test_trigger_pending_source_raises(self, sim):
+        source = sim.event()
+        mirror = sim.event()
+        with pytest.raises(RuntimeError):
+            mirror.trigger(source)

@@ -1,0 +1,158 @@
+"""Tests for device mobility (§3 design issue "Mobility"): handover,
+RTT-cache invalidation, and nearest-gateway re-discovery after movement."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.apps.ebanking import (
+    BankServiceAgent,
+    EBankingAgent,
+    ebanking_service_code,
+    make_transactions,
+)
+from repro.core import DeploymentBuilder, PDAgentConfig
+from repro.device import link_profile
+from repro.mas import Stop
+from repro.simnet import LinkSpec, Network
+
+
+class TestNetworkLinkRemoval:
+    def test_remove_link(self):
+        net = Network()
+        net.add_node("a")
+        net.add_node("b")
+        net.add_duplex_link("a", "b", LinkSpec(latency=0.01, bandwidth=1e6))
+        net.remove_duplex_link("a", "b")
+        from repro.simnet import NoRouteError
+
+        with pytest.raises(NoRouteError):
+            net.route("a", "b")
+
+    def test_remove_unknown_raises(self):
+        net = Network()
+        net.add_node("a")
+        net.add_node("b")
+        with pytest.raises(KeyError):
+            net.remove_link("a", "b")
+
+    def test_readd_after_remove(self):
+        net = Network()
+        net.add_node("a")
+        net.add_node("b")
+        spec = LinkSpec(latency=0.01, bandwidth=1e6)
+        net.add_duplex_link("a", "b", spec)
+        net.remove_duplex_link("a", "b")
+        net.add_duplex_link("a", "b", spec)
+        assert net.route("a", "b") == ["a", "b"]
+
+
+def build_two_region_world(seed=51):
+    """Two access points; gw-0 near ap-east, gw-1 near ap-west."""
+    config = PDAgentConfig(rtt_cache_ttl=1e9)  # cache never expires by time
+    builder = DeploymentBuilder(master_seed=seed, config=config)
+    builder.add_central("central")
+    # Gateways sit far from the backbone (slow uplinks), so reaching the
+    # *other* region's gateway always pays a long haul; each region's access
+    # point has a fast direct path to its local gateway only.
+    far = LinkSpec(latency=0.3, bandwidth=1_000_000)
+    builder.add_gateway("gw-0", uplink=far)
+    builder.add_gateway("gw-1", uplink=far)
+    builder.add_site("bank-a", services=[BankServiceAgent(bank_name="a")])
+    builder.register_agent_class(EBankingAgent)
+    builder.publish(ebanking_service_code())
+    net = builder.network
+    net.add_node("ap-east", kind="router")
+    net.add_node("ap-west", kind="router")
+    fast = LinkSpec(latency=0.002, bandwidth=1_000_000)
+    inter = LinkSpec(latency=0.25, bandwidth=1_000_000)
+    # Each AP has a fast local path to its regional gateway; everything that
+    # crosses regions goes over the slow backbone legs.
+    net.add_duplex_link("ap-east", "gw-0", fast)
+    net.add_duplex_link("ap-east", "backbone", inter)
+    net.add_duplex_link("ap-west", "gw-1", fast)
+    net.add_duplex_link("ap-west", "backbone", inter)
+    builder.add_device("pda", wireless="WLAN", attach_to="ap-east")
+    return builder.build()
+
+
+class TestHandover:
+    def test_attachment_tracked(self):
+        dep = build_two_region_world()
+        device = dep.devices["pda"]
+        assert device.attachment == "ap-east"
+        assert device.handovers == 0
+
+    def test_move_updates_topology(self):
+        dep = build_two_region_world()
+        device = dep.devices["pda"]
+        device.move_to("ap-west", link_profile("WLAN"))
+        assert device.attachment == "ap-west"
+        assert device.handovers == 1
+        assert dep.network.route("pda", "gw-1")[:2] == ["pda", "ap-west"]
+
+    def test_move_to_same_ap_is_noop(self):
+        dep = build_two_region_world()
+        device = dep.devices["pda"]
+        device.move_to("ap-east", link_profile("WLAN"))
+        assert device.handovers == 0
+
+    def test_move_without_attachment_raises(self):
+        net = Network()
+        from repro.device import Device
+
+        device = Device(net, "solo")
+        with pytest.raises(RuntimeError):
+            device.move_to("anywhere", link_profile("WLAN"))
+
+    def test_nearest_gateway_changes_after_relocate(self):
+        dep = build_two_region_world()
+        platform = dep.platform("pda")
+
+        def pick():
+            gw = yield from platform.selector.select()
+            return gw
+
+        proc = dep.sim.process(pick())
+        before = dep.sim.run(until=proc)
+        assert before == "gw-0"  # east: gw-0 is near
+
+        platform.relocate("ap-west", link_profile("WLAN"))
+        proc = dep.sim.process(pick())
+        after = dep.sim.run(until=proc)
+        assert after == "gw-1"  # west: gw-1 is near
+
+    def test_stale_cache_without_invalidation_misleads(self):
+        """Shows why relocate() must clear the probe cache."""
+        dep = build_two_region_world()
+        platform = dep.platform("pda")
+        proc = dep.sim.process(platform.selector.select())
+        assert dep.sim.run(until=proc) == "gw-0"
+        # move WITHOUT the platform knowing (raw device call)
+        dep.devices["pda"].move_to("ap-west", link_profile("WLAN"))
+        proc = dep.sim.process(platform.selector.select())
+        assert dep.sim.run(until=proc) == "gw-0"  # stale cache answer
+        platform.selector.invalidate_probes()
+        proc = dep.sim.process(platform.selector.select())
+        assert dep.sim.run(until=proc) == "gw-1"
+
+    def test_full_flow_from_new_location(self):
+        dep = build_two_region_world()
+        platform = dep.platform("pda")
+
+        def flow():
+            yield from platform.subscribe("ebanking")
+            platform.relocate("ap-west", link_profile("WLAN"))
+            handle = yield from platform.deploy(
+                "ebanking",
+                {"transactions": make_transactions(["bank-a"], 2)},
+                stops=[Stop("bank-a")],
+            )
+            yield dep.gateway(handle.gateway).ticket(handle.ticket).completed
+            result = yield from platform.collect(handle)
+            return handle, result
+
+        proc = dep.sim.process(flow())
+        handle, result = dep.sim.run(until=proc)
+        assert handle.gateway == "gw-1"
+        assert len(result.data["transactions"]) == 2

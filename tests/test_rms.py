@@ -1,0 +1,232 @@
+"""Tests for the RMS-substitute record store, including quota invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rms import (
+    CallbackListener,
+    InvalidRecordIDError,
+    RecordStoreError,
+    RecordStoreFullError,
+    RecordStoreNotFoundError,
+    RecordStoreNotOpenError,
+    StorageManager,
+)
+
+
+@pytest.fixture
+def manager():
+    return StorageManager(quota_bytes=4096)
+
+
+class TestStoreLifecycle:
+    def test_open_creates(self, manager):
+        store = manager.open("db")
+        assert store.is_open
+        assert manager.list_stores() == ["db"]
+
+    def test_open_existing_no_create_flag(self, manager):
+        with pytest.raises(RecordStoreNotFoundError):
+            manager.open("missing", create_if_necessary=False)
+
+    def test_invalid_names(self, manager):
+        with pytest.raises(RecordStoreError):
+            manager.open("")
+        with pytest.raises(RecordStoreError):
+            manager.open("x" * 33)  # RMS 32-char limit
+
+    def test_reference_counted_close(self, manager):
+        s1 = manager.open("db")
+        s2 = manager.open("db")
+        assert s1 is s2
+        s1.close()
+        assert s1.is_open  # second handle still open
+        s1.close()
+        assert not s1.is_open
+        with pytest.raises(RecordStoreNotOpenError):
+            s1.add_record(b"x")
+
+    def test_delete_reclaims_quota(self, manager):
+        store = manager.open("db")
+        store.add_record(b"x" * 100)
+        used = manager.used_bytes
+        assert used > 100
+        manager.delete("db")
+        assert manager.used_bytes == 0
+        with pytest.raises(RecordStoreNotFoundError):
+            manager.delete("db")
+
+    def test_operations_on_deleted_store_raise(self, manager):
+        store = manager.open("db")
+        manager.delete("db")
+        with pytest.raises(RecordStoreNotOpenError):
+            store.add_record(b"x")
+
+
+class TestRecords:
+    @pytest.fixture
+    def store(self, manager):
+        return manager.open("db")
+
+    def test_add_get(self, store):
+        rid = store.add_record(b"hello")
+        assert store.get_record(rid) == b"hello"
+
+    def test_ids_monotonic_never_reused(self, store):
+        r1 = store.add_record(b"a")
+        r2 = store.add_record(b"b")
+        store.delete_record(r1)
+        r3 = store.add_record(b"c")
+        assert r1 < r2 < r3  # deleted id not reused
+
+    def test_get_unknown_raises(self, store):
+        with pytest.raises(InvalidRecordIDError):
+            store.get_record(99)
+
+    def test_set_record_replaces(self, store):
+        rid = store.add_record(b"old")
+        store.set_record(rid, b"new-longer-value")
+        assert store.get_record(rid) == b"new-longer-value"
+
+    def test_set_unknown_raises(self, store):
+        with pytest.raises(InvalidRecordIDError):
+            store.set_record(1, b"x")
+
+    def test_delete_unknown_raises(self, store):
+        with pytest.raises(InvalidRecordIDError):
+            store.delete_record(1)
+
+    def test_version_bumps_on_mutation(self, store):
+        v0 = store.version
+        rid = store.add_record(b"a")
+        assert store.version == v0 + 1
+        store.set_record(rid, b"b")
+        assert store.version == v0 + 2
+        store.delete_record(rid)
+        assert store.version == v0 + 3
+
+    def test_non_bytes_rejected(self, store):
+        with pytest.raises(TypeError):
+            store.add_record("text")
+
+    def test_enumerate_in_id_order(self, store):
+        ids = [store.add_record(bytes([i])) for i in range(5)]
+        assert [rid for rid, _ in store.enumerate()] == ids
+
+    def test_enumerate_with_filter(self, store):
+        store.add_record(b"keep-1")
+        store.add_record(b"drop")
+        store.add_record(b"keep-2")
+        kept = [d for _, d in store.enumerate(matches=lambda d: d.startswith(b"keep"))]
+        assert kept == [b"keep-1", b"keep-2"]
+
+    def test_enumerate_with_sort(self, store):
+        store.add_record(b"bb")
+        store.add_record(b"a")
+        store.add_record(b"ccc")
+        by_len = [d for _, d in store.enumerate(key=len)]
+        assert by_len == [b"a", b"bb", b"ccc"]
+        desc = [d for _, d in store.enumerate(key=len, reverse=True)]
+        assert desc == [b"ccc", b"bb", b"a"]
+
+
+class TestQuota:
+    def test_quota_enforced(self):
+        manager = StorageManager(quota_bytes=256)
+        store = manager.open("db")
+        with pytest.raises(RecordStoreFullError):
+            store.add_record(b"x" * 1000)
+
+    def test_quota_counts_overhead(self):
+        manager = StorageManager(quota_bytes=200)
+        store = manager.open("db")
+        # store overhead (64) + a few records with 16B overhead each
+        store.add_record(b"x" * 50)
+        with pytest.raises(RecordStoreFullError):
+            store.add_record(b"x" * 80)
+
+    def test_set_record_growth_checked(self):
+        manager = StorageManager(quota_bytes=256)
+        store = manager.open("db")
+        rid = store.add_record(b"x" * 100)
+        with pytest.raises(RecordStoreFullError):
+            store.set_record(rid, b"x" * 1000)
+
+    def test_shrinking_releases(self):
+        manager = StorageManager(quota_bytes=512)
+        store = manager.open("db")
+        rid = store.add_record(b"x" * 200)
+        used = manager.used_bytes
+        store.set_record(rid, b"x" * 10)
+        assert manager.used_bytes == used - 190
+
+    def test_invalid_quota(self):
+        with pytest.raises(ValueError):
+            StorageManager(quota_bytes=0)
+
+
+class TestListeners:
+    def test_callbacks_fire(self, manager):
+        store = manager.open("db")
+        events = []
+        listener = CallbackListener(
+            on_added=lambda s, r: events.append(("add", r)),
+            on_changed=lambda s, r: events.append(("chg", r)),
+            on_deleted=lambda s, r: events.append(("del", r)),
+        )
+        store.add_listener(listener)
+        rid = store.add_record(b"a")
+        store.set_record(rid, b"b")
+        store.delete_record(rid)
+        assert events == [("add", rid), ("chg", rid), ("del", rid)]
+
+    def test_remove_listener(self, manager):
+        store = manager.open("db")
+        events = []
+        listener = CallbackListener(on_added=lambda s, r: events.append(r))
+        store.add_listener(listener)
+        store.remove_listener(listener)
+        store.add_record(b"a")
+        assert events == []
+
+    def test_duplicate_listener_registered_once(self, manager):
+        store = manager.open("db")
+        events = []
+        listener = CallbackListener(on_added=lambda s, r: events.append(r))
+        store.add_listener(listener)
+        store.add_listener(listener)
+        store.add_record(b"a")
+        assert len(events) == 1
+
+
+class TestQuotaInvariantProperty:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["add", "delete", "set"]),
+                st.binary(max_size=64),
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_accounting_matches_contents(self, ops):
+        """used_bytes always equals the recomputed sum over live records."""
+        manager = StorageManager(quota_bytes=16 * 1024)
+        store = manager.open("db")
+        live: list[int] = []
+        for op, data in ops:
+            try:
+                if op == "add":
+                    live.append(store.add_record(data))
+                elif op == "delete" and live:
+                    store.delete_record(live.pop(0))
+                elif op == "set" and live:
+                    store.set_record(live[0], data)
+            except RecordStoreFullError:
+                pass
+            expected = 64 + store.size_bytes  # store overhead + records
+            assert manager.used_bytes == expected
+            assert manager.used_bytes <= manager.quota_bytes
+        assert store.num_records == len(live)

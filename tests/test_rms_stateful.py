@@ -1,0 +1,118 @@
+"""Stateful property-based testing of the RMS record store.
+
+A hypothesis rule-based state machine drives a :class:`RecordStore` through
+random interleavings of add/set/delete/open/close against a pure-Python
+model, checking after every step that:
+
+* contents match the model exactly,
+* storage accounting equals the recomputed footprint,
+* the quota is never exceeded,
+* record ids are never reused.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.rms import (
+    InvalidRecordIDError,
+    RecordStoreFullError,
+    StorageManager,
+)
+
+QUOTA = 8 * 1024
+STORE_OVERHEAD = 64
+RECORD_OVERHEAD = 16
+
+
+class RecordStoreMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.manager = StorageManager(quota_bytes=QUOTA)
+        self.store = self.manager.open("db")
+        self.model: dict[int, bytes] = {}
+        self.all_ids_ever: set[int] = set()
+
+    records = Bundle("records")
+
+    @rule(target=records, data=st.binary(max_size=200))
+    def add(self, data):
+        try:
+            rid = self.store.add_record(data)
+        except RecordStoreFullError:
+            return -1  # sentinel: not a live record
+        assert rid not in self.all_ids_ever, "record id reused!"
+        self.all_ids_ever.add(rid)
+        self.model[rid] = bytes(data)
+        return rid
+
+    @rule(rid=records, data=st.binary(max_size=200))
+    def set(self, rid, data):
+        if rid in self.model:
+            try:
+                self.store.set_record(rid, data)
+            except RecordStoreFullError:
+                return
+            self.model[rid] = bytes(data)
+        else:
+            try:
+                self.store.set_record(rid, data)
+                assert False, "set on dead record must fail"
+            except InvalidRecordIDError:
+                pass
+
+    @rule(rid=records)
+    def delete(self, rid):
+        if rid in self.model:
+            self.store.delete_record(rid)
+            del self.model[rid]
+        else:
+            try:
+                self.store.delete_record(rid)
+                assert False, "delete on dead record must fail"
+            except InvalidRecordIDError:
+                pass
+
+    @rule(rid=records)
+    def get(self, rid):
+        if rid in self.model:
+            assert self.store.get_record(rid) == self.model[rid]
+        else:
+            try:
+                self.store.get_record(rid)
+                assert False, "get on dead record must fail"
+            except InvalidRecordIDError:
+                pass
+
+    @invariant()
+    def contents_match_model(self):
+        assert self.store.num_records == len(self.model)
+        for rid, data in self.model.items():
+            assert self.store.get_record(rid) == data
+
+    @invariant()
+    def accounting_is_exact(self):
+        expected = STORE_OVERHEAD + sum(
+            len(v) + RECORD_OVERHEAD for v in self.model.values()
+        )
+        assert self.manager.used_bytes == expected
+
+    @invariant()
+    def quota_respected(self):
+        assert self.manager.used_bytes <= QUOTA
+
+    @invariant()
+    def enumeration_in_id_order(self):
+        ids = [rid for rid, _ in self.store.enumerate()]
+        assert ids == sorted(self.model)
+
+
+TestRecordStoreStateful = RecordStoreMachine.TestCase
+TestRecordStoreStateful.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None
+)

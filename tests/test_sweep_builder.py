@@ -1,0 +1,124 @@
+"""Tests for the generic sweep utility and deployment-builder validation."""
+
+import pytest
+
+from repro.core import DeploymentBuilder
+from repro.experiments.sweep import sweep
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return sweep(
+            config_axes={"codec": ["lzss", "null"]},
+            scenario_axes={"wireless": ["GPRS", "WLAN"]},
+            ns=(3,),
+            seed=4,
+        )
+
+    def test_full_grid_size(self, grid):
+        assert len(grid.cells) == 2 * 2 * 1
+
+    def test_axis_names(self, grid):
+        assert grid.axis_names == ["codec", "wireless", "n_txns"]
+
+    def test_cells_carry_swept_values(self, grid):
+        combos = {
+            (c.config_values["codec"], c.scenario_values["wireless"])
+            for c in grid.cells
+        }
+        assert combos == {
+            ("lzss", "GPRS"),
+            ("lzss", "WLAN"),
+            ("null", "GPRS"),
+            ("null", "WLAN"),
+        }
+
+    def test_expected_interaction(self, grid):
+        """Compression matters on GPRS, barely on WLAN (the use case)."""
+
+        def cell(codec, wireless):
+            return next(
+                c
+                for c in grid.cells
+                if c.config_values["codec"] == codec
+                and c.scenario_values["wireless"] == wireless
+            )
+
+        gprs_gain = (
+            cell("null", "GPRS").metrics.upload_time
+            - cell("lzss", "GPRS").metrics.upload_time
+        )
+        wlan_gain = (
+            cell("null", "WLAN").metrics.upload_time
+            - cell("lzss", "WLAN").metrics.upload_time
+        )
+        assert gprs_gain > wlan_gain > -0.01
+
+    def test_best_cell(self, grid):
+        best = grid.best("completion_time")
+        # fastest: compressed on the fast link
+        assert best.scenario_values["wireless"] == "WLAN"
+
+    def test_table_and_csv_render(self, grid):
+        table = grid.table("completion_time")
+        assert "codec" in table and "wireless" in table
+        csv_text = grid.csv("pi_wire_bytes")
+        assert csv_text.splitlines()[0] == "codec,wireless,n_txns,pi_wire_bytes"
+        assert len(csv_text.splitlines()) == 5
+
+    def test_unknown_metric_rejected(self, grid):
+        with pytest.raises(KeyError):
+            grid.cells[0].value("velocity")
+
+    def test_empty_axes_single_cell(self):
+        grid = sweep(ns=(2,), seed=4)
+        assert len(grid.cells) == 1
+        assert grid.cells[0].n_transactions == 2
+
+
+class TestDeploymentBuilderValidation:
+    def test_gateway_before_central_rejected(self):
+        builder = DeploymentBuilder()
+        with pytest.raises(ValueError, match="add_central"):
+            builder.add_gateway("gw-0")
+
+    def test_device_before_central_rejected(self):
+        builder = DeploymentBuilder()
+        with pytest.raises(ValueError, match="add_central"):
+            builder.add_device("pda")
+
+    def test_double_central_rejected(self):
+        builder = DeploymentBuilder()
+        builder.add_central("c1")
+        with pytest.raises(ValueError, match="already has"):
+            builder.add_central("c2")
+
+    def test_build_requires_gateway(self):
+        builder = DeploymentBuilder()
+        builder.add_central("central")
+        with pytest.raises(ValueError, match="gateway"):
+            builder.build()
+
+    def test_build_requires_central(self):
+        with pytest.raises(ValueError, match="central"):
+            DeploymentBuilder().build()
+
+    def test_unregistered_gateway_not_in_list(self):
+        builder = DeploymentBuilder()
+        builder.add_central("central")
+        builder.add_gateway("gw-0")
+        builder.add_gateway("gw-hidden", register=False)
+        dep = builder.build()
+        assert dep.central.gateway_addresses() == ["gw-0"]
+
+    def test_accessors(self):
+        builder = DeploymentBuilder()
+        builder.add_central("central")
+        builder.add_gateway("gw-0")
+        builder.add_device("pda")
+        dep = builder.build()
+        assert dep.gateway("gw-0").address == "gw-0"
+        assert dep.platform("pda").device.address == "pda"
+        assert dep.mas("gw-0").address == "gw-0"
+        assert dep.sim is dep.network.sim
