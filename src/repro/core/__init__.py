@@ -27,6 +27,7 @@ from .netmanager import NetworkManager
 from .packed_info import PackedInfo, PIContent, pack, pi_from_xml, pi_to_xml, unpack
 from .platform import CollectedResult, DispatchHandle, PDAgentPlatform
 from .registry import CentralServer, GatewayEntry, fetch_gateway_list
+from .retry import CircuitBreaker, RetryPolicy
 from .security import DeviceSecurity, GatewaySecurity
 from .selection import GatewaySelector, ProbeResult
 from .ui import DeviceUI
@@ -56,6 +57,8 @@ __all__ = [
     "ProbeResult",
     "AgentDispatcher",
     "NetworkManager",
+    "RetryPolicy",
+    "CircuitBreaker",
     "DeviceSecurity",
     "GatewaySecurity",
     "InternalDatabase",

@@ -64,6 +64,27 @@ class PDAgentConfig:
     #: Maximum polls before giving up.
     max_polls: int = 240
 
+    # --- fault tolerance (device-side retry + gateway watchdog) -------------
+    #: Attempts per device↔gateway exchange before surfacing GatewayError.
+    retry_max_attempts: int = 3
+    #: Backoff before retry k is ``base * factor**(k-1)`` (capped), with
+    #: deterministic ±jitter drawn from the device's named RNG stream.
+    retry_base_delay: float = 0.5
+    retry_backoff_factor: float = 2.0
+    retry_max_delay: float = 8.0
+    #: Jitter fraction in [0, 1): delay *= 1 + jitter * U(-1, 1).
+    retry_jitter: float = 0.1
+    #: Wall-clock budget per logical exchange (all attempts + backoff).
+    retry_deadline_s: float = 60.0
+    #: Circuit breaker: consecutive failures before a gateway is skipped,
+    #: and how long it stays skipped before a half-open retry.
+    breaker_threshold: int = 2
+    breaker_cooldown_s: float = 30.0
+    #: Gateway-side watchdog: a ticket still "dispatched" after this many
+    #: seconds is finalized as "failed" (retriable) instead of hanging.
+    #: <= 0 disables the watchdog.
+    ticket_watchdog_s: float = 120.0
+
     def __post_init__(self) -> None:
         if self.selection_policy not in ("nearest", "first", "random", "round_robin"):
             raise ValueError(f"unknown selection policy {self.selection_policy!r}")
@@ -73,6 +94,20 @@ class PDAgentConfig:
             raise ValueError("rtt_threshold must be positive")
         if self.poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
+        if self.retry_max_attempts < 1:
+            raise ValueError("retry_max_attempts must be >= 1")
+        if self.retry_base_delay < 0 or self.retry_max_delay < 0:
+            raise ValueError("retry delays must be non-negative")
+        if self.retry_backoff_factor < 1.0:
+            raise ValueError("retry_backoff_factor must be >= 1")
+        if not 0.0 <= self.retry_jitter < 1.0:
+            raise ValueError("retry_jitter must be in [0, 1)")
+        if self.retry_deadline_s <= 0:
+            raise ValueError("retry_deadline_s must be positive")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown_s <= 0:
+            raise ValueError("breaker_cooldown_s must be positive")
 
     def with_(self, **changes) -> "PDAgentConfig":
         """A modified copy (convenience for sweeps)."""

@@ -194,10 +194,12 @@ class AgentDispatchHandler:
             raise
         ticket.agent_id = agent_id
         gw.network.tracer.count("gateway_dispatches")
-        # Background: watch for the agent's completion and build the doc.
+        # Background: watch for the agent's completion and build the doc,
+        # with a watchdog so a lost agent cannot wedge the ticket.
         gw.sim.process(
             gw._await_completion(ticket), name=f"gw-await:{ticket.ticket_id}"
         )
+        gw._watch_ticket(ticket)
         return ticket.ticket_id, agent_id
 
 
@@ -285,8 +287,37 @@ class Gateway:
         result = yield self.adapter.wait_completion(ticket.agent_id)
         self._finalize_ticket(ticket, result, "completed")
 
+    def _watch_ticket(self, ticket: Ticket) -> None:
+        """Arm the per-ticket watchdog (no-op when disabled by config)."""
+        if self.config.ticket_watchdog_s > 0:
+            self.sim.process(
+                self._ticket_watchdog(ticket), name=f"gw-watchdog:{ticket.ticket_id}"
+            )
+
+    def _ticket_watchdog(self, ticket: Ticket) -> Generator:
+        """Finalize a ticket still "dispatched" after the deadline as "failed".
+
+        A lost agent (crashed site, wedged MAS) must not leave the device —
+        or a driving test — waiting on ``ticket.completed`` forever.  The
+        failure document is marked retriable so the device knows a fresh
+        deployment is worth attempting.
+        """
+        yield self.sim.timeout(self.config.ticket_watchdog_s)
+        if ticket.status != "dispatched":
+            return
+        error = {
+            "error": "watchdog-timeout",
+            "reason": (
+                f"agent {ticket.agent_id or '<unassigned>'} did not complete "
+                f"within {self.config.ticket_watchdog_s:g}s"
+            ),
+            "retriable": True,
+        }
+        self._finalize_ticket(ticket, error, "failed")
+        self.network.tracer.count("gateway_watchdog_failures")
+
     def _finalize_ticket(self, ticket: Ticket, result: Any, disposition: str) -> None:
-        if ticket.status in ("completed", "retracted", "disposed"):
+        if ticket.status in ("completed", "retracted", "disposed", "failed"):
             return
         doc = self.document_creator.build(ticket, result, disposition)
         payload = compress(write_bytes(doc), self.config.codec)
@@ -458,6 +489,7 @@ class Gateway:
                 self._await_completion(clone_ticket),
                 name=f"gw-await:{clone_ticket.ticket_id}",
             )
+            self._watch_ticket(clone_ticket)
             body = _op_reply(clone_ticket, state="dispatched")
         elif op == "dispose":
             try:

@@ -4,9 +4,15 @@
 require wireless network connections from wireless devices to gateways, such
 as downloading mobile agent code and upload[ing] packed information."
 
-Every method is a process performing exactly one HTTP exchange — the
+Every method is a process performing one logical HTTP exchange — the
 device is online only for the duration of that exchange, which is what the
-connection-time ledger measures.
+connection-time ledger measures.  Transport-level failures (refused or
+unreachable gateway, persistent wireless loss) are retried under the
+platform's :class:`~repro.core.retry.RetryPolicy` with deterministic
+backoff jitter from the device's named RNG stream; application-level
+failures (HTTP error statuses) are not retried.  Either way, exhausted
+exchanges surface uniformly as :class:`~repro.core.errors.GatewayError`
+so callers — notably the deploy failover — can treat the gateway as bad.
 """
 
 from __future__ import annotations
@@ -14,39 +20,58 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator, Optional
 
 from ..simnet.http import HttpError, HttpResponse, request
+from ..simnet.topology import NoRouteError
 from ..simnet.transport import TransportError
 from ..xmlcodec import Element, parse_bytes, write_bytes
 from .errors import GatewayError, ResultNotReadyError
 from .gateway import GATEWAY_PORT
+from .retry import CircuitBreaker, RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..device import Device
 
 __all__ = ["NetworkManager"]
 
+#: Failures worth retrying: the gateway process may be restarting, the
+#: wireless link may be in an outage window.  Application-level rejections
+#: (HttpError) are deterministic and fail immediately.
+_RETRIABLE = (TransportError, NoRouteError)
+
 
 class NetworkManager:
     """Device-side HTTP client for gateway interactions."""
 
-    def __init__(self, device: "Device") -> None:
+    def __init__(
+        self,
+        device: "Device",
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+    ) -> None:
         self.device = device
         self.network = device.network
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.breaker = breaker
+        self._retry_stream = self.network.streams.get(f"retry:{device.device_id}")
         self.uploads = 0
         self.downloads = 0
+        self.retries = 0
+        #: ``(purpose, attempt, backoff_delay)`` per retry, in order — the
+        #: reproducibility contract: same master seed ⇒ identical log.
+        self.retry_log: list[tuple[str, int, float]] = []
 
     # ------------------------------------------------------------ subscription
     def download_code(self, gateway: str, service: str) -> Generator:
         """Process: §3.1 code download; returns the protected code frame."""
         doc = Element("subscribe", {"service": service, "device": self.device.device_id})
         body = write_bytes(doc)
-        resp = yield from self._post(gateway, "/subscribe", body, "subscribe")
+        resp = yield from self._exchange(gateway, "POST", "/subscribe", body, "subscribe")
         self.downloads += 1
         return resp.body
 
     # ------------------------------------------------------------ deployment
     def upload_pi(self, gateway: str, frame: bytes) -> Generator:
         """Process: §3.2 PI upload; returns ``(ticket_id, agent_id)``."""
-        resp = yield from self._post(gateway, "/pi", frame, "upload-pi")
+        resp = yield from self._exchange(gateway, "POST", "/pi", frame, "upload-pi")
         self.uploads += 1
         doc = parse_bytes(resp.body)
         return doc.require_child("ticket").text, doc.require_child("agent").text
@@ -69,19 +94,9 @@ class NetworkManager:
             path = f"/relay/{origin}/{ticket_id}"
         else:
             path = f"/result/{ticket_id}"
-        try:
-            resp = yield from request(
-                self.network,
-                self.device.address,
-                gateway,
-                "GET",
-                path,
-                port=GATEWAY_PORT,
-                purpose="download-result",
-                raise_for_status=False,
-            )
-        except TransportError as exc:
-            raise GatewayError(f"download-result failed: {exc}") from exc
+        resp = yield from self._exchange(
+            gateway, "GET", path, None, "download-result", raise_for_status=False
+        )
         if resp.status == 204:
             raise ResultNotReadyError(ticket_id)
         if not resp.ok:
@@ -94,28 +109,66 @@ class NetworkManager:
         """Process: §3.6 remote agent management; returns the reply element."""
         doc = Element("agentop", {"op": op, "ticket": ticket_id})
         body = write_bytes(doc)
-        resp = yield from self._post(gateway, "/agent", body, f"agent-{op}")
+        resp = yield from self._exchange(gateway, "POST", "/agent", body, f"agent-{op}")
         return parse_bytes(resp.body)
 
     # ------------------------------------------------------------ internals
-    def _post(
-        self, gateway: str, path: str, body: bytes, purpose: str
+    def _exchange(
+        self,
+        gateway: str,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        purpose: str,
+        raise_for_status: bool = True,
     ) -> Generator:
-        try:
-            resp: HttpResponse = yield from request(
-                self.network,
-                self.device.address,
-                gateway,
-                "POST",
-                path,
-                body=body,
-                body_size=len(body),
-                port=GATEWAY_PORT,
-                purpose=purpose,
-            )
-        except (HttpError, TransportError) as exc:
-            # Both application-level rejections and transport failures
-            # (refused/unreachable gateway) surface uniformly, so callers —
-            # notably the deploy failover — can treat the gateway as bad.
-            raise GatewayError(f"{purpose} failed: {exc}") from exc
-        return resp
+        """One logical exchange: attempt, retry with backoff, or GatewayError.
+
+        Retries only transport-class failures (`TransportError`,
+        `NoRouteError`) — the kind a restarted gateway or a healed link
+        cures.  The circuit breaker hears about every outcome.
+        """
+        sim = self.network.sim
+        policy = self.retry_policy
+        deadline = sim.now + policy.deadline_for(purpose)
+        attempt = 1
+        while True:
+            try:
+                resp: HttpResponse = yield from request(
+                    self.network,
+                    self.device.address,
+                    gateway,
+                    method,
+                    path,
+                    body=body,
+                    body_size=len(body) if body is not None else 0,
+                    port=GATEWAY_PORT,
+                    purpose=purpose,
+                    raise_for_status=raise_for_status,
+                )
+            except HttpError as exc:
+                if self.breaker is not None:
+                    self.breaker.record_failure(gateway)
+                raise GatewayError(f"{purpose} failed: {exc}") from exc
+            except _RETRIABLE as exc:
+                if self.breaker is not None:
+                    self.breaker.record_failure(gateway)
+                if attempt >= policy.max_attempts:
+                    raise GatewayError(
+                        f"{purpose} failed after {attempt} attempts: {exc}"
+                    ) from exc
+                delay = policy.backoff_delay(attempt, self._retry_stream)
+                if sim.now + delay > deadline:
+                    raise GatewayError(
+                        f"{purpose} failed: retry deadline exceeded "
+                        f"after {attempt} attempts: {exc}"
+                    ) from exc
+                self.retries += 1
+                self.retry_log.append((purpose, attempt, delay))
+                self.network.tracer.count("device_retries")
+                yield sim.timeout(delay)
+                attempt += 1
+                continue
+            if self.breaker is not None:
+                self.breaker.record_success(gateway)
+            return resp

@@ -32,6 +32,7 @@ from .device_db import DispatchRecord, InternalDatabase, StoredCode
 from .dispatcher import AgentDispatcher
 from .errors import GatewayError, ResultNotReadyError, SubscriptionError
 from .netmanager import NetworkManager
+from .retry import CircuitBreaker, RetryPolicy
 from .security import DeviceSecurity
 from .selection import GatewaySelector
 from .subscription import code_from_xml
@@ -78,13 +79,22 @@ class PDAgentPlatform:
         self.security = DeviceSecurity(self.config, self.keyring, rng.bytes)
         self.db = InternalDatabase(device.storage, self.config.codec)
         self.dispatcher = AgentDispatcher(device, self.db, self.config, self.security)
-        self.netmanager = NetworkManager(device)
+        self.retry_policy = RetryPolicy.from_config(self.config)
+        self.breaker = CircuitBreaker(
+            device.sim,
+            threshold=self.config.breaker_threshold,
+            cooldown=self.config.breaker_cooldown_s,
+        )
+        self.netmanager = NetworkManager(
+            device, retry_policy=self.retry_policy, breaker=self.breaker
+        )
         self.selector = GatewaySelector(
             device.network,
             device.address,
             central_address,
             self.config,
             self.keyring,
+            breaker=self.breaker,
         )
 
     def _resolve_gateway(self, gateway: Optional[str]) -> Generator:

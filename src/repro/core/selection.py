@@ -22,9 +22,11 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Generator, Optional
 
 from ..crypto import KeyRing
+from ..simnet.topology import NoRouteError
 from .config import PDAgentConfig
 from .errors import NoGatewayAvailableError
 from .registry import GatewayEntry, fetch_gateway_list
+from .retry import CircuitBreaker
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..simnet.topology import Network
@@ -56,12 +58,14 @@ class GatewaySelector:
         central_address: str,
         config: PDAgentConfig,
         keyring: KeyRing,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         self.network = network
         self.device_address = device_address
         self.central_address = central_address
         self.config = config
         self.keyring = keyring
+        self.breaker = breaker
         self._entries: list[GatewayEntry] = []
         self._probes: dict[str, ProbeResult] = {}
         self._round_robin_index = 0
@@ -103,9 +107,7 @@ class GatewaySelector:
         # Launch all probes concurrently — the paper sends to *all* gateways.
         processes = [
             sim.process(
-                self.network.ping(
-                    self.device_address, entry.address, self.config.probe_size
-                ),
+                self._safe_ping(entry.address),
                 name=f"probe:{entry.address}",
             )
             for entry in self._entries
@@ -119,6 +121,21 @@ class GatewaySelector:
             probes.append(probe)
         probes.sort(key=lambda p: p.rtt)
         return probes
+
+    def _safe_ping(self, address: str) -> Generator:
+        """Process: one RTT probe; an unreachable gateway measures as +inf.
+
+        A partitioned gateway must not make the whole probe sweep fail —
+        it just sorts last and is never selected.
+        """
+        try:
+            rtt = yield from self.network.ping(
+                self.device_address, address, self.config.probe_size
+            )
+        except NoRouteError:
+            self.network.tracer.count("probes_unreachable")
+            return float("inf")
+        return rtt
 
     def _cached_probes(self) -> list[ProbeResult]:
         """Fresh cached probes, sorted by RTT."""
@@ -138,12 +155,22 @@ class GatewaySelector:
         Ensures an address list is present (downloading one on first use),
         probes when the policy needs RTTs, and refreshes the list when even
         the nearest gateway exceeds the RTT threshold.  ``exclude`` removes
-        gateways that just failed (the deploy failover path).
+        gateways that just failed (the deploy failover path); gateways whose
+        circuit breaker is open are skipped the same way, unless that would
+        leave no candidate at all.
         """
         if not self._entries:
             yield from self.refresh_list()
-        exclude = exclude or set()
-        entries = [e for e in self._entries if e.address not in exclude]
+        exclude = set(exclude or ())
+        skip = set(exclude)
+        if self.breaker is not None:
+            skip |= self.breaker.open_addresses()
+        entries = [e for e in self._entries if e.address not in skip]
+        if not entries and skip != exclude:
+            # Every remaining candidate is breaker-open: trying a suspect
+            # gateway beats refusing outright, so ignore the breaker here.
+            skip = exclude
+            entries = [e for e in self._entries if e.address not in skip]
         if not entries:
             raise NoGatewayAvailableError(
                 f"all {len(self._entries)} gateways excluded/unreachable"
@@ -159,17 +186,19 @@ class GatewaySelector:
             self._round_robin_index += 1
             return entry.address
         # nearest (the paper's policy)
-        probes = [p for p in self._cached_probes() if p.address not in exclude]
+        probes = [p for p in self._cached_probes() if p.address not in skip]
         if len(probes) < len(entries):
             probes = yield from self.probe_all()
-            probes = [p for p in probes if p.address not in exclude]
+            probes = [p for p in probes if p.address not in skip]
         best = probes[0]
-        if best.rtt > self.config.rtt_threshold and not exclude:
+        if best.rtt > self.config.rtt_threshold and not skip:
             # Even the nearest gateway is too far: fetch a fresh list and
             # re-probe once; accept the best we can get after that.
             yield from self.refresh_list()
             probes = yield from self.probe_all()
             best = probes[0]
+        if best.rtt == float("inf"):
+            raise NoGatewayAvailableError("no candidate gateway is reachable")
         return best.address
 
     def last_rtt(self, address: str) -> Optional[float]:

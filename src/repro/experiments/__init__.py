@@ -6,11 +6,21 @@
 * :mod:`~repro.experiments.claims` — code-size (C1) and footprint (C2);
 * :mod:`~repro.experiments.ablations` — selection / codec / security /
   adapter ablations (A1–A4);
+* :mod:`~repro.experiments.faults` — the Fig. 12 workload under an
+  injected fault schedule (completion rate, added connection time);
 * :mod:`~repro.experiments.runner` — the ``pdagent-experiments`` CLI.
 """
 
 from .stats import flatness, growth_ratio, linear_fit, mean_ci
 from .sweep import SweepCell, SweepGrid, sweep
+from .faults import (
+    FaultComparison,
+    FaultRunResult,
+    reference_schedule,
+    run_client_server_under_faults,
+    run_fault_comparison,
+    run_pdagent_under_faults,
+)
 from .scenario import (
     EvaluationScenario,
     PDAgentRunMetrics,
@@ -30,4 +40,10 @@ __all__ = [
     "PDAgentRunMetrics",
     "build_scenario",
     "run_pdagent_batch",
+    "FaultRunResult",
+    "FaultComparison",
+    "reference_schedule",
+    "run_pdagent_under_faults",
+    "run_client_server_under_faults",
+    "run_fault_comparison",
 ]

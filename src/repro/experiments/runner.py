@@ -5,6 +5,7 @@ Usage (installed as ``pdagent-experiments``)::
     pdagent-experiments all          # everything below
     pdagent-experiments fig12        # Figure 12 series
     pdagent-experiments fig13        # Figure 13 trials + variances
+    pdagent-experiments faults       # Fig. 12 workload under a fault schedule
     pdagent-experiments claims       # C1 code sizes, C2 footprint
     pdagent-experiments ablations    # A1-A4
     pdagent-experiments extensions   # E1-E4
@@ -19,7 +20,7 @@ import argparse
 import os
 import sys
 
-from . import ablations, claims, extensions, fig12, fig13
+from . import ablations, claims, extensions, faults, fig12, fig13
 
 __all__ = ["main"]
 
@@ -47,6 +48,7 @@ def _run_fig13(args):
 _EXPERIMENTS = {
     "fig12": _run_fig12,
     "fig13": _run_fig13,
+    "faults": lambda args: faults.main(seed=args.seed),
     "claims": lambda args: claims.main(),
     "ablations": lambda args: ablations.main(),
     "extensions": lambda args: extensions.main(),
@@ -76,7 +78,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.csv:
         os.makedirs(args.csv, exist_ok=True)
     if args.experiment == "all":
-        for name in ("fig12", "fig13", "claims", "ablations", "extensions"):
+        for name in ("fig12", "fig13", "faults", "claims", "ablations", "extensions"):
             print(f"\n### {name} " + "#" * (60 - len(name)))
             _EXPERIMENTS[name](args)
     else:

@@ -174,9 +174,15 @@ class LocalServerAdapter:
         itinerary: Itinerary,
         state: dict[str, Any],
     ) -> Generator:
-        """Process: create + autostart the agent; returns its id."""
+        """Process: create + autostart the agent; returns its id.
+
+        Gateway-dispatched agents travel under a home-side guardian: if a
+        tour site crashes with the agent aboard, the guardian re-dispatches
+        it from its latest checkpoint instead of leaving the user's ticket
+        to the watchdog.
+        """
         agent = self.server.create_agent(
-            class_name, owner=owner, itinerary=itinerary, state=state
+            class_name, owner=owner, itinerary=itinerary, state=state, guardian=True
         )
         yield self.server.sim.timeout(0.0)  # creation is immediate, keep shape
         return agent.agent_id

@@ -70,6 +70,17 @@ class Itinerary:
             raise IndexError("itinerary already exhausted")
         self.cursor += 1
 
+    def rewind(self, n: int = 1) -> None:
+        """Move the cursor back ``n`` stops (bounded at 0).
+
+        Used by checkpoint re-dispatch under the "retry" site-failure
+        policy: the re-landed agent visits the failed stop again instead
+        of skipping its work.
+        """
+        if n < 0:
+            raise ValueError(f"cannot rewind by {n!r}")
+        self.cursor = max(0, self.cursor - n)
+
     def remaining(self) -> list[Stop]:
         return list(self.stops[self.cursor :])
 

@@ -33,7 +33,8 @@ from typing import TYPE_CHECKING, Any, Generator, Optional, Type
 
 from ..simnet.primitives import Event, InterruptException, Process
 from ..simnet.resources import Mailbox
-from ..simnet.transport import ConnectionClosed, connect
+from ..simnet.topology import NoRouteError
+from ..simnet.transport import ConnectionClosed, TransportError, connect
 from .agent import AgentContext, MobileAgent
 from .errors import (
     AgentBusyError,
@@ -42,7 +43,7 @@ from .errors import (
     UnknownAgentError,
     UnknownClassError,
 )
-from .itinerary import Itinerary
+from .itinerary import Itinerary, Stop
 from .messaging import AgentMessage, ServiceAgent
 from .state import AgentState, CompleteSignal, DisposeSignal, MigrationSignal
 
@@ -94,7 +95,31 @@ class AgentClassRegistry:
 
 
 class MobileAgentServer:
-    """Agent runtime bound to one network node."""
+    """Agent runtime bound to one network node.
+
+    Fault-tolerance knobs are class attributes so a deployment can tune
+    them wholesale (``MobileAgentServer.dispatch_timeout = ...``) or per
+    instance; the defaults favour liveness on the paper's slow links.
+    """
+
+    #: Seconds to wait for a transfer ack before declaring the next hop dead.
+    dispatch_timeout: float = 10.0
+    #: Extra attempts per destination after the first dispatch failure.
+    dispatch_retries: int = 1
+    #: Base backoff between dispatch attempts (exponential, jittered from a
+    #: named stream — reproducible under a fixed master seed).
+    dispatch_backoff: float = 0.5
+    #: Unreachable-site handling: "skip" strikes the site from the tour,
+    #: "retry" re-queues it once at the end (it may have healed), "fail"
+    #: raises MigrationError (the pre-fault-tolerance behaviour).
+    site_failure_policy: str = "skip"
+    #: Checkpoint agents at every itinerary stop (home keeps the latest copy).
+    checkpointing: bool = True
+    #: Guardian (home-side supervisor) wake interval and give-up bounds —
+    #: all bounded so the simulation always drains.
+    guardian_interval: float = 15.0
+    guardian_patience: int = 40
+    max_redispatches: int = 3
 
     def __init__(
         self,
@@ -120,6 +145,12 @@ class MobileAgentServer:
         self._running: set[str] = set()
         self._behaviour_procs: dict[str, Process] = {}
         self._deactivated: dict[str, bytes] = {}  # agent_id -> stored form
+        # Fault tolerance: home-side checkpoint store (modelled as durable —
+        # it survives crash()), per-agent progress counters the guardian
+        # watches, and the set of agents mid-dispatch *from* this server.
+        self._checkpoints: dict[str, tuple[bytes, str, float]] = {}
+        self._progress: dict[str, int] = {}
+        self._migrating: set[str] = set()
         self.agent_logs: dict[str, list[tuple[float, str, str]]] = {}
         self._id_counter = itertools.count(1)
         self.node.listen(port, self._accept)
@@ -187,8 +218,14 @@ class MobileAgentServer:
         state: Optional[dict[str, Any]] = None,
         agent_id: Optional[str] = None,
         autostart: bool = True,
+        guardian: bool = False,
     ) -> MobileAgent:
-        """Instantiate an agent at this server (its home) and start it."""
+        """Instantiate an agent at this server (its home) and start it.
+
+        With ``guardian=True`` a home-side supervisor process watches the
+        agent's checkpoint progress and re-dispatches it from the latest
+        checkpoint if it is lost to a site crash mid-tour.
+        """
         cls = (
             self.registry.get(class_name)
             if isinstance(class_name, str)
@@ -204,6 +241,10 @@ class MobileAgentServer:
             state=state,
         )
         self._land(agent, autostart=autostart)
+        if guardian and not agent.itinerary.exhausted:
+            self.sim.process(
+                self._guardian(agent.agent_id), name=f"mas-guardian:{agent.agent_id}"
+            )
         self.network.tracer.count("agents_created")
         return agent
 
@@ -334,28 +375,49 @@ class MobileAgentServer:
 
     # ------------------------------------------------------------ landing/running
     def _land(self, agent: MobileAgent, autostart: bool = True) -> None:
-        """Make ``agent`` resident here and (optionally) run its behaviour."""
+        """Make ``agent`` resident here and (optionally) run its behaviour.
+
+        Landing is the checkpoint boundary: the agent's state *before* this
+        stop's work is snapshotted and carried to its home server — locally
+        when landing at home, piggybacked on the arrival-notification
+        datagram otherwise — so a guardian can re-dispatch from the last
+        completed stop if this site dies under the agent.
+        """
         self._agents[agent.agent_id] = agent
         agent._location_is_home = agent.home == self.address
         if agent.home == self.address:
             self._locations[agent.agent_id] = self.address
+            if self.checkpointing:
+                self._store_checkpoint(
+                    agent.agent_id, self.wire_format.encode(agent), self.address
+                )
         else:
-            # Tell home where we are (cheap fire-and-forget probe).
+            # Tell home where we are (cheap fire-and-forget probe), carrying
+            # the checkpoint when checkpointing is on.
+            payload: dict[str, Any] = {
+                "type": "notify_arrival",
+                "agent_id": agent.agent_id,
+                "location": self.address,
+            }
+            size = 96
+            if self.checkpointing:
+                checkpoint = self.wire_format.encode(agent)
+                payload["checkpoint"] = checkpoint
+                size += len(checkpoint)
             self.network.send_datagram(
-                self.address,
-                agent.home,
-                payload={
-                    "type": "notify_arrival",
-                    "agent_id": agent.agent_id,
-                    "location": self.address,
-                },
-                size=96,
+                self.address, agent.home, payload=payload, size=size
             )
         if autostart:
             proc = self.sim.process(
                 self._run_behaviour(agent), name=f"agent:{agent.agent_id}"
             )
             self._behaviour_procs[agent.agent_id] = proc
+
+    def _store_checkpoint(self, agent_id: str, data: bytes, location: str) -> None:
+        """Home-side: remember the agent's latest wire form and whereabouts."""
+        self._checkpoints[agent_id] = (data, location, self.sim.now)
+        self._progress[agent_id] = self._progress.get(agent_id, 0) + 1
+        self.network.tracer.count("agent_checkpoints")
 
     def _run_behaviour(self, agent: MobileAgent) -> Generator:
         agent.lifecycle = AgentState.ACTIVE
@@ -365,7 +427,12 @@ class MobileAgentServer:
             yield from agent.on_arrival(ctx)
         except MigrationSignal as signal:
             self._running.discard(agent.agent_id)
-            yield from self._transfer(agent, signal.destination)
+            try:
+                yield from self._transfer(agent, signal.destination)
+            except InterruptException:
+                # Killed mid-migration (host crash): the in-flight copy is
+                # gone; recovery, if any, is the home guardian's job.
+                self.network.tracer.count("agents_killed_in_flight")
             return
         except CompleteSignal as signal:
             self._record_completion(agent, signal.result)
@@ -374,7 +441,11 @@ class MobileAgentServer:
             self._remove(agent, AgentState.DISPOSED)
             self.network.tracer.count("agents_disposed")
             return
-        except InterruptException:
+        except InterruptException as exc:
+            if exc.cause == "node-crash":
+                # Host died under the agent: crash() has already disposed of
+                # it; there is nothing to park.
+                return
             # Management preemption (retract/dispose request): abort the
             # current execution; the agent stays resident and idle so the
             # pending management operation can take it.
@@ -394,7 +465,14 @@ class MobileAgentServer:
 
     # ------------------------------------------------------------ migration (ATP)
     def _transfer(self, agent: MobileAgent, destination: str) -> Generator:
-        """Process: serialise and move ``agent`` to ``destination``."""
+        """Process: serialise and move ``agent`` to ``destination``.
+
+        Migration is the fault-critical step of a tour: the next hop may
+        have crashed or been cut off since the itinerary was written.  Each
+        destination gets ``1 + dispatch_retries`` attempts, each bounded by
+        ``dispatch_timeout``; a destination that stays dead is then handled
+        per :attr:`site_failure_policy`.
+        """
         agent.lifecycle = AgentState.MIGRATING
         self._agents.pop(agent.agent_id, None)
         if destination == self.address:
@@ -402,28 +480,282 @@ class MobileAgentServer:
             agent.lifecycle = AgentState.CREATED
             self._land(agent)
             return
+        self._migrating.add(agent.agent_id)
+        try:
+            yield from self._transfer_with_recovery(agent, destination)
+        finally:
+            self._migrating.discard(agent.agent_id)
+
+    def _transfer_with_recovery(self, agent: MobileAgent, destination: str) -> Generator:
+        stream = self.network.streams.get(f"mas-dispatch:{self.address}")
+        dest = destination
+        while True:
+            last_exc: Optional[Exception] = None
+            for attempt in range(1 + max(0, self.dispatch_retries)):
+                if attempt:
+                    delay = self.dispatch_backoff * (2 ** (attempt - 1))
+                    delay *= 1.0 + 0.1 * stream.uniform(-1.0, 1.0)
+                    yield self.sim.timeout(delay)
+                try:
+                    yield from self._attempt_transfer(agent, dest)
+                    return
+                except (TransportError, NoRouteError, MigrationError) as exc:
+                    last_exc = exc
+                    self.network.tracer.count("migration_failures")
+            if self.site_failure_policy == "fail":
+                raise MigrationError(
+                    f"transfer of {agent.agent_id} to {dest} failed: {last_exc}"
+                ) from last_exc
+            next_dest = self._strike_site(agent, dest)
+            if next_dest is None:
+                return
+            dest = next_dest
+
+    def _attempt_transfer(self, agent: MobileAgent, destination: str) -> Generator:
+        """One dispatch attempt, bounded by :attr:`dispatch_timeout`."""
         data = self.wire_format.encode(agent)
         wire_size = len(data) + self.wire_format.per_hop_overhead
         yield self.node.compute(self.wire_format.encode_cost_s)
-        sock = yield from connect(
-            self.network,
-            self.address,
-            destination,
-            self.port,
-            purpose=f"atp-transfer:{agent.agent_id}",
+        exchange = self.sim.process(
+            self._transfer_exchange(agent.agent_id, destination, data, wire_size),
+            name=f"atp-dispatch:{agent.agent_id}",
         )
+        yield self.sim.any_of([exchange, self.sim.timeout(self.dispatch_timeout)])
+        if exchange.is_alive:
+            # No ack within the dispatch window: treat the next hop as dead.
+            try:
+                exchange.interrupt("dispatch-timeout")
+            except RuntimeError:  # settled in this very tick
+                pass
+            raise MigrationError(
+                f"dispatch of {agent.agent_id} to {destination} timed out "
+                f"after {self.dispatch_timeout:g}s"
+            )
+        ack = exchange.value
+        if not (isinstance(ack, dict) and ack.get("status") == "ok"):
+            raise MigrationError(
+                f"{destination} refused agent {agent.agent_id}: {ack!r}"
+            )
+        self.network.tracer.count("agent_hops")
+
+    def _transfer_exchange(
+        self, agent_id: str, destination: str, data: bytes, wire_size: int
+    ) -> Generator:
+        """Process: the raw ATP exchange; returns the peer's ack payload.
+
+        An interrupt (dispatch timeout) makes it return quietly — the
+        caller has already decided the attempt failed.
+        """
+        try:
+            sock = yield from connect(
+                self.network,
+                self.address,
+                destination,
+                self.port,
+                purpose=f"atp-transfer:{agent_id}",
+            )
+        except InterruptException:
+            return {"status": "timeout"}
         try:
             yield from sock.send({"type": "transfer", "data": data}, wire_size)
             ack = yield from sock.recv()
         except ConnectionClosed as exc:
             raise MigrationError(f"transfer to {destination} aborted: {exc}") from exc
+        except InterruptException:
+            return {"status": "timeout"}
         finally:
             sock.close()
-        if not (isinstance(ack.payload, dict) and ack.payload.get("status") == "ok"):
-            raise MigrationError(
-                f"{destination} refused agent {agent.agent_id}: {ack.payload!r}"
+        return ack.payload
+
+    def _strike_site(self, agent: MobileAgent, failed: str) -> Optional[str]:
+        """Unreachable-site bookkeeping; returns the next destination.
+
+        Records the failure in the agent's state, optionally re-queues the
+        site at the end of the tour ("retry" policy, once per site), and
+        falls forward along the itinerary.  Returns ``None`` when there is
+        nowhere left to go — the agent re-lands here, idle, so management
+        operations (retract, guardian recovery) can still reach it.
+        """
+        agent.state.setdefault("failed_sites", []).append(failed)
+        self.network.tracer.count("sites_skipped")
+        if self.site_failure_policy == "retry" and failed != agent.itinerary.origin:
+            requeued = agent.state.setdefault("requeued_sites", [])
+            if failed not in requeued:
+                requeued.append(failed)
+                stop = next(
+                    (
+                        s
+                        for s in reversed(agent.itinerary.visited())
+                        if s.address == failed
+                    ),
+                    Stop(failed),
+                )
+                agent.itinerary.append(stop)
+        while True:
+            nxt = agent.itinerary.next_stop()
+            if nxt is None:
+                candidate = agent.itinerary.origin
+                break
+            agent.itinerary.advance()
+            if nxt.address != failed:
+                candidate = nxt.address
+                break
+            # Consecutive stops at the very site that just died: skip them.
+        if candidate == self.address or candidate == failed:
+            agent.lifecycle = AgentState.IDLE
+            self._land(agent, autostart=False)
+            self.network.tracer.count("agents_stranded")
+            return None
+        return candidate
+
+    # ------------------------------------------------------------ guardian
+    def _guardian(self, agent_id: str) -> Generator:
+        """Process: home-side supervisor for one travelling agent.
+
+        Wakes every :attr:`guardian_interval` seconds and compares the
+        agent's checkpoint progress counter against the last wake.  No
+        progress *and* an unreachable last-known location means the agent
+        died with its host: the latest checkpoint is re-landed here and the
+        tour resumes.  Both the number of wakes (:attr:`guardian_patience`)
+        and the number of rescues (:attr:`max_redispatches`) are bounded,
+        so the supervisor can never keep the simulation alive forever.
+        """
+        last_progress = -1
+        redispatches = 0
+        completion = self.completion_event(agent_id)
+        for _ in range(self.guardian_patience):
+            if completion.triggered:
+                return
+            yield self.sim.any_of(
+                [completion, self.sim.timeout(self.guardian_interval)]
             )
-        self.network.tracer.count("agent_hops")
+            if completion.triggered:
+                return
+            if agent_id in self._deactivated:
+                return  # persisted on purpose; not the guardian's business
+            progress = self._progress.get(agent_id, 0)
+            if progress != last_progress:
+                last_progress = progress
+                continue
+            # No new checkpoint since the last wake.  A resident agent that
+            # is merely slow (still ACTIVE or queued) is left alone, as is
+            # one we are mid-dispatching ourselves.
+            resident = self._agents.get(agent_id)
+            if resident is not None:
+                if (
+                    resident.lifecycle is AgentState.ACTIVE
+                    or agent_id in self._running
+                ):
+                    continue
+                return  # parked here (idle/stranded/terminal): nothing to rescue
+            if agent_id in self._migrating:
+                continue
+            entry = self._checkpoints.get(agent_id)
+            if entry is None:
+                continue  # nothing to restore from (checkpointing off?)
+            _, location, _ = entry
+            if location and location != self.address:
+                alive = yield from self._site_alive(location)
+                if alive:
+                    continue  # slow site, live agent: do not duplicate it
+            if redispatches >= self.max_redispatches:
+                self.network.tracer.count("guardian_gave_up")
+                return
+            redispatches += 1
+            self._redispatch_from_checkpoint(agent_id, failed_site=location)
+        self.network.tracer.count("guardian_expired")
+
+    def _site_alive(self, address: str) -> Generator:
+        """Process: liveness probe — does ``address`` answer an ATP status?"""
+        probe = self.sim.process(
+            self._probe_site(address), name=f"mas-probe:{address}"
+        )
+        yield self.sim.any_of([probe, self.sim.timeout(self.dispatch_timeout)])
+        if probe.is_alive:
+            try:
+                probe.interrupt("probe-timeout")
+            except RuntimeError:
+                pass
+            return False
+        return bool(probe.value)
+
+    def _probe_site(self, address: str) -> Generator:
+        """Process: one status round-trip; returns True iff the peer answered."""
+        try:
+            reply = yield from self._send_control(
+                address, {"type": "status", "agent_id": ""}, size=64
+            )
+        except (TransportError, NoRouteError, InterruptException):
+            return False
+        return isinstance(reply, dict)
+
+    def _redispatch_from_checkpoint(self, agent_id: str, failed_site: str) -> None:
+        """Re-land the latest checkpoint of ``agent_id`` here and resume it.
+
+        The checkpoint was taken at the moment the agent *landed* at the
+        failed stop, i.e. with the cursor already past it — resuming from it
+        naturally skips the dead site.  Under the "retry" policy the cursor
+        is rewound one stop so the healed site is visited again.
+        """
+        data, _, _ = self._checkpoints[agent_id]
+        snapshot = self.wire_format.decode(data)
+        cls = self.registry.get(snapshot.class_name)
+        itinerary = snapshot.itinerary
+        if (
+            self.site_failure_policy == "retry"
+            and failed_site != self.address
+            and itinerary.cursor > 0
+        ):
+            itinerary.rewind()
+        state = snapshot.state
+        state["redispatches"] = int(state.get("redispatches", 0)) + 1
+        state.setdefault("failed_sites", []).append(failed_site)
+        agent = cls(
+            agent_id=snapshot.agent_id,
+            owner=snapshot.owner,
+            home=snapshot.home,
+            itinerary=itinerary,
+            state=state,
+        )
+        agent.hops = snapshot.hops
+        self._locations[agent_id] = self.address
+        self.network.tracer.count("agents_redispatched")
+        self._land(agent)
+
+    # ------------------------------------------------------------ crash/restart
+    def crash(self) -> None:
+        """Simulate this site dying: kill resident agents, stop listening.
+
+        Volatile state (resident agents, their mailboxes, running
+        behaviours) is lost.  Durable state — results, home-side location
+        tracking, checkpoints, completion events, deactivated agents —
+        survives, mirroring a process that kept its database across a
+        reboot.  Idempotent; :meth:`restart` undoes it.
+        """
+        if self.node.crashed:
+            return
+        for agent_id, proc in list(self._behaviour_procs.items()):
+            if proc.is_alive and proc.target is not None:
+                try:
+                    proc.interrupt("node-crash")
+                except RuntimeError:
+                    pass
+        for agent_id, agent in list(self._agents.items()):
+            agent.lifecycle = AgentState.DISPOSED
+            self.network.tracer.count("agents_killed")
+        self._agents.clear()
+        self._mailboxes.clear()
+        self._running.clear()
+        self._behaviour_procs.clear()
+        self.node.suspend_listeners()
+        self.network.tracer.count("mas_crashes")
+
+    def restart(self) -> None:
+        """Bring a crashed site back: listeners resume, durable state intact."""
+        if not self.node.crashed:
+            return
+        self.node.resume_listeners()
+        self.network.tracer.count("mas_restarts")
 
     def _accept(self, conn) -> None:
         self.sim.process(
@@ -694,6 +1026,11 @@ class MobileAgentServer:
             # the freshest report.
             if agent_id not in self._agents:
                 self._locations[agent_id] = payload.get("location", "")
+            checkpoint = payload.get("checkpoint")
+            if isinstance(checkpoint, (bytes, bytearray)):
+                self._store_checkpoint(
+                    agent_id, bytes(checkpoint), payload.get("location", "")
+                )
 
     def query_status(self, agent_id: str, home: Optional[str] = None) -> Generator:
         """Process: lifecycle state of ``agent_id`` asking ``home`` if remote."""

@@ -14,6 +14,14 @@ wired Internet + Tomcat gateway host) with a deterministic simulator:
   trials.
 """
 
+from .faults import (
+    FaultEvent,
+    FaultSchedule,
+    LinkDegrade,
+    LinkDown,
+    NodeCrash,
+    Partition,
+)
 from .kernel import Simulator
 from .link import Link, LinkSpec
 from .node import Node
@@ -29,7 +37,7 @@ from .primitives import (
 from .resources import Mailbox, Resource, Store
 from .rng import Stream, StreamFactory
 from .topology import Datagram, Network, NoRouteError
-from .trace import ConnectionRecord, Tracer
+from .trace import ConnectionRecord, FaultRecord, Tracer
 from .transport import (
     Connection,
     ConnectionClosed,
@@ -70,6 +78,13 @@ __all__ = [
     "NoRouteError",
     "Tracer",
     "ConnectionRecord",
+    "FaultRecord",
+    "FaultEvent",
+    "FaultSchedule",
+    "LinkDown",
+    "LinkDegrade",
+    "NodeCrash",
+    "Partition",
     "Connection",
     "Socket",
     "Message",

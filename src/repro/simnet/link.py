@@ -40,8 +40,11 @@ class LinkSpec:
         ``"exponential"`` (default; heavy right tail like congested wireless
         links), ``"normal"`` (symmetric, truncated at 0) or ``"none"``.
     loss:
-        Per-transfer loss probability in [0, 1].  Lost transfers are
-        retransmitted by the transport after ``rto`` seconds.
+        Per-transfer loss probability in [0, 1).  Lost transfers are
+        retransmitted by the transport after ``rto`` seconds, so a link
+        with ``loss=1.0`` would retransmit forever; exactly 1.0 is
+        therefore rejected — model a dead link with
+        :attr:`Link.up` / ``Network.set_link_state`` instead.
     setup_time:
         Extra delay paid once per connection establishment (dial-up /
         RRC-style channel acquisition on wireless links).

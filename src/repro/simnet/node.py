@@ -49,6 +49,8 @@ class Node:
         self.cpu_factor = cpu_factor
         self.network: Optional["Network"] = None
         self._listeners: dict[int, AcceptCallback] = {}
+        self._suspended_listeners: dict[int, AcceptCallback] = {}
+        self.crashed = False
         self._datagrams: Optional[Mailbox] = None
         self.metadata: dict[str, Any] = {}
 
@@ -83,6 +85,33 @@ class Node:
 
     def listener(self, port: int) -> Optional[AcceptCallback]:
         return self._listeners.get(port)
+
+    # -- crash / restart ------------------------------------------------------
+    def suspend_listeners(self) -> None:
+        """Simulated host crash: drop every listener until :meth:`resume_listeners`.
+
+        Incoming connections are refused while suspended (exactly like a
+        machine whose server processes died); the listener table is stashed so
+        a restart restores the same services.  Idempotent.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self._suspended_listeners = dict(self._listeners)
+        self._listeners.clear()
+
+    def resume_listeners(self) -> None:
+        """Restart after :meth:`suspend_listeners`: restore stashed listeners.
+
+        Ports (re)bound while the node was down keep their current listener.
+        Idempotent.
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        for port, accept in self._suspended_listeners.items():
+            self._listeners.setdefault(port, accept)
+        self._suspended_listeners = {}
 
     # -- compute -------------------------------------------------------------
     def compute(self, seconds: float):

@@ -131,6 +131,23 @@ class Network:
         except KeyError:
             raise KeyError(f"no link {src}->{dst}") from None
 
+    def has_link(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._links
+
+    def update_link_spec(self, src: str, dst: str, spec: LinkSpec) -> LinkSpec:
+        """Swap a link's spec in place (degradation faults); returns the old spec.
+
+        The link keeps its RNG stream and cumulative accounting; routing
+        weights are refreshed since the base latency may have changed.
+        """
+        link = self.link(src, dst)
+        old = link.spec
+        link.spec = spec
+        if self._graph.has_edge(src, dst):
+            self._graph[src][dst]["weight"] = spec.latency
+        self._routes.clear()
+        return old
+
     @property
     def links(self) -> Iterable[Link]:
         return self._links.values()
@@ -197,15 +214,17 @@ class Network:
         retries = 0
         bottleneck = min(l.spec.bandwidth for l in links)
         for link in links:
+            link_retries = 0
             while link.spec.sample_loss(link.stream):
-                retries += 1
+                link_retries += 1
                 delay += link.spec.rto
-                if retries > 64:  # pathological spec; avoid unbounded loop
+                if retries + link_retries > 64:  # pathological spec; avoid unbounded loop
                     raise RuntimeError(
                         f"link {link.key} lost 64 consecutive transfers"
                     )
+            retries += link_retries
             delay += link.spec.sample_latency(link.stream)
-            link.record_transfer(size, 0)
+            link.record_transfer(size, link_retries)
         delay += size / bottleneck
         return delay, retries
 

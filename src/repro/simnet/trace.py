@@ -16,7 +16,17 @@ from typing import TYPE_CHECKING, Optional
 if TYPE_CHECKING:  # pragma: no cover
     from .kernel import Simulator
 
-__all__ = ["ConnectionRecord", "Tracer"]
+__all__ = ["ConnectionRecord", "FaultRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault (or its recovery), as logged by the fault driver."""
+
+    at: float
+    kind: str  # e.g. "link-down", "link-up", "node-crash", "node-restart"
+    target: str  # human-readable subject: "pda<->tower-1", "gw-0", ...
+    detail: str = ""
 
 
 @dataclass
@@ -59,6 +69,7 @@ class Tracer:
         self.counters: dict[str, int] = defaultdict(int)
         self._series: dict[str, _Series] = defaultdict(_Series)
         self.connections: list[ConnectionRecord] = []
+        self.faults: list[FaultRecord] = []
         self._next_conn_id = 0
 
     # -- counters / series -----------------------------------------------------
@@ -78,6 +89,14 @@ class Tracer:
         if series is None:
             return [], []
         return list(series.times), list(series.values)
+
+    # -- fault ledger ----------------------------------------------------------
+    def log_fault(self, kind: str, target: str, detail: str = "") -> FaultRecord:
+        """Record an injected fault event at the current simulated time."""
+        record = FaultRecord(at=self.sim.now, kind=kind, target=target, detail=detail)
+        self.faults.append(record)
+        self.count(f"fault:{kind}")
+        return record
 
     # -- connection ledger -----------------------------------------------------
     def open_connection(self, initiator: str, peer: str, purpose: str = "") -> ConnectionRecord:
@@ -134,3 +153,4 @@ class Tracer:
         self.counters.clear()
         self._series.clear()
         self.connections.clear()
+        self.faults.clear()

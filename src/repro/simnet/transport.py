@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from .resources import Store
+from .topology import NoRouteError
 from .trace import ConnectionRecord
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -148,15 +149,23 @@ class Connection:
         sim = self.network.sim
         wire_size = size + HEADER_BYTES
         src, dst = sender.local, sender.remote
-        delay, retries = self.network.sample_path_delay(src, dst, wire_size)
-        attempt = 0
-        while retries > self.max_retries:
-            # The path sampler models until-success; respect the bound by
-            # treating an excess as a transport failure.
-            attempt += 1
-            if attempt > 2:
-                raise TransportError(f"persistent loss on {src}->{dst}")
+        try:
             delay, retries = self.network.sample_path_delay(src, dst, wire_size)
+            attempt = 0
+            while retries > self.max_retries:
+                # The path sampler models until-success; respect the bound by
+                # treating an excess as a transport failure.
+                attempt += 1
+                if attempt > 2:
+                    raise TransportError(f"persistent loss on {src}->{dst}")
+                delay, retries = self.network.sample_path_delay(src, dst, wire_size)
+        except NoRouteError as exc:
+            # The route died under an established connection (link cut,
+            # partition): model a TCP reset — both endpoints see the
+            # connection closed, so a peer blocked in recv() wakes up
+            # instead of hanging forever.
+            self.close(closer=src)
+            raise ConnectionClosed(f"route lost during transfer: {exc}") from exc
         yield sim.timeout(delay)
         if not self._open:
             raise ConnectionClosed("connection closed during transfer")
@@ -207,9 +216,16 @@ def connect(
     # record opens before the handshake, matching the paper's notion of
     # connection time.
     record = network.tracer.open_connection(src, dst, purpose=purpose)
-    # SYN / SYN-ACK handshake latency (no payload).
-    fwd, _ = network.sample_path_delay(src, dst, 0)
-    back, _ = network.sample_path_delay(dst, src, 0)
+    try:
+        # SYN / SYN-ACK handshake latency (no payload).
+        fwd, _ = network.sample_path_delay(src, dst, 0)
+        back, _ = network.sample_path_delay(dst, src, 0)
+    except NoRouteError:
+        # Route vanished between path computation and the handshake (the
+        # fault schedule can cut a link at any instant): stamp the ledger
+        # record so it does not accrue open time forever.
+        network.tracer.close_connection(record)
+        raise
     yield sim.timeout(setup + fwd + back)
     if listener is None:
         network.tracer.close_connection(record)

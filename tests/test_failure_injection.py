@@ -17,7 +17,6 @@ from repro.apps.ebanking import (
 from repro.core import DeploymentBuilder, PDAgentConfig
 from repro.core.errors import GatewayError, NoGatewayAvailableError
 from repro.mas import Stop
-from repro.simnet import NoRouteError
 
 
 def build_dep(n_gateways=2, seed=77):
@@ -105,7 +104,10 @@ class TestGatewayCrash:
 
 
 class TestLinkOutage:
-    def test_bank_unreachable_breaks_agent_tour(self):
+    def test_bank_unreachable_agent_skips_site_and_completes(self):
+        """An unreachable tour site is struck from the itinerary (the
+        default "skip" policy) and the remaining stops still complete —
+        the ticket no longer hangs in "dispatched" forever."""
         dep = build_dep(n_gateways=1)
         platform = prepare(dep)
         # cut bank-b off entirely before dispatch
@@ -121,11 +123,14 @@ class TestLinkOutage:
                 gateway="gw-0",
             ),
         )
-        # the agent's hop to bank-b fails: the tour cannot complete
-        dep.sim.run(until=dep.sim.now + 120.0)
         ticket = dep.gateway("gw-0").ticket(handle.ticket)
-        assert ticket.status == "dispatched"  # never completed
-        assert not ticket.completed.triggered
+        dep.sim.run(until=ticket.completed)
+        assert ticket.status == "completed"
+        assert dep.network.tracer.counters.get("sites_skipped", 0) >= 1
+        result = drive(dep, platform.collect(handle))
+        # only bank-a's transactions executed; bank-b was skipped
+        banks = {t["bank"] for t in result.data["transactions"]}
+        assert banks == {"bank-a"}
 
     def test_outage_heals_and_later_deploy_succeeds(self):
         dep = build_dep(n_gateways=1)
@@ -140,11 +145,14 @@ class TestLinkOutage:
         assert result.status == "completed"
 
     def test_device_link_down_upload_fails(self):
+        """Transport failures surface as GatewayError (after the retry
+        budget), the uniform device-side failure type — not as a raw
+        NoRouteError leaking from the topology layer."""
         dep = build_dep(n_gateways=1)
         platform = prepare(dep)
         dep.network.set_link_state("pda", "backbone", up=False)
         txns = make_transactions(["bank-a"], 1)
-        with pytest.raises(NoRouteError):
+        with pytest.raises(GatewayError):
             drive(
                 dep,
                 platform.deploy(
@@ -154,6 +162,8 @@ class TestLinkOutage:
                     gateway="gw-0",
                 ),
             )
+        # every attempt of the retry budget was spent
+        assert platform.netmanager.retries == platform.retry_policy.max_attempts - 1
 
 
 class TestResourceExhaustion:
