@@ -1,0 +1,85 @@
+"""Telemetry micro-benchmarks — the observability layer must stay cheap.
+
+Spans and histogram observations sit on every hot path (each message, each
+agent hop, each HTTP exchange), so their unit cost bounds how much tracing
+slows a simulation down.  Also measured: full-scenario export cost and the
+span overhead of an instrumented e-banking batch.
+"""
+
+import io
+
+from repro.experiments.scenario import build_scenario, run_pdagent_batch
+from repro.simnet import Simulator
+from repro.telemetry import Histogram, MetricsRegistry, Telemetry, TraceCollector
+
+
+def test_span_lifecycle_throughput(benchmark):
+    """Open + close 10k nested spans on a bare telemetry sink."""
+
+    def run():
+        sim = Simulator()
+        tele = Telemetry(sim)
+        root = tele.start_span("root")
+        for _ in range(10_000):
+            tele.start_span("hop", parent=root.context).end()
+        root.end()
+        return len(tele.spans)
+
+    assert benchmark(run) == 10_001
+
+
+def test_histogram_observe_throughput(benchmark):
+    """100k observations into one fixed-bucket histogram."""
+
+    def run():
+        hist = Histogram("bench")
+        for i in range(100_000):
+            hist.observe((i % 997) * 1e-3)
+        return hist.count
+
+    assert benchmark(run) == 100_000
+
+
+def test_counter_throughput(benchmark):
+    """100k counter increments through the registry lookup path."""
+
+    def run():
+        registry = MetricsRegistry()
+        for _ in range(100_000):
+            registry.counter("events").inc()
+        return registry.counter("events").value
+
+    assert benchmark(run) == 100_000
+
+
+def test_traced_batch_overhead(benchmark, emit):
+    """End-to-end e-banking batch with full instrumentation live."""
+
+    def run():
+        scenario = build_scenario(seed=11)
+        run_pdagent_batch(scenario, 4)
+        return scenario.network
+
+    network = benchmark.pedantic(run, rounds=2, iterations=1)
+    emit(
+        f"telemetry volume: {len(network.telemetry.spans)} spans, "
+        f"{len(network.tracer.connections)} connections, "
+        f"{len(network.telemetry.metrics.snapshot())} metric families"
+    )
+    assert network.telemetry.spans
+
+
+def test_export_jsonl_and_chrome(benchmark):
+    """Collector finalize + both serialisations of a finished batch."""
+    scenario = build_scenario(seed=11)
+    run_pdagent_batch(scenario, 4)
+
+    def run():
+        collector = TraceCollector()
+        collector.add_run("bench", scenario.network)
+        n_lines = collector.write_jsonl(io.StringIO())
+        n_events = collector.write_chrome(io.StringIO())
+        return n_lines, n_events
+
+    n_lines, n_events = benchmark(run)
+    assert n_lines > 0 and n_events > 0

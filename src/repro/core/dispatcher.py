@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from ..crypto import derive_dispatch_key
 from ..mas.itinerary import Itinerary, Stop
+from ..telemetry.spans import SpanContext
 from .config import PDAgentConfig
 from .device_db import InternalDatabase, StoredCode
 from .errors import DeploymentError
@@ -54,6 +55,7 @@ class AgentDispatcher:
         params: dict[str, Any],
         stops: Optional[list[Stop]] = None,
         origin: str = "",
+        trace: Optional[SpanContext] = None,
     ) -> PIContent:
         """Assemble the logical PI (validates params against the schema)."""
         schema = stored.code.param_schema
@@ -79,14 +81,29 @@ class AgentDispatcher:
             params=dict(params),
             itinerary=itinerary,
             code_body=stored.code.payload(),
+            trace_id=trace.trace_id if trace is not None else "",
+            trace_parent=trace.span_id if trace is not None else "",
         )
 
-    def pack_for(self, content: PIContent, gateway: str) -> Generator:
+    def pack_for(
+        self,
+        content: PIContent,
+        gateway: str,
+        trace: Optional[SpanContext] = None,
+    ) -> Generator:
         """Process: run the packing pipeline, charging device CPU time.
 
         Returns the :class:`~repro.core.packed_info.PackedInfo`.
         """
+        span = self.device.network.telemetry.start_span(
+            "device.pack", node=self.device.address, parent=trace
+        )
         packed: PackedInfo = pack(content, self.config, self.security, gateway)
         yield self.device.compute(self.config.pack_cost(packed.xml_size))
         self.device.network.tracer.record("pi_wire_size", packed.wire_size)
+        span.end(
+            xml_bytes=packed.xml_size,
+            compressed_bytes=packed.compressed_size,
+            wire_bytes=packed.wire_size,
+        )
         return packed

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Generator, Optional
+from typing import TYPE_CHECKING, Any, Generator, Optional, Union
 
 from ..compressor import compress
 from ..crypto import CryptoError, IntegrityError, KeyVault, validate_dispatch_key
@@ -31,6 +31,7 @@ from ..mas.adapters import MASAdapter
 from ..mas.itinerary import Itinerary
 from ..simnet.http import HttpRequest, HttpResponse, HttpServer
 from ..simnet.primitives import Event
+from ..telemetry.spans import Span, SpanContext
 from ..xmlcodec import Element, XmlError, parse_bytes, write_bytes
 from ..mas.serializer import value_to_xml
 from .config import PDAgentConfig
@@ -69,6 +70,9 @@ class Ticket:
     result_frame: Optional[bytes] = None
     completed: Optional[Event] = None
     children: list[str] = field(default_factory=list)  # clone tickets
+    #: Telemetry span covering the ticket's pending lifetime (dispatch →
+    #: finalize); ``None`` for tickets created outside a traced dispatch.
+    span: Optional[Span] = None
 
 
 class XmlWriter:
@@ -120,7 +124,9 @@ class AgentCreator:
             )
         self._seen_nonces.add(nonce_key)
 
-    def create(self, content: PIContent, home: str) -> Generator:
+    def create(
+        self, content: PIContent, home: str, trace: Optional[SpanContext] = None
+    ) -> Generator:
         """Process: instantiate + dispatch the agent; returns agent id."""
         if not self._adapter.supports(content.agent_class):
             raise DeploymentError(
@@ -132,6 +138,7 @@ class AgentCreator:
             owner=content.device_id,
             itinerary=itinerary,
             state={"params": content.params, "results": []},
+            trace=trace,
         )
         return agent_id
 
@@ -175,32 +182,75 @@ class AgentDispatchHandler:
     def __init__(self, gateway: "Gateway") -> None:
         self.gateway = gateway
 
-    def handle(self, frame: bytes) -> Generator:
-        """Process: full PI intake; returns ``(ticket_id, agent_id)``."""
+    def handle(self, frame: bytes, trace: Optional[SpanContext] = None) -> Generator:
+        """Process: full PI intake; returns ``(ticket_id, agent_id)``.
+
+        ``trace`` is the device's exchange context (from the HTTP headers);
+        when absent, the trace carried inside the PI document links the
+        dispatch back to the device anyway.
+        """
         gw = self.gateway
-        # Unpack cost scales with the received frame.
-        yield gw.node.compute(gw.config.unpack_cost(len(frame)))
-        content = gw.xml_writer.extract(frame)
-        gw.agent_creator.authorize(content)
-        ticket = gw._new_ticket(content)
-        gw.file_directory.allocate(
-            ticket.ticket_id, len(content.code_body) + 2048
+        tele = gw.network.telemetry
+        unpack_span = tele.start_span(
+            "gateway.unpack",
+            node=gw.address,
+            parent=trace,
+            attrs={"frame_bytes": len(frame)},
+        )
+        content: Optional[PIContent] = None
+        try:
+            # Unpack cost scales with the received frame.
+            yield gw.node.compute(gw.config.unpack_cost(len(frame)))
+            content = gw.xml_writer.extract(frame)
+        finally:
+            unpack_span.end(status="ok" if content is not None else "error")
+        if trace is None and content.trace_id:
+            # No headers (legacy client) — join the trace the PI carries.
+            parent: Union[Span, SpanContext] = SpanContext(
+                content.trace_id, content.trace_parent
+            )
+        else:
+            parent = unpack_span.context
+        dispatch_span = tele.start_span(
+            "gateway.dispatch",
+            node=gw.address,
+            parent=parent,
+            attrs={"service": content.service, "device": content.device_id},
         )
         try:
-            agent_id = yield from gw.agent_creator.create(content, gw.address)
-        except Exception:
-            gw.file_directory.release(ticket.ticket_id)
-            ticket.status = "failed"
-            raise
-        ticket.agent_id = agent_id
-        gw.network.tracer.count("gateway_dispatches")
-        # Background: watch for the agent's completion and build the doc,
-        # with a watchdog so a lost agent cannot wedge the ticket.
-        gw.sim.process(
-            gw._await_completion(ticket), name=f"gw-await:{ticket.ticket_id}"
-        )
-        gw._watch_ticket(ticket)
-        return ticket.ticket_id, agent_id
+            gw.agent_creator.authorize(content)
+            ticket = gw._new_ticket(content)
+            ticket.span = tele.start_span(
+                "gateway.ticket",
+                node=gw.address,
+                parent=dispatch_span,
+                attrs={"ticket": ticket.ticket_id},
+            )
+            gw.file_directory.allocate(
+                ticket.ticket_id, len(content.code_body) + 2048
+            )
+            try:
+                agent_id = yield from gw.agent_creator.create(
+                    content, gw.address, trace=dispatch_span.context
+                )
+            except Exception:
+                gw.file_directory.release(ticket.ticket_id)
+                ticket.status = "failed"
+                ticket.span.end(status="error")
+                raise
+            ticket.agent_id = agent_id
+            gw.network.tracer.count("gateway_dispatches")
+            # Background: watch for the agent's completion and build the doc,
+            # with a watchdog so a lost agent cannot wedge the ticket.
+            gw.sim.process(
+                gw._await_completion(ticket), name=f"gw-await:{ticket.ticket_id}"
+            )
+            gw._watch_ticket(ticket)
+            dispatch_span.end(agent=agent_id)
+            return ticket.ticket_id, agent_id
+        finally:
+            if dispatch_span.open:
+                dispatch_span.end(status="error")
 
 
 class Gateway:
@@ -327,6 +377,8 @@ class Gateway:
         if ticket.completed is not None and not ticket.completed.triggered:
             ticket.completed.succeed(disposition)
         self.network.tracer.count(f"gateway_results:{disposition}")
+        if ticket.span is not None:
+            ticket.span.end(status=disposition)
 
     # ------------------------------------------------------------ HTTP handlers
     def _handle_subscribe(self, req: HttpRequest) -> HttpResponse:
@@ -351,7 +403,7 @@ class Gateway:
             yield  # pragma: no cover - unreachable; keeps handler a generator
         try:
             ticket_id, agent_id = yield from self.dispatch_handler.handle(
-                bytes(req.body)
+                bytes(req.body), trace=SpanContext.from_headers(req.headers)
             )
         except AuthorizationError as exc:
             return HttpResponse(403, reason=str(exc))
@@ -498,6 +550,8 @@ class Gateway:
                 return HttpResponse(409, reason=f"dispose failed: {exc}")
             ticket.status = "disposed"
             self.file_directory.release(ticket.ticket_id)
+            if ticket.span is not None:
+                ticket.span.end(status="disposed")
             body = _op_reply(ticket, state="disposed")
         else:
             return HttpResponse(400, reason=f"unknown op {op!r}")

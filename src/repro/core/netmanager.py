@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Generator, Optional
 from ..simnet.http import HttpError, HttpResponse, request
 from ..simnet.topology import NoRouteError
 from ..simnet.transport import TransportError
+from ..telemetry.spans import SpanContext
 from ..xmlcodec import Element, parse_bytes, write_bytes
 from .errors import GatewayError, ResultNotReadyError
 from .gateway import GATEWAY_PORT
@@ -60,25 +61,37 @@ class NetworkManager:
         self.retry_log: list[tuple[str, int, float]] = []
 
     # ------------------------------------------------------------ subscription
-    def download_code(self, gateway: str, service: str) -> Generator:
+    def download_code(
+        self, gateway: str, service: str, trace: Optional[SpanContext] = None
+    ) -> Generator:
         """Process: §3.1 code download; returns the protected code frame."""
         doc = Element("subscribe", {"service": service, "device": self.device.device_id})
         body = write_bytes(doc)
-        resp = yield from self._exchange(gateway, "POST", "/subscribe", body, "subscribe")
+        resp = yield from self._exchange(
+            gateway, "POST", "/subscribe", body, "subscribe", trace=trace
+        )
         self.downloads += 1
         return resp.body
 
     # ------------------------------------------------------------ deployment
-    def upload_pi(self, gateway: str, frame: bytes) -> Generator:
+    def upload_pi(
+        self, gateway: str, frame: bytes, trace: Optional[SpanContext] = None
+    ) -> Generator:
         """Process: §3.2 PI upload; returns ``(ticket_id, agent_id)``."""
-        resp = yield from self._exchange(gateway, "POST", "/pi", frame, "upload-pi")
+        resp = yield from self._exchange(
+            gateway, "POST", "/pi", frame, "upload-pi", trace=trace
+        )
         self.uploads += 1
         doc = parse_bytes(resp.body)
         return doc.require_child("ticket").text, doc.require_child("agent").text
 
     # ------------------------------------------------------------ results
     def download_result(
-        self, gateway: str, ticket_id: str, origin: Optional[str] = None
+        self,
+        gateway: str,
+        ticket_id: str,
+        origin: Optional[str] = None,
+        trace: Optional[SpanContext] = None,
     ) -> Generator:
         """Process: §3.3 result download; returns the protected result frame.
 
@@ -95,7 +108,8 @@ class NetworkManager:
         else:
             path = f"/result/{ticket_id}"
         resp = yield from self._exchange(
-            gateway, "GET", path, None, "download-result", raise_for_status=False
+            gateway, "GET", path, None, "download-result",
+            raise_for_status=False, trace=trace,
         )
         if resp.status == 204:
             raise ResultNotReadyError(ticket_id)
@@ -105,11 +119,15 @@ class NetworkManager:
         return resp.body
 
     # ------------------------------------------------------------ agent ops
-    def agent_op(self, gateway: str, ticket_id: str, op: str) -> Generator:
+    def agent_op(
+        self, gateway: str, ticket_id: str, op: str, trace: Optional[SpanContext] = None
+    ) -> Generator:
         """Process: §3.6 remote agent management; returns the reply element."""
         doc = Element("agentop", {"op": op, "ticket": ticket_id})
         body = write_bytes(doc)
-        resp = yield from self._exchange(gateway, "POST", "/agent", body, f"agent-{op}")
+        resp = yield from self._exchange(
+            gateway, "POST", "/agent", body, f"agent-{op}", trace=trace
+        )
         return parse_bytes(resp.body)
 
     # ------------------------------------------------------------ internals
@@ -121,54 +139,72 @@ class NetworkManager:
         body: Optional[bytes],
         purpose: str,
         raise_for_status: bool = True,
+        trace: Optional[SpanContext] = None,
     ) -> Generator:
         """One logical exchange: attempt, retry with backoff, or GatewayError.
 
         Retries only transport-class failures (`TransportError`,
         `NoRouteError`) — the kind a restarted gateway or a healed link
         cures.  The circuit breaker hears about every outcome.
+
+        The exchange runs under a ``net.<purpose>`` span; its context rides
+        the request headers, so the gateway parents its own spans on it.
         """
         sim = self.network.sim
         policy = self.retry_policy
         deadline = sim.now + policy.deadline_for(purpose)
         attempt = 1
-        while True:
-            try:
-                resp: HttpResponse = yield from request(
-                    self.network,
-                    self.device.address,
-                    gateway,
-                    method,
-                    path,
-                    body=body,
-                    body_size=len(body) if body is not None else 0,
-                    port=GATEWAY_PORT,
-                    purpose=purpose,
-                    raise_for_status=raise_for_status,
-                )
-            except HttpError as exc:
+        span = self.network.telemetry.start_span(
+            f"net.{purpose}",
+            node=self.device.address,
+            parent=trace,
+            attrs={"gateway": gateway, "method": method, "path": path},
+        )
+        try:
+            while True:
+                try:
+                    resp: HttpResponse = yield from request(
+                        self.network,
+                        self.device.address,
+                        gateway,
+                        method,
+                        path,
+                        body=body,
+                        body_size=len(body) if body is not None else 0,
+                        port=GATEWAY_PORT,
+                        purpose=purpose,
+                        raise_for_status=raise_for_status,
+                        headers=span.context.to_headers(),
+                    )
+                except HttpError as exc:
+                    if self.breaker is not None:
+                        self.breaker.record_failure(gateway)
+                    raise GatewayError(f"{purpose} failed: {exc}") from exc
+                except _RETRIABLE as exc:
+                    if self.breaker is not None:
+                        self.breaker.record_failure(gateway)
+                    if attempt >= policy.max_attempts:
+                        raise GatewayError(
+                            f"{purpose} failed after {attempt} attempts: {exc}"
+                        ) from exc
+                    delay = policy.backoff_delay(attempt, self._retry_stream)
+                    if sim.now + delay > deadline:
+                        raise GatewayError(
+                            f"{purpose} failed: retry deadline exceeded "
+                            f"after {attempt} attempts: {exc}"
+                        ) from exc
+                    self.retries += 1
+                    self.retry_log.append((purpose, attempt, delay))
+                    self.network.tracer.count("device_retries")
+                    yield sim.timeout(delay)
+                    attempt += 1
+                    continue
                 if self.breaker is not None:
-                    self.breaker.record_failure(gateway)
-                raise GatewayError(f"{purpose} failed: {exc}") from exc
-            except _RETRIABLE as exc:
-                if self.breaker is not None:
-                    self.breaker.record_failure(gateway)
-                if attempt >= policy.max_attempts:
-                    raise GatewayError(
-                        f"{purpose} failed after {attempt} attempts: {exc}"
-                    ) from exc
-                delay = policy.backoff_delay(attempt, self._retry_stream)
-                if sim.now + delay > deadline:
-                    raise GatewayError(
-                        f"{purpose} failed: retry deadline exceeded "
-                        f"after {attempt} attempts: {exc}"
-                    ) from exc
-                self.retries += 1
-                self.retry_log.append((purpose, attempt, delay))
-                self.network.tracer.count("device_retries")
-                yield sim.timeout(delay)
-                attempt += 1
-                continue
-            if self.breaker is not None:
-                self.breaker.record_success(gateway)
-            return resp
+                    self.breaker.record_success(gateway)
+                span.end(attempts=attempt)
+                return resp
+        finally:
+            # Safety net: a raise above (or an interrupt thrown into the
+            # process) must not leave the exchange span dangling.
+            if span.open:
+                span.end(status="error", attempts=attempt)

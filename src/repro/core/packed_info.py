@@ -40,6 +40,11 @@ class PIContent:
     params: dict[str, Any] = field(default_factory=dict)
     itinerary: Optional[Itinerary] = None
     code_body: str = ""
+    # Telemetry correlation: the trace this dispatch belongs to and the
+    # device-side span it should parent under.  Optional — an empty trace_id
+    # means the task is untraced and the gateway starts no linked spans.
+    trace_id: str = ""
+    trace_parent: str = ""
 
     def __post_init__(self) -> None:
         for name, value in (
@@ -81,6 +86,8 @@ def pi_to_xml(content: PIContent) -> Element:
     root.append(value_to_xml(content.params, "params"))
     if content.itinerary is not None:
         root.append(value_to_xml(content.itinerary.to_dict(), "itinerary"))
+    if content.trace_id:
+        root.add("trace", {"id": content.trace_id, "parent": content.trace_parent})
     root.add("code", {"size": str(len(content.code_body))}, text=content.code_body)
     return root
 
@@ -90,6 +97,7 @@ def pi_from_xml(root: Element) -> PIContent:
     if root.tag != "pi":
         raise DeploymentError(f"expected <pi>, got <{root.tag}>")
     itinerary_elem = root.find("itinerary")
+    trace_elem = root.find("trace")
     params = value_from_xml(root.require_child("params"))
     if not isinstance(params, dict):
         raise DeploymentError("<params> did not decode to a dict")
@@ -107,6 +115,8 @@ def pi_from_xml(root: Element) -> PIContent:
             else None
         ),
         code_body=root.findtext("code"),
+        trace_id=trace_elem.get("id", "") if trace_elem is not None else "",
+        trace_parent=trace_elem.get("parent", "") if trace_elem is not None else "",
     )
 
 

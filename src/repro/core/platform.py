@@ -26,6 +26,7 @@ from ..compressor import decompress
 from ..crypto import KeyRing
 from ..mas.itinerary import Stop
 from ..mas.serializer import value_from_xml
+from ..telemetry.spans import SpanContext
 from ..xmlcodec import parse_bytes
 from .config import DEFAULT_CONFIG, PDAgentConfig
 from .device_db import DispatchRecord, InternalDatabase, StoredCode
@@ -51,6 +52,9 @@ class DispatchHandle:
     agent_id: str
     gateway: str
     service: str
+    #: Telemetry trace this deployment runs under ("" when untraced);
+    #: :meth:`PDAgentPlatform.collect` uses it to close the task's root span.
+    trace_id: str = ""
 
 
 @dataclass(frozen=True)
@@ -155,29 +159,51 @@ class PDAgentPlatform:
                 f"not subscribed to {service!r}; call subscribe() first"
             )
         explicit = gateway is not None
-        gateway = yield from self._resolve_gateway(gateway)
-        failed: set[str] = set()
-        while True:
-            content = self.dispatcher.build_content(
-                stored, params, stops=stops, origin=gateway
-            )
-            packed = yield from self.dispatcher.pack_for(content, gateway)
-            try:
-                ticket, agent_id = yield from self.netmanager.upload_pi(
-                    gateway, packed.data
+        # The task root span covers the whole user-visible task: it stays
+        # open while the agent travels and is closed by collect().  Every
+        # span of this deployment — across all three tiers — nests under it.
+        tele = self.device.network.telemetry
+        root = tele.start_span(
+            f"task:{service}", node=self.device.address,
+            attrs={"device": self.device.device_id},
+        )
+        deploy_span = tele.start_span(
+            "device.deploy", node=self.device.address, parent=root
+        )
+        try:
+            gateway = yield from self._resolve_gateway(gateway)
+            failed: set[str] = set()
+            while True:
+                content = self.dispatcher.build_content(
+                    stored, params, stops=stops, origin=gateway,
+                    trace=deploy_span.context,
                 )
-                break
-            except GatewayError:
-                # Failover (§3.5 reliability): an unreachable or failing
-                # gateway is struck from consideration and the next-best
-                # candidate is tried.  Explicitly named gateways never fail
-                # over — the caller asked for that one specifically.
-                if explicit:
-                    raise
-                failed.add(gateway)
-                gateway = yield from self.selector.select(exclude=failed)
+                packed = yield from self.dispatcher.pack_for(
+                    content, gateway, trace=deploy_span.context
+                )
+                try:
+                    ticket, agent_id = yield from self.netmanager.upload_pi(
+                        gateway, packed.data, trace=deploy_span.context
+                    )
+                    break
+                except GatewayError:
+                    # Failover (§3.5 reliability): an unreachable or failing
+                    # gateway is struck from consideration and the next-best
+                    # candidate is tried.  Explicitly named gateways never fail
+                    # over — the caller asked for that one specifically.
+                    if explicit:
+                        raise
+                    failed.add(gateway)
+                    gateway = yield from self.selector.select(exclude=failed)
+            deploy_span.end(gateway=gateway, ticket=ticket)
+        finally:
+            if deploy_span.open:
+                deploy_span.end(status="error")
+            if root.open and deploy_span.status != "ok":
+                root.end(status="error")
         handle = DispatchHandle(
-            ticket=ticket, agent_id=agent_id, gateway=gateway, service=service
+            ticket=ticket, agent_id=agent_id, gateway=gateway, service=service,
+            trace_id=root.trace_id,
         )
         self.db.record_dispatch(
             DispatchRecord(
@@ -209,14 +235,34 @@ class PDAgentPlatform:
         if via == "":
             via = yield from self.selector.select()
         gateway = via or handle.gateway
-        frame = yield from self.netmanager.download_result(
-            gateway, handle.ticket, origin=handle.gateway
+        tele = self.device.network.telemetry
+        root = tele.root_of(handle.trace_id) if handle.trace_id else None
+        span = tele.start_span(
+            "device.collect",
+            node=self.device.address,
+            parent=root,
+            attrs={"ticket": handle.ticket, "gateway": gateway},
         )
+        try:
+            frame = yield from self.netmanager.download_result(
+                gateway, handle.ticket, origin=handle.gateway, trace=span.context
+            )
+        except ResultNotReadyError:
+            # Not an error: the agent is still travelling.  The root stays
+            # open — a later collect (or the finalize pass) will close it.
+            span.end(status="not-ready")
+            raise
+        except Exception:
+            span.end(status="error")
+            raise
         yield self.device.compute(self.config.unpack_cost(len(frame)))
         xml_bytes = decompress(self.security.unprotect_result(frame))
         doc = parse_bytes(xml_bytes)
         self.db.store_result(handle.ticket, xml_bytes)
         self.db.update_dispatch_status(handle.ticket, "collected")
+        span.end(document_bytes=len(xml_bytes))
+        if root is not None and root.open:
+            root.end(status=doc.get("status", "ok") or "ok")
         return CollectedResult(
             ticket=handle.ticket,
             status=doc.get("status", ""),

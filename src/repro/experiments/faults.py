@@ -29,6 +29,7 @@ from ..core.errors import PDAgentError
 from ..simnet.faults import FaultSchedule, LinkDegrade, LinkDown, NodeCrash
 from ..simnet.topology import NoRouteError
 from ..simnet.transport import ConnectionClosed, TransportError
+from ..telemetry.exporters import TraceCollector
 from .report import format_table
 from .scenario import EvaluationScenario, build_scenario
 
@@ -220,6 +221,8 @@ def run_pdagent_under_faults(
     n_tasks: int = DEFAULT_N_TASKS,
     n_transactions: int = DEFAULT_N_TXNS,
     schedule: Optional[FaultSchedule] = None,
+    collector: Optional[TraceCollector] = None,
+    label: str = "faults/pdagent",
 ) -> FaultRunResult:
     """Run ``n_tasks`` periodic PDAgent batches under ``schedule``.
 
@@ -275,6 +278,8 @@ def run_pdagent_under_faults(
 
     procs = [sim.process(task(k), name=f"fault-task:{k}") for k in range(n_tasks)]
     sim.run(until=sim.all_of(procs))
+    if collector is not None:
+        collector.add_run(label, scenario.network)
     counters = _collect_counters(scenario)
     return FaultRunResult(
         approach="pdagent",
@@ -297,6 +302,8 @@ def run_client_server_under_faults(
     n_tasks: int = DEFAULT_N_TASKS,
     n_transactions: int = DEFAULT_N_TXNS,
     schedule: Optional[FaultSchedule] = None,
+    collector: Optional[TraceCollector] = None,
+    label: str = "faults/client-server",
 ) -> FaultRunResult:
     """Client-server twin of :func:`run_pdagent_under_faults`.
 
@@ -327,6 +334,8 @@ def run_client_server_under_faults(
 
     procs = [sim.process(task(k), name=f"cs-fault-task:{k}") for k in range(n_tasks)]
     sim.run(until=sim.all_of(procs))
+    if collector is not None:
+        collector.add_run(label, scenario.network)
     counters = _collect_counters(scenario)
     return FaultRunResult(
         approach="client-server",
@@ -346,25 +355,32 @@ def run_fault_comparison(
     seed: int = 0,
     n_tasks: int = DEFAULT_N_TASKS,
     n_transactions: int = DEFAULT_N_TXNS,
+    collector: Optional[TraceCollector] = None,
 ) -> FaultComparison:
     """Both approaches, faulted and fault-free, same seed throughout."""
     schedule = reference_schedule(n_tasks)
     return FaultComparison(
         pdagent=run_pdagent_under_faults(
-            seed, n_tasks, n_transactions, schedule=schedule
+            seed, n_tasks, n_transactions, schedule=schedule,
+            collector=collector, label="faults/pdagent",
         ),
-        pdagent_baseline=run_pdagent_under_faults(seed, n_tasks, n_transactions),
+        pdagent_baseline=run_pdagent_under_faults(
+            seed, n_tasks, n_transactions,
+            collector=collector, label="faults/pdagent-baseline",
+        ),
         client_server=run_client_server_under_faults(
-            seed, n_tasks, n_transactions, schedule=reference_schedule(n_tasks)
+            seed, n_tasks, n_transactions, schedule=reference_schedule(n_tasks),
+            collector=collector, label="faults/client-server",
         ),
         client_server_baseline=run_client_server_under_faults(
-            seed, n_tasks, n_transactions
+            seed, n_tasks, n_transactions,
+            collector=collector, label="faults/client-server-baseline",
         ),
     )
 
 
-def main(seed: int = 0) -> FaultComparison:
-    comparison = run_fault_comparison(seed=seed)
+def main(seed: int = 0, collector: Optional[TraceCollector] = None) -> FaultComparison:
+    comparison = run_fault_comparison(seed=seed, collector=collector)
     print(comparison.render())
     return comparison
 

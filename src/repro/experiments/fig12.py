@@ -13,7 +13,9 @@ model, and the web-based approach.  Expected shape:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
+from ..telemetry.exporters import TraceCollector
 from .report import format_series, format_table
 from .scenario import build_scenario, run_pdagent_batch
 
@@ -62,11 +64,17 @@ class Fig12Result:
         return "\n".join(lines)
 
 
-def run_fig12(seed: int = 0, ns: tuple[int, ...] = DEFAULT_NS) -> Fig12Result:
+def run_fig12(
+    seed: int = 0,
+    ns: tuple[int, ...] = DEFAULT_NS,
+    collector: Optional[TraceCollector] = None,
+) -> Fig12Result:
     """Regenerate Figure 12's three series.
 
     Every (approach, n) cell runs in a fresh scenario seeded from ``seed``
-    so the ledger only contains that cell's traffic.
+    so the ledger only contains that cell's traffic.  With a ``collector``,
+    each cell's full telemetry is captured under a ``fig12/<approach>/n=<n>``
+    run label.
     """
     result = Fig12Result(ns=list(ns))
     for n in ns:
@@ -74,23 +82,33 @@ def run_fig12(seed: int = 0, ns: tuple[int, ...] = DEFAULT_NS) -> Fig12Result:
         scenario = build_scenario(seed=seed)
         metrics = run_pdagent_batch(scenario, n)
         result.pdagent.append(metrics.connection_time)
+        if collector is not None:
+            collector.add_run(f"fig12/pdagent/n={n}", scenario.network)
         # --- client-server ---------------------------------------------------
         scenario = build_scenario(seed=seed)
         runner = scenario.client_server_runner()
         proc = scenario.sim.process(runner.run(scenario.transactions(n)))
         cs = scenario.sim.run(until=proc)
         result.client_server.append(cs.connection_time)
+        if collector is not None:
+            collector.add_run(f"fig12/client-server/n={n}", scenario.network)
         # --- web-based --------------------------------------------------------
         scenario = build_scenario(seed=seed)
         runner = scenario.web_based_runner()
         proc = scenario.sim.process(runner.run(scenario.transactions(n)))
         wb = scenario.sim.run(until=proc)
         result.web_based.append(wb.connection_time)
+        if collector is not None:
+            collector.add_run(f"fig12/web-based/n={n}", scenario.network)
     return result
 
 
-def main(seed: int = 0) -> Fig12Result:
-    result = run_fig12(seed=seed)
+def main(
+    seed: int = 0,
+    ns: tuple[int, ...] = DEFAULT_NS,
+    collector: Optional[TraceCollector] = None,
+) -> Fig12Result:
+    result = run_fig12(seed=seed, ns=ns, collector=collector)
     print(result.render())
     return result
 

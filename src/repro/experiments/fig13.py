@@ -17,9 +17,11 @@ four times did.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
+from ..telemetry.exporters import TraceCollector
 from .report import format_series, format_table
 from .scenario import build_scenario, run_pdagent_batch
 
@@ -83,8 +85,13 @@ def run_fig13(
     base_seed: int = 100,
     ns: tuple[int, ...] = DEFAULT_NS,
     trials: int = DEFAULT_TRIALS,
+    collector: Optional[TraceCollector] = None,
 ) -> Fig13Result:
-    """Regenerate both panels of Figure 13."""
+    """Regenerate both panels of Figure 13.
+
+    With a ``collector``, each cell's telemetry is captured under a
+    ``fig13/<approach>/trial=<t>/n=<n>`` run label.
+    """
     result = Fig13Result(ns=list(ns))
     for trial in range(trials):
         seed = base_seed + trial
@@ -94,19 +101,32 @@ def run_fig13(
             scenario = build_scenario(seed=seed)
             metrics = run_pdagent_batch(scenario, n)
             pdagent_series.append(metrics.completion_time)
+            if collector is not None:
+                collector.add_run(
+                    f"fig13/pdagent/trial={trial + 1}/n={n}", scenario.network
+                )
 
             scenario = build_scenario(seed=seed)
             runner = scenario.client_server_runner()
             proc = scenario.sim.process(runner.run(scenario.transactions(n)))
             cs = scenario.sim.run(until=proc)
             cs_series.append(cs.completion_time)
+            if collector is not None:
+                collector.add_run(
+                    f"fig13/client-server/trial={trial + 1}/n={n}", scenario.network
+                )
         result.pdagent.append(pdagent_series)
         result.client_server.append(cs_series)
     return result
 
 
-def main(base_seed: int = 100) -> Fig13Result:
-    result = run_fig13(base_seed=base_seed)
+def main(
+    base_seed: int = 100,
+    ns: tuple[int, ...] = DEFAULT_NS,
+    trials: int = DEFAULT_TRIALS,
+    collector: Optional[TraceCollector] = None,
+) -> Fig13Result:
+    result = run_fig13(base_seed=base_seed, ns=ns, trials=trials, collector=collector)
     print(result.render())
     return result
 

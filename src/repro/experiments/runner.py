@@ -12,6 +12,15 @@ Usage (installed as ``pdagent-experiments``)::
 
 ``--csv DIR`` additionally writes the figure data as CSV files (full
 precision) into ``DIR`` for external plotting.
+
+``--trace PATH`` captures the full telemetry stream (spans, instants,
+fault/connection ledgers, metric series) of every traced experiment run
+into PATH — newline-delimited JSON by default, or the Chrome trace_event
+format (open in Perfetto / ``chrome://tracing``) when PATH ends in
+``.json`` or ``--trace-format chrome`` is given.  Inspect the JSONL with
+``pdagent-trace summary PATH``.  Tracing covers fig12, fig13 and faults
+(the figure-producing simulations); claims/ablations/extensions run many
+heterogeneous micro-benchmarks and are not traced.
 """
 
 from __future__ import annotations
@@ -20,13 +29,23 @@ import argparse
 import os
 import sys
 
+from ..telemetry.exporters import TraceCollector
 from . import ablations, claims, extensions, faults, fig12, fig13
 
 __all__ = ["main"]
 
+#: Experiments whose runs are registered with the --trace collector.
+_TRACED = ("fig12", "fig13", "faults")
 
-def _run_fig12(args):
-    result = fig12.main(seed=args.seed)
+
+def _ns(args) -> tuple[int, ...]:
+    """Transaction-count sweep, capped by --max-n (CI smoke runs)."""
+    upper = args.max_n if args.max_n else 10
+    return tuple(range(1, upper + 1))
+
+
+def _run_fig12(args, collector=None):
+    result = fig12.main(seed=args.seed, ns=_ns(args), collector=collector)
     if args.csv:
         path = os.path.join(args.csv, "fig12.csv")
         with open(path, "w") as fh:
@@ -35,8 +54,8 @@ def _run_fig12(args):
     return result
 
 
-def _run_fig13(args):
-    result = fig13.main(base_seed=args.seed + 100)
+def _run_fig13(args, collector=None):
+    result = fig13.main(base_seed=args.seed + 100, ns=_ns(args), collector=collector)
     if args.csv:
         path = os.path.join(args.csv, "fig13.csv")
         with open(path, "w") as fh:
@@ -48,11 +67,23 @@ def _run_fig13(args):
 _EXPERIMENTS = {
     "fig12": _run_fig12,
     "fig13": _run_fig13,
-    "faults": lambda args: faults.main(seed=args.seed),
-    "claims": lambda args: claims.main(),
-    "ablations": lambda args: ablations.main(),
-    "extensions": lambda args: extensions.main(),
+    "faults": lambda args, collector=None: faults.main(
+        seed=args.seed, collector=collector
+    ),
+    "claims": lambda args, collector=None: claims.main(),
+    "ablations": lambda args, collector=None: ablations.main(),
+    "extensions": lambda args, collector=None: extensions.main(),
 }
+
+
+def _write_trace(collector: TraceCollector, path: str, fmt: str) -> None:
+    if fmt == "auto":
+        fmt = "chrome" if path.endswith(".json") else "jsonl"
+    if fmt == "chrome":
+        collector.write_chrome(path)
+    else:
+        collector.write_jsonl(path)
+    print(f"[trace] wrote {path} ({fmt}, {len(collector.runs)} run(s))")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -74,15 +105,39 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also write figure data as CSV into DIR",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="capture the telemetry stream of traced experiments into PATH",
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=("auto", "jsonl", "chrome"),
+        default="auto",
+        help="trace file format (auto: chrome when PATH ends in .json)",
+    )
+    parser.add_argument(
+        "--max-n",
+        type=int,
+        default=None,
+        help="cap the transaction sweep at N (smaller, faster runs)",
+    )
     args = parser.parse_args(argv)
     if args.csv:
         os.makedirs(args.csv, exist_ok=True)
+    collector = TraceCollector() if args.trace else None
     if args.experiment == "all":
         for name in ("fig12", "fig13", "faults", "claims", "ablations", "extensions"):
             print(f"\n### {name} " + "#" * (60 - len(name)))
-            _EXPERIMENTS[name](args)
+            _EXPERIMENTS[name](args, collector=collector)
     else:
-        _EXPERIMENTS[args.experiment](args)
+        _EXPERIMENTS[args.experiment](args, collector=collector)
+    if collector is not None:
+        if collector.runs:
+            _write_trace(collector, args.trace, args.trace_format)
+        else:
+            print(f"[trace] {args.experiment} produces no traced runs; nothing written")
     return 0
 
 

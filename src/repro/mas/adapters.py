@@ -20,9 +20,10 @@ adapter-portability ablation (bench A4) does.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Generator, Protocol
+from typing import TYPE_CHECKING, Any, Generator, Optional, Protocol
 
 from ..compressor import compress, decompress
+from ..telemetry.spans import SpanContext
 from ..xmlcodec import Element, parse_bytes, write_bytes
 from .errors import MigrationError
 from .itinerary import Itinerary
@@ -132,6 +133,7 @@ class MASAdapter(Protocol):
         owner: str,
         itinerary: Itinerary,
         state: dict[str, Any],
+        trace: Optional[SpanContext] = None,
     ) -> Generator: ...  # pragma: no cover - protocol
 
     def wait_completion(self, agent_id: str): ...  # pragma: no cover
@@ -173,6 +175,7 @@ class LocalServerAdapter:
         owner: str,
         itinerary: Itinerary,
         state: dict[str, Any],
+        trace: Optional[SpanContext] = None,
     ) -> Generator:
         """Process: create + autostart the agent; returns its id.
 
@@ -182,7 +185,8 @@ class LocalServerAdapter:
         to the watchdog.
         """
         agent = self.server.create_agent(
-            class_name, owner=owner, itinerary=itinerary, state=state, guardian=True
+            class_name, owner=owner, itinerary=itinerary, state=state,
+            guardian=True, trace=trace,
         )
         yield self.server.sim.timeout(0.0)  # creation is immediate, keep shape
         return agent.agent_id

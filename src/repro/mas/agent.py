@@ -55,6 +55,12 @@ class MobileAgent:
     #: this to model heavier/lighter applications).
     code_size: int = DEFAULT_CODE_SIZE
 
+    #: Telemetry correlation (:class:`~repro.telemetry.spans.SpanContext`
+    #: or ``None``): the span the agent's next activity should parent
+    #: under.  Travels in the wire form and is re-pointed by the hosting
+    #: server as the agent runs and migrates, chaining hop spans causally.
+    trace_ctx = None
+
     def __init__(
         self,
         agent_id: str,

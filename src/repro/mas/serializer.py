@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any
 
+from ..telemetry.spans import SpanContext
 from ..xmlcodec import Element, parse_bytes, write_bytes
 from .errors import MigrationError
 from .itinerary import Itinerary
@@ -133,6 +134,7 @@ class AgentSnapshot:
         "itinerary",
         "hops",
         "code_size",
+        "trace",
     )
 
     def __init__(
@@ -145,6 +147,7 @@ class AgentSnapshot:
         itinerary: Itinerary,
         hops: int,
         code_size: int,
+        trace: "SpanContext | None" = None,
     ) -> None:
         self.agent_id = agent_id
         self.class_name = class_name
@@ -154,6 +157,7 @@ class AgentSnapshot:
         self.itinerary = itinerary
         self.hops = hops
         self.code_size = code_size
+        self.trace = trace
 
 
 def serialize_agent(agent: "MobileAgent") -> bytes:
@@ -172,6 +176,10 @@ def serialize_agent(agent: "MobileAgent") -> bytes:
     root.add("hops", text=str(agent.hops))
     root.append(value_to_xml(agent.itinerary.to_dict(), "itinerary"))
     root.append(state_to_xml(agent.state))
+    if agent.trace_ctx is not None:
+        root.add(
+            "trace", {"tid": agent.trace_ctx.trace_id, "sid": agent.trace_ctx.span_id}
+        )
     code = root.add("code", {"size": str(agent.code_size)})
     # Synthetic payload standing in for class files: deterministic,
     # semi-compressible filler derived from the class name.
@@ -191,6 +199,12 @@ def deserialize_agent(data: bytes) -> AgentSnapshot:
             value_from_xml(root.require_child("itinerary"))
         )
         code = root.require_child("code")
+        trace_elem = root.find("trace")
+        trace = (
+            SpanContext(trace_elem.require("tid"), trace_elem.get("sid", ""))
+            if trace_elem is not None
+            else None
+        )
         return AgentSnapshot(
             agent_id=root.require_child("id").text,
             class_name=root.require_child("class").text,
@@ -200,6 +214,7 @@ def deserialize_agent(data: bytes) -> AgentSnapshot:
             itinerary=itinerary,
             hops=int(root.findtext("hops", "0")),
             code_size=int(code.require("size")),
+            trace=trace,
         )
     except MigrationError:
         raise

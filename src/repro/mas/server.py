@@ -49,6 +49,7 @@ from .state import AgentState, CompleteSignal, DisposeSignal, MigrationSignal
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..simnet.topology import Network
+    from ..telemetry.spans import SpanContext
     from .adapters import WireFormat
 
 __all__ = ["MobileAgentServer", "AgentClassRegistry", "MAS_PORT"]
@@ -219,12 +220,14 @@ class MobileAgentServer:
         agent_id: Optional[str] = None,
         autostart: bool = True,
         guardian: bool = False,
+        trace: Optional["SpanContext"] = None,
     ) -> MobileAgent:
         """Instantiate an agent at this server (its home) and start it.
 
         With ``guardian=True`` a home-side supervisor process watches the
         agent's checkpoint progress and re-dispatches it from the latest
-        checkpoint if it is lost to a site crash mid-tour.
+        checkpoint if it is lost to a site crash mid-tour.  ``trace`` links
+        the agent's whole tour into the dispatching task's trace.
         """
         cls = (
             self.registry.get(class_name)
@@ -240,6 +243,7 @@ class MobileAgentServer:
             itinerary=itinerary or Itinerary(origin=self.address),
             state=state,
         )
+        agent.trace_ctx = trace
         self._land(agent, autostart=autostart)
         if guardian and not agent.itinerary.exhausted:
             self.sim.process(
@@ -268,6 +272,7 @@ class MobileAgentServer:
             ),
             state=_deep_copy_state(source.state),
         )
+        clone.trace_ctx = source.trace_ctx
         self._land(clone, autostart=True)
         self.network.tracer.count("agents_cloned")
         return clone
@@ -328,6 +333,7 @@ class MobileAgentServer:
             state=snapshot.state,
         )
         agent.hops = snapshot.hops
+        agent.trace_ctx = snapshot.trace
         self._agents[agent.agent_id] = agent
         agent._location_is_home = agent.home == self.address
         agent.lifecycle = AgentState.IDLE
@@ -358,6 +364,12 @@ class MobileAgentServer:
         if event is not None and not event.triggered:
             event.succeed(result)
         self.network.tracer.count("agents_completed")
+        self.network.telemetry.instant(
+            "agent.complete",
+            node=self.address,
+            trace=agent.trace_ctx,
+            attrs={"agent": agent.agent_id, "hops": agent.hops},
+        )
         if agent.home != self.address:
             # Report completion to the home server so waiters there wake up.
             self.sim.process(
@@ -423,10 +435,24 @@ class MobileAgentServer:
         agent.lifecycle = AgentState.ACTIVE
         self._running.add(agent.agent_id)
         ctx = AgentContext(self, agent)
+        # One span per behaviour execution = one span per itinerary hop,
+        # parented on whatever brought the agent here (the gateway dispatch,
+        # or the transfer span from the previous site).  The agent's carried
+        # context is re-pointed at this span so the *next* hop chains on it.
+        span = self.network.telemetry.start_span(
+            "agent.run",
+            node=self.address,
+            parent=agent.trace_ctx,
+            attrs={"agent": agent.agent_id, "hops": agent.hops},
+        )
+        agent.trace_ctx = span.context
         try:
             yield from agent.on_arrival(ctx)
         except MigrationSignal as signal:
             self._running.discard(agent.agent_id)
+            # Close before the transfer so hop-work and transfer time stay
+            # separate phases on the timeline.
+            span.end(outcome="migrate", to=signal.destination)
             try:
                 yield from self._transfer(agent, signal.destination)
             except InterruptException:
@@ -435,9 +461,11 @@ class MobileAgentServer:
                 self.network.tracer.count("agents_killed_in_flight")
             return
         except CompleteSignal as signal:
+            span.end(outcome="complete")
             self._record_completion(agent, signal.result)
             return
         except DisposeSignal:
+            span.end(outcome="dispose")
             self._remove(agent, AgentState.DISPOSED)
             self.network.tracer.count("agents_disposed")
             return
@@ -445,16 +473,20 @@ class MobileAgentServer:
             if exc.cause == "node-crash":
                 # Host died under the agent: crash() has already disposed of
                 # it; there is nothing to park.
+                span.end(status="killed", outcome="node-crash")
                 return
             # Management preemption (retract/dispose request): abort the
             # current execution; the agent stays resident and idle so the
             # pending management operation can take it.
             agent.lifecycle = AgentState.IDLE
             self.network.tracer.count("agents_preempted")
+            span.end(status="preempted", outcome="preempted")
             return
         finally:
             self._running.discard(agent.agent_id)
             self._behaviour_procs.pop(agent.agent_id, None)
+            if span.open:  # behaviour raised, or returned without a signal
+                span.end(outcome="idle")
         # Behaviour returned without a control signal: agent stays resident.
         agent.lifecycle = AgentState.IDLE
 
@@ -480,11 +512,24 @@ class MobileAgentServer:
             agent.lifecycle = AgentState.CREATED
             self._land(agent)
             return
+        # The transfer span covers serialisation, the ATP exchange, and any
+        # retries/failover; the agent carries its context across the wire so
+        # the landing server's next hop span parents under it.
+        span = self.network.telemetry.start_span(
+            "agent.transfer",
+            node=self.address,
+            parent=agent.trace_ctx,
+            attrs={"agent": agent.agent_id, "to": destination},
+        )
+        agent.trace_ctx = span.context
         self._migrating.add(agent.agent_id)
         try:
             yield from self._transfer_with_recovery(agent, destination)
+            span.end()
         finally:
             self._migrating.discard(agent.agent_id)
+            if span.open:
+                span.end(status="error")
 
     def _transfer_with_recovery(self, agent: MobileAgent, destination: str) -> Generator:
         stream = self.network.streams.get(f"mas-dispatch:{self.address}")
@@ -718,6 +763,7 @@ class MobileAgentServer:
             state=state,
         )
         agent.hops = snapshot.hops
+        agent.trace_ctx = snapshot.trace
         self._locations[agent_id] = self.address
         self.network.tracer.count("agents_redispatched")
         self._land(agent)
@@ -813,6 +859,7 @@ class MobileAgentServer:
             state=snapshot.state,
         )
         agent.hops = snapshot.hops + 1
+        agent.trace_ctx = snapshot.trace
         self._land(agent)
         self.network.tracer.count("agents_received")
         return {"status": "ok"}
@@ -962,6 +1009,7 @@ class MobileAgentServer:
                     state=snapshot.state,
                 )
                 agent.hops = snapshot.hops + 1
+                agent.trace_ctx = snapshot.trace
                 agent.lifecycle = AgentState.RETRACTED
                 self._agents[agent.agent_id] = agent
                 self._locations[agent_id] = self.address

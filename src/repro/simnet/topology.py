@@ -22,6 +22,7 @@ from .link import Link, LinkSpec
 from .node import Node
 from .rng import StreamFactory
 from .trace import Tracer
+from repro.telemetry.spans import Telemetry
 
 __all__ = ["Network", "Datagram", "NoRouteError"]
 
@@ -60,7 +61,10 @@ class Network:
     ) -> None:
         self.sim = sim if sim is not None else Simulator()
         self.streams = StreamFactory(master_seed)
-        self.tracer = Tracer(self.sim)
+        # One span/metric sink per network; the tracer shares the registry so
+        # legacy counters and new spans aggregate in one place.
+        self.telemetry = Telemetry(self.sim)
+        self.tracer = Tracer(self.sim, metrics=self.telemetry.metrics)
         self._nodes: dict[str, Node] = {}
         self._links: dict[tuple[str, str], Link] = {}
         self._graph = nx.DiGraph()

@@ -13,6 +13,8 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
+from repro.telemetry.metrics import MetricsRegistry
+
 if TYPE_CHECKING:  # pragma: no cover
     from .kernel import Simulator
 
@@ -41,6 +43,9 @@ class ConnectionRecord:
     bytes_sent: int = 0
     bytes_received: int = 0
     purpose: str = ""
+    #: Set by the end-of-run close-out pass when the simulation ended while
+    #: this connection was still open (closed_at is then the sim end time).
+    truncated: bool = False
 
     @property
     def open(self) -> bool:
@@ -62,10 +67,19 @@ class _Series:
 
 
 class Tracer:
-    """Per-network metric sink."""
+    """Per-network metric sink.
 
-    def __init__(self, sim: "Simulator") -> None:
+    Since the telemetry subsystem landed, the tracer doubles as a compat
+    shim: every ``count``/``record`` call is mirrored into the shared
+    :class:`~repro.telemetry.metrics.MetricsRegistry` (counters, and
+    histograms for distribution summaries) so existing call sites feed the
+    new aggregation layer without changing.  The ``counters`` defaultdict
+    keeps its original read semantics — unknown names read as 0.
+    """
+
+    def __init__(self, sim: "Simulator", metrics: Optional[MetricsRegistry] = None) -> None:
         self.sim = sim
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.counters: dict[str, int] = defaultdict(int)
         self._series: dict[str, _Series] = defaultdict(_Series)
         self.connections: list[ConnectionRecord] = []
@@ -76,12 +90,23 @@ class Tracer:
     def count(self, name: str, n: int = 1) -> None:
         """Increment counter ``name`` by ``n``."""
         self.counters[name] += n
+        self.metrics.counter(name).inc(n)
 
     def record(self, name: str, value: float) -> None:
         """Append ``(now, value)`` to time series ``name``."""
         series = self._series[name]
         series.times.append(self.sim.now)
         series.values.append(float(value))
+        self.metrics.histogram(name).observe(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Feed ``value`` into histogram ``name`` without keeping the sample.
+
+        Unlike :meth:`record`, nothing is stored per-sample — use this for
+        high-frequency measurements (per-message byte counts) where the
+        bucketed summary is enough.
+        """
+        self.metrics.histogram(name).observe(value)
 
     def series(self, name: str) -> tuple[list[float], list[float]]:
         """Return ``(times, values)`` for series ``name`` (empty if unknown)."""
@@ -116,6 +141,7 @@ class Tracer:
         if record.closed_at is not None:
             raise ValueError(f"connection {record.conn_id} already closed")
         record.closed_at = self.sim.now
+        self.metrics.histogram("connection.open_s").observe(record.duration())
 
     def connection_time(self, initiator: str, since: float = 0.0) -> float:
         """Total open time of connections initiated by ``initiator``.
@@ -148,9 +174,28 @@ class Tracer:
             received += rec.bytes_received
         return sent, received
 
+    def finalize(self) -> int:
+        """End-of-run close-out: close every still-open connection record.
+
+        A run aborted by faults (or simply stopped at a deadline) can leave
+        connections open; charging them up to the simulation end — flagged
+        ``truncated`` — keeps connection-time totals honest.  Returns the
+        number of records closed; idempotent.
+        """
+        closed = 0
+        for rec in self.connections:
+            if rec.closed_at is None:
+                rec.closed_at = self.sim.now
+                rec.truncated = True
+                closed += 1
+        if closed:
+            self.count("connections_truncated", closed)
+        return closed
+
     def reset(self) -> None:
         """Clear all metrics (ledger, counters, series)."""
         self.counters.clear()
         self._series.clear()
         self.connections.clear()
         self.faults.clear()
+        self.metrics.reset()

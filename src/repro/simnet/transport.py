@@ -178,6 +178,7 @@ class Connection:
         else:
             self.record.bytes_received += wire_size
         self.network.tracer.count("messages_delivered")
+        self.network.tracer.observe("transport.message_bytes", wire_size)
         return message
 
     def close(self, closer: Optional[str] = None) -> None:

@@ -1,0 +1,25 @@
+"""Observability layer: spans, metrics, and trace exporters.
+
+See DESIGN.md ("Telemetry & observability") for the span model and how the
+trace id is propagated device → gateway → MAS.  This package must not import
+from the rest of :mod:`repro` — the simulation layers import *it*.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .spans import InstantEvent, Span, SpanContext, Telemetry
+from .exporters import TraceCollector, to_chrome, trace_events, validate_chrome
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "InstantEvent",
+    "Span",
+    "SpanContext",
+    "Telemetry",
+    "TraceCollector",
+    "to_chrome",
+    "trace_events",
+    "validate_chrome",
+]

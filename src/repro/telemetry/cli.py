@@ -1,0 +1,231 @@
+"""``pdagent-trace``: summarise and convert telemetry trace files.
+
+Operates on the JSONL event stream written by ``pdagent-experiments ...
+--trace out.jsonl`` (see :mod:`repro.telemetry.exporters`)::
+
+    pdagent-trace summary out.jsonl            # per-phase breakdown, top spans
+    pdagent-trace critical-path out.jsonl      # longest causal chain of a task
+    pdagent-trace chrome out.jsonl -o out.json # convert for Perfetto
+    pdagent-trace validate out.json            # check trace_event schema
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from typing import Optional
+
+from .exporters import to_chrome, validate_chrome
+
+__all__ = ["main"]
+
+
+def _load_events(path: str) -> list[dict]:
+    events = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise SystemExit(f"{path}:{lineno}: not valid JSON ({exc})")
+    return events
+
+
+def _spans(events: list[dict]) -> list[dict]:
+    return [e for e in events if e.get("type") == "span"]
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1e3:.3f}ms"
+
+
+def _print_table(headers: list[str], rows: list[list[str]]) -> None:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+# --------------------------------------------------------------- summary
+def _cmd_summary(args: argparse.Namespace) -> int:
+    events = _load_events(args.file)
+    spans = _spans(events)
+    if not spans:
+        print("no spans in trace")
+        return 1
+    traces = {s["trace"] for s in spans}
+    faults = [e for e in events if e.get("type") == "fault"]
+    conns = [e for e in events if e.get("type") == "connection"]
+    print(f"{args.file}: {len(spans)} spans, {len(traces)} traces, "
+          f"{len(conns)} connections, {len(faults)} faults")
+
+    # Per-phase breakdown: total/mean/max duration grouped by span name.
+    by_name: dict[str, list[float]] = defaultdict(list)
+    for s in spans:
+        end = s["end"] if s["end"] is not None else s["start"]
+        by_name[s["name"]].append(end - s["start"])
+    print("\nPer-phase breakdown:")
+    rows = []
+    for name, durs in sorted(by_name.items(), key=lambda kv: -sum(kv[1])):
+        rows.append([
+            name,
+            str(len(durs)),
+            _fmt_s(sum(durs)),
+            _fmt_s(sum(durs) / len(durs)),
+            _fmt_s(max(durs)),
+        ])
+    _print_table(["phase", "count", "total", "mean", "max"], rows)
+
+    print(f"\nTop {args.top} spans by duration:")
+    ranked = sorted(
+        spans,
+        key=lambda s: ((s["end"] if s["end"] is not None else s["start"]) - s["start"]),
+        reverse=True,
+    )[: args.top]
+    rows = []
+    for s in ranked:
+        end = s["end"] if s["end"] is not None else s["start"]
+        rows.append([
+            s["name"], s["node"] or "-", s["trace"],
+            _fmt_s(end - s["start"]), s["status"] or "-",
+        ])
+    _print_table(["span", "node", "trace", "duration", "status"], rows)
+    return 0
+
+
+# ---------------------------------------------------------- critical path
+def _cmd_critical_path(args: argparse.Namespace) -> int:
+    spans = _spans(_load_events(args.file))
+    if not spans:
+        print("no spans in trace")
+        return 1
+    trace_id: Optional[str] = args.trace
+    if trace_id is None:
+        # Default to the longest trace (largest root span duration).
+        roots: dict[str, dict] = {}
+        for s in spans:
+            if not s["parent"] and s["trace"] not in roots:
+                roots[s["trace"]] = s
+        if not roots:
+            print("no root spans found")
+            return 1
+        trace_id = max(
+            roots,
+            key=lambda t: (roots[t]["end"] or roots[t]["start"]) - roots[t]["start"],
+        )
+    members = [s for s in spans if s["trace"] == trace_id]
+    if not members:
+        print(f"trace {trace_id!r} not found")
+        return 1
+    children: dict[str, list[dict]] = defaultdict(list)
+    for s in members:
+        children[s["parent"]].append(s)
+    root = next((s for s in members if not s["parent"]), members[0])
+
+    # Critical path: from the root, repeatedly descend into the child whose
+    # end time is latest — the chain that bounds the task's completion time.
+    path = [root]
+    node = root
+    while children.get(node["span"]):
+        node = max(
+            children[node["span"]],
+            key=lambda s: s["end"] if s["end"] is not None else s["start"],
+        )
+        path.append(node)
+
+    print(f"Critical path of trace {trace_id} ({len(members)} spans):")
+    rows = []
+    for depth, s in enumerate(path):
+        end = s["end"] if s["end"] is not None else s["start"]
+        dur = end - s["start"]
+        child_time = sum(
+            (c["end"] if c["end"] is not None else c["start"]) - c["start"]
+            for c in children.get(s["span"], [])
+        )
+        self_time = max(0.0, dur - child_time)
+        rows.append([
+            "  " * depth + s["name"],
+            s["node"] or "-",
+            f"{s['start']:.6f}",
+            _fmt_s(dur),
+            _fmt_s(self_time),
+            s["status"] or "-",
+        ])
+    _print_table(["span", "node", "start", "duration", "self", "status"], rows)
+    return 0
+
+
+# ----------------------------------------------------------- chrome/validate
+def _cmd_chrome(args: argparse.Namespace) -> int:
+    events = _load_events(args.file)
+    doc = to_chrome(events)
+    with open(args.output, "w") as fh:
+        json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+    print(f"wrote {len(doc['traceEvents'])} trace events to {args.output}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    # Both formats start with "{": a Chrome document is ONE json object,
+    # a JSONL stream is one object PER LINE — try the whole file first.
+    with open(args.file) as fh:
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError:
+            doc = None
+    if doc is None or "traceEvents" not in doc:
+        # JSONL event stream: convert first, then validate.
+        doc = to_chrome(_load_events(args.file))
+    errors = validate_chrome(doc)
+    if errors:
+        for err in errors:
+            print(f"INVALID: {err}")
+        return 1
+    print(f"{args.file}: valid ({len(doc['traceEvents'])} trace events)")
+    return 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pdagent-trace",
+        description="Summarise and convert PDAgent telemetry traces",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("summary", help="per-phase breakdown and top spans")
+    p.add_argument("file", help="JSONL trace file")
+    p.add_argument("--top", type=int, default=10, help="top-N spans (default 10)")
+    p.set_defaults(func=_cmd_summary)
+
+    p = sub.add_parser("critical-path", help="longest causal chain of a task")
+    p.add_argument("file", help="JSONL trace file")
+    p.add_argument("--trace", default=None, help="trace id (default: longest)")
+    p.set_defaults(func=_cmd_critical_path)
+
+    p = sub.add_parser("chrome", help="convert JSONL to Chrome trace_event JSON")
+    p.add_argument("file", help="JSONL trace file")
+    p.add_argument("-o", "--output", required=True, help="output .json path")
+    p.set_defaults(func=_cmd_chrome)
+
+    p = sub.add_parser("validate", help="check a trace against the Chrome schema")
+    p.add_argument("file", help="JSONL or Chrome-format trace file")
+    p.set_defaults(func=_cmd_validate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,368 @@
+"""Trace exporters: deterministic JSONL events and Chrome ``trace_event``.
+
+Two output shapes, one source of truth:
+
+* **JSONL** — one JSON object per line, every telemetry artefact of a run
+  (spans, instants, faults, connections, series samples, final metrics
+  snapshot).  Serialised with sorted keys and no whitespace, so two
+  same-seed runs emit *byte-identical* files — the format the determinism
+  tests diff and the ``pdagent-trace`` CLI consumes.
+* **Chrome ``trace_event``** — the JSON object format understood by
+  Perfetto / ``chrome://tracing``.  The simulated clock is the timeline
+  (microseconds), each ``(run, node)`` pair becomes a "process", each trace
+  gets its own "thread" row within its node, and injected faults appear as
+  global instant markers over the spans they disrupted.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Iterable, Union
+
+__all__ = ["trace_events", "to_chrome", "validate_chrome", "TraceCollector"]
+
+
+def _label_id(label: str, raw_id: str) -> str:
+    """Namespace a trace/span id when several runs share one file."""
+    return f"{label}/{raw_id}" if label else raw_id
+
+
+def trace_events(network: Any, label: str = "") -> list[dict]:
+    """Flatten one network's telemetry into JSON-ready event dicts.
+
+    ``label`` namespaces ids and node names so a :class:`TraceCollector`
+    can merge many runs (e.g. every fig12 cell) into one stream without
+    collisions.  Event order is deterministic: metadata, spans, instants,
+    faults, connections, series, metrics — each in creation order.
+    """
+    telemetry = network.telemetry
+    tracer = network.tracer
+    events: list[dict] = [
+        {
+            "type": "meta",
+            "run": label,
+            "spans": len(telemetry.spans),
+            "instants": len(telemetry.instants),
+            "faults": len(tracer.faults),
+            "connections": len(tracer.connections),
+            "sim_end": telemetry.sim.now,
+        }
+    ]
+    for span in telemetry.spans:
+        events.append(
+            {
+                "type": "span",
+                "run": label,
+                "trace": _label_id(label, span.trace_id),
+                "span": _label_id(label, span.span_id),
+                "parent": _label_id(label, span.parent_id) if span.parent_id else "",
+                "name": span.name,
+                "node": span.node,
+                "start": span.start,
+                "end": span.end_time,
+                "status": span.status,
+                "attrs": span.attrs,
+            }
+        )
+    for inst in telemetry.instants:
+        events.append(
+            {
+                "type": "instant",
+                "run": label,
+                "trace": _label_id(label, inst.trace_id) if inst.trace_id else "",
+                "name": inst.name,
+                "node": inst.node,
+                "at": inst.at,
+                "attrs": inst.attrs,
+            }
+        )
+    for fault in tracer.faults:
+        events.append(
+            {
+                "type": "fault",
+                "run": label,
+                "name": fault.kind,
+                "target": fault.target,
+                "detail": fault.detail,
+                "at": fault.at,
+            }
+        )
+    for rec in tracer.connections:
+        events.append(
+            {
+                "type": "connection",
+                "run": label,
+                "conn": rec.conn_id,
+                "initiator": rec.initiator,
+                "peer": rec.peer,
+                "purpose": rec.purpose,
+                "opened": rec.opened_at,
+                "closed": rec.closed_at,
+                "bytes_sent": rec.bytes_sent,
+                "bytes_received": rec.bytes_received,
+                "truncated": getattr(rec, "truncated", False),
+            }
+        )
+    for name in sorted(tracer._series):
+        times, values = tracer.series(name)
+        events.append(
+            {
+                "type": "series",
+                "run": label,
+                "name": name,
+                "times": times,
+                "values": values,
+            }
+        )
+    events.append(
+        {"type": "metrics", "run": label, "snapshot": telemetry.metrics.snapshot()}
+    )
+    return events
+
+
+class TraceCollector:
+    """Accumulates events from one or more runs, then writes them out.
+
+    ``add_run`` finalizes the network first (closing still-open spans and
+    connection records) so totals cannot silently undercount on truncated
+    or faulted runs.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+        self._labels: list[str] = []
+
+    @property
+    def runs(self) -> list[str]:
+        """Labels of the runs added so far, in addition order."""
+        return list(self._labels)
+
+    def add_run(self, label: str, network: Any) -> None:
+        if label in self._labels:
+            raise ValueError(f"duplicate run label {label!r}")
+        network.telemetry.finalize()
+        network.tracer.finalize()
+        self._labels.append(label)
+        self.events.extend(trace_events(network, label=label))
+
+    # ------------------------------------------------------------ output
+    def write_jsonl(self, dest: Union[str, IO[str]]) -> int:
+        """Write one compact JSON object per line; returns the line count."""
+        if isinstance(dest, str):
+            with open(dest, "w") as fh:
+                return self.write_jsonl(fh)
+        for event in self.events:
+            dest.write(json.dumps(event, sort_keys=True, separators=(",", ":")))
+            dest.write("\n")
+        return len(self.events)
+
+    def write_chrome(self, dest: Union[str, IO[str]]) -> int:
+        """Write the Chrome trace_event JSON; returns the event count."""
+        doc = to_chrome(self.events)
+        if isinstance(dest, str):
+            with open(dest, "w") as fh:
+                json.dump(doc, fh, sort_keys=True, separators=(",", ":"))
+        else:
+            json.dump(doc, dest, sort_keys=True, separators=(",", ":"))
+        return len(doc["traceEvents"])
+
+
+def _us(seconds: float) -> float:
+    """Simulated seconds → trace_event microseconds, rounded for stability."""
+    return round(seconds * 1e6, 3)
+
+
+def to_chrome(events: Iterable[dict]) -> dict:
+    """Convert JSONL events to the Chrome trace_event JSON object format.
+
+    Layout choices (what you see when the file is opened in Perfetto):
+
+    * one *process* per ``(run, node)`` pair, named ``run/node``;
+    * within a process, *thread* 0 holds connection spans and each trace
+      gets the next free thread row, so concurrent tasks stack visibly;
+    * spans are complete events (``ph:"X"``), faults are global instants
+      (``ph:"i"``, scope ``"g"``), series become counter tracks (``ph:"C"``).
+    """
+    out: list[dict] = []
+    pids: dict[tuple[str, str], int] = {}
+    tids: dict[tuple[int, str], int] = {}  # (pid, trace) -> tid
+    next_tid: dict[int, int] = {}
+
+    def pid_for(run: str, node: str) -> int:
+        key = (run, node)
+        pid = pids.get(key)
+        if pid is None:
+            pid = pids[key] = len(pids) + 1
+            name = f"{run}/{node}" if run else node
+            out.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": name},
+                }
+            )
+            out.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": "connections"},
+                }
+            )
+            next_tid[pid] = 1
+        return pid
+
+    def tid_for(pid: int, trace: str) -> int:
+        key = (pid, trace)
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = next_tid[pid]
+            next_tid[pid] = tid + 1
+            out.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": trace or "untraced"},
+                }
+            )
+        return tid
+
+    for event in events:
+        etype = event.get("type")
+        run = event.get("run", "")
+        if etype == "span":
+            node = event.get("node") or "?"
+            pid = pid_for(run, node)
+            tid = tid_for(pid, event.get("trace", ""))
+            start = event["start"]
+            end = event["end"] if event["end"] is not None else start
+            args = {"span": event["span"], "status": event["status"]}
+            if event.get("parent"):
+                args["parent"] = event["parent"]
+            args.update(event.get("attrs", {}))
+            out.append(
+                {
+                    "ph": "X",
+                    "name": event["name"],
+                    "cat": "span",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": _us(start),
+                    "dur": _us(end - start),
+                    "args": args,
+                }
+            )
+        elif etype == "instant":
+            node = event.get("node") or "?"
+            pid = pid_for(run, node)
+            tid = tid_for(pid, event.get("trace", ""))
+            out.append(
+                {
+                    "ph": "i",
+                    "name": event["name"],
+                    "cat": "instant",
+                    "s": "t",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": _us(event["at"]),
+                    "args": event.get("attrs", {}),
+                }
+            )
+        elif etype == "fault":
+            pid = pid_for(run, event.get("target") or "?")
+            out.append(
+                {
+                    "ph": "i",
+                    "name": f"fault:{event['name']}",
+                    "cat": "fault",
+                    "s": "g",  # global scope: draws across all tracks
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": _us(event["at"]),
+                    "args": {"target": event["target"], "detail": event["detail"]},
+                }
+            )
+        elif etype == "connection":
+            pid = pid_for(run, event["initiator"])
+            opened = event["opened"]
+            closed = event["closed"] if event["closed"] is not None else opened
+            out.append(
+                {
+                    "ph": "X",
+                    "name": f"conn:{event['purpose'] or 'data'}",
+                    "cat": "connection",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": _us(opened),
+                    "dur": _us(closed - opened),
+                    "args": {
+                        "peer": event["peer"],
+                        "bytes_sent": event["bytes_sent"],
+                        "bytes_received": event["bytes_received"],
+                        "truncated": event.get("truncated", False),
+                    },
+                }
+            )
+        elif etype == "series":
+            pid = pid_for(run, "metrics")
+            for t, v in zip(event["times"], event["values"]):
+                out.append(
+                    {
+                        "ph": "C",
+                        "name": event["name"],
+                        "cat": "series",
+                        "pid": pid,
+                        "tid": 0,
+                        "ts": _us(t),
+                        "args": {"value": v},
+                    }
+                )
+        # "meta" / "metrics" events have no timeline representation.
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+_REQUIRED_BY_PHASE = {
+    "X": ("name", "pid", "tid", "ts", "dur"),
+    "i": ("name", "pid", "tid", "ts", "s"),
+    "C": ("name", "pid", "ts", "args"),
+    "M": ("name", "pid", "args"),
+}
+
+
+def validate_chrome(doc: Any) -> list[str]:
+    """Check a document against the trace_event object-format schema.
+
+    Returns a list of human-readable problems (empty == valid).  Covers the
+    subset of the spec this exporter emits: top-level shape, known phase
+    types, per-phase required fields, and non-negative timestamps/durations.
+    """
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _REQUIRED_BY_PHASE:
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        for fld in _REQUIRED_BY_PHASE[ph]:
+            if fld not in ev:
+                errors.append(f"{where}: phase {ph!r} missing field {fld!r}")
+        if "ts" in ev and isinstance(ev.get("ts"), (int, float)) and ev["ts"] < 0:
+            errors.append(f"{where}: negative ts {ev['ts']}")
+        if ph == "X" and isinstance(ev.get("dur"), (int, float)) and ev["dur"] < 0:
+            errors.append(f"{where}: negative dur {ev['dur']}")
+        if ph == "i" and ev.get("s") not in ("g", "p", "t"):
+            errors.append(f"{where}: instant scope must be g/p/t, got {ev.get('s')!r}")
+    return errors
