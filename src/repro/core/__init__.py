@@ -9,6 +9,7 @@ adapter), :class:`CentralServer` (address list + trust anchor), and the
 :class:`DeploymentBuilder` that wires complete environments.
 """
 
+from .admission import AdmissionController, DedupTable, TokenBucket
 from .config import DEFAULT_CONFIG, PDAgentConfig
 from .deployment import Deployment, DeploymentBuilder
 from .device_db import DispatchRecord, InternalDatabase, StoredCode
@@ -17,12 +18,14 @@ from .errors import (
     AuthorizationError,
     DeploymentError,
     GatewayError,
+    GatewayOverloadedError,
     NoGatewayAvailableError,
     PDAgentError,
+    ResultExpiredError,
     ResultNotReadyError,
     SubscriptionError,
 )
-from .gateway import GATEWAY_PORT, Gateway, Ticket
+from .gateway import GATEWAY_PORT, TASK_ID_HEADER, Gateway, Ticket
 from .netmanager import NetworkManager
 from .packed_info import PackedInfo, PIContent, pack, pi_from_xml, pi_to_xml, unpack
 from .platform import CollectedResult, DispatchHandle, PDAgentPlatform
@@ -83,6 +86,12 @@ __all__ = [
     "DeploymentError",
     "AuthorizationError",
     "ResultNotReadyError",
+    "ResultExpiredError",
     "GatewayError",
+    "GatewayOverloadedError",
     "NoGatewayAvailableError",
+    "AdmissionController",
+    "DedupTable",
+    "TokenBucket",
+    "TASK_ID_HEADER",
 ]

@@ -85,6 +85,45 @@ class PDAgentConfig:
     #: <= 0 disables the watchdog.
     ticket_watchdog_s: float = 120.0
 
+    # --- overload protection (gateway admission + device cooperation) -------
+    #: Exactly-once admission: dedup retried PI uploads by device task id so
+    #: a lost response never materialises a second agent.
+    dedup_enabled: bool = True
+    #: Master switch for gateway admission control (bounded queues, token
+    #: bucket, 503 shedding).  Off = the unprotected baseline: the same
+    #: finite worker pool behind an unbounded queue.
+    admission_enabled: bool = True
+    #: Concurrent PI dispatches a gateway processes (its servlet pool for
+    #: the expensive "upload" class).
+    gateway_dispatch_workers: int = 4
+    #: Uploads allowed to wait for a dispatch worker before shedding.
+    admission_queue_limit: int = 16
+    #: Concurrent result/agent-op requests (cheap, latency-sensitive class;
+    #: a separate pool so downloads are never starved by uploads).
+    gateway_download_workers: int = 32
+    #: Downloads allowed to wait before shedding.
+    download_queue_limit: int = 128
+    #: Token bucket pacing PI admission: sustained uploads/second and burst
+    #: size.  rate <= 0 disables the bucket (queue bound still applies).
+    admission_rate: float = 0.0
+    admission_burst: int = 8
+    #: Baseline Retry-After hint (seconds) advertised on a shed; scaled up
+    #: with queue depth so retry waves spread out.
+    shed_retry_after_s: float = 1.0
+    #: Extra fixed CPU cost per agent dispatch at the gateway (nominal
+    #: seconds) — lets overload experiments model heavyweight dispatch.
+    dispatch_cost_s: float = 0.0
+    #: Result retention: seconds past the *first successful download* after
+    #: which the result document expires and its workspace is reclaimed.
+    #: <= 0 retains results forever (the pre-TTL behaviour).
+    result_ttl_s: float = 600.0
+    #: Device side: honour a 503's Retry-After (sleep, then retry the same
+    #: exchange) instead of failing immediately.  Sheds never trip the
+    #: circuit breaker either way.
+    retry_honour_retry_after: bool = True
+    #: Cap on a server-advertised Retry-After the device will actually wait.
+    retry_after_cap_s: float = 30.0
+
     def __post_init__(self) -> None:
         if self.selection_policy not in ("nearest", "first", "random", "round_robin"):
             raise ValueError(f"unknown selection policy {self.selection_policy!r}")
@@ -108,6 +147,20 @@ class PDAgentConfig:
             raise ValueError("breaker_threshold must be >= 1")
         if self.breaker_cooldown_s <= 0:
             raise ValueError("breaker_cooldown_s must be positive")
+        if self.gateway_dispatch_workers < 1:
+            raise ValueError("gateway_dispatch_workers must be >= 1")
+        if self.gateway_download_workers < 1:
+            raise ValueError("gateway_download_workers must be >= 1")
+        if self.admission_queue_limit < 0 or self.download_queue_limit < 0:
+            raise ValueError("admission queue limits must be >= 0")
+        if self.admission_rate > 0 and self.admission_burst < 1:
+            raise ValueError("admission_burst must be >= 1 when rate-limited")
+        if self.shed_retry_after_s <= 0:
+            raise ValueError("shed_retry_after_s must be positive")
+        if self.dispatch_cost_s < 0:
+            raise ValueError("dispatch_cost_s must be non-negative")
+        if self.retry_after_cap_s <= 0:
+            raise ValueError("retry_after_cap_s must be positive")
 
     def with_(self, **changes) -> "PDAgentConfig":
         """A modified copy (convenience for sweeps)."""

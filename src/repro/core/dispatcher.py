@@ -45,9 +45,20 @@ class AgentDispatcher:
         self.config = config
         self.security = security
         self._nonce_counter = itertools.count(1)
+        self._task_counter = itertools.count(1)
 
     def _next_nonce(self) -> str:
         return f"{self.device.device_id}-n{next(self._nonce_counter)}"
+
+    def new_task_id(self) -> str:
+        """Fresh idempotency key for one *logical* task.
+
+        Unlike the nonce — fresh per pack, so a replayed frame is still
+        detectable — the task id stays fixed across every retry and
+        re-pack of the same user action, which is what lets the gateway
+        dedup instead of double-dispatching.
+        """
+        return f"{self.device.device_id}-task-{next(self._task_counter)}"
 
     def build_content(
         self,
@@ -56,6 +67,7 @@ class AgentDispatcher:
         stops: Optional[list[Stop]] = None,
         origin: str = "",
         trace: Optional[SpanContext] = None,
+        task_id: str = "",
     ) -> PIContent:
         """Assemble the logical PI (validates params against the schema)."""
         schema = stored.code.param_schema
@@ -81,6 +93,7 @@ class AgentDispatcher:
             params=dict(params),
             itinerary=itinerary,
             code_body=stored.code.payload(),
+            task_id=task_id,
             trace_id=trace.trace_id if trace is not None else "",
             trace_parent=trace.span_id if trace is not None else "",
         )

@@ -8,7 +8,9 @@ __all__ = [
     "DeploymentError",
     "AuthorizationError",
     "ResultNotReadyError",
+    "ResultExpiredError",
     "GatewayError",
+    "GatewayOverloadedError",
     "NoGatewayAvailableError",
 ]
 
@@ -35,6 +37,29 @@ class ResultNotReadyError(PDAgentError):
 
 class GatewayError(PDAgentError):
     """Gateway-side processing failure surfaced to the device."""
+
+
+class ResultExpiredError(GatewayError):
+    """The result document existed but passed its retention TTL (HTTP 410).
+
+    Distinct from an unknown ticket (404): the task *did* run and its
+    document *was* downloadable; the device simply came back too late.
+    Re-deploying is pointless if the result was already collected once.
+    """
+
+
+class GatewayOverloadedError(GatewayError):
+    """Deliberate load shed (HTTP 503 + Retry-After), not a fault.
+
+    Carries the server's ``retry_after`` hint in seconds.  Devices treat
+    this as "come back later" — it is retried after the advertised delay
+    and must NOT trip the circuit breaker, because a shedding gateway is
+    healthy by definition.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class NoGatewayAvailableError(PDAgentError):

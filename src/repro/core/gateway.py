@@ -34,8 +34,14 @@ from ..simnet.primitives import Event
 from ..telemetry.spans import Span, SpanContext
 from ..xmlcodec import Element, XmlError, parse_bytes, write_bytes
 from ..mas.serializer import value_to_xml
+from .admission import AdmissionController, DedupTable, TokenBucket
 from .config import PDAgentConfig
-from .errors import AuthorizationError, DeploymentError, GatewayError
+from .errors import (
+    AuthorizationError,
+    DeploymentError,
+    GatewayError,
+    GatewayOverloadedError,
+)
 from .packed_info import PIContent, unpack
 from .security import GatewaySecurity
 from .subscription import ServiceCatalog, SubscriptionDirectory, code_to_xml
@@ -47,6 +53,7 @@ __all__ = [
     "Gateway",
     "Ticket",
     "GATEWAY_PORT",
+    "TASK_ID_HEADER",
     "AgentDispatchHandler",
     "XmlWriter",
     "AgentCreator",
@@ -55,6 +62,9 @@ __all__ = [
 ]
 
 GATEWAY_PORT = 80
+#: Request header carrying the device task id: the exactly-once fast path —
+#: the gateway can dedup a retried upload before paying the unpack cost.
+TASK_ID_HEADER = "x-task-id"
 
 
 @dataclass
@@ -65,11 +75,18 @@ class Ticket:
     agent_id: str
     device_id: str
     service: str
-    status: str  # dispatched | completed | retracted | disposed | failed
+    status: str  # dispatched | completed | retracted | disposed | failed | expired
     created_at: float
     result_frame: Optional[bytes] = None
     completed: Optional[Event] = None
     children: list[str] = field(default_factory=list)  # clone tickets
+    #: Device-generated idempotency key ("" for legacy dispatches).  Stored
+    #: on the durable ticket so the volatile dedup index can be rebuilt
+    #: after a gateway restart.
+    task_id: str = ""
+    #: When the result document was first successfully downloaded; starts
+    #: the retention-TTL clock.
+    first_downloaded_at: Optional[float] = None
     #: Telemetry span covering the ticket's pending lifetime (dispatch →
     #: finalize); ``None`` for tickets created outside a traced dispatch.
     span: Optional[Span] = None
@@ -175,6 +192,14 @@ class FileDirectory:
     def release(self, ticket_id: str) -> None:
         self._used -= self._spaces.pop(ticket_id, 0)
 
+    def tracked(self) -> list[str]:
+        """Ticket ids currently holding workspace (for orphan audits)."""
+        return list(self._spaces)
+
+    def held(self, ticket_id: str) -> int:
+        """Bytes currently allocated to ``ticket_id`` (0 if none)."""
+        return self._spaces.get(ticket_id, 0)
+
 
 class AgentDispatchHandler:
     """Separates a received PI and drives the Fig. 6 pipeline."""
@@ -199,8 +224,12 @@ class AgentDispatchHandler:
         )
         content: Optional[PIContent] = None
         try:
-            # Unpack cost scales with the received frame.
-            yield gw.node.compute(gw.config.unpack_cost(len(frame)))
+            # Unpack cost scales with the received frame; dispatch_cost_s
+            # adds the fixed per-dispatch overhead (class loading, servlet
+            # bookkeeping) the overload experiments stress.
+            yield gw.node.compute(
+                gw.config.unpack_cost(len(frame)) + gw.config.dispatch_cost_s
+            )
             content = gw.xml_writer.extract(frame)
         finally:
             unpack_span.end(status="ok" if content is not None else "error")
@@ -211,6 +240,13 @@ class AgentDispatchHandler:
             )
         else:
             parent = unpack_span.context
+        # Exactly-once admission, checked against the *authenticated* task id
+        # from inside the PI, and crucially BEFORE the nonce-replay check in
+        # authorize(): a byte-identical retried frame must dedup to its
+        # existing ticket, not 403 as a replay.
+        existing = gw._dedup_ticket(content.task_id)
+        if existing is not None:
+            return existing.ticket_id, existing.agent_id
         dispatch_span = tele.start_span(
             "gateway.dispatch",
             node=gw.address,
@@ -237,6 +273,9 @@ class AgentDispatchHandler:
                 gw.file_directory.release(ticket.ticket_id)
                 ticket.status = "failed"
                 ticket.span.end(status="error")
+                # The task produced no agent: unbind so a future retry may
+                # legitimately dispatch afresh.
+                gw.dedup.forget(ticket.task_id)
                 raise
             ticket.agent_id = agent_id
             gw.network.tracer.count("gateway_dispatches")
@@ -295,6 +334,40 @@ class Gateway:
         self.dispatch_handler = AgentDispatchHandler(self)
         self._tickets: dict[str, Ticket] = {}
         self._ticket_counter = itertools.count(1)
+        #: Exactly-once admission index (volatile; rebuilt on restart()).
+        self.dedup = DedupTable()
+        #: Bounded, classed intake.  "upload" is the expensive agent-dispatch
+        #: class; "download" the cheap result/agent-op class with its own
+        #: pool, so a dispatch storm can never starve result collection.
+        #: With admission disabled the same finite pools remain (the physical
+        #: serialisation is real) but nothing sheds — the unbounded-queue
+        #: baseline the overload experiment measures against.
+        self.admission = AdmissionController(
+            self.sim,
+            metrics=network.telemetry.metrics,
+            node=address,
+            enabled=self.config.admission_enabled,
+        )
+        upload_bucket = (
+            TokenBucket(
+                self.sim, self.config.admission_rate, self.config.admission_burst
+            )
+            if self.config.admission_rate > 0
+            else None
+        )
+        self.admission.add_class(
+            "upload",
+            workers=self.config.gateway_dispatch_workers,
+            queue_limit=self.config.admission_queue_limit,
+            bucket=upload_bucket,
+            retry_after_s=self.config.shed_retry_after_s,
+        )
+        self.admission.add_class(
+            "download",
+            workers=self.config.gateway_download_workers,
+            queue_limit=self.config.download_queue_limit,
+            retry_after_s=self.config.shed_retry_after_s,
+        )
         self.http = HttpServer(
             self.node, port=port, service_time=self.config.gateway_service_time
         )
@@ -323,8 +396,28 @@ class Gateway:
             status="dispatched",
             created_at=self.sim.now,
             completed=Event(self.sim),
+            task_id=content.task_id,
         )
         self._tickets[ticket.ticket_id] = ticket
+        # Bind before the (slow) agent creation so a retry arriving while
+        # the first dispatch is still materialising dedups onto it instead
+        # of racing a sibling dispatch through authorize().
+        if self.config.dedup_enabled:
+            self.dedup.bind(content.task_id, ticket.ticket_id)
+        return ticket
+
+    def _dedup_ticket(self, task_id: str) -> Optional[Ticket]:
+        """The existing ticket for ``task_id`` if this is a retried upload."""
+        if not (task_id and self.config.dedup_enabled):
+            return None
+        ticket_id = self.dedup.lookup(task_id)
+        if ticket_id is None:
+            return None
+        ticket = self._tickets.get(ticket_id)
+        if ticket is None:  # ticket evicted out-of-band; index is stale
+            self.dedup.forget(task_id)
+            return None
+        self.network.tracer.count("gateway.dedup_hit")
         return ticket
 
     def ticket(self, ticket_id: str) -> Ticket:
@@ -332,6 +425,44 @@ class Gateway:
             return self._tickets[ticket_id]
         except KeyError:
             raise GatewayError(f"unknown ticket {ticket_id!r}") from None
+
+    def tickets(self) -> list[Ticket]:
+        """Every ticket this gateway has minted (auditing/experiments)."""
+        return list(self._tickets.values())
+
+    # ------------------------------------------------------------ crash model
+    def crash(self) -> None:
+        """Gateway process dies: volatile state is lost, durable state kept.
+
+        Mirrors the PR-1 fault model: the node stops listening (clients see
+        resets/refusals), the in-memory dedup index and admission queues
+        vanish, but the ticket store — the servlet container's persistent
+        session state — survives for :meth:`restart` to recover from.
+        """
+        if not self.node.crashed:
+            self.node.suspend_listeners()
+        self.dedup.clear()
+        self.admission.drop_queued()
+        self.network.tracer.count("gateway_crashes")
+
+    def restart(self) -> int:
+        """Bring the gateway back; rebuild the dedup index from tickets.
+
+        Exactly-once must hold *across* the crash: a device retrying a
+        pre-crash task after the restart has to land on its original
+        ticket, so the volatile index is reconstructed from the durable
+        ticket store before any request is served.  Orphaned workspace —
+        allocations whose ticket vanished mid-dispatch — is reclaimed.
+        Returns the number of rebuilt dedup bindings.
+        """
+        rebuilt = self.dedup.rebuild(self._tickets.values())
+        for ticket_id in self.file_directory.tracked():
+            if ticket_id not in self._tickets:
+                self.file_directory.release(ticket_id)
+        if self.node.crashed:
+            self.node.resume_listeners()
+        self.network.tracer.count("gateway_restarts")
+        return rebuilt
 
     def _await_completion(self, ticket: Ticket) -> Generator:
         result = yield self.adapter.wait_completion(ticket.agent_id)
@@ -367,18 +498,44 @@ class Gateway:
         self.network.tracer.count("gateway_watchdog_failures")
 
     def _finalize_ticket(self, ticket: Ticket, result: Any, disposition: str) -> None:
-        if ticket.status in ("completed", "retracted", "disposed", "failed"):
+        if ticket.status in ("completed", "retracted", "disposed", "failed", "expired"):
             return
         doc = self.document_creator.build(ticket, result, disposition)
         payload = compress(write_bytes(doc), self.config.codec)
         ticket.result_frame = self.security.protect_result(payload)
         ticket.status = disposition
+        # The dispatch workspace (agent classes + scratch) is done with —
+        # release it in *every* finalize path (watchdog included) and keep
+        # only the result document, otherwise finalized tickets leak their
+        # code-body allocation until dispose, or forever.
+        self.file_directory.release(ticket.ticket_id)
         self.file_directory.allocate(ticket.ticket_id, len(ticket.result_frame))
         if ticket.completed is not None and not ticket.completed.triggered:
             ticket.completed.succeed(disposition)
+        if disposition == "failed":
+            # Exactly-once covers *successful* dispatch; a failed task may
+            # be retried afresh, so its idempotency key is released.
+            self.dedup.forget(ticket.task_id)
         self.network.tracer.count(f"gateway_results:{disposition}")
         if ticket.span is not None:
             ticket.span.end(status=disposition)
+
+    def _expire_result(self, ticket: Ticket) -> Generator:
+        """Process: reclaim a downloaded result after the retention TTL.
+
+        Armed at the *first successful download*; when it fires, the
+        document and its workspace are dropped and later downloads get the
+        distinct 410 "expired" answer (vs 404 "unknown ticket").  The
+        dedup binding is kept: a very late retry of the task still maps to
+        this ticket instead of dispatching a fresh agent.
+        """
+        yield self.sim.timeout(self.config.result_ttl_s)
+        if ticket.result_frame is None:
+            return
+        ticket.result_frame = None
+        ticket.status = "expired"
+        self.file_directory.release(ticket.ticket_id)
+        self.network.tracer.count("gateway_results_expired")
 
     # ------------------------------------------------------------ HTTP handlers
     def _handle_subscribe(self, req: HttpRequest) -> HttpResponse:
@@ -396,36 +553,123 @@ class Gateway:
         self.network.tracer.count("gateway_subscriptions")
         return HttpResponse(200, body=frame, body_size=len(frame))
 
-    def _handle_pi(self, req: HttpRequest) -> Generator:
-        """§3.2 service execution: body is the PI wire frame."""
-        if not isinstance(req.body, (bytes, bytearray)):
-            return HttpResponse(400, reason="PI body must be bytes")
-            yield  # pragma: no cover - unreachable; keeps handler a generator
-        try:
-            ticket_id, agent_id = yield from self.dispatch_handler.handle(
-                bytes(req.body), trace=SpanContext.from_headers(req.headers)
-            )
-        except AuthorizationError as exc:
-            return HttpResponse(403, reason=str(exc))
-        except (DeploymentError, IntegrityError, CryptoError) as exc:
-            # Structural damage (bad envelope/frame) and integrity failures
-            # are the client's problem, not a server fault.
-            return HttpResponse(400, reason=str(exc))
+    def _dispatched_response(self, ticket_id: str, agent_id: str) -> HttpResponse:
         doc = Element("dispatched")
         doc.add("ticket", text=ticket_id)
         doc.add("agent", text=agent_id)
         body = write_bytes(doc)
         return HttpResponse(200, body=body, body_size=len(body))
 
-    def _handle_result(self, req: HttpRequest) -> HttpResponse:
-        """§3.3 result collection: GET /result/<ticket-id>."""
-        ticket_id = req.path[len("/result/") :]
+    def _shed_response(self, exc: GatewayOverloadedError) -> HttpResponse:
+        """Structured load shed: 503 + Retry-After header + XML error doc."""
+        self.network.tracer.count("gateway.shed")
+        retry_after = exc.retry_after
+        doc = Element("overloaded", {"retry-after": f"{retry_after:g}"})
+        doc.add("reason", text=str(exc))
+        body = write_bytes(doc)
+        return HttpResponse(
+            503,
+            body=body,
+            body_size=len(body),
+            reason=str(exc),
+            headers={"Retry-After": f"{retry_after:g}"},
+        )
+
+    def _handle_pi(self, req: HttpRequest) -> Generator:
+        """§3.2 service execution: body is the PI wire frame.
+
+        Intake discipline, in order: (1) the exactly-once fast path — a
+        task id already bound to a ticket answers immediately, costing no
+        worker slot and no unpack; (2) admission for the "upload" class —
+        shed with 503 + Retry-After when saturated; (3) the Fig. 6 dispatch
+        pipeline under a held worker slot.
+        """
+        if not isinstance(req.body, (bytes, bytearray)):
+            return HttpResponse(400, reason="PI body must be bytes")
+            yield  # pragma: no cover - unreachable; keeps handler a generator
+        arrived = self.sim.now
+        tracer = self.network.tracer
+        try:
+            existing = self._dedup_ticket(req.headers.get(TASK_ID_HEADER, ""))
+            if existing is not None:
+                return self._dispatched_response(
+                    existing.ticket_id, existing.agent_id
+                )
+            try:
+                admission = self.admission.try_admit("upload")
+            except GatewayOverloadedError as exc:
+                return self._shed_response(exc)
+            try:
+                yield admission.request
+                tracer.observe(
+                    "gateway.queue_wait:upload", self.sim.now - admission.enqueued_at
+                )
+                # Re-check after the queue wait: an identical retry may have
+                # been admitted and dispatched while this one waited.
+                existing = self._dedup_ticket(req.headers.get(TASK_ID_HEADER, ""))
+                if existing is not None:
+                    return self._dispatched_response(
+                        existing.ticket_id, existing.agent_id
+                    )
+                try:
+                    ticket_id, agent_id = yield from self.dispatch_handler.handle(
+                        bytes(req.body), trace=SpanContext.from_headers(req.headers)
+                    )
+                except AuthorizationError as exc:
+                    return HttpResponse(403, reason=str(exc))
+                except (DeploymentError, IntegrityError, CryptoError) as exc:
+                    # Structural damage (bad envelope/frame) and integrity
+                    # failures are the client's problem, not a server fault.
+                    return HttpResponse(400, reason=str(exc))
+            finally:
+                admission.release()
+            return self._dispatched_response(ticket_id, agent_id)
+        finally:
+            # Per-priority latency histogram (sheds and dedup hits included:
+            # what the device experienced, whatever the outcome).
+            tracer.observe("gateway.latency:upload", self.sim.now - arrived)
+
+    def _handle_result(self, req: HttpRequest) -> Generator:
+        """§3.3 result collection: GET /result/<ticket-id>.
+
+        Runs under the "download" admission class — its own worker pool, so
+        result collection stays responsive through an upload storm.  The
+        first successful download arms the retention TTL; a ticket whose
+        document has been reclaimed answers 410 ("expired" — the task ran,
+        you came back too late), distinct from 404 ("unknown ticket").
+        """
+        arrived = self.sim.now
+        tracer = self.network.tracer
+        try:
+            try:
+                admission = self.admission.try_admit("download")
+            except GatewayOverloadedError as exc:
+                return self._shed_response(exc)
+            try:
+                yield admission.request
+                return self._result_response(req.path[len("/result/") :])
+            finally:
+                admission.release()
+        finally:
+            tracer.observe("gateway.latency:download", self.sim.now - arrived)
+
+    def _result_response(self, ticket_id: str) -> HttpResponse:
         try:
             ticket = self.ticket(ticket_id)
         except GatewayError as exc:
             return HttpResponse(404, reason=str(exc))
+        if ticket.status == "expired":
+            return HttpResponse(
+                410, reason=f"result for {ticket_id} expired after download"
+            )
         if ticket.result_frame is None:
             return HttpResponse(204, reason="result not ready")
+        if ticket.first_downloaded_at is None:
+            ticket.first_downloaded_at = self.sim.now
+            if self.config.result_ttl_s > 0:
+                self.sim.process(
+                    self._expire_result(ticket), name=f"gw-expire:{ticket.ticket_id}"
+                )
         return HttpResponse(
             200, body=ticket.result_frame, body_size=len(ticket.result_frame)
         )
@@ -469,9 +713,10 @@ class Gateway:
             return HttpResponse(400, reason="need /relay/<gateway>/<ticket>")
             yield  # pragma: no cover - keeps the handler a generator
         if origin == self.address:
-            return self._handle_result(
+            resp = yield from self._handle_result(
                 HttpRequest(method="GET", path=f"/result/{ticket_id}", client=req.client)
             )
+            return resp
         from ..simnet.http import request as http_request
         from ..simnet.transport import TransportError
 
@@ -491,7 +736,13 @@ class Gateway:
         if upstream.status == 204:
             return HttpResponse(204, reason="result not ready")
         if not upstream.ok:
-            return HttpResponse(upstream.status, reason=upstream.reason)
+            # Pass the structured error through — status AND headers (e.g.
+            # the origin's Retry-After), not just a collapsed reason string.
+            return HttpResponse(
+                upstream.status,
+                reason=upstream.reason,
+                headers=dict(upstream.headers),
+            )
         self.network.tracer.count("gateway_relays")
         # The frame is integrity-tagged by the origin gateway; pass through.
         return HttpResponse(

@@ -9,23 +9,30 @@ device is online only for the duration of that exchange, which is what the
 connection-time ledger measures.  Transport-level failures (refused or
 unreachable gateway, persistent wireless loss) are retried under the
 platform's :class:`~repro.core.retry.RetryPolicy` with deterministic
-backoff jitter from the device's named RNG stream; application-level
-failures (HTTP error statuses) are not retried.  Either way, exhausted
-exchanges surface uniformly as :class:`~repro.core.errors.GatewayError`
-so callers — notably the deploy failover — can treat the gateway as bad.
+backoff jitter from the device's named RNG stream; deliberate 503 load
+sheds are waited out per the gateway's ``Retry-After`` without feeding
+the circuit breaker; other application-level failures (HTTP error
+statuses) are not retried.  Either way, exhausted exchanges surface
+uniformly as :class:`~repro.core.errors.GatewayError` so callers —
+notably the deploy failover — can treat the gateway as bad.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator, Optional
 
-from ..simnet.http import HttpError, HttpResponse, request
+from ..simnet.http import HttpResponse, request
 from ..simnet.topology import NoRouteError
 from ..simnet.transport import TransportError
 from ..telemetry.spans import SpanContext
 from ..xmlcodec import Element, parse_bytes, write_bytes
-from .errors import GatewayError, ResultNotReadyError
-from .gateway import GATEWAY_PORT
+from .errors import (
+    GatewayError,
+    GatewayOverloadedError,
+    ResultExpiredError,
+    ResultNotReadyError,
+)
+from .gateway import GATEWAY_PORT, TASK_ID_HEADER
 from .retry import CircuitBreaker, RetryPolicy
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -35,7 +42,7 @@ __all__ = ["NetworkManager"]
 
 #: Failures worth retrying: the gateway process may be restarting, the
 #: wireless link may be in an outage window.  Application-level rejections
-#: (HttpError) are deterministic and fail immediately.
+#: other than a 503 shed are deterministic and fail immediately.
 _RETRIABLE = (TransportError, NoRouteError)
 
 
@@ -56,6 +63,8 @@ class NetworkManager:
         self.uploads = 0
         self.downloads = 0
         self.retries = 0
+        #: 503 sheds waited out (Retry-After honoured) — not failures.
+        self.shed_waits = 0
         #: ``(purpose, attempt, backoff_delay)`` per retry, in order — the
         #: reproducibility contract: same master seed ⇒ identical log.
         self.retry_log: list[tuple[str, int, float]] = []
@@ -75,11 +84,22 @@ class NetworkManager:
 
     # ------------------------------------------------------------ deployment
     def upload_pi(
-        self, gateway: str, frame: bytes, trace: Optional[SpanContext] = None
+        self,
+        gateway: str,
+        frame: bytes,
+        trace: Optional[SpanContext] = None,
+        task_id: str = "",
     ) -> Generator:
-        """Process: §3.2 PI upload; returns ``(ticket_id, agent_id)``."""
+        """Process: §3.2 PI upload; returns ``(ticket_id, agent_id)``.
+
+        ``task_id`` (also packed inside the PI) rides the request headers so
+        the gateway can dedup a retried upload *before* paying the unpack
+        cost — the exactly-once fast path.
+        """
+        headers = {TASK_ID_HEADER: task_id} if task_id else None
         resp = yield from self._exchange(
-            gateway, "POST", "/pi", frame, "upload-pi", trace=trace
+            gateway, "POST", "/pi", frame, "upload-pi", trace=trace,
+            headers=headers,
         )
         self.uploads += 1
         doc = parse_bytes(resp.body)
@@ -113,6 +133,10 @@ class NetworkManager:
         )
         if resp.status == 204:
             raise ResultNotReadyError(ticket_id)
+        if resp.status == 410:
+            raise ResultExpiredError(
+                f"result for {ticket_id} expired: {resp.reason}"
+            )
         if not resp.ok:
             raise GatewayError(f"result download failed: {resp.status} {resp.reason}")
         self.downloads += 1
@@ -140,12 +164,17 @@ class NetworkManager:
         purpose: str,
         raise_for_status: bool = True,
         trace: Optional[SpanContext] = None,
+        headers: Optional[dict[str, str]] = None,
     ) -> Generator:
         """One logical exchange: attempt, retry with backoff, or GatewayError.
 
-        Retries only transport-class failures (`TransportError`,
-        `NoRouteError`) — the kind a restarted gateway or a healed link
-        cures.  The circuit breaker hears about every outcome.
+        Retries transport-class failures (`TransportError`, `NoRouteError`)
+        — the kind a restarted gateway or a healed link cures — and 503
+        load sheds, which are waited out for the gateway's advertised
+        ``Retry-After``.  A shed is "come back later", not a fault: it is
+        **breaker-neutral**, so a healthy-but-busy gateway is never
+        circuit-broken out of the selection pool.  Other HTTP rejections
+        are deterministic and fail immediately.
 
         The exchange runs under a ``net.<purpose>`` span; its context rides
         the request headers, so the gateway parents its own spans on it.
@@ -162,6 +191,9 @@ class NetworkManager:
         )
         try:
             while True:
+                wire_headers = span.context.to_headers()
+                if headers:
+                    wire_headers.update(headers)
                 try:
                     resp: HttpResponse = yield from request(
                         self.network,
@@ -173,13 +205,9 @@ class NetworkManager:
                         body_size=len(body) if body is not None else 0,
                         port=GATEWAY_PORT,
                         purpose=purpose,
-                        raise_for_status=raise_for_status,
-                        headers=span.context.to_headers(),
+                        raise_for_status=False,
+                        headers=wire_headers,
                     )
-                except HttpError as exc:
-                    if self.breaker is not None:
-                        self.breaker.record_failure(gateway)
-                    raise GatewayError(f"{purpose} failed: {exc}") from exc
                 except _RETRIABLE as exc:
                     if self.breaker is not None:
                         self.breaker.record_failure(gateway)
@@ -199,6 +227,29 @@ class NetworkManager:
                     yield sim.timeout(delay)
                     attempt += 1
                     continue
+                if resp.status == 503 and policy.honour_retry_after:
+                    delay = resp.retry_after
+                    if delay is None:
+                        delay = policy.backoff_delay(attempt, self._retry_stream)
+                    delay = min(delay, policy.retry_after_cap)
+                    if attempt >= policy.max_attempts or sim.now + delay > deadline:
+                        raise GatewayOverloadedError(
+                            f"{purpose} shed by {gateway} after {attempt} "
+                            f"attempt(s): {resp.reason}",
+                            retry_after=delay,
+                        )
+                    self.shed_waits += 1
+                    self.retry_log.append((purpose, attempt, delay))
+                    self.network.tracer.count("device_shed_waits")
+                    yield sim.timeout(delay)
+                    attempt += 1
+                    continue
+                if raise_for_status and not resp.ok:
+                    if self.breaker is not None:
+                        self.breaker.record_failure(gateway)
+                    raise GatewayError(
+                        f"{purpose} failed: HTTP {resp.status}: {resp.reason}"
+                    )
                 if self.breaker is not None:
                     self.breaker.record_success(gateway)
                 span.end(attempts=attempt)

@@ -40,6 +40,11 @@ class PIContent:
     params: dict[str, Any] = field(default_factory=dict)
     itinerary: Optional[Itinerary] = None
     code_body: str = ""
+    #: Idempotency key: one id per *logical* device task, stable across
+    #: upload retries and re-packs, so the gateway can dedup a retried PI
+    #: whose first response was lost instead of dispatching a second agent.
+    #: Empty = legacy client without exactly-once semantics.
+    task_id: str = ""
     # Telemetry correlation: the trace this dispatch belongs to and the
     # device-side span it should parent under.  Optional — an empty trace_id
     # means the task is untraced and the gateway starts no linked spans.
@@ -83,6 +88,8 @@ def pi_to_xml(content: PIContent) -> Element:
     root.add("class", text=content.agent_class)
     root.add("key", text=content.dispatch_key)
     root.add("nonce", text=content.nonce)
+    if content.task_id:
+        root.add("task", text=content.task_id)
     root.append(value_to_xml(content.params, "params"))
     if content.itinerary is not None:
         root.append(value_to_xml(content.itinerary.to_dict(), "itinerary"))
@@ -115,6 +122,7 @@ def pi_from_xml(root: Element) -> PIContent:
             else None
         ),
         code_body=root.findtext("code"),
+        task_id=root.findtext("task"),
         trace_id=trace_elem.get("id", "") if trace_elem is not None else "",
         trace_parent=trace_elem.get("parent", "") if trace_elem is not None else "",
     )

@@ -55,6 +55,9 @@ class DispatchHandle:
     #: Telemetry trace this deployment runs under ("" when untraced);
     #: :meth:`PDAgentPlatform.collect` uses it to close the task's root span.
     trace_id: str = ""
+    #: Idempotency key of the logical task; re-deploying with the same
+    #: ``task_id`` is safe — the gateway returns the existing ticket.
+    task_id: str = ""
 
 
 @dataclass(frozen=True)
@@ -147,11 +150,19 @@ class PDAgentPlatform:
         params: dict[str, Any],
         stops: Optional[list[Stop]] = None,
         gateway: Optional[str] = None,
+        task_id: Optional[str] = None,
     ) -> Generator:
         """Process (§3.2): pack and upload the application.
 
         Parameter entry and packing happen offline; only the PI upload opens
         a connection.  Returns a :class:`DispatchHandle`.
+
+        ``task_id`` is the task's idempotency key; one is generated per
+        call when omitted.  Application-level retries should pass the
+        previous attempt's ``handle.task_id`` (or pre-generate one via
+        ``platform.dispatcher.new_task_id()``) so a deployment whose
+        response was lost is deduplicated by the gateway instead of
+        dispatching a second agent.
         """
         stored = self.db.find_code_by_service(service)
         if stored is None:
@@ -159,6 +170,8 @@ class PDAgentPlatform:
                 f"not subscribed to {service!r}; call subscribe() first"
             )
         explicit = gateway is not None
+        if task_id is None:
+            task_id = self.dispatcher.new_task_id()
         # The task root span covers the whole user-visible task: it stays
         # open while the agent travels and is closed by collect().  Every
         # span of this deployment — across all three tiers — nests under it.
@@ -176,14 +189,15 @@ class PDAgentPlatform:
             while True:
                 content = self.dispatcher.build_content(
                     stored, params, stops=stops, origin=gateway,
-                    trace=deploy_span.context,
+                    trace=deploy_span.context, task_id=task_id,
                 )
                 packed = yield from self.dispatcher.pack_for(
                     content, gateway, trace=deploy_span.context
                 )
                 try:
                     ticket, agent_id = yield from self.netmanager.upload_pi(
-                        gateway, packed.data, trace=deploy_span.context
+                        gateway, packed.data, trace=deploy_span.context,
+                        task_id=task_id,
                     )
                     break
                 except GatewayError:
@@ -203,7 +217,7 @@ class PDAgentPlatform:
                 root.end(status="error")
         handle = DispatchHandle(
             ticket=ticket, agent_id=agent_id, gateway=gateway, service=service,
-            trace_id=root.trace_id,
+            trace_id=root.trace_id, task_id=task_id,
         )
         self.db.record_dispatch(
             DispatchRecord(

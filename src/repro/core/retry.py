@@ -47,6 +47,12 @@ class RetryPolicy:
     jitter: float = 0.1
     deadline: float = 60.0
     per_purpose_deadlines: Mapping[str, float] = field(default_factory=dict)
+    #: Honour a 503 shed's Retry-After: sleep the advertised delay and retry
+    #: the same exchange ("shed, retry later") instead of surfacing a
+    #: GatewayError ("failed, give up").  Sheds never feed the breaker.
+    honour_retry_after: bool = True
+    #: Upper bound on a server-advertised Retry-After actually waited.
+    retry_after_cap: float = 30.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -62,6 +68,8 @@ class RetryPolicy:
         for purpose, value in self.per_purpose_deadlines.items():
             if value <= 0:
                 raise ValueError(f"deadline for {purpose!r} must be positive")
+        if self.retry_after_cap <= 0:
+            raise ValueError("retry_after_cap must be positive")
 
     @classmethod
     def from_config(cls, config: "PDAgentConfig") -> "RetryPolicy":
@@ -72,6 +80,8 @@ class RetryPolicy:
             max_delay=config.retry_max_delay,
             jitter=config.retry_jitter,
             deadline=config.retry_deadline_s,
+            honour_retry_after=config.retry_honour_retry_after,
+            retry_after_cap=config.retry_after_cap_s,
         )
 
     def deadline_for(self, purpose: str) -> float:

@@ -8,6 +8,8 @@
   adapter ablations (A1–A4);
 * :mod:`~repro.experiments.faults` — the Fig. 12 workload under an
   injected fault schedule (completion rate, added connection time);
+* :mod:`~repro.experiments.overload` — dispatch storms through one
+  under-provisioned gateway, protected (admission + dedup) vs not;
 * :mod:`~repro.experiments.runner` — the ``pdagent-experiments`` CLI.
 """
 
@@ -20,6 +22,13 @@ from .faults import (
     run_client_server_under_faults,
     run_fault_comparison,
     run_pdagent_under_faults,
+)
+from .overload import (
+    OverloadRunResult,
+    OverloadSweepResult,
+    overload_schedule,
+    run_overload,
+    run_overload_sweep,
 )
 from .scenario import (
     EvaluationScenario,
@@ -46,4 +55,9 @@ __all__ = [
     "run_pdagent_under_faults",
     "run_client_server_under_faults",
     "run_fault_comparison",
+    "OverloadRunResult",
+    "OverloadSweepResult",
+    "overload_schedule",
+    "run_overload",
+    "run_overload_sweep",
 ]

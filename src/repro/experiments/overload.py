@@ -1,0 +1,432 @@
+"""Overload experiment: graceful degradation vs collapse under retry storms.
+
+The paper positions the gateway tier as the tier that absorbs "heavy
+traffic from millions of users" on behalf of weak wireless devices; this
+experiment makes that claim measurable at simulation scale.  A growing
+population of PDAs all dispatch an e-banking agent through a *single*
+deliberately under-provisioned gateway (one dispatch worker, a fixed
+per-dispatch cost) while a fault schedule cuts the gateway's uplink
+mid-burst.  Outages that swallow in-flight *responses* are the nasty case:
+the agent was dispatched but the device never learned its ticket, so it
+retries — a retry storm against an already-loaded gateway.
+
+Two configurations face the same seed, population and fault schedule:
+
+* **protected** — PR-3's overload layer on: bounded intake queues, a token
+  bucket, 503 load sheds with ``Retry-After`` (breaker-neutral), and the
+  exactly-once dedup table, so a retried upload lands on its existing
+  ticket without paying the dispatch cost again.
+* **unprotected** — admission control *and* dedup off: the same finite
+  worker pool behind an unbounded queue.  A retried frame trips the
+  nonce-replay 403, the application retries with a fresh dispatch, and the
+  gateway happily runs **duplicate agents** — each one more load.
+
+Reported per (population, mode): completion rate, p50/p99 task latency,
+real dispatches vs duplicate dispatches, load sheds, dedup hits and
+device-side retry totals.  The headline: the protected gateway sheds but
+keeps p99 bounded and duplicates at zero; the unprotected one's tail and
+duplicate count grow with the population.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from ..apps.ebanking import (
+    BankServiceAgent,
+    EBankingAgent,
+    ebanking_service_code,
+    make_transactions,
+)
+from ..core import Deployment, DeploymentBuilder, PDAgentConfig
+from ..core.errors import PDAgentError
+from ..device import link_profile
+from ..mas import Stop
+from ..simnet.faults import FaultSchedule, LinkDown
+from ..telemetry.exporters import TraceCollector
+from .report import format_table
+
+__all__ = [
+    "OverloadRunResult",
+    "OverloadSweepResult",
+    "overload_config",
+    "overload_schedule",
+    "percentile",
+    "run_overload",
+    "run_overload_sweep",
+    "main",
+]
+
+GATEWAY = "gw-0"
+BANKS = ("bank-a", "bank-b")
+
+#: All PDAs share one access-point router; cutting its backbone uplink
+#: severs every device<->gateway path at once while the wired side — the
+#: gateway, the banks, the agents already touring — keeps working.  That
+#: isolates the nasty failure: work done, response lost, device retries.
+ACCESS_POINT = "ap"
+
+#: Device populations swept (CI smoke caps this via ``--max-n``).
+DEFAULT_POPULATIONS = (2, 4, 8, 12)
+
+#: Device ``k`` submits its task at ``k * STAGGER_S`` — close enough to
+#: pile up on the single dispatch worker, spread enough that arrival order
+#: is deterministic.
+STAGGER_S = 0.15
+N_TXNS = 1
+
+#: Application-level retry: on a failed deployment the user resubmits the
+#: *same task* (same idempotency key) a little later.
+APP_RETRY_ATTEMPTS = 4
+APP_RETRY_WAIT_S = 10.0
+COLLECT_ATTEMPTS = 3
+COLLECT_RETRY_WAIT_S = 5.0
+
+
+def overload_config(protected: bool) -> PDAgentConfig:
+    """The experiment's gateway sizing; ``protected`` toggles PR-3's layer.
+
+    One dispatch worker plus a fixed 1 s dispatch cost make the gateway
+    the bottleneck by construction: every duplicate dispatch the
+    unprotected gateway accepts costs another full worker-second, while
+    the protected gateway's dedup fast path answers retries without
+    touching the worker at all.  A generous retry budget keeps devices
+    alive across the outage windows so the difference between the modes is
+    the *gateway's* behaviour, not the devices giving up.
+    """
+    return PDAgentConfig(
+        selection_policy="first",
+        gateway_dispatch_workers=1,
+        dispatch_cost_s=1.0,
+        admission_queue_limit=2,
+        admission_rate=4.0,
+        admission_burst=4,
+        shed_retry_after_s=1.5,
+        retry_max_attempts=8,
+        retry_deadline_s=600.0,
+        retry_after_cap_s=30.0,
+        admission_enabled=protected,
+        dedup_enabled=protected,
+    )
+
+
+def overload_schedule() -> FaultSchedule:
+    """Two gateway-uplink outages timed to swallow dispatch *responses*.
+
+    With a 0.15 s submission stagger and ~0.25 s per dispatch, the first
+    window (0.8 s in) opens while the single worker is still draining the
+    initial burst: agents dispatched during the window complete, but their
+    ticket responses die on the downed link, so those devices retry.  The
+    second window catches the application-level resubmissions (~10 s after
+    their failed deploys) for a second storm.  Times are offsets from
+    workload start (:meth:`FaultSchedule.install` time).
+    """
+    schedule = FaultSchedule()
+    schedule.add(LinkDown(ACCESS_POINT, "backbone", at=0.8, duration=5.0))
+    schedule.add(LinkDown(ACCESS_POINT, "backbone", at=14.0, duration=4.0))
+    return schedule
+
+
+def percentile(values: list[float], p: float) -> float:
+    """Linear-interpolated percentile, ``p`` in [0, 1] (nan when empty)."""
+    if not values:
+        return float("nan")
+    xs = sorted(values)
+    k = (len(xs) - 1) * p
+    lo = int(k)
+    hi = min(lo + 1, len(xs) - 1)
+    return xs[lo] + (xs[hi] - xs[lo]) * (k - lo)
+
+
+@dataclass
+class OverloadRunResult:
+    """One (population, mode) run's aggregates."""
+
+    mode: str
+    seed: int
+    n_devices: int
+    completed: int
+    latencies: list[float]
+    dispatches: int
+    duplicate_dispatches: int
+    sheds: int
+    dedup_hits: int
+    shed_waits: int
+    transport_retries: int
+    outcomes: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def completion_rate(self) -> float:
+        return self.completed / self.n_devices if self.n_devices else 0.0
+
+    @property
+    def p50(self) -> float:
+        return percentile(self.latencies, 0.50)
+
+    @property
+    def p99(self) -> float:
+        return percentile(self.latencies, 0.99)
+
+
+def _build(seed: int, n_devices: int, protected: bool) -> Deployment:
+    builder = DeploymentBuilder(
+        master_seed=seed, config=overload_config(protected)
+    )
+    builder.add_central("central")
+    builder.add_gateway(GATEWAY)
+    for bank in BANKS:
+        builder.add_site(bank, services=[BankServiceAgent(bank_name=bank)])
+    lan = link_profile("LAN")
+    builder.network.add_node(ACCESS_POINT, kind="router")
+    builder.network.add_link(ACCESS_POINT, "backbone", lan)
+    builder.network.add_link("backbone", ACCESS_POINT, lan)
+    for k in range(n_devices):
+        builder.add_device(
+            f"pda-{k}", profile="PDA", wireless="WLAN", attach_to=ACCESS_POINT
+        )
+    builder.register_agent_class(EBankingAgent)
+    builder.publish(ebanking_service_code())
+    deployment = builder.build()
+    _prewarm(deployment, n_devices)
+    return deployment
+
+
+def _prewarm(deployment: Deployment, n_devices: int) -> None:
+    """Address list + subscription per device, before the measured storm."""
+    sim = deployment.sim
+
+    def setup(k: int) -> Generator:
+        platform = deployment.platform(f"pda-{k}")
+        yield from platform.selector.refresh_list()
+        yield from platform.subscribe("ebanking", gateway=GATEWAY)
+        return True
+
+    procs = [
+        sim.process(setup(k), name=f"overload-prewarm:{k}")
+        for k in range(n_devices)
+    ]
+    sim.run(until=sim.all_of(procs))
+
+
+def run_overload(
+    seed: int = 0,
+    n_devices: int = 8,
+    protected: bool = True,
+    schedule: Optional[FaultSchedule] = None,
+    collector: Optional[TraceCollector] = None,
+    label: str = "",
+) -> OverloadRunResult:
+    """One population under one mode; same seed ⇒ identical replay.
+
+    Every device pre-generates its task id and reuses it across
+    application-level resubmissions, so the gateway can tell "the same
+    task, retried" from "a new task" — the exactly-once contract under
+    test.  A task succeeds when its ticket completes and the result
+    collects with status ``"completed"``.
+    """
+    mode = "protected" if protected else "unprotected"
+    deployment = _build(seed, n_devices, protected)
+    sim = deployment.sim
+    network = deployment.network
+    if schedule is not None and len(schedule):
+        schedule.install(network)
+    txns = make_transactions(list(BANKS), N_TXNS)
+    stops = [Stop(bank, task="banking") for bank in BANKS]
+    outcomes: list[dict[str, Any]] = []
+    latencies: list[float] = []
+
+    def task(k: int) -> Generator:
+        platform = deployment.platform(f"pda-{k}")
+        yield sim.timeout(k * STAGGER_S)
+        t0 = sim.now
+        out: dict[str, Any] = {"device": k, "ok": False, "detail": ""}
+        outcomes.append(out)
+        task_id = platform.dispatcher.new_task_id()
+        handle = None
+        for attempt in range(APP_RETRY_ATTEMPTS):
+            try:
+                handle = yield from platform.deploy(
+                    "ebanking",
+                    {"transactions": txns},
+                    stops=stops,
+                    gateway=GATEWAY,
+                    task_id=task_id,
+                )
+            except PDAgentError as exc:
+                out["detail"] = f"deploy attempt {attempt + 1} failed: {exc}"
+                yield sim.timeout(APP_RETRY_WAIT_S)
+                continue
+            ticket = deployment.gateway(GATEWAY).ticket(handle.ticket)
+            disposition = yield ticket.completed
+            if disposition == "completed":
+                break
+            # A "failed" finalization unbinds the dedup entry, so this
+            # resubmission (same task id) legitimately dispatches afresh.
+            out["detail"] = f"ticket finalized {disposition!r}"
+            handle = None
+            yield sim.timeout(APP_RETRY_WAIT_S)
+        if handle is None:
+            return
+        for _ in range(COLLECT_ATTEMPTS):
+            try:
+                result = yield from platform.collect(handle)
+            except PDAgentError as exc:
+                out["detail"] = f"collect failed: {exc}"
+                yield sim.timeout(COLLECT_RETRY_WAIT_S)
+                continue
+            out["ok"] = result.status == "completed"
+            out["detail"] = f"status {result.status!r}"
+            if out["ok"]:
+                latencies.append(sim.now - t0)
+            return
+
+    procs = [
+        sim.process(task(k), name=f"overload-task:{k}")
+        for k in range(n_devices)
+    ]
+    sim.run(until=sim.all_of(procs))
+    if collector is not None:
+        collector.add_run(label or f"overload/{mode}-{n_devices}", network)
+    counters = network.tracer.counters
+    dispatched = [t for t in deployment.gateway(GATEWAY).tickets() if t.agent_id]
+    per_task = Counter(t.task_id for t in dispatched if t.task_id)
+    platforms = [deployment.platform(f"pda-{k}") for k in range(n_devices)]
+    return OverloadRunResult(
+        mode=mode,
+        seed=seed,
+        n_devices=n_devices,
+        completed=sum(1 for o in outcomes if o["ok"]),
+        latencies=sorted(latencies),
+        dispatches=len(dispatched),
+        duplicate_dispatches=sum(c - 1 for c in per_task.values() if c > 1),
+        sheds=counters.get("gateway.shed", 0),
+        dedup_hits=counters.get("gateway.dedup_hit", 0),
+        shed_waits=sum(p.netmanager.shed_waits for p in platforms),
+        transport_retries=sum(p.netmanager.retries for p in platforms),
+        outcomes=sorted(outcomes, key=lambda o: o["device"]),
+    )
+
+
+@dataclass
+class OverloadSweepResult:
+    """Protected vs unprotected across the population sweep (same seeds)."""
+
+    seed: int
+    populations: tuple[int, ...]
+    protected: list[OverloadRunResult]
+    unprotected: list[OverloadRunResult]
+
+    def pairs(self) -> list[tuple[OverloadRunResult, OverloadRunResult]]:
+        return list(zip(self.protected, self.unprotected))
+
+    def rows(self) -> list[list]:
+        rows = []
+        for prot, unprot in self.pairs():
+            for run in (prot, unprot):
+                rows.append(
+                    [
+                        run.n_devices,
+                        run.mode,
+                        f"{run.completed}/{run.n_devices}",
+                        round(run.p50, 2),
+                        round(run.p99, 2),
+                        run.dispatches,
+                        run.duplicate_dispatches,
+                        run.sheds,
+                        run.dedup_hits,
+                        run.transport_retries + run.shed_waits,
+                    ]
+                )
+        return rows
+
+    def render(self) -> str:
+        table = format_table(
+            [
+                "devices",
+                "mode",
+                "completed",
+                "p50 (s)",
+                "p99 (s)",
+                "dispatches",
+                "dup dispatches",
+                "sheds",
+                "dedup hits",
+                "device retries",
+            ],
+            self.rows(),
+            title=(
+                "Overload: e-banking dispatch storm through one "
+                "single-worker gateway under uplink outages"
+            ),
+        )
+        worst = self.pairs()[-1]
+        extra = (
+            f"At n={worst[0].n_devices}: protected p99 "
+            f"{worst[0].p99:.2f}s with {worst[0].duplicate_dispatches} "
+            f"duplicate dispatch(es); unprotected p99 {worst[1].p99:.2f}s "
+            f"with {worst[1].duplicate_dispatches}"
+        )
+        return f"{table}\n{extra}"
+
+    def to_csv(self) -> str:
+        lines = [
+            "devices,mode,completed,completion_rate,p50_s,p99_s,"
+            "dispatches,duplicate_dispatches,sheds,dedup_hits,"
+            "shed_waits,transport_retries"
+        ]
+        for prot, unprot in self.pairs():
+            for run in (prot, unprot):
+                lines.append(
+                    f"{run.n_devices},{run.mode},{run.completed},"
+                    f"{run.completion_rate!r},{run.p50!r},{run.p99!r},"
+                    f"{run.dispatches},{run.duplicate_dispatches},"
+                    f"{run.sheds},{run.dedup_hits},{run.shed_waits},"
+                    f"{run.transport_retries}"
+                )
+        return "\n".join(lines) + "\n"
+
+
+def run_overload_sweep(
+    seed: int = 0,
+    populations: tuple[int, ...] = DEFAULT_POPULATIONS,
+    collector: Optional[TraceCollector] = None,
+) -> OverloadSweepResult:
+    """Both modes per population, fresh schedule each run, same seeds."""
+    protected, unprotected = [], []
+    for n in populations:
+        protected.append(
+            run_overload(
+                seed, n, protected=True, schedule=overload_schedule(),
+                collector=collector, label=f"overload/protected-{n}",
+            )
+        )
+        unprotected.append(
+            run_overload(
+                seed, n, protected=False, schedule=overload_schedule(),
+                collector=collector, label=f"overload/unprotected-{n}",
+            )
+        )
+    return OverloadSweepResult(
+        seed=seed,
+        populations=tuple(populations),
+        protected=protected,
+        unprotected=unprotected,
+    )
+
+
+def main(
+    seed: int = 0,
+    populations: tuple[int, ...] = DEFAULT_POPULATIONS,
+    collector: Optional[TraceCollector] = None,
+) -> OverloadSweepResult:
+    result = run_overload_sweep(
+        seed=seed, populations=populations, collector=collector
+    )
+    print(result.render())
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

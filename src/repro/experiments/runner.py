@@ -6,6 +6,7 @@ Usage (installed as ``pdagent-experiments``)::
     pdagent-experiments fig12        # Figure 12 series
     pdagent-experiments fig13        # Figure 13 trials + variances
     pdagent-experiments faults       # Fig. 12 workload under a fault schedule
+    pdagent-experiments overload     # dispatch storm: protected vs unprotected
     pdagent-experiments claims       # C1 code sizes, C2 footprint
     pdagent-experiments ablations    # A1-A4
     pdagent-experiments extensions   # E1-E4
@@ -18,9 +19,9 @@ fault/connection ledgers, metric series) of every traced experiment run
 into PATH — newline-delimited JSON by default, or the Chrome trace_event
 format (open in Perfetto / ``chrome://tracing``) when PATH ends in
 ``.json`` or ``--trace-format chrome`` is given.  Inspect the JSONL with
-``pdagent-trace summary PATH``.  Tracing covers fig12, fig13 and faults
-(the figure-producing simulations); claims/ablations/extensions run many
-heterogeneous micro-benchmarks and are not traced.
+``pdagent-trace summary PATH``.  Tracing covers fig12, fig13, faults and
+overload (the figure-producing simulations); claims/ablations/extensions
+run many heterogeneous micro-benchmarks and are not traced.
 """
 
 from __future__ import annotations
@@ -30,12 +31,12 @@ import os
 import sys
 
 from ..telemetry.exporters import TraceCollector
-from . import ablations, claims, extensions, faults, fig12, fig13
+from . import ablations, claims, extensions, faults, fig12, fig13, overload
 
 __all__ = ["main"]
 
 #: Experiments whose runs are registered with the --trace collector.
-_TRACED = ("fig12", "fig13", "faults")
+_TRACED = ("fig12", "fig13", "faults", "overload")
 
 
 def _ns(args) -> tuple[int, ...]:
@@ -64,9 +65,28 @@ def _run_fig13(args, collector=None):
     return result
 
 
+def _run_overload(args, collector=None):
+    """Device-population sweep; --max-n caps the largest population."""
+    populations = overload.DEFAULT_POPULATIONS
+    if args.max_n:
+        populations = tuple(n for n in populations if n <= args.max_n) or (
+            args.max_n,
+        )
+    result = overload.main(
+        seed=args.seed, populations=populations, collector=collector
+    )
+    if args.csv:
+        path = os.path.join(args.csv, "overload.csv")
+        with open(path, "w") as fh:
+            fh.write(result.to_csv())
+        print(f"[csv] wrote {path}")
+    return result
+
+
 _EXPERIMENTS = {
     "fig12": _run_fig12,
     "fig13": _run_fig13,
+    "overload": _run_overload,
     "faults": lambda args, collector=None: faults.main(
         seed=args.seed, collector=collector
     ),
@@ -128,7 +148,10 @@ def main(argv: list[str] | None = None) -> int:
         os.makedirs(args.csv, exist_ok=True)
     collector = TraceCollector() if args.trace else None
     if args.experiment == "all":
-        for name in ("fig12", "fig13", "faults", "claims", "ablations", "extensions"):
+        for name in (
+            "fig12", "fig13", "faults", "overload",
+            "claims", "ablations", "extensions",
+        ):
             print(f"\n### {name} " + "#" * (60 - len(name)))
             _EXPERIMENTS[name](args, collector=collector)
     else:

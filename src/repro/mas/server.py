@@ -121,6 +121,11 @@ class MobileAgentServer:
     guardian_interval: float = 15.0
     guardian_patience: int = 40
     max_redispatches: int = 3
+    #: Admission control: inbound agent transfers decoded/landed at once.
+    #: Beyond the bound the server refuses with an "overloaded" ack, which
+    #: the sender's dispatch-retry machinery backs off and re-attempts —
+    #: the MAS-tier twin of the gateway's 503 shed.  0 disables the bound.
+    transfer_intake_limit: int = 16
 
     def __init__(
         self,
@@ -152,6 +157,7 @@ class MobileAgentServer:
         self._checkpoints: dict[str, tuple[bytes, str, float]] = {}
         self._progress: dict[str, int] = {}
         self._migrating: set[str] = set()
+        self._inflight_transfers = 0
         self.agent_logs: dict[str, list[tuple[float, str, str]]] = {}
         self._id_counter = itertools.count(1)
         self.node.listen(port, self._accept)
@@ -822,7 +828,26 @@ class MobileAgentServer:
             kind = payload["type"]
             try:
                 if kind == "transfer":
-                    reply = yield from self._handle_transfer(payload)
+                    if (
+                        self.transfer_intake_limit > 0
+                        and self._inflight_transfers >= self.transfer_intake_limit
+                    ):
+                        # Bounded intake: refuse rather than queue unboundedly;
+                        # the sender backs off and retries the dispatch.
+                        self.network.tracer.count("mas_transfers_refused")
+                        reply = {
+                            "status": "overloaded",
+                            "reason": (
+                                f"{self.address} at transfer intake limit "
+                                f"({self.transfer_intake_limit})"
+                            ),
+                        }
+                    else:
+                        self._inflight_transfers += 1
+                        try:
+                            reply = yield from self._handle_transfer(payload)
+                        finally:
+                            self._inflight_transfers -= 1
                 elif kind == "retract":
                     reply, reply_size = self._handle_retract(payload)
                 elif kind == "status":

@@ -40,12 +40,27 @@ RESPONSE_OVERHEAD_BYTES = 120
 
 
 class HttpError(Exception):
-    """Raised client-side for non-2xx responses when ``raise_for_status``."""
+    """Raised client-side for non-2xx responses when ``raise_for_status``.
 
-    def __init__(self, status: int, reason: str) -> None:
+    Compat wrapper around the structured error path: the full
+    :class:`HttpResponse` (status, reason, **headers**, body) rides along as
+    ``.response``, so callers that need more than the status line — e.g. a
+    503's ``Retry-After`` header — can inspect it instead of string-parsing
+    the message.  Callers that want no exception at all pass
+    ``raise_for_status=False`` and branch on ``resp.status`` directly.
+    """
+
+    def __init__(
+        self, status: int, reason: str, response: Optional["HttpResponse"] = None
+    ) -> None:
         super().__init__(f"HTTP {status}: {reason}")
         self.status = status
         self.reason = reason
+        self.response = response
+
+    @property
+    def headers(self) -> dict[str, str]:
+        return self.response.headers if self.response is not None else {}
 
 
 @dataclass(frozen=True)
@@ -89,6 +104,18 @@ class HttpResponse:
     @property
     def wire_size(self) -> int:
         return self.body_size + RESPONSE_OVERHEAD_BYTES
+
+    @property
+    def retry_after(self) -> Optional[float]:
+        """Parsed ``Retry-After`` header (seconds), or None if absent/bad."""
+        raw = self.headers.get("Retry-After")
+        if raw is None:
+            return None
+        try:
+            value = float(raw)
+        except ValueError:
+            return None
+        return value if value >= 0 else None
 
 
 Handler = Callable[[HttpRequest], Any]
@@ -222,5 +249,5 @@ def request(
     if not isinstance(resp, HttpResponse):
         raise TypeError(f"server sent {resp!r}, expected HttpResponse")
     if raise_for_status and not resp.ok:
-        raise HttpError(resp.status, resp.reason)
+        raise HttpError(resp.status, resp.reason, response=resp)
     return resp

@@ -176,6 +176,17 @@ class Resource:
             self._users.add(nxt)
             nxt.succeed()
 
+    def cancel_waiting(self) -> int:
+        """Drop every queued (not yet granted) request; returns the count.
+
+        The dropped events never fire — crash semantics for in-memory
+        server queues that do not survive a process restart.  Held slots
+        are unaffected.
+        """
+        dropped = len(self._waiters)
+        self._waiters.clear()
+        return dropped
+
 
 class Mailbox(Store):
     """Addressed message buffer used by agent messaging.
