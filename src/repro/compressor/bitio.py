@@ -2,6 +2,11 @@
 
 MSB-first bit order throughout (the conventional order for Huffman tables,
 and it makes the encoded streams easy to inspect in tests).
+
+Both classes batch whole-field reads/writes (``write_bits``/``read_bits``
+shift multi-bit fields in one arithmetic step instead of looping per bit);
+the codecs sit on the simulator's per-message hot path, and bit-at-a-time
+loops dominated their profiles.
 """
 
 from __future__ import annotations
@@ -20,19 +25,29 @@ class BitWriter:
         self._nbits = 0
 
     def write_bit(self, bit: int) -> None:
-        self._acc = (self._acc << 1) | (bit & 1)
-        self._nbits += 1
-        if self._nbits == 8:
-            self._buf.append(self._acc)
-            self._acc = 0
-            self._nbits = 0
+        acc = (self._acc << 1) | (bit & 1)
+        nbits = self._nbits + 1
+        if nbits == 8:
+            self._buf.append(acc)
+            acc = 0
+            nbits = 0
+        self._acc = acc
+        self._nbits = nbits
 
     def write_bits(self, value: int, width: int) -> None:
         """Write ``width`` bits of ``value``, most significant first."""
         if width < 0:
             raise ValueError("negative width")
-        for shift in range(width - 1, -1, -1):
-            self.write_bit((value >> shift) & 1)
+        acc = (self._acc << width) | (value & ((1 << width) - 1))
+        nbits = self._nbits + width
+        if nbits >= 8:
+            buf = self._buf
+            while nbits >= 8:
+                nbits -= 8
+                buf.append((acc >> nbits) & 0xFF)
+            acc &= (1 << nbits) - 1
+        self._acc = acc
+        self._nbits = nbits
 
     def getvalue(self) -> bytes:
         """Flush (zero-padding the final byte) and return the bytes."""
@@ -49,25 +64,31 @@ class BitWriter:
 class BitReader:
     """Reads bits MSB-first from a bytes object."""
 
-    __slots__ = ("_data", "_pos")
+    __slots__ = ("_data", "_pos", "_nbits")
 
     def __init__(self, data: bytes) -> None:
         self._data = data
         self._pos = 0  # bit position
+        self._nbits = len(data) * 8
 
     @property
     def bits_remaining(self) -> int:
-        return len(self._data) * 8 - self._pos
+        return self._nbits - self._pos
 
     def read_bit(self) -> int:
-        byte_index, bit_index = divmod(self._pos, 8)
-        if byte_index >= len(self._data):
+        pos = self._pos
+        if pos >= self._nbits:
             raise EOFError("bit stream exhausted")
-        self._pos += 1
-        return (self._data[byte_index] >> (7 - bit_index)) & 1
+        self._pos = pos + 1
+        return (self._data[pos >> 3] >> (7 - (pos & 7))) & 1
 
     def read_bits(self, width: int) -> int:
-        value = 0
-        for _ in range(width):
-            value = (value << 1) | self.read_bit()
-        return value
+        pos = self._pos
+        end = pos + width
+        if end > self._nbits:
+            raise EOFError("bit stream exhausted")
+        self._pos = end
+        first = pos >> 3
+        last = (end + 7) >> 3
+        chunk = int.from_bytes(self._data[first:last], "big")
+        return (chunk >> ((last << 3) - end)) & ((1 << width) - 1)

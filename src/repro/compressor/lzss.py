@@ -16,6 +16,12 @@ walk) so it stays near-linear on pathological inputs.
 
 from __future__ import annotations
 
+try:  # numpy is already a simulator dependency (rng streams); used only
+    # to batch-precompute match-finder hashes, with a pure-Python fallback.
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
 from .bitio import BitReader, BitWriter
 
 __all__ = ["LzssCodec", "WINDOW_SIZE", "MIN_MATCH", "MAX_MATCH"]
@@ -39,55 +45,86 @@ class LzssCodec:
     def encode(self, data: bytes) -> bytes:
         n = len(data)
         writer = BitWriter()
+        write_bits = writer.write_bits
         # Hash chains: head[h] = most recent position with hash h;
-        # prev[i] = previous position with the same hash as i.
-        head: dict[int, int] = {}
+        # prev[i] = previous position with the same hash as i.  A flat
+        # 64K-slot array beats a dict here: every probe and insert is one
+        # C-level list index instead of a hash lookup.
+        head = [-1] * 0x10000
         prev = [-1] * n
+        hash_end = n - MIN_MATCH  # last position with a full 3-byte hash
+        # Precompute every position's 3-byte hash in one vectorized pass
+        # (hashes[j] is valid for j <= hash_end).
+        if n >= MIN_MATCH:
+            if _np is not None:
+                buf = _np.frombuffer(data, dtype=_np.uint8).astype(_np.int32)
+                hashes = (
+                    (buf[:-2] * 131 + buf[1:-1] * 31 + buf[2:]) & 0xFFFF
+                ).tolist()
+            else:
+                hashes = [
+                    (data[j] * 131 + data[j + 1] * 31 + data[j + 2]) & 0xFFFF
+                    for j in range(n - 2)
+                ]
+        else:
+            hashes = []
         i = 0
         while i < n:
             best_len = 0
             best_dist = 0
-            if i + MIN_MATCH <= n:
-                h = _hash3(data, i)
-                candidate = head.get(h, -1)
+            if i <= hash_end:
+                h = hashes[i]
+                candidate = head[h]
                 chain = 0
-                limit = min(MAX_MATCH, n - i)
+                limit = MAX_MATCH if n - i > MAX_MATCH else n - i
+                floor = i - WINDOW_SIZE
                 while candidate >= 0 and chain < _MAX_CHAIN:
-                    dist = i - candidate
-                    if dist > WINDOW_SIZE:
+                    if candidate < floor:
                         break
-                    # Extend the match.
-                    length = 0
-                    while (
-                        length < limit
-                        and data[candidate + length] == data[i + length]
-                    ):
-                        length += 1
-                    if length > best_len:
-                        best_len = length
-                        best_dist = dist
-                        if length == limit:
-                            break
+                    # A candidate can only beat ``best_len`` if it also
+                    # matches at offset ``best_len`` — checking that single
+                    # byte first skips the full extension for most of the
+                    # chain without changing which match is chosen.
+                    if best_len == 0 or data[candidate + best_len] == data[i + best_len]:
+                        # Extend the match.
+                        length = 0
+                        while (
+                            length < limit
+                            and data[candidate + length] == data[i + length]
+                        ):
+                            length += 1
+                        if length > best_len:
+                            best_len = length
+                            best_dist = i - candidate
+                            if length == limit:
+                                break
                     candidate = prev[candidate]
                     chain += 1
             if best_len >= MIN_MATCH:
-                writer.write_bit(1)
-                writer.write_bits(best_dist - 1, 12)
-                writer.write_bits(best_len - MIN_MATCH, 5)
+                # One 18-bit field: flag 1, 12-bit distance, 5-bit length.
+                write_bits(
+                    (1 << 17) | ((best_dist - 1) << 5) | (best_len - MIN_MATCH),
+                    18,
+                )
                 # Insert every covered position into the chains.
                 end = i + best_len
-                while i < end:
-                    if i + MIN_MATCH <= n:
-                        h = _hash3(data, i)
-                        prev[i] = head.get(h, -1)
-                        head[h] = i
+                if end > hash_end:
+                    insert_end = hash_end + 1
+                    if insert_end < i:
+                        insert_end = i
+                else:
+                    insert_end = end
+                while i < insert_end:
+                    h = hashes[i]
+                    prev[i] = head[h]
+                    head[h] = i
                     i += 1
+                i = end
             else:
-                writer.write_bit(0)
-                writer.write_bits(data[i], 8)
-                if i + MIN_MATCH <= n:
-                    h = _hash3(data, i)
-                    prev[i] = head.get(h, -1)
+                # One 9-bit field: flag 0 then the literal byte.
+                write_bits(data[i], 9)
+                if i <= hash_end:
+                    prev[i] = head[h]
                     head[h] = i
                 i += 1
         return writer.getvalue()
@@ -95,17 +132,29 @@ class LzssCodec:
     def decode(self, data: bytes, original_length: int) -> bytes:
         out = bytearray()
         reader = BitReader(data)
-        while len(out) < original_length:
-            if reader.read_bit():
-                dist = reader.read_bits(12) + 1
-                length = reader.read_bits(5) + MIN_MATCH
-                start = len(out) - dist
+        read_bit = reader.read_bit
+        read_bits = reader.read_bits
+        produced = 0
+        while produced < original_length:
+            if read_bit():
+                token = read_bits(17)
+                dist = (token >> 5) + 1
+                length = (token & 0x1F) + MIN_MATCH
+                start = produced - dist
                 if start < 0:
                     raise ValueError("corrupt lzss stream: distance underflow")
-                for k in range(length):
-                    out.append(out[start + k])
+                if dist >= length:
+                    out += out[start : start + length]
+                else:
+                    # Overlapping copy: the match repeats the last ``dist``
+                    # bytes, so tile that pattern instead of copying per byte.
+                    pattern = out[start:produced]
+                    reps, rem = divmod(length, dist)
+                    out += pattern * reps + pattern[:rem]
+                produced += length
             else:
-                out.append(reader.read_bits(8))
-        if len(out) != original_length:
+                out.append(read_bits(8))
+                produced += 1
+        if produced != original_length:
             raise ValueError("corrupt lzss stream: length overshoot")
         return bytes(out)

@@ -21,8 +21,9 @@ from ..crypto import (
     KeyRing,
     PrivateKey,
     md5,
+    new_session,
     open_envelope,
-    seal,
+    seal_with_session,
 )
 from .config import PDAgentConfig
 
@@ -43,11 +44,20 @@ class DeviceSecurity:
         self.config = config
         self.keyring = keyring
         self._rng_bytes = rng_bytes
+        # One EnvelopeSession per (gateway, public key): repeat uploads to
+        # the same gateway reuse the RSA work; a key rotation (new public
+        # key for the address) naturally misses and re-keys.
+        self._sessions: dict = {}
 
     def protect(self, payload: bytes, gateway: str) -> bytes:
         """Seal ``payload`` for ``gateway`` (or tag it when encryption is off)."""
         if self.config.encrypt:
-            return seal(payload, self.keyring.get(gateway), self._rng_bytes)
+            public_key = self.keyring.get(gateway)
+            session = self._sessions.get((gateway, public_key))
+            if session is None:
+                session = new_session(public_key, self._rng_bytes)
+                self._sessions[(gateway, public_key)] = session
+            return seal_with_session(payload, session)
         return PLAIN_MAGIC + md5(payload) + payload
 
     def unprotect_result(self, frame: bytes) -> bytes:
@@ -62,19 +72,29 @@ class DeviceSecurity:
 class GatewaySecurity:
     """Gateway-side verification and decryption of inbound PI."""
 
+    # Keep at most this many recovered session keys (≈ one per active
+    # device); FIFO eviction bounds memory at population scale.
+    _SESSION_CACHE_MAX = 8192
+
     def __init__(self, config: PDAgentConfig, private_key: PrivateKey) -> None:
         self.config = config
         self.private_key = private_key
+        self._session_cache: dict[bytes, bytes] = {}
 
     def unprotect(self, frame: bytes) -> bytes:
         """Verify (MD5) then decrypt an inbound PI frame.
 
         Accepts both sealed and plain frames, so a mixed deployment (some
-        devices with encryption disabled) still interoperates.
+        devices with encryption disabled) still interoperates.  Session keys
+        recovered from verified envelopes are cached so a device reusing its
+        envelope session costs one CRT decryption, not one per upload.
         """
         if frame[:4] == PLAIN_MAGIC:
             return _open_plain(frame)
-        return open_envelope(frame, self.private_key)
+        payload = open_envelope(frame, self.private_key, self._session_cache)
+        while len(self._session_cache) > self._SESSION_CACHE_MAX:
+            self._session_cache.pop(next(iter(self._session_cache)))
+        return payload
 
     def protect_result(self, payload: bytes) -> bytes:
         """Integrity-tag an outbound result document."""

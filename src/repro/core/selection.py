@@ -68,6 +68,9 @@ class GatewaySelector:
         self.breaker = breaker
         self._entries: list[GatewayEntry] = []
         self._probes: dict[str, ProbeResult] = {}
+        # Bumped by invalidate_probes(); probe sweeps that straddle a bump
+        # measured a topology that no longer exists and are discarded.
+        self._probe_generation = 0
         self._round_robin_index = 0
         self.list_refreshes = 0
         self.probes_sent = 0
@@ -100,25 +103,37 @@ class GatewaySelector:
 
     # ------------------------------------------------------------ probing
     def probe_all(self) -> Generator:
-        """Process: ping every listed gateway; returns sorted ProbeResults."""
+        """Process: ping every listed gateway; returns sorted ProbeResults.
+
+        A sweep that straddles an :meth:`invalidate_probes` call (handover)
+        measured a mix of old- and new-topology legs; its results are
+        returned but *not* cached, so the stale snapshot cannot poison
+        later selections.
+        """
         sim = self.network.sim
         if not self._entries:
             raise NoGatewayAvailableError("no address list installed")
+        # Snapshot the entry list: a concurrent refresh must not desync the
+        # address/process pairing below.
+        entries = list(self._entries)
+        generation = self._probe_generation
         # Launch all probes concurrently — the paper sends to *all* gateways.
         processes = [
             sim.process(
                 self._safe_ping(entry.address),
                 name=f"probe:{entry.address}",
             )
-            for entry in self._entries
+            for entry in entries
         ]
         self.probes_sent += len(processes)
         results = yield sim.all_of(processes)
         probes = []
-        for entry, proc in zip(self._entries, processes):
+        for entry, proc in zip(entries, processes):
             probe = ProbeResult(entry.address, results[proc], sim.now)
-            self._probes[entry.address] = probe
             probes.append(probe)
+        if generation == self._probe_generation:
+            for probe in probes:
+                self._probes[probe.address] = probe
         probes.sort(key=lambda p: p.rtt)
         return probes
 
@@ -162,19 +177,7 @@ class GatewaySelector:
         if not self._entries:
             yield from self.refresh_list()
         exclude = set(exclude or ())
-        skip = set(exclude)
-        if self.breaker is not None:
-            skip |= self.breaker.open_addresses()
-        entries = [e for e in self._entries if e.address not in skip]
-        if not entries and skip != exclude:
-            # Every remaining candidate is breaker-open: trying a suspect
-            # gateway beats refusing outright, so ignore the breaker here.
-            skip = exclude
-            entries = [e for e in self._entries if e.address not in skip]
-        if not entries:
-            raise NoGatewayAvailableError(
-                f"all {len(self._entries)} gateways excluded/unreachable"
-            )
+        skip, entries = self._candidates(exclude)
         policy = self.config.selection_policy
         if policy == "first":
             return entries[0].address
@@ -185,26 +188,63 @@ class GatewaySelector:
             entry = entries[self._round_robin_index % len(entries)]
             self._round_robin_index += 1
             return entry.address
-        # nearest (the paper's policy)
-        probes = [p for p in self._cached_probes() if p.address not in skip]
-        if len(probes) < len(entries):
-            probes = yield from self.probe_all()
-            probes = [p for p in probes if p.address not in skip]
-        best = probes[0]
-        if best.rtt > self.config.rtt_threshold and not skip:
-            # Even the nearest gateway is too far: fetch a fresh list and
-            # re-probe once; accept the best we can get after that.
-            yield from self.refresh_list()
-            probes = yield from self.probe_all()
+        # nearest (the paper's policy).  Every pass through the loop re-reads
+        # the probe cache *and* the skip set from scratch: both can change
+        # while a probe sweep or list refresh is in flight (handover
+        # invalidation, a circuit breaker opening), so a snapshot taken
+        # before a yield point must never decide the selection.
+        refreshed = False
+        for _attempt in range(4):
+            skip, entries = self._candidates(exclude)
+            probes = [p for p in self._cached_probes() if p.address not in skip]
+            if len(probes) < len(entries):
+                yield from self.probe_all()
+                # Re-read the cache rather than trusting the sweep's return
+                # value: a handover mid-sweep invalidated (and discarded)
+                # those measurements, and the breaker set may have moved.
+                continue
             best = probes[0]
-        if best.rtt == float("inf"):
-            raise NoGatewayAvailableError("no candidate gateway is reachable")
-        return best.address
+            if not refreshed and best.rtt > self.config.rtt_threshold and not skip:
+                # Even the nearest gateway is too far: fetch a fresh list and
+                # re-probe once; accept the best we can get after that.
+                refreshed = True
+                yield from self.refresh_list()
+                yield from self.probe_all()
+                continue
+            if best.rtt == float("inf"):
+                raise NoGatewayAvailableError("no candidate gateway is reachable")
+            return best.address
+        raise NoGatewayAvailableError(
+            "gateway discovery could not settle: probe sweeps kept coming "
+            "back empty or invalidated (concurrent handovers/refreshes)"
+        )
+
+    def _candidates(self, exclude: set[str]) -> tuple[set[str], list[GatewayEntry]]:
+        """Current ``(skip, candidate entries)`` honouring breaker state."""
+        skip = set(exclude)
+        if self.breaker is not None:
+            skip |= self.breaker.open_addresses()
+        entries = [e for e in self._entries if e.address not in skip]
+        if not entries and skip != exclude:
+            # Every remaining candidate is breaker-open: trying a suspect
+            # gateway beats refusing outright, so ignore the breaker here.
+            skip = set(exclude)
+            entries = [e for e in self._entries if e.address not in skip]
+        if not entries:
+            raise NoGatewayAvailableError(
+                f"all {len(self._entries)} gateways excluded/unreachable"
+            )
+        return skip, entries
 
     def last_rtt(self, address: str) -> Optional[float]:
         probe = self._probes.get(address)
         return probe.rtt if probe else None
 
     def invalidate_probes(self) -> None:
-        """Drop cached RTTs (after a handover the old values are garbage)."""
+        """Drop cached RTTs (after a handover the old values are garbage).
+
+        Also marks any in-flight probe sweep as stale: its measurements mix
+        pre- and post-handover topologies and must not enter the cache.
+        """
         self._probes.clear()
+        self._probe_generation += 1

@@ -14,7 +14,15 @@ From-scratch implementations (no external crypto dependency):
 overheads the paper's design pays.
 """
 
-from .envelope import SESSION_KEY_BYTES, keystream, open_envelope, seal
+from .envelope import (
+    SESSION_KEY_BYTES,
+    EnvelopeSession,
+    keystream,
+    new_session,
+    open_envelope,
+    seal,
+    seal_with_session,
+)
 from .errors import CryptoError, IntegrityError
 from .keys import (
     KeyRing,
@@ -43,6 +51,9 @@ __all__ = [
     "encrypt_int",
     "decrypt_int",
     "seal",
+    "seal_with_session",
+    "new_session",
+    "EnvelopeSession",
     "open_envelope",
     "keystream",
     "SESSION_KEY_BYTES",

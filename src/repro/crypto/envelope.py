@@ -31,7 +31,15 @@ from .errors import CryptoError, IntegrityError
 from .md5 import md5
 from .rsa import PrivateKey, PublicKey, decrypt_int, encrypt_int
 
-__all__ = ["seal", "open_envelope", "keystream", "SESSION_KEY_BYTES"]
+__all__ = [
+    "seal",
+    "seal_with_session",
+    "new_session",
+    "open_envelope",
+    "keystream",
+    "EnvelopeSession",
+    "SESSION_KEY_BYTES",
+]
 
 _MAGIC = b"PDE1"
 SESSION_KEY_BYTES = 16
@@ -40,20 +48,42 @@ _PAD_BYTES = 11  # random non-zero prefix distinguishing session keys
 
 def keystream(session_key: bytes, length: int) -> bytes:
     """MD5-counter keystream of ``length`` bytes."""
-    out = bytearray()
-    counter = 0
-    while len(out) < length:
-        out.extend(md5(session_key + struct.pack("<I", counter)))
-        counter += 1
-    return bytes(out[:length])
+    blocks = (length + 15) >> 4
+    out = b"".join(
+        md5(session_key + struct.pack("<I", counter)) for counter in range(blocks)
+    )
+    return out[:length]
 
 
 def _xor(data: bytes, stream: bytes) -> bytes:
-    return bytes(a ^ b for a, b in zip(data, stream))
+    # Whole-buffer XOR via bigints: one C-level op instead of a Python loop.
+    n = len(data)
+    return (
+        int.from_bytes(data, "little") ^ int.from_bytes(stream[:n], "little")
+    ).to_bytes(n, "little")
 
 
-def seal(plaintext: bytes, public_key: PublicKey, rng_bytes) -> bytes:
-    """Encrypt ``plaintext`` for the holder of ``public_key``.
+class EnvelopeSession:
+    """A reusable ``(session_key, rsa_block)`` pair for one recipient key.
+
+    The expensive asymmetric work — the device's modexp and, above all, the
+    gateway's CRT decryption — depends only on the session key, so a device
+    that uploads repeatedly to the same gateway can amortize it TLS-session
+    style: the gateway recognises a previously decrypted ``rsa_block`` and
+    skips straight to the symmetric layer.  This is a protocol *model* (see
+    the module docstring): a production scheme would re-key the symmetric
+    stream per message rather than reuse the MD5-counter keystream.
+    """
+
+    __slots__ = ("session_key", "rsa_block")
+
+    def __init__(self, session_key: bytes, rsa_block: bytes) -> None:
+        self.session_key = session_key
+        self.rsa_block = rsa_block
+
+
+def new_session(public_key: PublicKey, rng_bytes) -> EnvelopeSession:
+    """Draw a fresh session key and RSA-encrypt it for ``public_key``.
 
     ``rng_bytes`` is a callable ``n -> bytes`` supplying randomness (the
     simulator passes a seeded stream so runs are reproducible).
@@ -71,17 +101,44 @@ def seal(plaintext: bytes, public_key: PublicKey, rng_bytes) -> bytes:
     m = int.from_bytes(block, "big")
     c = encrypt_int(m, public_key)
     rsa_block = c.to_bytes(public_key.byte_size, "big")
+    return EnvelopeSession(session_key, rsa_block)
+
+
+def seal_with_session(plaintext: bytes, session: EnvelopeSession) -> bytes:
+    """Build an envelope frame using an existing :class:`EnvelopeSession`."""
+    session_key = session.session_key
+    rsa_block = session.rsa_block
     ciphertext = _xor(plaintext, keystream(session_key, len(plaintext)))
     header = _MAGIC + struct.pack("<H", len(rsa_block)) + rsa_block
     tag = md5(header + ciphertext)
     return header + tag + ciphertext
 
 
-def open_envelope(frame: bytes, private_key: PrivateKey) -> bytes:
+def seal(plaintext: bytes, public_key: PublicKey, rng_bytes) -> bytes:
+    """Encrypt ``plaintext`` for the holder of ``public_key``.
+
+    Draws a fresh session key per call; callers that upload repeatedly
+    should hold an :class:`EnvelopeSession` and use
+    :func:`seal_with_session` instead.
+    """
+    return seal_with_session(plaintext, new_session(public_key, rng_bytes))
+
+
+def open_envelope(
+    frame: bytes,
+    private_key: PrivateKey,
+    session_cache: dict | None = None,
+) -> bytes:
     """Verify and decrypt an envelope produced by :func:`seal`.
 
     Raises :class:`IntegrityError` if the MD5 tag does not match (the
     gateway's step-2 check) and :class:`CryptoError` for structural damage.
+
+    ``session_cache`` maps ``rsa_block`` bytes to already-recovered session
+    keys: the CRT decryption is by far the costliest step, and a device
+    reusing its session uploads the same ``rsa_block`` every time.  Only
+    *verified* recoveries enter the cache, and a hit still re-checks the
+    frame's MD5 tag, so a forged frame can neither poison nor exploit it.
     """
     if len(frame) < 6:
         raise CryptoError("envelope shorter than header")
@@ -96,17 +153,22 @@ def open_envelope(frame: bytes, private_key: PrivateKey) -> bytes:
     ciphertext = frame[header_len + 16 :]
     if md5(header + ciphertext) != tag:
         raise IntegrityError("MD5 verification failed")
-    c = int.from_bytes(frame[6:header_len], "big")
-    m = decrypt_int(c, private_key)
-    block = m.to_bytes(private_key.n.bit_length() // 8 + 1, "big").lstrip(b"\x00")
-    # block = 0x01 || pad || 0x00 || session_key
-    if not block or block[0] != 0x01:
-        raise CryptoError("malformed session-key block")
-    try:
-        sep = block.index(0, 1)
-    except ValueError:
-        raise CryptoError("malformed session-key block") from None
-    session_key = block[sep + 1 :]
-    if len(session_key) != SESSION_KEY_BYTES:
-        raise CryptoError("malformed session key")
+    rsa_block = frame[6:header_len]
+    session_key = session_cache.get(rsa_block) if session_cache is not None else None
+    if session_key is None:
+        c = int.from_bytes(rsa_block, "big")
+        m = decrypt_int(c, private_key)
+        block = m.to_bytes(private_key.n.bit_length() // 8 + 1, "big").lstrip(b"\x00")
+        # block = 0x01 || pad || 0x00 || session_key
+        if not block or block[0] != 0x01:
+            raise CryptoError("malformed session-key block")
+        try:
+            sep = block.index(0, 1)
+        except ValueError:
+            raise CryptoError("malformed session-key block") from None
+        session_key = block[sep + 1 :]
+        if len(session_key) != SESSION_KEY_BYTES:
+            raise CryptoError("malformed session key")
+        if session_cache is not None:
+            session_cache[rsa_block] = session_key
     return _xor(ciphertext, keystream(session_key, len(ciphertext)))

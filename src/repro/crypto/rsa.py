@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import lru_cache
 
 from .errors import CryptoError
 
@@ -119,8 +120,23 @@ def generate_keypair(bits: int = 512, seed: int | None = None) -> PrivateKey:
     """Generate an RSA keypair with an ``bits``-bit modulus.
 
     ``seed`` makes generation deterministic (used by tests and by the
-    simulator so every run uses identical keys).
+    simulator so every run uses identical keys).  Seeded generation is a
+    pure function of ``(bits, seed)``, so repeat requests — every scenario
+    build re-derives the same per-gateway keys — come from a memo instead
+    of re-running Miller–Rabin; the keys are frozen dataclasses, safe to
+    share.
     """
+    if seed is not None:
+        return _generate_keypair_seeded(bits, seed)
+    return _generate_keypair(bits, None)
+
+
+@lru_cache(maxsize=None)
+def _generate_keypair_seeded(bits: int, seed: int) -> PrivateKey:
+    return _generate_keypair(bits, seed)
+
+
+def _generate_keypair(bits: int, seed: int | None) -> PrivateKey:
     if bits < 64:
         raise ValueError("modulus must be >= 64 bits")
     rng = random.Random(seed)
@@ -148,14 +164,18 @@ def encrypt_int(m: int, key: PublicKey) -> int:
     return pow(m, key.e, key.n)
 
 
+@lru_cache(maxsize=None)
+def _crt_params(key: PrivateKey) -> tuple[int, int, int]:
+    """Per-key CRT exponents/inverse (pure function of the frozen key)."""
+    return key.d % (key.p - 1), key.d % (key.q - 1), pow(key.q, -1, key.p)
+
+
 def decrypt_int(c: int, key: PrivateKey) -> int:
     """Raw RSA decryption using the CRT for speed."""
     if not 0 <= c < key.n:
         raise CryptoError("ciphertext integer out of range for this key")
     # CRT: m_p = c^(d mod p-1) mod p, m_q likewise, recombine.
-    dp = key.d % (key.p - 1)
-    dq = key.d % (key.q - 1)
-    q_inv = pow(key.q, -1, key.p)
+    dp, dq, q_inv = _crt_params(key)
     m_p = pow(c % key.p, dp, key.p)
     m_q = pow(c % key.q, dq, key.q)
     h = (q_inv * (m_p - m_q)) % key.p

@@ -69,6 +69,15 @@ class Network:
         self._links: dict[tuple[str, str], Link] = {}
         self._graph = nx.DiGraph()
         self._routes: dict[tuple[str, str], list[str]] = {}
+        # Derived per-route caches (link objects along the path, bottleneck
+        # bandwidth); invalidated together with _routes on topology change.
+        self._route_links: dict[tuple[str, str], list[Link]] = {}
+        self._bottlenecks: dict[tuple[str, str], float] = {}
+
+    def _invalidate_routes(self) -> None:
+        self._routes.clear()
+        self._route_links.clear()
+        self._bottlenecks.clear()
 
     # -- topology construction -------------------------------------------------
     def add_node(self, node: Node | str, kind: str = "host", cpu_factor: float = 1.0) -> Node:
@@ -108,7 +117,7 @@ class Network:
         link.attach_stream(self.streams.get(f"link:{src}->{dst}"))
         self._links[(src, dst)] = link
         self._graph.add_edge(src, dst, weight=spec.latency, link=link)
-        self._routes.clear()
+        self._invalidate_routes()
         return link
 
     def add_duplex_link(self, a: str, b: str, spec: LinkSpec) -> tuple[Link, Link]:
@@ -122,7 +131,7 @@ class Network:
         del self._links[(src, dst)]
         if self._graph.has_edge(src, dst):
             self._graph.remove_edge(src, dst)
-        self._routes.clear()
+        self._invalidate_routes()
 
     def remove_duplex_link(self, a: str, b: str) -> None:
         """Remove both directions between ``a`` and ``b``."""
@@ -149,7 +158,7 @@ class Network:
         link.spec = spec
         if self._graph.has_edge(src, dst):
             self._graph[src][dst]["weight"] = spec.latency
-        self._routes.clear()
+        self._invalidate_routes()
         return old
 
     @property
@@ -166,7 +175,7 @@ class Network:
             self._graph.add_edge(src, dst, weight=link.spec.latency, link=link)
         else:
             self._graph.remove_edge(src, dst)
-        self._routes.clear()
+        self._invalidate_routes()
 
     # -- routing ------------------------------------------------------------
     def route(self, src: str, dst: str) -> list[str]:
@@ -187,15 +196,25 @@ class Network:
 
     def path_links(self, src: str, dst: str) -> list[Link]:
         """Links along the current route from ``src`` to ``dst``."""
-        path = self.route(src, dst)
-        return [self._links[(a, b)] for a, b in zip(path, path[1:])]
+        key = (src, dst)
+        links = self._route_links.get(key)
+        if links is None:
+            path = self.route(src, dst)
+            links = [self._links[(a, b)] for a, b in zip(path, path[1:])]
+            self._route_links[key] = links
+        return links
 
     def bottleneck_bandwidth(self, src: str, dst: str) -> float:
         """Minimum bandwidth along the route (fluid model)."""
-        links = self.path_links(src, dst)
-        if not links:
-            return float("inf")
-        return min(l.spec.bandwidth for l in links)
+        key = (src, dst)
+        bottleneck = self._bottlenecks.get(key)
+        if bottleneck is None:
+            links = self.path_links(src, dst)
+            bottleneck = (
+                min(l.spec.bandwidth for l in links) if links else float("inf")
+            )
+            self._bottlenecks[key] = bottleneck
+        return bottleneck
 
     def base_rtt(self, src: str, dst: str) -> float:
         """Deterministic (jitter-free) round-trip latency between two nodes."""
@@ -216,7 +235,7 @@ class Network:
             return 0.0, 0
         delay = 0.0
         retries = 0
-        bottleneck = min(l.spec.bandwidth for l in links)
+        bottleneck = self.bottleneck_bandwidth(src, dst)
         for link in links:
             link_retries = 0
             while link.spec.sample_loss(link.stream):

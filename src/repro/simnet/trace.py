@@ -85,19 +85,26 @@ class Tracer:
         self.connections: list[ConnectionRecord] = []
         self.faults: list[FaultRecord] = []
         self._next_conn_id = 0
+        # Instrument caches: count()/observe() run per message/event, and a
+        # cached instrument skips the registry's name-collision checks.
+        self._counter_cache: dict[str, object] = {}
+        self._hist_cache: dict[str, object] = {}
 
     # -- counters / series -----------------------------------------------------
     def count(self, name: str, n: int = 1) -> None:
         """Increment counter ``name`` by ``n``."""
         self.counters[name] += n
-        self.metrics.counter(name).inc(n)
+        counter = self._counter_cache.get(name)
+        if counter is None:
+            counter = self._counter_cache[name] = self.metrics.counter(name)
+        counter.inc(n)
 
     def record(self, name: str, value: float) -> None:
         """Append ``(now, value)`` to time series ``name``."""
         series = self._series[name]
         series.times.append(self.sim.now)
         series.values.append(float(value))
-        self.metrics.histogram(name).observe(value)
+        self.observe(name, value)
 
     def observe(self, name: str, value: float) -> None:
         """Feed ``value`` into histogram ``name`` without keeping the sample.
@@ -106,7 +113,10 @@ class Tracer:
         high-frequency measurements (per-message byte counts) where the
         bucketed summary is enough.
         """
-        self.metrics.histogram(name).observe(value)
+        hist = self._hist_cache.get(name)
+        if hist is None:
+            hist = self._hist_cache[name] = self.metrics.histogram(name)
+        hist.observe(value)
 
     def series(self, name: str) -> tuple[list[float], list[float]]:
         """Return ``(times, values)`` for series ``name`` (empty if unknown)."""
@@ -198,4 +208,6 @@ class Tracer:
         self._series.clear()
         self.connections.clear()
         self.faults.clear()
+        self._counter_cache.clear()
+        self._hist_cache.clear()
         self.metrics.reset()

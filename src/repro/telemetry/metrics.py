@@ -98,6 +98,10 @@ class Histogram:
 
     def observe(self, value: float) -> None:
         value = float(value)
+        if value != value:  # NaN: would poison min/max/total and make
+            # every later snapshot non-JSON (NaN survives comparisons
+            # without ever updating min/max, leaving them at ±inf).
+            raise ValueError(f"histogram {self.name!r} cannot observe NaN")
         self.count += 1
         self.total += value
         if value < self.min:

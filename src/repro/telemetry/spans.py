@@ -164,6 +164,9 @@ class Telemetry:
         self._trace_counter = itertools.count(1)
         self._span_counter = itertools.count(1)
         self._roots: dict[str, Span] = {}
+        # span-name -> histogram, saving an f-string + registry lookup per
+        # span end (the per-message hot path at population scale).
+        self._span_hists: dict = {}
 
     # ------------------------------------------------------------ creation
     def new_trace(self) -> str:
@@ -238,7 +241,11 @@ class Telemetry:
 
     # ------------------------------------------------------------ lifecycle
     def _on_span_end(self, span: Span) -> None:
-        self.metrics.histogram(f"span:{span.name}").observe(span.duration)
+        hist = self._span_hists.get(span.name)
+        if hist is None:
+            hist = self.metrics.histogram(f"span:{span.name}")
+            self._span_hists[span.name] = hist
+        hist.observe(span.end_time - span.start)
 
     def finalize(self) -> int:
         """End-of-simulation close-out: finish every still-open span.
@@ -262,3 +269,4 @@ class Telemetry:
         self.spans.clear()
         self.instants.clear()
         self._roots.clear()
+        self._span_hists.clear()

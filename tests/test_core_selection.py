@@ -155,3 +155,80 @@ class TestSelector:
         dep.sim.run(until=proc)
         assert platform.keyring.knows("gw-0")
         assert platform.keyring.knows("gw-2")
+
+
+class TestReprobeRegressions:
+    """Regressions for the nearest-policy re-probe paths.
+
+    The defects: after the RTT-threshold ``refresh_list()`` + ``probe_all()``
+    re-probe, ``select()`` took ``probes[0]`` without re-filtering
+    breaker-open/excluded gateways, and an empty probe sweep surfaced as an
+    ``IndexError`` instead of :class:`NoGatewayAvailableError`.
+    """
+
+    def test_empty_reprobe_raises_no_gateway(self):
+        """A probe sweep that comes back empty must not IndexError."""
+        dep = build(policy="nearest", rtt_threshold=1e-6)
+        selector = dep.platform("pda").selector
+
+        real = selector.probe_all
+        calls = {"n": 0}
+
+        def flaky_probe_all():
+            # The first sweep measures normally; every later sweep comes
+            # back empty (models a sweep that raced an address-list swap).
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                return []
+                yield  # pragma: no cover - makes this a generator
+            out = yield from real()
+            return out
+
+        selector.probe_all = flaky_probe_all
+        proc = dep.sim.process(selector.select())
+        with pytest.raises(NoGatewayAvailableError):
+            dep.sim.run(until=proc)
+
+    def test_probe_sweep_refilters_breaker_open(self):
+        """A breaker that opens while probes are in flight must be honoured."""
+        from dataclasses import replace
+
+        dep = build(
+            policy="nearest",
+            rtt_threshold=1e9,
+            breaker_threshold=1,
+            breaker_cooldown_s=1e9,
+        )
+        net = dep.network
+        # gw-0 is by far the nearest...
+        for src, dst in (("gw-0", "backbone"), ("backbone", "gw-0")):
+            link = net.link(src, dst)
+            link.spec = replace(link.spec, latency=0.0001, jitter=0.0)
+        for i in (1, 2):
+            for src, dst in ((f"gw-{i}", "backbone"), ("backbone", f"gw-{i}")):
+                link = net.link(src, dst)
+                link.spec = replace(link.spec, latency=0.2, jitter=0.0)
+        platform = dep.platform("pda")
+        selector = platform.selector
+
+        proc = dep.sim.process(selector.refresh_list())
+        dep.sim.run(until=proc)
+
+        # ... but its circuit breaker trips while the sweep is in flight.
+        def trip():
+            yield dep.sim.timeout(1e-6)
+            platform.breaker.record_failure("gw-0")
+
+        dep.sim.process(trip())
+        proc = dep.sim.process(selector.select())
+        chosen = dep.sim.run(until=proc)
+        assert chosen != "gw-0"
+        assert chosen in ("gw-1", "gw-2")
+
+    def test_threshold_reprobe_still_filters_exclusions(self):
+        """The post-refresh best pick must never be an excluded gateway."""
+        dep = build(policy="nearest", rtt_threshold=1e9)
+        selector = dep.platform("pda").selector
+        proc = dep.sim.process(selector.select(exclude={"gw-0", "gw-1", "gw-2"}))
+        with pytest.raises(NoGatewayAvailableError):
+            dep.sim.run(until=proc)

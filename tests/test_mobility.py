@@ -156,3 +156,47 @@ class TestHandover:
         handle, result = dep.sim.run(until=proc)
         assert handle.gateway == "gw-1"
         assert len(result.data["transactions"]) == 2
+
+
+class TestMidSelectHandover:
+    """Regression: a handover that invalidates the probe cache while
+    ``select()`` is mid-probe must not hand back a pre-handover answer."""
+
+    def test_handover_during_probe_sweep_rediscovers(self):
+        dep = build_two_region_world()
+        platform = dep.platform("pda")
+        proc = dep.sim.process(platform.selector.refresh_list())
+        dep.sim.run(until=proc)
+
+        # Relocate while the probe sweep is in flight: the sweep's RTTs
+        # were measured from ap-east and are garbage afterwards.
+        def mover():
+            yield dep.sim.timeout(0.15)
+            platform.relocate("ap-west", link_profile("WLAN"))
+
+        dep.sim.process(mover())
+        proc = dep.sim.process(platform.selector.select())
+        chosen = dep.sim.run(until=proc)
+        assert platform.device.attachment == "ap-west"
+        assert chosen == "gw-1"  # the post-handover nearest, not gw-0
+
+    def test_invalidation_mid_sweep_discards_stale_probes(self):
+        dep = build_two_region_world()
+        platform = dep.platform("pda")
+        selector = platform.selector
+        proc = dep.sim.process(selector.refresh_list())
+        dep.sim.run(until=proc)
+
+        def mover():
+            yield dep.sim.timeout(0.15)
+            platform.relocate("ap-west", link_profile("WLAN"))
+
+        dep.sim.process(mover())
+        proc = dep.sim.process(selector.select())
+        dep.sim.run(until=proc)
+        # Whatever ended up cached was measured after the handover: a fresh
+        # select() from the new location must agree without re-probing.
+        sent_before = selector.probes_sent
+        proc = dep.sim.process(selector.select())
+        assert dep.sim.run(until=proc) == "gw-1"
+        assert selector.probes_sent == sent_before

@@ -90,6 +90,51 @@ class TestMetrics:
         assert snap["max"] == 3.0
         assert snap["mean"] == 2.0
 
+    def test_empty_histogram_is_json_safe(self):
+        """Zero observations: snapshot/percentile never raise and never
+        leak the ±inf min/max sentinels into JSON output."""
+        hist = Histogram("t")
+        snap = hist.snapshot()
+        assert snap == {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                        "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        json.dumps(snap, allow_nan=False)  # must not need NaN/inf escapes
+        assert hist.percentile(50.0) == 0.0
+        assert hist.mean == 0.0
+
+    def test_single_observation_percentiles_are_exact(self):
+        hist = Histogram("t")
+        hist.observe(0.7)
+        for p in (1.0, 50.0, 99.0, 100.0):
+            assert hist.percentile(p) == 0.7
+        snap = hist.snapshot()
+        assert snap["min"] == snap["max"] == snap["p50"] == 0.7
+        json.dumps(snap, allow_nan=False)
+
+    def test_single_bucket_percentile_stays_in_observed_range(self):
+        """All samples landing in ONE bucket must not extrapolate to the
+        bucket edges — estimates are clamped to the observed [min, max]."""
+        hist = Histogram("t")
+        for v in (1.1, 1.2, 1.3):  # all inside the (1.0, 2.0] bucket
+            hist.observe(v)
+        for p in (1.0, 50.0, 95.0, 100.0):
+            assert 1.1 <= hist.percentile(p) <= 1.3
+
+    def test_p100_returns_observed_max(self):
+        hist = Histogram("t")
+        for v in (0.01, 0.5, 4.2):
+            hist.observe(v)
+        assert hist.percentile(100.0) == 4.2
+
+    def test_nan_observation_rejected(self):
+        """NaN would poison min/max (NaN never compares greater/less, so
+        they'd stay at ±inf) and make every later snapshot non-JSON."""
+        hist = Histogram("t")
+        with pytest.raises(ValueError, match="NaN"):
+            hist.observe(float("nan"))
+        # The rejected observation must not have corrupted any state.
+        hist.observe(1.0)
+        json.dumps(hist.snapshot(), allow_nan=False)
+
 
 # ------------------------------------------------------------------ spans
 class TestSpans:
