@@ -215,6 +215,7 @@ class AgentDispatchHandler:
         dispatch back to the device anyway.
         """
         gw = self.gateway
+        epoch = gw.crash_epoch
         tele = gw.network.telemetry
         unpack_span = tele.start_span(
             "gateway.unpack",
@@ -240,6 +241,17 @@ class AgentDispatchHandler:
             )
         else:
             parent = unpack_span.context
+        # A crash during the unpack yield killed this servlet thread in the
+        # real world: abort before minting a ticket, or the device's retry
+        # (deduped against the restart-rebuilt index, which cannot know
+        # about a ticket that does not exist yet) would race us into a
+        # duplicate dispatch.  The 503 sends the device back through its
+        # shed-retry path, which lands on the rebuilt index.
+        if gw.crash_epoch != epoch:
+            raise GatewayOverloadedError(
+                "gateway restarted during PI intake; retry",
+                retry_after=gw.config.shed_retry_after_s,
+            )
         # Exactly-once admission, checked against the *authenticated* task id
         # from inside the PI, and crucially BEFORE the nonce-replay check in
         # authorize(): a byte-identical retried frame must dedup to its
@@ -334,6 +346,10 @@ class Gateway:
         self.dispatch_handler = AgentDispatchHandler(self)
         self._tickets: dict[str, Ticket] = {}
         self._ticket_counter = itertools.count(1)
+        #: Incremented by crash(): in-flight intake handlers compare their
+        #: entry epoch before minting a ticket, so a dispatch that straddled
+        #: a crash aborts instead of racing the restarted dedup index.
+        self.crash_epoch = 0
         #: Exactly-once admission index (volatile; rebuilt on restart()).
         self.dedup = DedupTable()
         #: Bounded, classed intake.  "upload" is the expensive agent-dispatch
@@ -441,6 +457,7 @@ class Gateway:
         """
         if not self.node.crashed:
             self.node.suspend_listeners()
+        self.crash_epoch += 1
         self.dedup.clear()
         self.admission.drop_queued()
         self.network.tracer.count("gateway_crashes")
@@ -615,6 +632,10 @@ class Gateway:
                     ticket_id, agent_id = yield from self.dispatch_handler.handle(
                         bytes(req.body), trace=SpanContext.from_headers(req.headers)
                     )
+                except GatewayOverloadedError as exc:
+                    # Crash-epoch abort mid-intake: answer like a shed so
+                    # the device retries onto the restarted gateway.
+                    return self._shed_response(exc)
                 except AuthorizationError as exc:
                     return HttpResponse(403, reason=str(exc))
                 except (DeploymentError, IntegrityError, CryptoError) as exc:

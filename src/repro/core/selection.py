@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Generator, Optional
 
 from ..crypto import KeyRing
 from ..simnet.topology import NoRouteError
+from ..simnet.transport import TransportError
 from .config import PDAgentConfig
 from .errors import NoGatewayAvailableError
 from .registry import GatewayEntry, fetch_gateway_list
@@ -93,10 +94,21 @@ class GatewaySelector:
             self.keyring.add(entry.address, entry.public_key)
 
     def refresh_list(self) -> Generator:
-        """Process: (re-)download the address list from the central server."""
-        entries = yield from fetch_gateway_list(
-            self.network, self.device_address, self.central_address
-        )
+        """Process: (re-)download the address list from the central server.
+
+        Transport failures (no route while the radio link is down, the
+        central server resetting mid-download) surface as
+        :class:`NoGatewayAvailableError` — callers live inside the platform
+        error model and must never see raw simnet exceptions.
+        """
+        try:
+            entries = yield from fetch_gateway_list(
+                self.network, self.device_address, self.central_address
+            )
+        except (NoRouteError, TransportError) as exc:
+            raise NoGatewayAvailableError(
+                f"central server unreachable: {exc}"
+            ) from exc
         self.install_list(entries)
         self.list_refreshes += 1
         return entries

@@ -46,7 +46,10 @@ def is_probable_prime(n: int, rounds: int = 40, rng: random.Random | None = None
             return True
         if n % p == 0:
             return False
-    rng = rng or random.Random()
+    # Deterministic default witness stream: seeding from ``n`` keeps the
+    # test a pure function of its input (an unseeded Random() would make
+    # repeat calls draw different witnesses, breaking run replayability).
+    rng = rng or random.Random(n)
     # Write n-1 = d * 2^r with d odd.
     d = n - 1
     r = 0

@@ -210,7 +210,6 @@ def connect(
     """
     sim = network.sim
     dst_node = network.node(dst)
-    listener = dst_node.listener(port)
     links = network.path_links(src, dst)
     setup = sum(l.spec.setup_time for l in links)
     # The device is "online" from the moment it starts dialling: the ledger
@@ -228,6 +227,10 @@ def connect(
         network.tracer.close_connection(record)
         raise
     yield sim.timeout(setup + fwd + back)
+    # Read the listener only *after* the handshake: a host that crashed
+    # while the SYN was in flight must refuse the connection, not serve it
+    # through a callback snapshotted before it died.
+    listener = dst_node.listener(port)
     if listener is None:
         network.tracer.close_connection(record)
         network.tracer.count("connections_refused")

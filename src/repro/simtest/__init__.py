@@ -1,0 +1,50 @@
+"""Deterministic simulation swarm: randomized scenario model-checking.
+
+FoundationDB-style simulation testing over the PDAgent reproduction: one
+integer seed deterministically generates a whole scenario (topology, device
+population, app mix, mobility, faults, gateway crashes, overload bursts),
+the harness drives it to quiescence, and a catalogue of global invariants
+audits the end state.  Failing seeds replay byte-identically and shrink to
+minimal JSON repro artifacts.
+
+Entry points: :func:`generate` → :func:`run_spec` → :func:`check_all` (via
+the report), :func:`shrink`, and the ``pdagent-simtest`` CLI.
+"""
+
+from .harness import RunReport, TaskOutcome, build_deployment, run_spec
+from .invariants import INVARIANTS, RunContext, Violation, check_all
+from .shrink import ShrinkResult, candidates, shrink
+from .spec import (
+    APPS,
+    CrashPoint,
+    DeviceSpec,
+    FaultSpec,
+    OverloadBurst,
+    ScenarioSpec,
+    TaskSpec,
+    generate,
+    spec_from_json,
+)
+
+__all__ = [
+    "APPS",
+    "CrashPoint",
+    "DeviceSpec",
+    "FaultSpec",
+    "INVARIANTS",
+    "OverloadBurst",
+    "RunContext",
+    "RunReport",
+    "ScenarioSpec",
+    "ShrinkResult",
+    "TaskOutcome",
+    "TaskSpec",
+    "Violation",
+    "build_deployment",
+    "candidates",
+    "check_all",
+    "generate",
+    "run_spec",
+    "shrink",
+    "spec_from_json",
+]

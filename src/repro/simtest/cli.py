@@ -1,0 +1,204 @@
+"""``pdagent-simtest`` — drive the deterministic simulation swarm.
+
+Three subcommands:
+
+``run --seeds N [--start S]``
+    Generate and run N seeded scenarios, checking every global invariant.
+    Failing seeds are reported (and optionally shrunk + saved as JSON
+    artifacts with ``--artifacts DIR``); exit status is the number of
+    failing seeds (capped at 100).
+
+``replay SEED``
+    Run one seed twice from scratch and byte-compare the telemetry JSONL —
+    the determinism contract a failing seed's debugging depends on.
+
+``shrink SEED``
+    Minimize a failing seed to the smallest spec that still violates the
+    same invariant(s), and print/save the repro artifact.
+
+``--inject-duplicate`` (run/shrink) arms the deliberate exactly-once
+violation — the self-test that proves the checker and shrinker actually
+bite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Optional
+
+from .harness import RunReport, run_spec
+from .shrink import ShrinkResult, shrink
+from .spec import ScenarioSpec, generate, spec_from_json
+
+__all__ = ["main"]
+
+
+def _spec_for(seed: int, inject: bool) -> ScenarioSpec:
+    spec = generate(seed)
+    if inject:
+        spec = spec.with_(inject_double_dispatch=True)
+    return spec
+
+
+def _artifact(
+    spec: ScenarioSpec,
+    report: RunReport,
+    shrunk: Optional[ShrinkResult] = None,
+) -> dict:
+    doc = {
+        "schema": "pdagent-simtest-artifact/1",
+        "seed": spec.seed,
+        "spec": spec.to_json(),
+        "violations": [
+            {"invariant": v.invariant, "subject": v.subject, "detail": v.detail}
+            for v in report.violations
+        ],
+        "outcomes": [
+            {
+                "device": o.device,
+                "app": o.app,
+                "task_id": o.task_id,
+                "ok": o.ok,
+                "detail": o.detail,
+            }
+            for o in report.outcomes
+        ],
+    }
+    if shrunk is not None:
+        doc["shrunk_spec"] = shrunk.spec.to_json()
+        doc["shrunk_violations"] = [
+            {"invariant": v.invariant, "subject": v.subject, "detail": v.detail}
+            for v in shrunk.report.violations
+        ]
+        doc["shrink_steps"] = shrunk.steps
+    return doc
+
+
+def _save_artifact(path: str, doc: dict) -> None:
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"  artifact: {path}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    failures = 0
+    for seed in range(args.start, args.start + args.seeds):
+        spec = _spec_for(seed, args.inject_duplicate)
+        report = run_spec(spec)
+        if report.ok:
+            if args.verbose:
+                print(report.summary())
+            continue
+        failures += 1
+        print(report.summary())
+        shrunk = None
+        if args.shrink_failures:
+            shrunk = shrink(spec, report=report)
+            print(f"  {shrunk.summary()}")
+        if args.artifacts:
+            _save_artifact(
+                os.path.join(args.artifacts, f"seed-{seed}.json"),
+                _artifact(spec, report, shrunk),
+            )
+    total = args.seeds
+    print(
+        f"swarm: {total - failures}/{total} seed(s) clean"
+        + (f", {failures} FAILING" if failures else "")
+    )
+    return min(failures, 100)
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    spec = _spec_for(args.seed, False)
+    print(f"seed {args.seed}: {spec.describe()}")
+    first = run_spec(spec)
+    print(f"run 1: {first.summary()}")
+    second = run_spec(spec)
+    print(f"run 2: {second.summary()}")
+    if first.jsonl != second.jsonl:
+        print("replay: DIVERGED — telemetry exports differ between runs")
+        return 1
+    lines = first.jsonl.count("\n")
+    print(
+        f"replay: byte-identical telemetry ({lines} events, "
+        f"{len(first.jsonl)} bytes)"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(first.jsonl)
+        print(f"wrote {args.out}")
+    return 0 if first.ok else 1
+
+
+def cmd_shrink(args: argparse.Namespace) -> int:
+    if args.from_artifact:
+        with open(args.from_artifact, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        spec = spec_from_json(doc.get("spec", doc))
+    else:
+        spec = _spec_for(args.seed, args.inject_duplicate)
+    report = run_spec(spec)
+    if report.ok:
+        print(f"seed {spec.seed}: no violations — nothing to shrink")
+        return 0
+    print(report.summary())
+    result = shrink(spec, report=report)
+    print(result.summary())
+    print(result.report.summary())
+    if args.out:
+        _save_artifact(args.out, _artifact(spec, report, result))
+    return 1
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pdagent-simtest", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run a swarm of seeded scenarios")
+    p_run.add_argument("--seeds", type=int, default=20, help="number of seeds")
+    p_run.add_argument("--start", type=int, default=0, help="first seed")
+    p_run.add_argument(
+        "--artifacts", default="", help="directory for failing-seed JSON artifacts"
+    )
+    p_run.add_argument(
+        "--shrink-failures", action="store_true", help="shrink every failing seed"
+    )
+    p_run.add_argument(
+        "--inject-duplicate",
+        action="store_true",
+        help="arm the deliberate exactly-once violation (checker self-test)",
+    )
+    p_run.add_argument("--verbose", action="store_true", help="print clean seeds too")
+    p_run.set_defaults(func=cmd_run)
+
+    p_replay = sub.add_parser("replay", help="re-run one seed twice, byte-compare")
+    p_replay.add_argument("seed", type=int)
+    p_replay.add_argument("--out", default="", help="write the telemetry JSONL here")
+    p_replay.set_defaults(func=cmd_replay)
+
+    p_shrink = sub.add_parser("shrink", help="minimize a failing seed")
+    p_shrink.add_argument("seed", type=int, nargs="?", default=0)
+    p_shrink.add_argument(
+        "--from-artifact", default="", help="shrink the spec inside this artifact"
+    )
+    p_shrink.add_argument(
+        "--inject-duplicate",
+        action="store_true",
+        help="arm the deliberate exactly-once violation first",
+    )
+    p_shrink.add_argument("--out", default="", help="write the repro artifact here")
+    p_shrink.set_defaults(func=cmd_shrink)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

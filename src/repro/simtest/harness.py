@@ -1,0 +1,446 @@
+"""Scenario harness: build a deployment from a spec, drive it, report.
+
+:func:`run_spec` is the single entry point of the model checker: it wires a
+full PDAgent deployment (central + gateways + sites + access points +
+devices) from a :class:`~repro.simtest.spec.ScenarioSpec`, spawns one kernel
+process per user task (plus fault drivers, gateway crash drivers, mobility
+movers and the optional overload burst), runs the simulation to quiescence,
+evaluates every global invariant, and exports the run's telemetry as the
+same byte-stable JSONL the experiments use — the replay contract:
+
+    run_spec(spec).jsonl == run_spec(spec).jsonl   # always, byte for byte
+
+Task processes catch *expected* platform errors (:class:`PDAgentError`
+subclasses) and record them as structured outcomes; anything else is
+recorded as ``unexpected:`` and condemned by the loss invariant regardless
+of fault activity — an exception class the harness does not know about is a
+bug even in a chaos run.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+from ..apps.ebanking import (
+    BankServiceAgent,
+    EBankingAgent,
+    ebanking_service_code,
+    make_transactions,
+)
+from ..apps.foodsearch import (
+    DirectoryServiceAgent,
+    FoodSearchAgent,
+    foodsearch_service_code,
+    make_listings,
+)
+from ..apps.mcommerce import (
+    ShoppingAgent,
+    VendorServiceAgent,
+    make_inventory,
+    mcommerce_service_code,
+)
+from ..core import DeploymentBuilder, PDAgentConfig
+from ..core.deployment import Deployment
+from ..core.errors import (
+    GatewayOverloadedError,
+    PDAgentError,
+    ResultNotReadyError,
+)
+from ..device import link_profile
+from ..mas import Stop
+from ..simnet.faults import FaultSchedule, LinkDegrade, LinkDown, NodeCrash
+from ..telemetry.exporters import TraceCollector
+from .invariants import RunContext, Violation, check_all
+from .spec import DeviceSpec, ScenarioSpec, TaskSpec
+
+__all__ = ["TaskOutcome", "RunReport", "run_spec", "build_deployment"]
+
+#: Application-level retry counts/waits.  Bounded so every task process
+#: terminates far before the scenario horizon even when everything fails.
+DEPLOY_ATTEMPTS = 3
+DEPLOY_RETRY_WAIT_S = 5.0
+COLLECT_ATTEMPTS = 6
+COLLECT_RETRY_WAIT_S = 10.0
+
+
+@dataclass
+class TaskOutcome:
+    """What one logical user task ended as."""
+
+    device: str
+    app: str
+    task_id: str = ""
+    ok: bool = False
+    #: Structured failure class, e.g. "deploy:GatewayError" or
+    #: "unexpected: ZeroDivisionError(...)"; "" on success.
+    detail: str = ""
+    gateway: str = ""
+    ticket: str = ""
+    finished_at: float = -1.0
+    burst: bool = False
+    injected: bool = False
+
+
+@dataclass
+class RunReport:
+    """Everything one scenario run produced."""
+
+    spec: ScenarioSpec
+    outcomes: list[TaskOutcome]
+    violations: list[Violation]
+    events_processed: int
+    sim_end: float
+    #: Byte-stable telemetry export — identical across replays of the spec.
+    jsonl: str
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for o in self.outcomes if o.ok)
+
+    def summary(self) -> str:
+        head = (
+            f"seed {self.spec.seed}: {self.completed}/{len(self.outcomes)} "
+            f"task(s) ok, {self.events_processed} events, "
+            f"{len(self.violations)} violation(s)"
+        )
+        lines = [head]
+        lines += [f"  VIOLATION {v.invariant}: {v.detail}" for v in self.violations]
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------- building
+def _config_for(spec: ScenarioSpec) -> PDAgentConfig:
+    """Platform tuning for swarm runs.
+
+    Small admission pools make the overload burst actually shed; the "first"
+    selection policy keeps auto-selection deterministic without probe RTT
+    noise dominating scenario variety; a 60s watchdog bounds every stuck
+    ticket well inside the horizon.  Dedup goes off only for the deliberate
+    exactly-once injection.
+    """
+    return PDAgentConfig(
+        selection_policy="first",
+        ticket_watchdog_s=60.0,
+        retry_deadline_s=30.0,
+        gateway_dispatch_workers=2,
+        admission_queue_limit=3,
+        breaker_cooldown_s=10.0,
+        dedup_enabled=not spec.inject_double_dispatch,
+    )
+
+
+def build_deployment(spec: ScenarioSpec) -> Deployment:
+    """Wire the scenario's world: infrastructure, apps, access points."""
+    builder = DeploymentBuilder(master_seed=spec.seed, config=_config_for(spec))
+    builder.add_central("central")
+    for gw in spec.gateways:
+        builder.add_gateway(gw)
+    sites = spec.sites
+    for i, site in enumerate(sites):
+        partner = sites[(i + 1) % len(sites)] if len(sites) > 1 else ""
+        builder.add_site(
+            site,
+            services=[
+                BankServiceAgent(bank_name=site),
+                DirectoryServiceAgent(make_listings(i), partner=partner),
+                VendorServiceAgent(make_inventory(i)),
+            ],
+        )
+    builder.register_agent_class(EBankingAgent)
+    builder.register_agent_class(FoodSearchAgent)
+    builder.register_agent_class(ShoppingAgent)
+    builder.publish(ebanking_service_code())
+    builder.publish(foodsearch_service_code())
+    builder.publish(mcommerce_service_code())
+    # Access points: router nodes between device radios and the backbone,
+    # so mobility (re-homing to another AP) and AP-uplink faults are real
+    # topology events, not no-ops.
+    for j in range(spec.n_aps):
+        builder.network.add_node(f"ap-{j}", kind="router")
+        builder.network.add_duplex_link(f"ap-{j}", "backbone", link_profile("LAN"))
+    for dev in spec.devices:
+        builder.add_device(
+            dev.name,
+            profile=dev.profile,
+            wireless=dev.wireless,
+            attach_to=f"ap-{dev.ap}",
+        )
+    return builder.build()
+
+
+def _fault_edge(spec: ScenarioSpec, target: str) -> tuple[str, str]:
+    """Resolve a symbolic fault target to a concrete link edge."""
+    kind, _, name = target.partition(":")
+    if kind == "ap":
+        return (f"ap-{name}", "backbone")
+    if kind in ("gw", "site"):
+        return (name, "backbone")
+    if kind == "dev":
+        for dev in spec.devices:
+            if dev.name == name:
+                return (name, f"ap-{dev.ap}")
+        raise ValueError(f"fault targets unknown device {name!r}")
+    raise ValueError(f"unknown fault target {target!r}")
+
+
+def _fault_schedule(spec: ScenarioSpec) -> FaultSchedule:
+    schedule = FaultSchedule()
+    for fault in spec.faults:
+        if fault.kind == "site-crash":
+            _, _, site = fault.target.partition(":")
+            schedule.add(NodeCrash(site, at=fault.at, duration=fault.duration))
+            continue
+        src, dst = _fault_edge(spec, fault.target)
+        if fault.kind == "link-down":
+            schedule.add(LinkDown(src, dst, at=fault.at, duration=fault.duration))
+        else:
+            schedule.add(
+                LinkDegrade(
+                    src,
+                    dst,
+                    at=fault.at,
+                    duration=fault.duration,
+                    latency_factor=fault.latency_factor,
+                    loss=fault.loss,
+                )
+            )
+    return schedule
+
+
+# ---------------------------------------------------------------- task drive
+def _task_params(spec_task: TaskSpec) -> tuple[str, dict[str, Any], list[Stop]]:
+    """(service, params, stops) for one TaskSpec."""
+    sites = list(spec_task.sites)
+    if spec_task.app == "ebanking":
+        return (
+            "ebanking",
+            {"transactions": make_transactions(sites, spec_task.n_transactions)},
+            [Stop(site, task="banking") for site in sites],
+        )
+    if spec_task.app == "mcommerce":
+        return (
+            "mcommerce",
+            {"item": spec_task.item, "budget": spec_task.budget},
+            [Stop(site, task="shopping") for site in sites],
+        )
+    return (
+        "foodsearch",
+        {
+            "cuisine": spec_task.cuisine,
+            "max_price": spec_task.max_price,
+            "limit": 5,
+        },
+        [Stop(site, task="search") for site in sites],
+    )
+
+
+class _Harness:
+    """One scenario run's mutable state (ledgers the invariants audit)."""
+
+    def __init__(self, spec: ScenarioSpec, deployment: Deployment) -> None:
+        self.spec = spec
+        self.deployment = deployment
+        self.sim = deployment.sim
+        self.outcomes: list[TaskOutcome] = []
+        #: Every task_id this run handed to the platform — the "no phantom
+        #: tickets" side of conservation.
+        self.issued_task_ids: set[str] = set()
+        #: Every (gateway, ticket_id) a successful deploy returned — the
+        #: "tickets survive crash/restart" side of conservation.
+        self.ticket_births: list[tuple[str, str]] = []
+
+    # -- one logical user task -------------------------------------------
+    def _drive(
+        self,
+        outcome: TaskOutcome,
+        service: str,
+        params: dict[str, Any],
+        stops: list[Stop],
+        gateway: Optional[str],
+        start: float,
+        deploy_twice: bool = False,
+    ) -> Generator:
+        platform = self.deployment.platform(outcome.device)
+        yield self.sim.timeout(start)
+        task_id = platform.dispatcher.new_task_id()
+        outcome.task_id = task_id
+        self.issued_task_ids.add(task_id)
+        try:
+            if not platform.is_subscribed(service):
+                yield from platform.subscribe(service, gateway=gateway)
+            handle = None
+            last: Optional[Exception] = None
+            for attempt in range(DEPLOY_ATTEMPTS):
+                try:
+                    handle = yield from platform.deploy(
+                        service, params, stops=stops, gateway=gateway,
+                        task_id=task_id,
+                    )
+                    self.ticket_births.append((handle.gateway, handle.ticket))
+                    if deploy_twice and attempt == 0:
+                        # The deliberate exactly-once violation: re-deploy
+                        # the same task_id immediately (dedup is disabled
+                        # for injected specs, so a second agent launches).
+                        dupe = yield from platform.deploy(
+                            service, params, stops=stops, gateway=gateway,
+                            task_id=task_id,
+                        )
+                        self.ticket_births.append((dupe.gateway, dupe.ticket))
+                    break
+                except PDAgentError as exc:
+                    last = exc
+                    yield self.sim.timeout(DEPLOY_RETRY_WAIT_S)
+            if handle is None:
+                outcome.detail = f"deploy:{type(last).__name__}"
+                return
+            outcome.gateway = handle.gateway
+            outcome.ticket = handle.ticket
+            # Tickets are durable, so the completion event survives gateway
+            # crashes; the watchdog guarantees it fires (status "failed")
+            # even if the agent is lost for good.
+            ticket = self.deployment.gateway(handle.gateway).ticket(handle.ticket)
+            yield ticket.completed
+            last = None
+            for _ in range(COLLECT_ATTEMPTS):
+                try:
+                    result = yield from platform.collect(handle)
+                    outcome.ok = result.status in ("completed", "retracted")
+                    if not outcome.ok:
+                        outcome.detail = f"result:{result.status}"
+                    return
+                except ResultNotReadyError as exc:
+                    last = exc
+                except PDAgentError as exc:
+                    last = exc
+                yield self.sim.timeout(COLLECT_RETRY_WAIT_S)
+            outcome.detail = f"collect:{type(last).__name__}"
+        except GatewayOverloadedError:
+            outcome.detail = "shed:GatewayOverloadedError"
+        except PDAgentError as exc:
+            outcome.detail = f"platform:{type(exc).__name__}"
+        except Exception as exc:  # noqa: BLE001 - condemned by the invariant
+            outcome.detail = f"unexpected:{type(exc).__name__}({exc})"
+        finally:
+            outcome.finished_at = self.sim.now
+
+    def _user_task(self, dev: DeviceSpec, spec_task: TaskSpec) -> Generator:
+        outcome = TaskOutcome(device=dev.name, app=spec_task.app)
+        self.outcomes.append(outcome)
+        service, params, stops = _task_params(spec_task)
+        yield from self._drive(
+            outcome, service, params, stops, dev.pinned_gateway, spec_task.start
+        )
+
+    def _burst_task(self, k: int) -> Generator:
+        burst = self.spec.burst
+        assert burst is not None
+        outcome = TaskOutcome(device=burst.device, app="foodsearch", burst=True)
+        self.outcomes.append(outcome)
+        site = self.spec.sites[0]
+        yield from self._drive(
+            outcome,
+            "foodsearch",
+            {"cuisine": "thai", "max_price": 200, "limit": 3},
+            [Stop(site, task="search")],
+            burst.gateway,
+            burst.at,
+        )
+
+    def _injected_task(self) -> Generator:
+        dev = self.spec.devices[0]
+        outcome = TaskOutcome(device=dev.name, app="foodsearch", injected=True)
+        self.outcomes.append(outcome)
+        site = self.spec.sites[0]
+        yield from self._drive(
+            outcome,
+            "foodsearch",
+            {"cuisine": "thai", "max_price": 200, "limit": 3},
+            [Stop(site, task="search")],
+            self.spec.gateways[0],
+            1.0,
+            deploy_twice=True,
+        )
+
+    # -- environment drivers ---------------------------------------------
+    def _mover(self, dev: DeviceSpec) -> Generator:
+        yield self.sim.timeout(dev.move_at)
+        platform = self.deployment.platform(dev.name)
+        platform.relocate(f"ap-{dev.move_to_ap}", link_profile(dev.wireless))
+        self.deployment.network.tracer.log_fault(
+            "device-move", dev.name, detail=f"to ap-{dev.move_to_ap}"
+        )
+
+    def _gateway_crash(self, point) -> Generator:
+        gateway = self.deployment.gateway(point.gateway)
+        tracer = self.deployment.network.tracer
+        yield self.sim.timeout(point.at)
+        gateway.crash()
+        tracer.log_fault(
+            "gateway-crash", point.gateway, detail=f"for {point.down_for:g}s"
+        )
+        yield self.sim.timeout(point.down_for)
+        rebuilt = gateway.restart()
+        tracer.log_fault(
+            "gateway-restart", point.gateway, detail=f"{rebuilt} dedup bindings rebuilt"
+        )
+
+    # -- launch ------------------------------------------------------------
+    def launch(self) -> None:
+        spec = self.spec
+        _fault_schedule(spec).install(self.deployment.network)
+        for point in spec.crashes:
+            self.sim.process(
+                self._gateway_crash(point), name=f"simtest-crash:{point.gateway}"
+            )
+        for dev in spec.devices:
+            if dev.move_at is not None:
+                self.sim.process(self._mover(dev), name=f"simtest-move:{dev.name}")
+            for k, spec_task in enumerate(dev.tasks):
+                self.sim.process(
+                    self._user_task(dev, spec_task),
+                    name=f"simtest-task:{dev.name}:{k}",
+                )
+        if spec.burst is not None:
+            for k in range(spec.burst.n_tasks):
+                self.sim.process(self._burst_task(k), name=f"simtest-burst:{k}")
+        if spec.inject_double_dispatch:
+            self.sim.process(self._injected_task(), name="simtest-inject")
+
+
+# ---------------------------------------------------------------- running
+def run_spec(spec: ScenarioSpec) -> RunReport:
+    """Build, drive, check, and export one scenario.  Deterministic."""
+    deployment = build_deployment(spec)
+    harness = _Harness(spec, deployment)
+    harness.launch()
+    sim = deployment.sim
+    sim.run(until=spec.horizon)
+
+    ctx = RunContext(
+        spec=spec,
+        deployment=deployment,
+        outcomes=harness.outcomes,
+        issued_task_ids=harness.issued_task_ids,
+        ticket_births=harness.ticket_births,
+    )
+    violations = check_all(ctx)
+
+    collector = TraceCollector()
+    collector.add_run("simtest", deployment.network)
+    buf = io.StringIO()
+    collector.write_jsonl(buf)
+
+    return RunReport(
+        spec=spec,
+        outcomes=harness.outcomes,
+        violations=violations,
+        events_processed=sim.events_processed,
+        sim_end=sim.now,
+        jsonl=buf.getvalue(),
+    )

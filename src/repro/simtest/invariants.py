@@ -1,0 +1,399 @@
+"""Global invariants the simulation swarm checks after every scenario.
+
+Each checker inspects the *whole* post-run world — gateways, MAS servers,
+telemetry, the tracer's fault ledger, the kernel calendar — and returns
+:class:`Violation` records.  The catalogue (also documented in DESIGN.md):
+
+``exactly-once``
+    At most one live (non-failed) ticket per ``task_id`` per gateway,
+    always; across gateways too unless the run had fault/crash activity
+    (failover legitimately re-dispatches a task at another gateway).
+``no-lost-task``
+    In a quiet run every task completes.  In a chaos run a failed task must
+    carry a *recognized* failure class and the fault ledger must be
+    non-empty — "unexpected:" failures are condemned unconditionally.
+``ticket-conservation``
+    Every ticket a deploy ever returned still exists at its gateway (the
+    durable store survives crash/restart); every end-state ticket's task_id
+    was actually issued by this run (no phantom dispatches); no ticket is
+    still "dispatched" at quiescence (the watchdog guarantees finality).
+``span-tree``
+    Every span's parent exists, lives in the same trace, and does not start
+    after its child; every trace has exactly one root.
+``clock-monotonic``
+    No span, connection, or fault record ever runs backwards, and the fault
+    ledger is append-ordered in time.
+``rng-isolation``
+    Every named RNG stream still carries the seed derived from
+    ``(master_seed, name)`` — nobody reseeded or aliased a stream — and no
+    two streams share a seed.
+``leak-freedom``
+    Gateway FileDirectory allocations match live result documents byte for
+    byte; admission queues and worker pools are empty; no connection is
+    still open and no MAS agent is still running once the calendar drains
+    (quiet runs; chaos runs may legitimately strand both).
+``quiescence``
+    The calendar truly drained before the horizon — anything still
+    scheduled at the end of a run is a wedged process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from ..mas.state import AgentState
+from ..simnet.rng import _derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.deployment import Deployment
+    from .harness import TaskOutcome
+    from .spec import ScenarioSpec
+
+__all__ = ["Violation", "RunContext", "check_all", "INVARIANTS"]
+
+#: Failure classes the harness can explain.  Anything else a task records
+#: is a harness/platform bug, chaos or not.
+RECOGNIZED_FAILURES = ("deploy:", "collect:", "result:", "platform:", "shed:")
+
+#: Ticket end states whose result document is still held on the gateway.
+_DOCUMENT_STATES = ("completed", "retracted", "failed")
+_TERMINAL_STATES = ("completed", "retracted", "disposed", "failed", "expired")
+
+#: Agent lifecycle states that mean "still doing something" — impossible
+#: once the event calendar has drained.
+_LIVE_AGENT_STATES = (AgentState.CREATED, AgentState.ACTIVE, AgentState.MIGRATING)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, with enough detail to debug from the artifact."""
+
+    invariant: str
+    detail: str
+    subject: str = ""
+
+    def __str__(self) -> str:
+        where = f" [{self.subject}]" if self.subject else ""
+        return f"{self.invariant}{where}: {self.detail}"
+
+
+@dataclass
+class RunContext:
+    """Everything the checkers need about one finished run."""
+
+    spec: "ScenarioSpec"
+    deployment: "Deployment"
+    outcomes: list["TaskOutcome"]
+    issued_task_ids: set[str]
+    ticket_births: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def sim(self):
+        return self.deployment.sim
+
+    @property
+    def tracer(self):
+        return self.deployment.network.tracer
+
+    @property
+    def fault_active(self) -> bool:
+        """Did anything disruptive actually happen this run?"""
+        return bool(self.tracer.faults) or not self.spec.quiet
+
+
+# ---------------------------------------------------------------- checkers
+def check_exactly_once(ctx: RunContext) -> Iterable[Violation]:
+    """No duplicate live tickets for one task_id (the paper's §3.2 claim)."""
+    per_task: dict[str, list[tuple[str, str, str]]] = {}
+    for gw_addr, gateway in ctx.deployment.gateways.items():
+        for ticket in gateway.tickets():
+            if ticket.task_id:
+                per_task.setdefault(ticket.task_id, []).append(
+                    (gw_addr, ticket.ticket_id, ticket.status)
+                )
+    for task_id, entries in sorted(per_task.items()):
+        # "failed" released its dedup binding — a retried task may own a
+        # fresh live ticket alongside any number of failed ones.
+        live = [e for e in entries if e[2] != "failed"]
+        by_gateway: dict[str, int] = {}
+        for gw_addr, _, _ in live:
+            by_gateway[gw_addr] = by_gateway.get(gw_addr, 0) + 1
+        for gw_addr, count in sorted(by_gateway.items()):
+            if count > 1:
+                yield Violation(
+                    "exactly-once",
+                    f"{count} live tickets for task {task_id} on one gateway: "
+                    f"{[e[1] for e in live if e[0] == gw_addr]}",
+                    subject=gw_addr,
+                )
+        if len(by_gateway) > 1 and not ctx.fault_active:
+            yield Violation(
+                "exactly-once",
+                f"task {task_id} holds live tickets on several gateways "
+                f"{sorted(by_gateway)} with no fault to justify failover",
+                subject=task_id,
+            )
+
+
+def check_no_lost_task(ctx: RunContext) -> Iterable[Violation]:
+    """Loss must be attributable to the fault ledger, never silent."""
+    for outcome in ctx.outcomes:
+        if outcome.ok:
+            continue
+        if outcome.detail.startswith("unexpected:"):
+            yield Violation(
+                "no-lost-task",
+                f"task {outcome.task_id or '<unissued>'} died outside the "
+                f"platform error model: {outcome.detail}",
+                subject=outcome.device,
+            )
+            continue
+        if outcome.injected:
+            continue  # the deliberate duplicate may race itself to any end
+        if not ctx.fault_active:
+            yield Violation(
+                "no-lost-task",
+                f"task {outcome.task_id} failed ({outcome.detail or 'no detail'}) "
+                "in a quiet run — nothing in the fault ledger explains it",
+                subject=outcome.device,
+            )
+            continue
+        if not outcome.detail.startswith(RECOGNIZED_FAILURES):
+            yield Violation(
+                "no-lost-task",
+                f"task {outcome.task_id} failed with unrecognized class "
+                f"{outcome.detail!r}",
+                subject=outcome.device,
+            )
+
+
+def check_ticket_conservation(ctx: RunContext) -> Iterable[Violation]:
+    """Tickets are durable, attributable, and final at quiescence."""
+    for gw_addr, ticket_id in ctx.ticket_births:
+        gateway = ctx.deployment.gateways[gw_addr]
+        if ticket_id not in {t.ticket_id for t in gateway.tickets()}:
+            yield Violation(
+                "ticket-conservation",
+                f"ticket {ticket_id} vanished from {gw_addr} "
+                "(durable store must survive crash/restart)",
+                subject=gw_addr,
+            )
+    for gw_addr, gateway in ctx.deployment.gateways.items():
+        for ticket in gateway.tickets():
+            if ticket.task_id and ticket.task_id not in ctx.issued_task_ids:
+                yield Violation(
+                    "ticket-conservation",
+                    f"phantom ticket {ticket.ticket_id}: task_id "
+                    f"{ticket.task_id} was never issued by this run",
+                    subject=gw_addr,
+                )
+            if ticket.status not in _TERMINAL_STATES:
+                yield Violation(
+                    "ticket-conservation",
+                    f"ticket {ticket.ticket_id} still {ticket.status!r} at "
+                    "quiescence (watchdog should have finalized it)",
+                    subject=gw_addr,
+                )
+
+
+def check_span_tree(ctx: RunContext) -> Iterable[Violation]:
+    """One rooted, time-consistent tree per trace; no orphan spans."""
+    telemetry = ctx.deployment.network.telemetry
+    by_id = {span.span_id: span for span in telemetry.spans}
+    roots: dict[str, list[str]] = {}
+    for span in telemetry.spans:
+        if not span.parent_id:
+            roots.setdefault(span.trace_id, []).append(span.span_id)
+            continue
+        parent = by_id.get(span.parent_id)
+        if parent is None:
+            yield Violation(
+                "span-tree",
+                f"span {span.span_id} ({span.name}) references missing "
+                f"parent {span.parent_id}",
+                subject=span.trace_id,
+            )
+            continue
+        if parent.trace_id != span.trace_id:
+            yield Violation(
+                "span-tree",
+                f"span {span.span_id} in trace {span.trace_id} has parent "
+                f"{parent.span_id} from trace {parent.trace_id}",
+                subject=span.trace_id,
+            )
+        if parent.start > span.start + 1e-9:
+            yield Violation(
+                "span-tree",
+                f"span {span.span_id} starts at {span.start:g} before its "
+                f"parent {parent.span_id} at {parent.start:g}",
+                subject=span.trace_id,
+            )
+    for trace_id, root_ids in sorted(roots.items()):
+        if len(root_ids) != 1:
+            yield Violation(
+                "span-tree",
+                f"trace {trace_id} has {len(root_ids)} roots: {sorted(root_ids)}",
+                subject=trace_id,
+            )
+    for trace_id in {s.trace_id for s in telemetry.spans}:
+        if trace_id not in roots:
+            yield Violation(
+                "span-tree", f"trace {trace_id} has no root span", subject=trace_id
+            )
+
+
+def check_clock_monotonic(ctx: RunContext) -> Iterable[Violation]:
+    """Nothing recorded ever runs backwards against the sim clock."""
+    now = ctx.sim.now
+    telemetry = ctx.deployment.network.telemetry
+    for span in telemetry.spans:
+        end = span.end_time if span.end_time is not None else now
+        if span.start < 0 or end < span.start or end > now + 1e-9:
+            yield Violation(
+                "clock-monotonic",
+                f"span {span.span_id} ({span.name}) spans "
+                f"[{span.start:g}, {end:g}] outside [0, {now:g}]",
+            )
+    for rec in ctx.tracer.connections:
+        closed = rec.closed_at if rec.closed_at is not None else now
+        if rec.opened_at < 0 or closed < rec.opened_at:
+            yield Violation(
+                "clock-monotonic",
+                f"connection {rec.conn_id} closed at {closed:g} before it "
+                f"opened at {rec.opened_at:g}",
+            )
+    last = 0.0
+    for fault in ctx.tracer.faults:
+        if fault.at < last - 1e-9:
+            yield Violation(
+                "clock-monotonic",
+                f"fault ledger out of order: {fault.kind}@{fault.at:g} "
+                f"after an entry at {last:g}",
+            )
+        last = max(last, fault.at)
+
+
+def check_rng_isolation(ctx: RunContext) -> Iterable[Violation]:
+    """Streams still carry their derived seeds, and no seed is shared."""
+    streams = ctx.deployment.network.streams
+    master = streams.master_seed
+    seen: dict[int, str] = {}
+    for stream in streams:
+        expected = _derive_seed(master, stream.name)
+        if stream.seed != expected:
+            yield Violation(
+                "rng-isolation",
+                f"stream {stream.name!r} carries seed {stream.seed}, "
+                f"expected derive({master}, name) = {expected}",
+                subject=stream.name,
+            )
+        owner = seen.get(stream.seed)
+        if owner is not None:
+            yield Violation(
+                "rng-isolation",
+                f"streams {owner!r} and {stream.name!r} share seed {stream.seed}",
+            )
+        seen[stream.seed] = stream.name
+
+
+def check_leak_freedom(ctx: RunContext) -> Iterable[Violation]:
+    """No resource outlives its owner once the calendar drains."""
+    for gw_addr, gateway in ctx.deployment.gateways.items():
+        tickets = {t.ticket_id: t for t in gateway.tickets()}
+        held_total = 0
+        for ticket_id in gateway.file_directory.tracked():
+            held = gateway.file_directory.held(ticket_id)
+            held_total += held
+            ticket = tickets.get(ticket_id)
+            if ticket is None:
+                yield Violation(
+                    "leak-freedom",
+                    f"FileDirectory holds {held} bytes for unknown ticket "
+                    f"{ticket_id}",
+                    subject=gw_addr,
+                )
+                continue
+            if ticket.status not in _DOCUMENT_STATES:
+                yield Violation(
+                    "leak-freedom",
+                    f"FileDirectory holds {held} bytes for {ticket.status!r} "
+                    f"ticket {ticket_id} (should be released)",
+                    subject=gw_addr,
+                )
+            elif ticket.result_frame is None or held != len(ticket.result_frame):
+                expected = 0 if ticket.result_frame is None else len(ticket.result_frame)
+                yield Violation(
+                    "leak-freedom",
+                    f"FileDirectory holds {held} bytes for ticket {ticket_id} "
+                    f"but its result document is {expected} bytes",
+                    subject=gw_addr,
+                )
+        if gateway.file_directory.used_bytes != held_total:
+            yield Violation(
+                "leak-freedom",
+                f"FileDirectory used_bytes {gateway.file_directory.used_bytes} "
+                f"!= sum of tracked allocations {held_total}",
+                subject=gw_addr,
+            )
+        for cls in ("upload", "download"):
+            depth = gateway.admission.queue_depth(cls)
+            inflight = gateway.admission.inflight(cls)
+            if depth or inflight:
+                yield Violation(
+                    "leak-freedom",
+                    f"admission class {cls!r} not drained: queue={depth} "
+                    f"inflight={inflight}",
+                    subject=gw_addr,
+                )
+    if not ctx.fault_active:
+        for rec in ctx.tracer.connections:
+            if rec.open:
+                yield Violation(
+                    "leak-freedom",
+                    f"connection {rec.conn_id} {rec.initiator}->{rec.peer} "
+                    f"({rec.purpose}) still open at quiescence in a quiet run",
+                    subject=rec.initiator,
+                )
+        for mas_addr, mas in ctx.deployment.mas_servers.items():
+            for agent_id in mas.resident_agents():
+                lifecycle = mas.get_agent(agent_id).lifecycle
+                if lifecycle in _LIVE_AGENT_STATES:
+                    yield Violation(
+                        "leak-freedom",
+                        f"agent {agent_id} still {lifecycle.value!r} with an "
+                        "empty calendar — it can never finish",
+                        subject=mas_addr,
+                    )
+
+
+def check_quiescence(ctx: RunContext) -> Iterable[Violation]:
+    """The run must end because it finished, not because time ran out."""
+    pending = ctx.sim.peek()
+    if pending != float("inf"):
+        yield Violation(
+            "quiescence",
+            f"calendar still holds events at the horizon "
+            f"({ctx.spec.horizon:g}s); next fires at {pending:g}",
+        )
+
+
+#: Name → checker, in report order.
+INVARIANTS = {
+    "exactly-once": check_exactly_once,
+    "no-lost-task": check_no_lost_task,
+    "ticket-conservation": check_ticket_conservation,
+    "span-tree": check_span_tree,
+    "clock-monotonic": check_clock_monotonic,
+    "rng-isolation": check_rng_isolation,
+    "leak-freedom": check_leak_freedom,
+    "quiescence": check_quiescence,
+}
+
+
+def check_all(ctx: RunContext) -> list[Violation]:
+    """Run every invariant; returns all violations (empty == healthy run)."""
+    violations: list[Violation] = []
+    for checker in INVARIANTS.values():
+        violations.extend(checker(ctx))
+    return violations

@@ -1,0 +1,177 @@
+"""Greedy scenario shrinking: minimize a failing spec, keep it failing.
+
+The classic property-testing loop (QuickCheck / hypothesis style, but over
+our structured :class:`~repro.simtest.spec.ScenarioSpec`): given a spec
+whose run violates invariants, repeatedly try structural simplifications —
+biggest cuts first — and keep any candidate that still reproduces at least
+one of the *original* violated invariants.  Because the harness is a pure
+function of the spec, every candidate run is deterministic, so the search
+never flip-flops on flaky reproductions.
+
+Simplification moves, in descending order of how much scenario they remove:
+
+1. drop a whole device (and any overload burst riding on it),
+2. drop the overload burst,
+3. drop a gateway crash point,
+4. drop a fault event,
+5. drop a task from a device,
+6. cancel a device's mobility,
+7. shorten a task's itinerary to its first stop,
+8. reduce an e-banking batch to one transaction.
+
+The fixpoint — no move keeps the failure — is the minimal repro the CLI
+saves as a JSON artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator, Optional
+
+from .harness import RunReport, run_spec
+from .spec import ScenarioSpec
+
+__all__ = ["ShrinkResult", "shrink", "candidates"]
+
+
+class ShrinkResult:
+    """The minimized spec plus the trail the shrinker took."""
+
+    def __init__(
+        self,
+        original: ScenarioSpec,
+        spec: ScenarioSpec,
+        report: RunReport,
+        steps: list[str],
+        runs: int,
+    ) -> None:
+        self.original = original
+        self.spec = spec
+        self.report = report
+        self.steps = steps
+        self.runs = runs
+
+    def summary(self) -> str:
+        return (
+            f"shrunk in {len(self.steps)} step(s) over {self.runs} run(s): "
+            f"{self.original.describe()}  ->  {self.spec.describe()}"
+        )
+
+
+def _drop(seq: tuple, index: int) -> tuple:
+    return seq[:index] + seq[index + 1 :]
+
+
+def candidates(spec: ScenarioSpec) -> Iterator[tuple[str, ScenarioSpec]]:
+    """Yield (description, simplified-spec) pairs, biggest cuts first.
+
+    Every candidate is structurally valid on its own: dropping a device
+    also drops a burst that rode on it; the last device and a task's last
+    stop are never removed (the harness needs a world to run).
+    """
+    for i, dev in enumerate(spec.devices):
+        if len(spec.devices) == 1:
+            break
+        if spec.inject_double_dispatch and i == 0:
+            continue  # the injection rides on the first device
+        burst = spec.burst
+        if burst is not None and burst.device == dev.name:
+            burst = None
+        yield (
+            f"drop device {dev.name}",
+            replace(spec, devices=_drop(spec.devices, i), burst=burst),
+        )
+    if spec.burst is not None:
+        yield ("drop overload burst", replace(spec, burst=None))
+    for i, point in enumerate(spec.crashes):
+        yield (
+            f"drop crash point at {point.gateway}",
+            replace(spec, crashes=_drop(spec.crashes, i)),
+        )
+    for i, fault in enumerate(spec.faults):
+        yield (
+            f"drop fault {fault.kind}@{fault.target}",
+            replace(spec, faults=_drop(spec.faults, i)),
+        )
+    for i, dev in enumerate(spec.devices):
+        if len(dev.tasks) > 1:
+            for j in range(len(dev.tasks)):
+                trimmed = replace(dev, tasks=_drop(dev.tasks, j))
+                yield (
+                    f"drop task {j} of {dev.name}",
+                    replace(
+                        spec,
+                        devices=spec.devices[:i] + (trimmed,) + spec.devices[i + 1 :],
+                    ),
+                )
+    for i, dev in enumerate(spec.devices):
+        if dev.move_at is not None:
+            still = replace(dev, move_at=None, move_to_ap=None)
+            yield (
+                f"cancel mobility of {dev.name}",
+                replace(
+                    spec, devices=spec.devices[:i] + (still,) + spec.devices[i + 1 :]
+                ),
+            )
+    for i, dev in enumerate(spec.devices):
+        for j, task in enumerate(dev.tasks):
+            if len(task.sites) > 1:
+                short = replace(task, sites=task.sites[:1])
+                trimmed = replace(
+                    dev, tasks=dev.tasks[:j] + (short,) + dev.tasks[j + 1 :]
+                )
+                yield (
+                    f"shorten itinerary of {dev.name} task {j}",
+                    replace(
+                        spec,
+                        devices=spec.devices[:i] + (trimmed,) + spec.devices[i + 1 :],
+                    ),
+                )
+            if task.app == "ebanking" and task.n_transactions > 1:
+                light = replace(task, n_transactions=1)
+                trimmed = replace(
+                    dev, tasks=dev.tasks[:j] + (light,) + dev.tasks[j + 1 :]
+                )
+                yield (
+                    f"single transaction for {dev.name} task {j}",
+                    replace(
+                        spec,
+                        devices=spec.devices[:i] + (trimmed,) + spec.devices[i + 1 :],
+                    ),
+                )
+
+
+def shrink(
+    spec: ScenarioSpec,
+    runner: Callable[[ScenarioSpec], RunReport] = run_spec,
+    max_runs: int = 200,
+    report: Optional[RunReport] = None,
+) -> ShrinkResult:
+    """Minimize ``spec`` while at least one original invariant still fails.
+
+    ``runner`` is injectable for tests; ``max_runs`` bounds the search (the
+    greedy loop restarts from the top after every accepted cut, so the
+    bound is on total candidate runs, not iterations).
+    """
+    original = spec
+    if report is None:
+        report = runner(spec)
+    if not report.violations:
+        raise ValueError("shrink() needs a failing spec (no violations found)")
+    target = {v.invariant for v in report.violations}
+    steps: list[str] = []
+    runs = 0
+    improved = True
+    while improved and runs < max_runs:
+        improved = False
+        for description, candidate in candidates(spec):
+            if runs >= max_runs:
+                break
+            runs += 1
+            attempt = runner(candidate)
+            if target & {v.invariant for v in attempt.violations}:
+                spec, report = candidate, attempt
+                steps.append(description)
+                improved = True
+                break  # restart from the biggest cuts on the smaller spec
+    return ShrinkResult(original, spec, report, steps, runs)

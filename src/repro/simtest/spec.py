@@ -1,0 +1,354 @@
+"""Scenario specifications for the deterministic simulation swarm.
+
+A :class:`ScenarioSpec` is a *complete, declarative* description of one
+randomized end-to-end scenario: topology sizes, device population, per-device
+task mix over the three demo applications, mobility, a fault schedule,
+gateway crash-restart points, and an optional overload burst.  Two
+properties make it the unit of the model checker:
+
+* **pure function of the seed** — :func:`generate` draws every choice from
+  named :class:`~repro.simnet.rng.StreamFactory` streams, so
+  ``generate(s) == generate(s)`` on any machine, forever;
+* **JSON round-trippable** — :meth:`ScenarioSpec.to_json` /
+  :func:`spec_from_json` lose nothing, so a failing scenario (possibly
+  shrunk) is storable as an artifact and replayable without the seed.
+
+The shrinker edits specs structurally (drop a device, drop a fault, shorten
+an itinerary); the harness only ever consumes the spec, never the seed
+directly, which is what makes shrunk — no-longer-seed-derivable — scenarios
+runnable at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Optional
+
+from ..simnet.rng import StreamFactory
+
+__all__ = [
+    "TaskSpec",
+    "DeviceSpec",
+    "FaultSpec",
+    "CrashPoint",
+    "OverloadBurst",
+    "ScenarioSpec",
+    "generate",
+    "spec_from_json",
+    "APPS",
+]
+
+#: The three demo applications a scenario mixes (ROADMAP §apps).
+APPS = ("ebanking", "foodsearch", "mcommerce")
+
+#: Fault kinds the generator composes.  ``site-crash`` maps to a simnet
+#: NodeCrash (kills resident agents, durable state survives); the link kinds
+#: hit an access-point/gateway/site uplink or a static device's radio.
+FAULT_KINDS = ("link-down", "link-degrade", "site-crash")
+
+#: Hard wall for one scenario run (simulated seconds).  Every process the
+#: harness spawns is deadline-bounded far below this, so a run that still
+#: has calendar entries at the horizon has genuinely wedged.
+DEFAULT_HORIZON_S = 1800.0
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One user task: which app, over which sites, starting when."""
+
+    app: str
+    sites: tuple[str, ...]
+    start: float
+    #: e-banking: transfers in the batch.
+    n_transactions: int = 1
+    #: m-commerce knobs.
+    item: str = "camera"
+    budget: float = 400.0
+    #: foodsearch knobs.
+    cuisine: str = "thai"
+    max_price: int = 160
+
+    def __post_init__(self) -> None:
+        if self.app not in APPS:
+            raise ValueError(f"unknown app {self.app!r}")
+        if not self.sites:
+            raise ValueError("task needs at least one site")
+        if self.start < 0:
+            raise ValueError(f"negative start {self.start!r}")
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One wireless device, its attachment point, and its task list."""
+
+    name: str
+    profile: str
+    wireless: str
+    ap: int
+    #: Explicit gateway ("gw-<i>") or None for policy-driven auto selection.
+    pinned_gateway: Optional[str]
+    tasks: tuple[TaskSpec, ...]
+    #: Mobility: relocate to access point ``move_to_ap`` at ``move_at``.
+    move_at: Optional[float] = None
+    move_to_ap: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected network fault, in harness-level coordinates.
+
+    ``target`` is symbolic — ``"ap:<j>"``, ``"gw:<addr>"``, ``"site:<addr>"``
+    (uplink to the backbone) or ``"dev:<name>"`` (the device's radio link) —
+    so the spec stays meaningful when the shrinker removes other elements.
+    """
+
+    kind: str
+    target: str
+    at: float
+    duration: float
+    latency_factor: float = 2.0
+    loss: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.at < 0 or self.duration <= 0:
+            raise ValueError("fault needs at >= 0 and duration > 0")
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """A gateway software crash (volatile state lost) + restart."""
+
+    gateway: str
+    at: float
+    down_for: float
+
+
+@dataclass(frozen=True)
+class OverloadBurst:
+    """N concurrent quick deployments slammed at one gateway."""
+
+    gateway: str
+    device: str
+    at: float
+    n_tasks: int
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything the harness needs to build and drive one scenario."""
+
+    seed: int
+    n_gateways: int
+    n_sites: int
+    n_aps: int
+    devices: tuple[DeviceSpec, ...]
+    faults: tuple[FaultSpec, ...] = ()
+    crashes: tuple[CrashPoint, ...] = ()
+    burst: Optional[OverloadBurst] = None
+    horizon: float = DEFAULT_HORIZON_S
+    #: Test hook: disable gateway dedup and deploy one task twice with the
+    #: same task_id — a deliberate exactly-once violation the shrinker
+    #: acceptance test minimizes.  Never set by :func:`generate`.
+    inject_double_dispatch: bool = False
+
+    # ------------------------------------------------------------ helpers
+    @property
+    def gateways(self) -> tuple[str, ...]:
+        return tuple(f"gw-{i}" for i in range(self.n_gateways))
+
+    @property
+    def sites(self) -> tuple[str, ...]:
+        return tuple(f"site-{i}" for i in range(self.n_sites))
+
+    @property
+    def quiet(self) -> bool:
+        """No fault/crash/overload activity: every task must succeed."""
+        return not self.faults and not self.crashes and self.burst is None
+
+    def describe(self) -> str:
+        n_tasks = sum(len(d.tasks) for d in self.devices)
+        bits = [
+            f"{len(self.devices)} device(s)",
+            f"{n_tasks} task(s)",
+            f"{self.n_gateways} gateway(s)",
+            f"{self.n_sites} site(s)",
+            f"{len(self.faults)} fault(s)",
+            f"{len(self.crashes)} crash point(s)",
+        ]
+        if self.burst is not None:
+            bits.append(f"burst of {self.burst.n_tasks} at {self.burst.gateway}")
+        if self.inject_double_dispatch:
+            bits.append("double-dispatch injection")
+        return ", ".join(bits)
+
+    # ------------------------------------------------------------ JSON
+    def to_json(self) -> dict[str, Any]:
+        doc = asdict(self)
+        doc["schema"] = "pdagent-simtest-spec/1"
+        return doc
+
+    def with_(self, **changes: Any) -> "ScenarioSpec":
+        return replace(self, **changes)
+
+
+def spec_from_json(doc: dict[str, Any]) -> ScenarioSpec:
+    """Inverse of :meth:`ScenarioSpec.to_json`."""
+    doc = dict(doc)
+    doc.pop("schema", None)
+    devices = tuple(
+        DeviceSpec(
+            name=d["name"],
+            profile=d["profile"],
+            wireless=d["wireless"],
+            ap=d["ap"],
+            pinned_gateway=d["pinned_gateway"],
+            tasks=tuple(
+                TaskSpec(**{**t, "sites": tuple(t["sites"])}) for t in d["tasks"]
+            ),
+            move_at=d.get("move_at"),
+            move_to_ap=d.get("move_to_ap"),
+        )
+        for d in doc.pop("devices")
+    )
+    faults = tuple(FaultSpec(**f) for f in doc.pop("faults", ()))
+    crashes = tuple(CrashPoint(**c) for c in doc.pop("crashes", ()))
+    burst_doc = doc.pop("burst", None)
+    burst = OverloadBurst(**burst_doc) if burst_doc is not None else None
+    return ScenarioSpec(
+        devices=devices, faults=faults, crashes=crashes, burst=burst, **doc
+    )
+
+
+# ---------------------------------------------------------------- generator
+def _round(x: float) -> float:
+    """Keep generated times readable (and JSON-stable) at millisecond grain."""
+    return round(float(x), 3)
+
+
+def _make_task(stream, app: str, sites: tuple[str, ...]) -> TaskSpec:
+    n_stops = stream.randint(1, len(sites))
+    itinerary = list(sites)
+    stream.shuffle(itinerary)
+    itinerary = tuple(itinerary[:n_stops])
+    start = _round(stream.uniform(0.0, 40.0))
+    if app == "ebanking":
+        return TaskSpec(
+            app=app, sites=itinerary, start=start,
+            n_transactions=stream.randint(1, 3),
+        )
+    if app == "mcommerce":
+        return TaskSpec(
+            app=app, sites=itinerary, start=start,
+            item=str(stream.choice(["camera", "phone", "pda"])),
+            budget=_round(stream.uniform(250.0, 450.0)),
+        )
+    return TaskSpec(
+        app=app, sites=itinerary, start=start,
+        cuisine=str(stream.choice(["cantonese", "thai", "italian"])),
+        max_price=stream.randint(80, 200),
+    )
+
+
+def generate(seed: int) -> ScenarioSpec:
+    """Derive a full scenario from one integer seed — pure and stable.
+
+    Each aspect draws from its own named stream, so enlarging one aspect's
+    choice space in a future PR does not reshuffle the others (the same
+    stability argument the simulator itself relies on).
+    """
+    streams = StreamFactory(master_seed=seed)
+    topo = streams.get("simtest:topology")
+    n_gateways = topo.randint(1, 2)
+    n_sites = topo.randint(1, 3)
+    n_aps = topo.randint(1, 2)
+    gateways = tuple(f"gw-{i}" for i in range(n_gateways))
+    sites = tuple(f"site-{i}" for i in range(n_sites))
+
+    pop = streams.get("simtest:population")
+    devices: list[DeviceSpec] = []
+    for i in range(pop.randint(1, 4)):
+        ap = pop.randint(0, n_aps - 1)
+        pinned = str(pop.choice(list(gateways))) if pop.bernoulli(0.7) else None
+        tasks = tuple(
+            _make_task(pop, str(pop.choice(list(APPS))), sites)
+            for _ in range(pop.randint(1, 2))
+        )
+        move_at = move_to = None
+        if n_aps > 1 and pop.bernoulli(0.3):
+            move_at = _round(pop.uniform(10.0, 80.0))
+            move_to = (ap + 1) % n_aps
+        devices.append(
+            DeviceSpec(
+                name=f"dev-{i}",
+                profile=str(pop.choice(["PDA", "PHONE"])),
+                wireless=str(pop.choice(["GPRS", "WLAN"])),
+                ap=ap,
+                pinned_gateway=pinned,
+                tasks=tasks,
+                move_at=move_at,
+                move_to_ap=move_to,
+            )
+        )
+
+    chaos = streams.get("simtest:faults")
+    # Link faults only ever target edges that exist for the whole run:
+    # infrastructure uplinks, or the radio of a device that never moves.
+    link_targets = (
+        [f"ap:{j}" for j in range(n_aps)]
+        + [f"gw:{g}" for g in gateways]
+        + [f"site:{s}" for s in sites]
+        + [f"dev:{d.name}" for d in devices if d.move_at is None]
+    )
+    faults: list[FaultSpec] = []
+    for _ in range(chaos.randint(0, 3)):
+        kind = str(chaos.choice(list(FAULT_KINDS)))
+        if kind == "site-crash":
+            target = f"site:{chaos.choice(list(sites))}"
+            duration = _round(chaos.uniform(5.0, 20.0))
+        else:
+            target = str(chaos.choice(link_targets))
+            duration = _round(chaos.uniform(2.0, 12.0))
+        faults.append(
+            FaultSpec(
+                kind=kind,
+                target=target,
+                at=_round(chaos.uniform(5.0, 90.0)),
+                duration=duration,
+                latency_factor=_round(chaos.uniform(1.5, 3.0)),
+                loss=_round(chaos.uniform(0.1, 0.5)),
+            )
+        )
+
+    crashes: list[CrashPoint] = []
+    crash_stream = streams.get("simtest:crashes")
+    if crash_stream.bernoulli(0.35):
+        crashes.append(
+            CrashPoint(
+                gateway=str(crash_stream.choice(list(gateways))),
+                at=_round(crash_stream.uniform(10.0, 70.0)),
+                down_for=_round(crash_stream.uniform(3.0, 10.0)),
+            )
+        )
+
+    burst = None
+    burst_stream = streams.get("simtest:burst")
+    if burst_stream.bernoulli(0.3):
+        burst = OverloadBurst(
+            gateway=str(burst_stream.choice(list(gateways))),
+            device=str(burst_stream.choice([d.name for d in devices])),
+            at=_round(burst_stream.uniform(10.0, 50.0)),
+            n_tasks=burst_stream.randint(4, 8),
+        )
+
+    return ScenarioSpec(
+        seed=seed,
+        n_gateways=n_gateways,
+        n_sites=n_sites,
+        n_aps=n_aps,
+        devices=tuple(devices),
+        faults=tuple(faults),
+        crashes=tuple(crashes),
+        burst=burst,
+    )

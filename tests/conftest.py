@@ -1,0 +1,33 @@
+"""Shared fixtures: deterministic randomness for every test that wants it.
+
+Tests must never consume ambient entropy — a failure that only reproduces
+under one interpreter hash seed is a failure nobody can debug.  ``seeded_rng``
+hands each test its own :class:`random.Random` seeded from the test's nodeid,
+so corpora are stable across runs and across test-order shuffles, yet
+distinct per test.
+"""
+
+import hashlib
+import random
+
+import pytest
+
+
+def _seed_for(nodeid: str) -> int:
+    return int.from_bytes(hashlib.sha256(nodeid.encode()).digest()[:8], "big")
+
+
+@pytest.fixture
+def seeded_rng(request) -> random.Random:
+    """A per-test deterministic RNG (seed derived from the test's nodeid)."""
+    return random.Random(_seed_for(request.node.nodeid))
+
+
+@pytest.fixture
+def seeded_bytes(seeded_rng):
+    """Factory: ``seeded_bytes(n)`` → n deterministic pseudo-random bytes."""
+
+    def make(n: int) -> bytes:
+        return bytes(seeded_rng.randrange(256) for _ in range(n))
+
+    return make

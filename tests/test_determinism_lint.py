@@ -1,0 +1,80 @@
+"""Guard test: no ambient nondeterminism inside ``src/repro``.
+
+The whole platform is built on the deterministic simulation contract —
+``pdagent-simtest replay`` byte-compares telemetry between two runs of the
+same seed, so a single ``time.time()`` or unseeded ``random.Random()``
+anywhere in the tree silently breaks seed reproduction.  This test scans the
+source for the known offenders so the contract is enforced, not just
+documented.
+
+Allowed: ``time.perf_counter`` (wall-clock *measurement* in benches, never
+fed back into simulation state) and ``random.Random(<seed>)`` with an
+explicit argument.
+"""
+
+import pathlib
+import re
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+# Pattern -> human explanation.  Each pattern is checked per source line
+# (comments stripped) so a docstring mention does not trip the guard.
+_FORBIDDEN = {
+    re.compile(r"\btime\.time\(\)"): "time.time(): use the sim clock (sim.now)",
+    re.compile(r"\brandom\.random\(\)"): "random.random(): use a named seeded stream",
+    re.compile(r"\brandom\.Random\(\s*\)"): "unseeded random.Random(): pass a seed",
+    re.compile(r"\bdatetime\.(?:datetime\.)?now\("): "datetime.now(): wall clock",
+    re.compile(r"\bnp\.random\.(?:rand|randn|randint|random|choice|default_rng\(\s*\))"):
+        "unseeded numpy randomness: seed a Generator explicitly",
+}
+
+
+def _strip_noise(source: str) -> list[tuple[int, str]]:
+    """Source lines with comments and docstring-only lines removed."""
+    lines = []
+    in_doc = False
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0]
+        quotes = line.count('"""') + line.count("'''")
+        if in_doc:
+            if quotes:
+                in_doc = quotes % 2 == 0
+            continue
+        if quotes % 2 == 1:
+            in_doc = True
+            line = line.split('"""', 1)[0].split("'''", 1)[0]
+        lines.append((lineno, line))
+    return lines
+
+
+def test_no_ambient_nondeterminism_in_src():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC.parent.parent)
+        for lineno, line in _strip_noise(path.read_text(encoding="utf-8")):
+            for pattern, why in _FORBIDDEN.items():
+                if pattern.search(line):
+                    offenders.append(f"{rel}:{lineno}: {why}\n    {line.strip()}")
+    assert not offenders, (
+        "ambient nondeterminism breaks seed replay:\n" + "\n".join(offenders)
+    )
+
+
+def test_guard_actually_detects_offenders():
+    # Self-test: the patterns must bite on the canonical bad lines.
+    bad = [
+        "now = time.time()",
+        "x = random.random()",
+        "rng = rng or random.Random()",
+        "stamp = datetime.now()",
+        "arr = np.random.rand(3)",
+    ]
+    for line in bad:
+        assert any(p.search(line) for p in _FORBIDDEN), line
+    good = [
+        "rng = random.Random(seed)",
+        "t0 = time.perf_counter()",
+        "gen = np.random.default_rng(42)",
+    ]
+    for line in good:
+        assert not any(p.search(line) for p in _FORBIDDEN), line

@@ -114,3 +114,72 @@ class TestDispatchKeyProperties:
         a = derive_dispatch_key(code_id, device_id, "n0")
         b = derive_dispatch_key(code_id, device_id, "n0")
         assert a == b
+
+
+# Adversarial parameter values: markup/CDATA terminators, entity-like text,
+# control characters, non-ASCII scripts, and a 10KB blob — everything an
+# attacker-controlled (or merely unlucky) app parameter could feed the PI
+# pipeline.  Surrogates excluded: not UTF-8-encodable, rejected upstream.
+_nasty_text = st.one_of(
+    st.sampled_from(
+        [
+            "]]>",
+            "<![CDATA[boom]]>",
+            "<pi code-id='x'/>",
+            "&amp;&bogus;&#x41;&",
+            '"\'<>&',
+            "\t\n\x0b\x1f\x7f",
+            "漢字\N{SNOWMAN}עברית ελληνικά",
+            "%s%n${jndi:}",
+            "x" * 10_000,  # 10KB attribute payload
+        ]
+    ),
+    st.text(
+        alphabet=st.characters(codec="utf-8", exclude_categories=("Cs",)),
+        max_size=200,
+    ),
+)
+
+
+class TestAdversarialParams:
+    @given(
+        value=_nasty_text,
+        codec=st.sampled_from(["lzss", "huffman", "null"]),
+        encrypt=st.booleans(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_nasty_strings_survive_pipeline(self, value, codec, encrypt):
+        config = PDAgentConfig(codec=codec, encrypt=encrypt)
+        dev, gw = _security(config)
+        content = PIContent(
+            code_id="mac-p",
+            device_id="pda-p",
+            service="svc",
+            agent_class="EBankingAgent",
+            dispatch_key=derive_dispatch_key("mac-p", "pda-p", "n"),
+            nonce="n",
+            params={"payload": value, "nested": {"deep": [value, value]}},
+            code_body=value or "CODE",
+        )
+        packed = pack(content, config, dev, GATEWAY)
+        recovered = unpack(packed.data, gw)
+        assert recovered.params["payload"] == value
+        assert recovered.params["nested"]["deep"] == [value, value]
+        assert recovered.code_body == content.code_body
+
+    def test_ten_kilobyte_param_roundtrips_under_compression(self):
+        config = PDAgentConfig(codec="lzss", encrypt=True)
+        dev, gw = _security(config)
+        blob = ('<item price="9.99">&amp;' + "牛肉麵 " * 3) * 300
+        assert len(blob) > 10_000
+        content = PIContent(
+            code_id="mac-p",
+            device_id="pda-p",
+            service="svc",
+            agent_class="FoodSearchAgent",
+            dispatch_key=derive_dispatch_key("mac-p", "pda-p", "n"),
+            nonce="n",
+            params={"listings": blob},
+        )
+        recovered = unpack(pack(content, config, dev, GATEWAY).data, gw)
+        assert recovered.params["listings"] == blob

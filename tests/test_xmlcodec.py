@@ -262,3 +262,70 @@ class TestRoundtripProperties:
         elem = Element("t")
         elem.set("a", value)
         assert parse(write(elem, declaration=False)).get("a") == value
+
+
+# Adversarial corpus: markup-significant sequences, entity-like text, CDATA
+# terminators, and non-ASCII scripts — the strings most likely to confuse a
+# hand-rolled escaper/parser pair.  Surrogates are excluded (not encodable
+# to UTF-8), as is \r (XML line-ending normalization folds it to \n).
+_adversarial = st.one_of(
+    st.sampled_from(
+        [
+            "]]>",
+            "<![CDATA[",
+            "<!--", "-->",
+            "&amp;", "&#65;", "&#x41;", "&bogus;", "&",
+            "<tag attr='v'>", "</close>",
+            '"\'<>&',
+            "\t\n mixed \n\t",
+            "\N{SNOWMAN}\N{GREEK SMALL LETTER ALPHA}漢字עברית",
+            "a b c",  # nbsp, line separator
+        ]
+    ),
+    st.text(
+        alphabet=st.characters(
+            codec="utf-8", exclude_characters="\r", exclude_categories=("Cs",)
+        ),
+        max_size=80,
+    ),
+)
+
+
+class TestAdversarialRoundtrips:
+    @given(_adversarial)
+    @settings(max_examples=150, deadline=None)
+    def test_adversarial_text_roundtrip(self, text):
+        # Control chars other than \t\n are not representable in XML 1.0
+        # text; the writer must either escape-roundtrip or refuse, never
+        # silently corrupt.
+        elem = Element("t", text=text)
+        try:
+            doc = write(elem, declaration=False)
+        except XmlWriteError:
+            return
+        assert parse(doc).text == text
+
+    @given(_adversarial)
+    @settings(max_examples=150, deadline=None)
+    def test_adversarial_attr_roundtrip(self, value):
+        elem = Element("t")
+        elem.set("a", value)
+        try:
+            doc = write(elem, declaration=False)
+        except XmlWriteError:
+            return
+        assert parse(doc).get("a") == value
+
+    def test_ten_kilobyte_attribute(self):
+        # The PI carries serialized agent state in attributes; a 10KB value
+        # with every escapable char must survive untruncated.
+        value = ('<&>"\N{SNOWMAN}' + "x" * 15) * 500
+        assert len(value) == 10000
+        elem = Element("t")
+        elem.set("blob", value)
+        reparsed = parse(write(elem, declaration=False))
+        assert reparsed.get("blob") == value
+
+    def test_cdata_terminator_in_text_survives(self):
+        elem = Element("t", text="a]]>b")
+        assert parse(write(elem, declaration=False)).text == "a]]>b"
