@@ -25,6 +25,7 @@ from .errors import (
     ResultNotReadyError,
     SubscriptionError,
 )
+from .fleet import Fleet, FleetClient, HashRing
 from .gateway import GATEWAY_PORT, TASK_ID_HEADER, Gateway, Ticket
 from .netmanager import NetworkManager
 from .packed_info import PackedInfo, PIContent, pack, pi_from_xml, pi_to_xml, unpack
@@ -33,6 +34,7 @@ from .registry import CentralServer, GatewayEntry, fetch_gateway_list
 from .retry import CircuitBreaker, RetryPolicy
 from .security import DeviceSecurity, GatewaySecurity
 from .selection import GatewaySelector, ProbeResult
+from .storage import GatewayStorage, make_storage
 from .ui import DeviceUI
 from .subscription import (
     ServiceCatalog,
@@ -94,4 +96,9 @@ __all__ = [
     "DedupTable",
     "TokenBucket",
     "TASK_ID_HEADER",
+    "Fleet",
+    "FleetClient",
+    "HashRing",
+    "GatewayStorage",
+    "make_storage",
 ]

@@ -238,24 +238,57 @@ class DedupTable:
     Deliberately tiny: correctness lives in *where* it is consulted (before
     the nonce-replay check, so a retried frame dedups instead of 403-ing)
     and in the rebuild path.  The table is volatile; tickets are durable.
+
+    Bindings may carry an expiry timestamp (armed when the result they
+    guard is reclaimed): an expired entry answers like a miss and is purged,
+    so long simulations don't grow the index without bound.  Entries bound
+    without an expiry live for the gateway's lifetime.
     """
 
     __slots__ = ("_by_task",)
 
+    durable = False
+
     def __init__(self) -> None:
-        self._by_task: dict[str, str] = {}
+        self._by_task: dict[str, tuple[str, Optional[float]]] = {}
 
     def __len__(self) -> int:
         return len(self._by_task)
 
-    def lookup(self, task_id: str) -> Optional[str]:
+    def lookup(self, task_id: str, now: Optional[float] = None) -> Optional[str]:
         if not task_id:
             return None
-        return self._by_task.get(task_id)
+        entry = self._by_task.get(task_id)
+        if entry is None:
+            return None
+        ticket_id, expires_at = entry
+        if now is not None and expires_at is not None and now >= expires_at:
+            del self._by_task[task_id]
+            return None
+        return ticket_id
 
-    def bind(self, task_id: str, ticket_id: str) -> None:
+    def bind(
+        self, task_id: str, ticket_id: str, expires_at: Optional[float] = None
+    ) -> None:
         if task_id:
-            self._by_task[task_id] = ticket_id
+            self._by_task[task_id] = (ticket_id, expires_at)
+
+    def set_expiry(self, task_id: str, expires_at: Optional[float]) -> None:
+        """Arm (or clear) the TTL on an existing binding; miss is a no-op."""
+        entry = self._by_task.get(task_id)
+        if entry is not None:
+            self._by_task[task_id] = (entry[0], expires_at)
+
+    def purge_expired(self, now: float) -> int:
+        """Drop every binding whose expiry has passed; returns the count."""
+        dead = [
+            task_id
+            for task_id, (_, expires_at) in self._by_task.items()
+            if expires_at is not None and now >= expires_at
+        ]
+        for task_id in dead:
+            del self._by_task[task_id]
+        return len(dead)
 
     def forget(self, task_id: str) -> None:
         self._by_task.pop(task_id, None)
@@ -276,5 +309,5 @@ class DedupTable:
         for ticket in tickets:
             task_id = getattr(ticket, "task_id", "")
             if task_id and getattr(ticket, "status", "") != "failed":
-                self._by_task[task_id] = ticket.ticket_id
+                self._by_task[task_id] = (ticket.ticket_id, None)
         return len(self._by_task)

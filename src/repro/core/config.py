@@ -123,6 +123,38 @@ class PDAgentConfig:
     retry_honour_retry_after: bool = True
     #: Cap on a server-advertised Retry-After the device will actually wait.
     retry_after_cap_s: float = 30.0
+    #: Dedup binding retention: seconds past result reclaim (expiry or
+    #: dispose) after which the task_id→ticket binding itself is dropped, so
+    #: long-running gateways don't accumulate bindings forever.  <= 0 keeps
+    #: bindings for the gateway's lifetime (the pre-TTL behaviour).
+    dedup_ttl_s: float = 0.0
+
+    # --- durable storage & fleet tier ---------------------------------------
+    #: Ticket/dedup/result persistence: "memory" (original volatile
+    #: structures) or "sqlite" (embedded durable store; crash/restart and
+    #: process replacement recover the full ledger).
+    storage_backend: str = "memory"
+    #: Path for the sqlite backend; "" keeps a private in-memory database
+    #: per gateway (hermetic simulations).
+    sqlite_path: str = ""
+    #: Fleet tier: consistent-hash ownership of task_ids across gateways
+    #: with claim forwarding, making dedup authoritative fleet-wide.
+    fleet_enabled: bool = False
+    #: Virtual nodes per gateway on the hash ring.
+    fleet_replicas: int = 32
+    #: Claim RPC rounds against the owner before degrading to
+    #: local-accept-with-reconciliation.
+    fleet_claim_attempts: int = 2
+    #: Per-round claim timeout (seconds).
+    fleet_claim_timeout_s: float = 3.0
+    #: Forwarding circuit breaker: consecutive claim failures before an
+    #: owner is presumed down, and the cooldown before a half-open retry.
+    fleet_breaker_threshold: int = 2
+    fleet_breaker_cooldown_s: float = 15.0
+    #: Reconciliation loop for local-accepted tasks: re-claim every
+    #: interval, at most this many times, then abandon.
+    fleet_reconcile_interval_s: float = 5.0
+    fleet_reconcile_attempts: int = 10
 
     def __post_init__(self) -> None:
         if self.selection_policy not in ("nearest", "first", "random", "round_robin"):
@@ -161,6 +193,22 @@ class PDAgentConfig:
             raise ValueError("dispatch_cost_s must be non-negative")
         if self.retry_after_cap_s <= 0:
             raise ValueError("retry_after_cap_s must be positive")
+        if self.storage_backend not in ("memory", "sqlite"):
+            raise ValueError(f"unknown storage backend {self.storage_backend!r}")
+        if self.fleet_replicas < 1:
+            raise ValueError("fleet_replicas must be >= 1")
+        if self.fleet_claim_attempts < 1:
+            raise ValueError("fleet_claim_attempts must be >= 1")
+        if self.fleet_claim_timeout_s <= 0:
+            raise ValueError("fleet_claim_timeout_s must be positive")
+        if self.fleet_breaker_threshold < 1:
+            raise ValueError("fleet_breaker_threshold must be >= 1")
+        if self.fleet_breaker_cooldown_s <= 0:
+            raise ValueError("fleet_breaker_cooldown_s must be positive")
+        if self.fleet_reconcile_interval_s <= 0:
+            raise ValueError("fleet_reconcile_interval_s must be positive")
+        if self.fleet_reconcile_attempts < 1:
+            raise ValueError("fleet_reconcile_attempts must be >= 1")
 
     def with_(self, **changes) -> "PDAgentConfig":
         """A modified copy (convenience for sweeps)."""

@@ -28,6 +28,7 @@ from ..mas import (
 )
 from ..simnet import LinkSpec, Network
 from .config import PDAgentConfig
+from .fleet import Fleet
 from .gateway import Gateway
 from .platform import PDAgentPlatform
 from .registry import CentralServer
@@ -50,6 +51,8 @@ class Deployment:
     mas_servers: dict[str, MobileAgentServer] = field(default_factory=dict)
     devices: dict[str, Device] = field(default_factory=dict)
     platforms: dict[str, PDAgentPlatform] = field(default_factory=dict)
+    #: Fleet-tier membership/ownership map; None unless config.fleet_enabled.
+    fleet: Optional[Fleet] = None
 
     @property
     def sim(self):
@@ -206,7 +209,15 @@ class DeploymentBuilder:
             raise ValueError("deployment needs a central server")
         if not self._gateways:
             raise ValueError("deployment needs at least one gateway")
+        fleet = None
+        if self.config.fleet_enabled:
+            fleet = Fleet(
+                sorted(self._gateways), replicas=self.config.fleet_replicas
+            )
+            for gateway in self._gateways.values():
+                gateway.enable_fleet(fleet)
         return Deployment(
+            fleet=fleet,
             network=self.network,
             registry=self.registry,
             catalog=self.catalog,

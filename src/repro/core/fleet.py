@@ -1,0 +1,229 @@
+"""Fleet tier: consistent-hash task ownership and claim forwarding.
+
+A deployment's gateways form a *fleet*: every ``task_id`` has exactly one
+owner gateway, chosen on a consistent-hash ring (md5 virtual nodes — stable
+across processes, deterministic, and insensitive to membership order).
+The owner's dedup index is authoritative for that task fleet-wide.
+
+Dispatch protocol (mint-first):
+
+1. The receiving gateway mints its prospective ticket locally (binding its
+   own dedup index, exactly as in the single-gateway path).
+2. If it is not the owner, it sends ``POST /fleet/claim`` to the owner:
+   *"bind this task to this ticket unless you already know a different
+   one."*  The owner's answer is atomic (a plain, non-yielding handler).
+3. ``granted`` → dispatch proceeds; the owner now redirects any retry of
+   the task — arriving at *any* gateway — to this ticket.
+   ``bound`` → some other gateway won the task earlier; the local
+   prospective ticket is superseded and the winner's ticket is returned to
+   the device, so a roaming retry never launches a second agent.
+4. A claim that cannot reach the owner (bounded retries, per-round
+   timeouts, and a forwarding circuit breaker so a dead owner is not
+   re-probed on every upload) degrades to **local accept**: the dispatch
+   proceeds — devices are never hung on an intra-fleet RPC — and a
+   background reconciler re-claims until the owner answers, superseding
+   the local ticket if the owner meanwhile knows a different winner.
+
+The claim RPC is never interrupted on timeout: the in-flight request is
+left to finish in the background (the owner's bind is idempotent — a late
+``granted`` simply confirms the ticket the forwarder already holds), which
+keeps the race window free of connection-teardown complexity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect
+from typing import TYPE_CHECKING, Generator, Optional
+
+from ..simnet.http import request as http_request
+from ..simnet.transport import NoRouteError, TransportError
+from ..xmlcodec import Element, parse_bytes, write_bytes
+from .retry import CircuitBreaker
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .gateway import Gateway
+
+__all__ = ["HashRing", "Fleet", "FleetClient", "FLEET_CLAIM_PATH", "FLEET_RELEASE_PATH"]
+
+FLEET_CLAIM_PATH = "/fleet/claim"
+FLEET_RELEASE_PATH = "/fleet/release"
+
+
+def _hash(key: str) -> int:
+    """64-bit ring position; md5 keeps it stable across runs and machines."""
+    return int.from_bytes(hashlib.md5(key.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over gateway addresses with virtual nodes."""
+
+    def __init__(self, members: list[str] | tuple[str, ...], replicas: int = 32) -> None:
+        members = tuple(sorted(set(members)))
+        if not members:
+            raise ValueError("hash ring needs at least one member")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.members = members
+        self.replicas = replicas
+        points = sorted(
+            (_hash(f"{member}#{i}"), member)
+            for member in members
+            for i in range(replicas)
+        )
+        self._points = points
+        self._keys = [p[0] for p in points]
+
+    def owner(self, key: str) -> str:
+        if len(self.members) == 1:
+            return self.members[0]
+        idx = bisect(self._keys, _hash(key)) % len(self._points)
+        return self._points[idx][1]
+
+
+class Fleet:
+    """Shared, immutable fleet membership + ownership map."""
+
+    def __init__(self, members: list[str] | tuple[str, ...], replicas: int = 32) -> None:
+        self.ring = HashRing(members, replicas=replicas)
+
+    @property
+    def members(self) -> tuple[str, ...]:
+        return self.ring.members
+
+    def owner(self, task_id: str) -> str:
+        return self.ring.owner(task_id)
+
+    def __contains__(self, address: str) -> bool:
+        return address in self.ring.members
+
+    def __len__(self) -> int:
+        return len(self.ring.members)
+
+
+# ------------------------------------------------------------------ wire XML
+def claim_request(task_id: str, ticket_id: str, claimant: str) -> bytes:
+    doc = Element(
+        "claim", {"task": task_id, "ticket": ticket_id, "from": claimant}
+    )
+    return write_bytes(doc)
+
+
+def claim_reply(verdict: str, ticket_id: str, agent_id: str = "") -> bytes:
+    doc = Element("claimreply", {"verdict": verdict})
+    doc.add("ticket", text=ticket_id)
+    doc.add("agent", text=agent_id)
+    return write_bytes(doc)
+
+
+def release_request(task_id: str, ticket_id: str) -> bytes:
+    doc = Element("release", {"task": task_id, "ticket": ticket_id})
+    return write_bytes(doc)
+
+
+class FleetClient:
+    """One gateway's forwarding side of the fleet protocol."""
+
+    def __init__(self, gateway: "Gateway", fleet: Fleet) -> None:
+        self.gateway = gateway
+        self.fleet = fleet
+        config = gateway.config
+        self.breaker = CircuitBreaker(
+            gateway.sim,
+            threshold=config.fleet_breaker_threshold,
+            cooldown=config.fleet_breaker_cooldown_s,
+        )
+
+    def owner_of(self, task_id: str) -> str:
+        return self.fleet.owner(task_id)
+
+    # ------------------------------------------------------------ claim RPC
+    def claim(
+        self, task_id: str, ticket_id: str
+    ) -> Generator[object, object, tuple[str, str, str]]:
+        """Process: claim ``task_id`` for ``ticket_id`` at its owner.
+
+        Returns ``(verdict, winner_ticket, winner_agent)`` where verdict is
+        one of ``"local"`` (this gateway owns the task — its own dedup index
+        is already authoritative), ``"granted"``, ``"bound"`` (the owner
+        knows a different winning ticket), or ``"unreachable"`` (degrade to
+        local accept and reconcile later).
+        """
+        gw = self.gateway
+        owner = self.fleet.owner(task_id)
+        if owner == gw.address:
+            return ("local", "", "")
+        if self.breaker.is_open(owner):
+            gw.network.tracer.count("fleet.claim_skipped_breaker_open")
+            return ("unreachable", "", "")
+        sim = gw.sim
+        body = claim_request(task_id, ticket_id, gw.address)
+        for _attempt in range(gw.config.fleet_claim_attempts):
+            rpc = sim.process(
+                self._rpc(owner, FLEET_CLAIM_PATH, body, purpose="fleet-claim"),
+                name=f"fleet-claim:{ticket_id}",
+            )
+            deadline = sim.timeout(gw.config.fleet_claim_timeout_s)
+            fired = yield sim.any_of([rpc, deadline])
+            if rpc not in fired:
+                # Timed out.  The RPC is left running: the owner's bind is
+                # idempotent, so a late grant is harmless.
+                self.breaker.record_failure(owner)
+                gw.network.tracer.count("fleet.claim_timeout")
+                continue
+            ok, payload = fired[rpc]
+            if not ok:
+                self.breaker.record_failure(owner)
+                gw.network.tracer.count("fleet.claim_error")
+                continue
+            self.breaker.record_success(owner)
+            verdict = payload.get("verdict", "")
+            winner = payload.findtext("ticket")
+            agent = payload.findtext("agent")
+            if verdict == "bound" and winner != ticket_id:
+                gw.network.tracer.count("fleet.claim_bound")
+                return ("bound", winner, agent)
+            # "granted", or "bound" to our own ticket (our earlier timed-out
+            # claim landed after all): either way the task is ours.
+            gw.network.tracer.count("fleet.claim_granted")
+            return ("granted", "", "")
+        return ("unreachable", "", "")
+
+    def release(self, task_id: str, ticket_id: str) -> Generator:
+        """Process: best-effort unbind at the owner (failed dispatch path)."""
+        owner = self.fleet.owner(task_id)
+        if owner == self.gateway.address:
+            return
+        yield from self._rpc(
+            owner,
+            FLEET_RELEASE_PATH,
+            release_request(task_id, ticket_id),
+            purpose="fleet-release",
+        )
+
+    def _rpc(
+        self, owner: str, path: str, body: bytes, purpose: str
+    ) -> Generator[object, object, tuple[bool, object]]:
+        """One intra-fleet POST; never raises (safe under ``any_of``)."""
+        gw = self.gateway
+        try:
+            resp = yield from http_request(
+                gw.network,
+                gw.address,
+                owner,
+                "POST",
+                path,
+                body=body,
+                body_size=len(body),
+                port=gw.http.port,
+                purpose=purpose,
+                raise_for_status=False,
+            )
+        except (TransportError, NoRouteError) as exc:
+            return (False, str(exc))
+        if not resp.ok:
+            return (False, f"{resp.status} {resp.reason}")
+        try:
+            return (True, parse_bytes(resp.body))
+        except Exception as exc:  # noqa: BLE001 - malformed peer reply
+            return (False, f"bad reply: {exc}")

@@ -34,7 +34,7 @@ from ..simnet.primitives import Event
 from ..telemetry.spans import Span, SpanContext
 from ..xmlcodec import Element, XmlError, parse_bytes, write_bytes
 from ..mas.serializer import value_to_xml
-from .admission import AdmissionController, DedupTable, TokenBucket
+from .admission import AdmissionController, TokenBucket
 from .config import PDAgentConfig
 from .errors import (
     AuthorizationError,
@@ -42,8 +42,10 @@ from .errors import (
     GatewayError,
     GatewayOverloadedError,
 )
+from .fleet import Fleet, FleetClient, claim_reply
 from .packed_info import PIContent, unpack
 from .security import GatewaySecurity
+from .storage import GatewayStorage, make_storage
 from .subscription import ServiceCatalog, SubscriptionDirectory, code_to_xml
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -75,7 +77,9 @@ class Ticket:
     agent_id: str
     device_id: str
     service: str
-    status: str  # dispatched | completed | retracted | disposed | failed | expired
+    #: dispatched | completed | retracted | disposed | failed | expired |
+    #: superseded
+    status: str
     created_at: float
     result_frame: Optional[bytes] = None
     completed: Optional[Event] = None
@@ -87,6 +91,10 @@ class Ticket:
     #: When the result document was first successfully downloaded; starts
     #: the retention-TTL clock.
     first_downloaded_at: Optional[float] = None
+    #: Fleet tier: the winning ticket this one lost its task to.  A
+    #: superseded ticket holds no result; collects against it are
+    #: redirected to the winner.
+    superseded_by: str = ""
     #: Telemetry span covering the ticket's pending lifetime (dispatch →
     #: finalize); ``None`` for tickets created outside a traced dispatch.
     span: Optional[Span] = None
@@ -140,6 +148,10 @@ class AgentCreator:
                 f"for {content.code_id!r}"
             )
         self._seen_nonces.add(nonce_key)
+
+    def forget_nonces(self) -> None:
+        """Drop the replay cache — it is process memory, lost on crash."""
+        self._seen_nonces.clear()
 
     def create(
         self, content: PIContent, home: str, trace: Optional[SpanContext] = None
@@ -256,9 +268,9 @@ class AgentDispatchHandler:
         # from inside the PI, and crucially BEFORE the nonce-replay check in
         # authorize(): a byte-identical retried frame must dedup to its
         # existing ticket, not 403 as a replay.
-        existing = gw._dedup_ticket(content.task_id)
+        existing = gw._dedup_answer(content.task_id)
         if existing is not None:
-            return existing.ticket_id, existing.agent_id
+            return existing
         dispatch_span = tele.start_span(
             "gateway.dispatch",
             node=gw.address,
@@ -274,6 +286,33 @@ class AgentDispatchHandler:
                 parent=dispatch_span,
                 attrs={"ticket": ticket.ticket_id},
             )
+            # Fleet tier: mint first, then claim the task at its owner.  A
+            # claim that comes back "bound" means another gateway already
+            # dispatched this task — hand its ticket to the device and
+            # retire the local prospective one, never launching an agent.
+            if (
+                gw.fleet_client is not None
+                and content.task_id
+                and gw.config.dedup_enabled
+            ):
+                verdict, winner, winner_agent = yield from gw.fleet_client.claim(
+                    content.task_id, ticket.ticket_id
+                )
+                if gw.crash_epoch != epoch:
+                    # Crashed mid-claim: the prospective ticket cannot be
+                    # dispatched by this dead servlet thread.
+                    gw._fail_unlaunched_ticket(ticket)
+                    dispatch_span.end(status="error")
+                    raise GatewayOverloadedError(
+                        "gateway restarted during fleet claim; retry",
+                        retry_after=gw.config.shed_retry_after_s,
+                    )
+                if verdict == "bound":
+                    gw._supersede_ticket(ticket, winner)
+                    dispatch_span.end(status="superseded")
+                    return winner, winner_agent
+                if verdict == "unreachable":
+                    gw._local_accept(content.task_id, ticket)
             gw.file_directory.allocate(
                 ticket.ticket_id, len(content.code_body) + 2048
             )
@@ -288,8 +327,11 @@ class AgentDispatchHandler:
                 # The task produced no agent: unbind so a future retry may
                 # legitimately dispatch afresh.
                 gw.dedup.forget(ticket.task_id)
+                gw.storage.tickets.persist(ticket)
+                gw._release_fleet_claim(ticket)
                 raise
             ticket.agent_id = agent_id
+            gw.storage.tickets.persist(ticket)
             gw.network.tracer.count("gateway_dispatches")
             # Background: watch for the agent's completion and build the doc,
             # with a watchdog so a lost agent cannot wedge the ticket.
@@ -331,6 +373,7 @@ class Gateway:
         vault: KeyVault,
         config: Optional[PDAgentConfig] = None,
         port: int = GATEWAY_PORT,
+        storage: Optional[GatewayStorage] = None,
     ) -> None:
         self.network = network
         self.node = network.node(address)
@@ -344,14 +387,29 @@ class Gateway:
         self.document_creator = DocumentCreator()
         self.file_directory = FileDirectory()
         self.dispatch_handler = AgentDispatchHandler(self)
-        self._tickets: dict[str, Ticket] = {}
-        self._ticket_counter = itertools.count(1)
+        #: Ticket/dedup/result persistence.  Passing ``storage`` explicitly
+        #: models process replacement: a fresh gateway adopting the durable
+        #: state its predecessor left behind.
+        self.storage = storage or make_storage(
+            self.config.storage_backend, path=self.config.sqlite_path
+        )
+        #: Exactly-once admission index (volatile for the memory backend —
+        #: rebuilt on restart(); authoritative and durable under sqlite).
+        self.dedup = self.storage.dedup
+        self._ticket_counter = itertools.count(
+            self.storage.tickets.max_seq(f"{address}/t-") + 1
+        )
         #: Incremented by crash(): in-flight intake handlers compare their
         #: entry epoch before minting a ticket, so a dispatch that straddled
         #: a crash aborts instead of racing the restarted dedup index.
         self.crash_epoch = 0
-        #: Exactly-once admission index (volatile; rebuilt on restart()).
-        self.dedup = DedupTable()
+        #: Fleet tier (installed by :meth:`enable_fleet` at deployment
+        #: build time when ``config.fleet_enabled``).
+        self.fleet: Optional[Fleet] = None
+        self.fleet_client: Optional[FleetClient] = None
+        #: Locally-accepted task claims awaiting owner reconciliation.
+        self._unreconciled: dict[str, str] = {}
+        self._adopt_recovered_tickets()
         #: Bounded, classed intake.  "upload" is the expensive agent-dispatch
         #: class; "download" the cheap result/agent-op class with its own
         #: pool, so a dispatch storm can never starve result collection.
@@ -393,6 +451,8 @@ class Gateway:
         self.http.route("/relay/", self._handle_relay)
         self.http.route("/agent", self._handle_agent_op)
         self.http.route("/status", self._handle_status)
+        self.http.route("/fleet/claim", self._handle_fleet_claim)
+        self.http.route("/fleet/release", self._handle_fleet_release)
 
     # ------------------------------------------------------------ plumbing
     @property
@@ -402,6 +462,27 @@ class Gateway:
     @property
     def sim(self):
         return self.network.sim
+
+    def _adopt_recovered_tickets(self) -> None:
+        """Re-arm process state on tickets recovered from durable storage.
+
+        Events and watchdogs die with the process; a still-"dispatched"
+        recovered ticket has also lost its agent-completion subscription,
+        so the watchdog is its only path to finality — it fails (retriable)
+        and the device's retry re-dispatches.
+        """
+        for ticket in self.storage.tickets.values():
+            if ticket.completed is None:
+                ticket.completed = Event(self.sim)
+                if ticket.status != "dispatched":
+                    ticket.completed.succeed(ticket.status)
+            if ticket.status == "dispatched":
+                self._watch_ticket(ticket)
+
+    def enable_fleet(self, fleet: Fleet) -> None:
+        """Join ``fleet``: consistent-hash task ownership + claim forwarding."""
+        self.fleet = fleet
+        self.fleet_client = FleetClient(self, fleet)
 
     def _new_ticket(self, content: PIContent) -> Ticket:
         ticket = Ticket(
@@ -414,7 +495,7 @@ class Gateway:
             completed=Event(self.sim),
             task_id=content.task_id,
         )
-        self._tickets[ticket.ticket_id] = ticket
+        self.storage.tickets.insert(ticket)
         # Bind before the (slow) agent creation so a retry arriving while
         # the first dispatch is still materialising dedups onto it instead
         # of racing a sibling dispatch through authorize().
@@ -422,29 +503,49 @@ class Gateway:
             self.dedup.bind(content.task_id, ticket.ticket_id)
         return ticket
 
-    def _dedup_ticket(self, task_id: str) -> Optional[Ticket]:
-        """The existing ticket for ``task_id`` if this is a retried upload."""
+    def _foreign_fleet_ticket(self, ticket_id: str) -> bool:
+        """Was ``ticket_id`` minted by another member of this fleet?"""
+        if self.fleet is None:
+            return False
+        origin, sep, _ = ticket_id.partition("/t-")
+        return bool(sep) and origin != self.address and origin in self.fleet
+
+    def _dedup_answer(self, task_id: str) -> Optional[tuple[str, str]]:
+        """``(ticket_id, agent_id)`` for a retried upload, or ``None``.
+
+        The bound ticket may live on *another* fleet gateway (a roaming
+        retry claimed there, or a claim bound here as owner): the id is
+        answered as-is — the device collects through any gateway — and the
+        binding is kept.  Only a binding to a vanished *local* ticket is
+        treated as stale and dropped.
+        """
         if not (task_id and self.config.dedup_enabled):
             return None
-        ticket_id = self.dedup.lookup(task_id)
+        ticket_id = self.dedup.lookup(task_id, self.sim.now)
         if ticket_id is None:
             return None
-        ticket = self._tickets.get(ticket_id)
-        if ticket is None:  # ticket evicted out-of-band; index is stale
-            self.dedup.forget(task_id)
-            return None
-        self.network.tracer.count("gateway.dedup_hit")
-        return ticket
+        ticket = self.storage.tickets.get(ticket_id)
+        if ticket is not None:
+            if ticket.status == "superseded" and ticket.superseded_by:
+                self.network.tracer.count("gateway.dedup_hit")
+                return ticket.superseded_by, ""
+            self.network.tracer.count("gateway.dedup_hit")
+            return ticket.ticket_id, ticket.agent_id
+        if self._foreign_fleet_ticket(ticket_id):
+            self.network.tracer.count("gateway.dedup_hit")
+            return ticket_id, ""
+        self.dedup.forget(task_id)  # ticket evicted out-of-band; stale index
+        return None
 
     def ticket(self, ticket_id: str) -> Ticket:
-        try:
-            return self._tickets[ticket_id]
-        except KeyError:
-            raise GatewayError(f"unknown ticket {ticket_id!r}") from None
+        found = self.storage.tickets.get(ticket_id)
+        if found is None:
+            raise GatewayError(f"unknown ticket {ticket_id!r}")
+        return found
 
     def tickets(self) -> list[Ticket]:
         """Every ticket this gateway has minted (auditing/experiments)."""
-        return list(self._tickets.values())
+        return self.storage.tickets.values()
 
     # ------------------------------------------------------------ crash model
     def crash(self) -> None:
@@ -458,23 +559,25 @@ class Gateway:
         if not self.node.crashed:
             self.node.suspend_listeners()
         self.crash_epoch += 1
-        self.dedup.clear()
+        self.storage.on_crash()
         self.admission.drop_queued()
+        self.agent_creator.forget_nonces()
         self.network.tracer.count("gateway_crashes")
 
     def restart(self) -> int:
-        """Bring the gateway back; rebuild the dedup index from tickets.
+        """Bring the gateway back; recover the dedup index.
 
         Exactly-once must hold *across* the crash: a device retrying a
         pre-crash task after the restart has to land on its original
-        ticket, so the volatile index is reconstructed from the durable
-        ticket store before any request is served.  Orphaned workspace —
-        allocations whose ticket vanished mid-dispatch — is reclaimed.
-        Returns the number of rebuilt dedup bindings.
+        ticket.  The memory backend reconstructs the volatile index from
+        the durable ticket store before any request is served; the sqlite
+        backend's index never died.  Orphaned workspace — allocations
+        whose ticket vanished mid-dispatch — is reclaimed.  Returns the
+        number of usable dedup bindings.
         """
-        rebuilt = self.dedup.rebuild(self._tickets.values())
+        rebuilt = self.storage.on_restart()
         for ticket_id in self.file_directory.tracked():
-            if ticket_id not in self._tickets:
+            if self.storage.tickets.get(ticket_id) is None:
                 self.file_directory.release(ticket_id)
         if self.node.crashed:
             self.node.resume_listeners()
@@ -515,7 +618,9 @@ class Gateway:
         self.network.tracer.count("gateway_watchdog_failures")
 
     def _finalize_ticket(self, ticket: Ticket, result: Any, disposition: str) -> None:
-        if ticket.status in ("completed", "retracted", "disposed", "failed", "expired"):
+        if ticket.status in (
+            "completed", "retracted", "disposed", "failed", "expired", "superseded",
+        ):
             return
         doc = self.document_creator.build(ticket, result, disposition)
         payload = compress(write_bytes(doc), self.config.codec)
@@ -531,8 +636,13 @@ class Gateway:
             ticket.completed.succeed(disposition)
         if disposition == "failed":
             # Exactly-once covers *successful* dispatch; a failed task may
-            # be retried afresh, so its idempotency key is released.
+            # be retried afresh, so its idempotency key is released —
+            # locally and, for a forwarded claim, at the task's owner.
             self.dedup.forget(ticket.task_id)
+            self._release_fleet_claim(ticket)
+        else:
+            self.storage.results.put(ticket.ticket_id, ticket.result_frame)
+        self.storage.tickets.persist(ticket)
         self.network.tracer.count(f"gateway_results:{disposition}")
         if ticket.span is not None:
             ticket.span.end(status=disposition)
@@ -543,8 +653,9 @@ class Gateway:
         Armed at the *first successful download*; when it fires, the
         document and its workspace are dropped and later downloads get the
         distinct 410 "expired" answer (vs 404 "unknown ticket").  The
-        dedup binding is kept: a very late retry of the task still maps to
-        this ticket instead of dispatching a fresh agent.
+        dedup binding is kept — a very late retry of the task still maps to
+        this ticket instead of dispatching a fresh agent — unless
+        ``dedup_ttl_s`` arms its expiry, bounding the index for long runs.
         """
         yield self.sim.timeout(self.config.result_ttl_s)
         if ticket.result_frame is None:
@@ -552,7 +663,120 @@ class Gateway:
         ticket.result_frame = None
         ticket.status = "expired"
         self.file_directory.release(ticket.ticket_id)
+        self.storage.results.drop(ticket.ticket_id)
+        self.storage.tickets.persist(ticket)
         self.network.tracer.count("gateway_results_expired")
+        self._arm_dedup_expiry(ticket)
+
+    def _arm_dedup_expiry(self, ticket: Ticket) -> None:
+        """Schedule the task's dedup binding to lapse with its result."""
+        ttl = self.config.dedup_ttl_s
+        if ttl <= 0 or not ticket.task_id:
+            return
+        if self.dedup.lookup(ticket.task_id) != ticket.ticket_id:
+            return  # rebound elsewhere (e.g. superseded): not ours to expire
+        self.dedup.set_expiry(ticket.task_id, self.sim.now + ttl)
+        self.sim.process(
+            self._purge_expired_dedup(), name=f"gw-dedup-ttl:{ticket.ticket_id}"
+        )
+
+    def _purge_expired_dedup(self) -> Generator:
+        yield self.sim.timeout(self.config.dedup_ttl_s)
+        purged = self.dedup.purge_expired(self.sim.now)
+        if purged:
+            self.network.tracer.count("gateway_dedup_expired", purged)
+
+    # ------------------------------------------------------------ fleet tier
+    def _release_fleet_claim(self, ticket: Ticket) -> None:
+        """Background: undo this ticket's claim at the task's owner."""
+        if self.fleet_client is None or not ticket.task_id:
+            return
+        self._unreconciled.pop(ticket.task_id, None)
+        if self.fleet.owner(ticket.task_id) == self.address:
+            return
+        self.sim.process(
+            self.fleet_client.release(ticket.task_id, ticket.ticket_id),
+            name=f"fleet-release:{ticket.ticket_id}",
+        )
+
+    def _fail_unlaunched_ticket(self, ticket: Ticket) -> None:
+        """Retire a minted ticket whose dispatch never launched an agent."""
+        ticket.status = "failed"
+        self.dedup.forget(ticket.task_id)
+        if ticket.completed is not None and not ticket.completed.triggered:
+            ticket.completed.succeed("failed")
+        if ticket.span is not None and ticket.span.open:
+            ticket.span.end(status="error")
+        self.storage.tickets.persist(ticket)
+        self._release_fleet_claim(ticket)
+
+    def _supersede_ticket(self, ticket: Ticket, winner_id: str) -> None:
+        """This ticket lost its task to ``winner_id`` on another gateway.
+
+        The local record is kept (status "superseded", pointing at the
+        winner) so collects against it redirect instead of 404ing; the
+        local dedup binding is repointed at the winner so later retries
+        here answer with the authoritative ticket directly.
+        """
+        if ticket.status == "superseded":
+            return
+        ticket.status = "superseded"
+        ticket.superseded_by = winner_id
+        ticket.result_frame = None
+        self.file_directory.release(ticket.ticket_id)
+        self.storage.results.drop(ticket.ticket_id)
+        if ticket.task_id:
+            self.dedup.bind(ticket.task_id, winner_id)
+        self._unreconciled.pop(ticket.task_id, None)
+        if ticket.completed is not None and not ticket.completed.triggered:
+            ticket.completed.succeed("superseded")
+        if ticket.span is not None and ticket.span.open:
+            ticket.span.end(status="superseded")
+        self.storage.tickets.persist(ticket)
+        self.network.tracer.count("gateway_superseded")
+
+    def _local_accept(self, task_id: str, ticket: Ticket) -> None:
+        """Owner unreachable: dispatch locally, reconcile in the background.
+
+        Availability over strict dedup — the device is answered now; a
+        duplicate this may create is superseded (agent retracted) as soon
+        as the owner answers a re-claim.
+        """
+        self._unreconciled[task_id] = ticket.ticket_id
+        self.network.tracer.count("fleet.local_accepts")
+        self.sim.process(
+            self._reconcile(task_id, ticket), name=f"fleet-reconcile:{ticket.ticket_id}"
+        )
+
+    def _reconcile(self, task_id: str, ticket: Ticket) -> Generator:
+        config = self.config
+        for _ in range(config.fleet_reconcile_attempts):
+            yield self.sim.timeout(config.fleet_reconcile_interval_s)
+            if self._unreconciled.get(task_id) != ticket.ticket_id:
+                return  # released, superseded, or failed meanwhile
+            verdict, winner, _agent = yield from self.fleet_client.claim(
+                task_id, ticket.ticket_id
+            )
+            if verdict in ("granted", "local"):
+                self._unreconciled.pop(task_id, None)
+                self.network.tracer.count("fleet.reconciled")
+                return
+            if verdict == "bound":
+                yield from self._supersede_with_retract(ticket, winner)
+                self.network.tracer.count("fleet.reconciled_superseded")
+                return
+        self._unreconciled.pop(task_id, None)
+        self.network.tracer.count("fleet.reconcile_abandoned")
+
+    def _supersede_with_retract(self, ticket: Ticket, winner_id: str) -> Generator:
+        """Supersede a ticket whose agent may already be running."""
+        if ticket.status == "dispatched" and ticket.agent_id:
+            try:
+                yield from self.adapter.retract(ticket.agent_id)
+            except Exception:  # noqa: BLE001 - agent already gone is fine
+                pass
+        if ticket.status in ("dispatched", "completed", "expired"):
+            self._supersede_ticket(ticket, winner_id)
 
     # ------------------------------------------------------------ HTTP handlers
     def _handle_subscribe(self, req: HttpRequest) -> HttpResponse:
@@ -607,11 +831,9 @@ class Gateway:
         arrived = self.sim.now
         tracer = self.network.tracer
         try:
-            existing = self._dedup_ticket(req.headers.get(TASK_ID_HEADER, ""))
+            existing = self._dedup_answer(req.headers.get(TASK_ID_HEADER, ""))
             if existing is not None:
-                return self._dispatched_response(
-                    existing.ticket_id, existing.agent_id
-                )
+                return self._dispatched_response(*existing)
             try:
                 admission = self.admission.try_admit("upload")
             except GatewayOverloadedError as exc:
@@ -623,11 +845,9 @@ class Gateway:
                 )
                 # Re-check after the queue wait: an identical retry may have
                 # been admitted and dispatched while this one waited.
-                existing = self._dedup_ticket(req.headers.get(TASK_ID_HEADER, ""))
+                existing = self._dedup_answer(req.headers.get(TASK_ID_HEADER, ""))
                 if existing is not None:
-                    return self._dispatched_response(
-                        existing.ticket_id, existing.agent_id
-                    )
+                    return self._dispatched_response(*existing)
                 try:
                     ticket_id, agent_id = yield from self.dispatch_handler.handle(
                         bytes(req.body), trace=SpanContext.from_headers(req.headers)
@@ -668,11 +888,41 @@ class Gateway:
                 return self._shed_response(exc)
             try:
                 yield admission.request
-                return self._result_response(req.path[len("/result/") :])
+                ticket_id = req.path[len("/result/") :]
+                local = self.storage.tickets.get(ticket_id)
+                hopped = "x-fleet-hop" in req.headers
+                if (
+                    local is not None
+                    and local.status == "superseded"
+                    and local.superseded_by
+                ):
+                    # Collect-anywhere: this ticket lost its task; follow
+                    # the winner (never itself superseded — at most one
+                    # extra hop, so safe even on a relayed request).
+                    resp = yield from self._follow_supersede(local)
+                    return resp
+                if local is None and not hopped and self._foreign_fleet_ticket(
+                    ticket_id
+                ):
+                    # A fleet sibling minted this ticket: fetch from its
+                    # origin instead of answering 404 to a roaming device.
+                    origin, _, _ = ticket_id.partition("/t-")
+                    resp = yield from self._relay_fetch(origin, ticket_id)
+                    return resp
+                return self._result_response(ticket_id)
             finally:
                 admission.release()
         finally:
             tracer.observe("gateway.latency:download", self.sim.now - arrived)
+
+    def _follow_supersede(self, ticket: Ticket) -> Generator:
+        winner = ticket.superseded_by
+        self.network.tracer.count("gateway_supersede_redirects")
+        origin, sep, _ = winner.partition("/t-")
+        if not sep or origin == self.address or origin not in (self.fleet or ()):
+            return self._result_response(winner)
+        resp = yield from self._relay_fetch(origin, winner)
+        return resp
 
     def _result_response(self, ticket_id: str) -> HttpResponse:
         try:
@@ -687,6 +937,7 @@ class Gateway:
             return HttpResponse(204, reason="result not ready")
         if ticket.first_downloaded_at is None:
             ticket.first_downloaded_at = self.sim.now
+            self.storage.tickets.persist(ticket)
             if self.config.result_ttl_s > 0:
                 self.sim.process(
                     self._expire_result(ticket), name=f"gw-expire:{ticket.ticket_id}"
@@ -702,7 +953,7 @@ class Gateway:
         verifying gateway-side state without reaching into internals).
         """
         by_status: dict[str, int] = {}
-        for ticket in self._tickets.values():
+        for ticket in self.storage.tickets.values():
             by_status[ticket.status] = by_status.get(ticket.status, 0) + 1
         doc = Element("gatewaystatus", {"address": self.address})
         doc.add("mas", text=getattr(self.adapter, "name", "unknown"))
@@ -713,7 +964,7 @@ class Gateway:
                 "quota": str(self.file_directory.quota_bytes),
             },
         )
-        tickets = doc.add("tickets", {"total": str(len(self._tickets))})
+        tickets = doc.add("tickets", {"total": str(len(self.storage.tickets))})
         for status, count in sorted(by_status.items()):
             tickets.add("bucket", {"status": status, "count": str(count)})
         body = write_bytes(doc)
@@ -738,6 +989,18 @@ class Gateway:
                 HttpRequest(method="GET", path=f"/result/{ticket_id}", client=req.client)
             )
             return resp
+        resp = yield from self._relay_fetch(origin, ticket_id)
+        return resp
+
+    def _relay_fetch(self, origin: str, ticket_id: str) -> Generator:
+        """Process: fetch ``/result/<ticket_id>`` from ``origin``, pass through.
+
+        Shared by the explicit ``/relay/`` endpoint, foreign-ticket collects
+        and supersede redirects.  The ``x-fleet-hop`` marker stops a
+        confused peer from relaying an unknown ticket back out (supersede
+        redirects stay allowed — the winner is never itself superseded, so
+        they terminate in one extra hop).
+        """
         from ..simnet.http import request as http_request
         from ..simnet.transport import TransportError
 
@@ -751,6 +1014,7 @@ class Gateway:
                 port=GATEWAY_PORT,
                 purpose="gw-relay",
                 raise_for_status=False,
+                headers={"x-fleet-hop": "1"},
             )
         except TransportError as exc:
             return HttpResponse(502, reason=f"origin gateway unreachable: {exc}")
@@ -807,8 +1071,9 @@ class Gateway:
                 created_at=self.sim.now,
                 completed=Event(self.sim),
             )
-            self._tickets[clone_ticket.ticket_id] = clone_ticket
+            self.storage.tickets.insert(clone_ticket)
             ticket.children.append(clone_ticket.ticket_id)
+            self.storage.tickets.persist(ticket)
             self.sim.process(
                 self._await_completion(clone_ticket),
                 name=f"gw-await:{clone_ticket.ticket_id}",
@@ -822,12 +1087,66 @@ class Gateway:
                 return HttpResponse(409, reason=f"dispose failed: {exc}")
             ticket.status = "disposed"
             self.file_directory.release(ticket.ticket_id)
+            self.storage.results.drop(ticket.ticket_id)
+            self.storage.tickets.persist(ticket)
+            self._arm_dedup_expiry(ticket)
             if ticket.span is not None:
                 ticket.span.end(status="disposed")
             body = _op_reply(ticket, state="disposed")
         else:
             return HttpResponse(400, reason=f"unknown op {op!r}")
         return HttpResponse(200, body=body, body_size=len(body))
+
+    # ------------------------------------------------------------ fleet HTTP
+    def _handle_fleet_claim(self, req: HttpRequest) -> HttpResponse:
+        """Owner side of the claim protocol: ``<claim task ticket from>``.
+
+        Atomic (plain handler, no yields): first claim binds and is
+        granted; a claim for an already-bound task answers "bound" with
+        the winning ticket, so concurrent roaming retries serialize here.
+        """
+        if self.fleet is None:
+            return HttpResponse(404, reason="fleet tier not enabled")
+        try:
+            doc = parse_bytes(req.body)
+            task_id = doc.require("task")
+            ticket_id = doc.require("ticket")
+        except (XmlError, KeyError, TypeError) as exc:
+            return HttpResponse(400, reason=str(exc))
+        if not self.config.dedup_enabled:
+            body = claim_reply("granted", ticket_id)
+            return HttpResponse(200, body=body, body_size=len(body))
+        existing = self.dedup.lookup(task_id, self.sim.now)
+        if existing is not None and existing != ticket_id:
+            agent = ""
+            local = self.storage.tickets.get(existing)
+            if local is not None:
+                if local.status == "superseded" and local.superseded_by:
+                    existing = local.superseded_by
+                else:
+                    agent = local.agent_id
+            self.network.tracer.count("fleet.claims_refused")
+            body = claim_reply("bound", existing, agent)
+            return HttpResponse(200, body=body, body_size=len(body))
+        self.dedup.bind(task_id, ticket_id)
+        self.network.tracer.count("fleet.claims_granted")
+        body = claim_reply("granted", ticket_id)
+        return HttpResponse(200, body=body, body_size=len(body))
+
+    def _handle_fleet_release(self, req: HttpRequest) -> HttpResponse:
+        """Undo a claim: only if the task is still bound to that ticket."""
+        if self.fleet is None:
+            return HttpResponse(404, reason="fleet tier not enabled")
+        try:
+            doc = parse_bytes(req.body)
+            task_id = doc.require("task")
+            ticket_id = doc.require("ticket")
+        except (XmlError, KeyError, TypeError) as exc:
+            return HttpResponse(400, reason=str(exc))
+        if self.dedup.lookup(task_id) == ticket_id:
+            self.dedup.forget(task_id)
+            self.network.tracer.count("fleet.claims_released")
+        return HttpResponse(200, body=b"", body_size=0)
 
 
 def _op_reply(ticket: Ticket, state: str) -> bytes:

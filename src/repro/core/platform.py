@@ -246,8 +246,16 @@ class PDAgentPlatform:
         yet.  On success the document is verified, parsed, stored in the
         internal database, and returned as a :class:`CollectedResult`.
         """
+        # The ticket id encodes its issuing gateway ("<addr>/t-<n>"): that —
+        # not handle.gateway — is where the result document lives.  A handle
+        # returned by a fleet dedup (upload at B answered with A's ticket)
+        # records gateway=B but must download from A.
+        head, sep, _ = handle.ticket.partition("/t-")
+        origin = head if sep else handle.gateway
         if via == "":
-            via = yield from self.selector.select()
+            # Auto-select after a link flap: prefer the gateway that issued
+            # the ticket — collecting there is direct, anywhere else relays.
+            via = yield from self.selector.select(prefer=origin)
         gateway = via or handle.gateway
         tele = self.device.network.telemetry
         root = tele.root_of(handle.trace_id) if handle.trace_id else None
@@ -259,7 +267,7 @@ class PDAgentPlatform:
         )
         try:
             frame = yield from self.netmanager.download_result(
-                gateway, handle.ticket, origin=handle.gateway, trace=span.context
+                gateway, handle.ticket, origin=origin, trace=span.context
             )
         except ResultNotReadyError:
             # Not an error: the agent is still travelling.  The root stays

@@ -176,7 +176,11 @@ class GatewaySelector:
         return fresh
 
     # ------------------------------------------------------------ selection
-    def select(self, exclude: Optional[set[str]] = None) -> Generator:
+    def select(
+        self,
+        exclude: Optional[set[str]] = None,
+        prefer: Optional[str] = None,
+    ) -> Generator:
         """Process: pick the upload gateway per the configured policy.
 
         Ensures an address list is present (downloading one on first use),
@@ -185,11 +189,21 @@ class GatewaySelector:
         gateways that just failed (the deploy failover path); gateways whose
         circuit breaker is open are skipped the same way, unless that would
         leave no candidate at all.
+
+        ``prefer`` short-circuits the policy when that address is a viable
+        candidate: re-selecting during collect after a link flap should go
+        back to the gateway that holds the ticket, not to whichever is
+        nearest now — a preferred gateway that is excluded or breaker-open
+        falls through to the normal policy.
         """
         if not self._entries:
             yield from self.refresh_list()
         exclude = set(exclude or ())
         skip, entries = self._candidates(exclude)
+        if prefer is not None:
+            for entry in entries:
+                if entry.address == prefer:
+                    return prefer
         policy = self.config.selection_policy
         if policy == "first":
             return entries[0].address

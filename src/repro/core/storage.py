@@ -1,0 +1,374 @@
+"""Storage adapters for the gateway tier: tickets, dedup bindings, results.
+
+The gateway originally kept all three in per-instance in-memory structures,
+which makes its exactly-once guarantee *per process*: a crash loses the
+dedup index (rebuilt best-effort from tickets) and a replaced gateway
+process loses everything.  This module turns each structure into an adapter
+with two backends:
+
+* **memory** — the original semantics: a live dict of
+  :class:`~repro.core.gateway.Ticket` objects, the volatile
+  :class:`~repro.core.admission.DedupTable`, result frames held on the
+  ticket.  ``persist()`` is a no-op; crash wipes dedup; restart rebuilds it
+  from the surviving tickets.
+* **sqlite** — an embedded durable store (stdlib ``sqlite3``, private
+  ``:memory:`` database by default so simulations stay hermetic).  Every
+  ticket mutation is written through to a row, dedup bindings and retained
+  result frames live in their own tables, and a fresh store constructed
+  over the same connection recovers the working set — the crash/restart
+  and process-replacement recovery the fleet tier builds on.
+
+Schema (one database per gateway)::
+
+    tickets(ticket_id PK, agent_id, device_id, service, status,
+            created_at, task_id, first_downloaded_at, superseded_by,
+            children)
+    dedup(task_id PK, ticket_id, expires_at)
+    results(ticket_id PK, frame BLOB)
+
+The kernel's :class:`~repro.simnet.primitives.Event` and telemetry spans are
+deliberately *not* persisted: they are process state.  Recovered tickets
+come back with ``completed=None``; the adopting gateway re-arms events and
+watchdogs (see ``Gateway.__init__``).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import TYPE_CHECKING, Any, Iterable, Optional
+
+from .admission import DedupTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .gateway import Ticket
+
+__all__ = [
+    "GatewayStorage",
+    "InMemoryTicketStore",
+    "SqliteTicketStore",
+    "SqliteDedupTable",
+    "InMemoryResultStore",
+    "SqliteResultStore",
+    "make_storage",
+]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS tickets (
+    ticket_id TEXT PRIMARY KEY,
+    agent_id TEXT NOT NULL DEFAULT '',
+    device_id TEXT NOT NULL DEFAULT '',
+    service TEXT NOT NULL DEFAULT '',
+    status TEXT NOT NULL,
+    created_at REAL NOT NULL,
+    task_id TEXT NOT NULL DEFAULT '',
+    first_downloaded_at REAL,
+    superseded_by TEXT NOT NULL DEFAULT '',
+    children TEXT NOT NULL DEFAULT ''
+);
+CREATE TABLE IF NOT EXISTS dedup (
+    task_id TEXT PRIMARY KEY,
+    ticket_id TEXT NOT NULL,
+    expires_at REAL
+);
+CREATE TABLE IF NOT EXISTS results (
+    ticket_id TEXT PRIMARY KEY,
+    frame BLOB NOT NULL
+);
+"""
+
+
+def _seq_of(ticket_id: str, prefix: str) -> int:
+    """The counter value inside ``<prefix><n>`` ids, or 0."""
+    if not ticket_id.startswith(prefix):
+        return 0
+    try:
+        return int(ticket_id[len(prefix):])
+    except ValueError:
+        return 0
+
+
+# ------------------------------------------------------------- ticket stores
+class InMemoryTicketStore:
+    """The original gateway ticket dict behind the adapter interface."""
+
+    durable = False
+
+    def __init__(self) -> None:
+        self._by_id: dict[str, "Ticket"] = {}
+
+    def insert(self, ticket: "Ticket") -> None:
+        self._by_id[ticket.ticket_id] = ticket
+
+    def persist(self, ticket: "Ticket") -> None:
+        """Record a mutation.  Memory tickets are live objects: no-op."""
+        self._by_id.setdefault(ticket.ticket_id, ticket)
+
+    def get(self, ticket_id: str) -> Optional["Ticket"]:
+        return self._by_id.get(ticket_id)
+
+    def values(self) -> list["Ticket"]:
+        return list(self._by_id.values())
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, ticket_id: str) -> bool:
+        return ticket_id in self._by_id
+
+    def max_seq(self, prefix: str) -> int:
+        """Highest minted counter under ``prefix`` (ticket-id continuity)."""
+        return max((_seq_of(t, prefix) for t in self._by_id), default=0)
+
+
+class SqliteTicketStore(InMemoryTicketStore):
+    """Write-through ticket store: live working set + durable rows.
+
+    Reads serve from the in-memory working set (tickets carry live kernel
+    events); every ``insert``/``persist`` writes the durable columns
+    through to the row, so a store constructed over a populated connection
+    recovers the full ticket ledger.
+    """
+
+    durable = True
+
+    def __init__(self, conn: sqlite3.Connection) -> None:
+        super().__init__()
+        self._conn = conn
+        self._load()
+
+    def _load(self) -> None:
+        from .gateway import Ticket  # local import breaks the module cycle
+
+        rows = self._conn.execute(
+            "SELECT ticket_id, agent_id, device_id, service, status,"
+            " created_at, task_id, first_downloaded_at, superseded_by,"
+            " children FROM tickets ORDER BY ticket_id"
+        ).fetchall()
+        for row in rows:
+            self._by_id[row[0]] = Ticket(
+                ticket_id=row[0],
+                agent_id=row[1],
+                device_id=row[2],
+                service=row[3],
+                status=row[4],
+                created_at=row[5],
+                task_id=row[6],
+                first_downloaded_at=row[7],
+                superseded_by=row[8],
+                children=[c for c in row[9].split(",") if c],
+            )
+
+    def _write(self, ticket: "Ticket") -> None:
+        self._conn.execute(
+            "INSERT INTO tickets (ticket_id, agent_id, device_id, service,"
+            " status, created_at, task_id, first_downloaded_at,"
+            " superseded_by, children)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)"
+            " ON CONFLICT(ticket_id) DO UPDATE SET agent_id=excluded.agent_id,"
+            " status=excluded.status,"
+            " first_downloaded_at=excluded.first_downloaded_at,"
+            " superseded_by=excluded.superseded_by, children=excluded.children",
+            (
+                ticket.ticket_id,
+                ticket.agent_id,
+                ticket.device_id,
+                ticket.service,
+                ticket.status,
+                ticket.created_at,
+                ticket.task_id,
+                ticket.first_downloaded_at,
+                ticket.superseded_by,
+                ",".join(ticket.children),
+            ),
+        )
+
+    def insert(self, ticket: "Ticket") -> None:
+        super().insert(ticket)
+        self._write(ticket)
+
+    def persist(self, ticket: "Ticket") -> None:
+        super().persist(ticket)
+        self._write(ticket)
+
+
+# ------------------------------------------------------------- dedup stores
+class SqliteDedupTable:
+    """Durable drop-in for :class:`~repro.core.admission.DedupTable`.
+
+    Same interface, but bindings live in the ``dedup`` table and therefore
+    survive :meth:`GatewayStorage.on_crash` — a restarted gateway answers
+    retried uploads from the authoritative index instead of a best-effort
+    rebuild.
+    """
+
+    durable = True
+
+    def __init__(self, conn: sqlite3.Connection) -> None:
+        self._conn = conn
+
+    def lookup(self, task_id: str, now: Optional[float] = None) -> Optional[str]:
+        if not task_id:
+            return None
+        row = self._conn.execute(
+            "SELECT ticket_id, expires_at FROM dedup WHERE task_id = ?",
+            (task_id,),
+        ).fetchone()
+        if row is None:
+            return None
+        ticket_id, expires_at = row
+        if now is not None and expires_at is not None and now >= expires_at:
+            self.forget(task_id)
+            return None
+        return ticket_id
+
+    def bind(
+        self, task_id: str, ticket_id: str, expires_at: Optional[float] = None
+    ) -> None:
+        if not task_id:
+            return
+        self._conn.execute(
+            "INSERT INTO dedup (task_id, ticket_id, expires_at)"
+            " VALUES (?, ?, ?) ON CONFLICT(task_id) DO UPDATE SET"
+            " ticket_id=excluded.ticket_id, expires_at=excluded.expires_at",
+            (task_id, ticket_id, expires_at),
+        )
+
+    def set_expiry(self, task_id: str, expires_at: Optional[float]) -> None:
+        self._conn.execute(
+            "UPDATE dedup SET expires_at = ? WHERE task_id = ?",
+            (expires_at, task_id),
+        )
+
+    def purge_expired(self, now: float) -> int:
+        cur = self._conn.execute(
+            "DELETE FROM dedup WHERE expires_at IS NOT NULL AND expires_at <= ?",
+            (now,),
+        )
+        return cur.rowcount
+
+    def forget(self, task_id: str) -> None:
+        self._conn.execute("DELETE FROM dedup WHERE task_id = ?", (task_id,))
+
+    def clear(self) -> None:
+        self._conn.execute("DELETE FROM dedup")
+
+    def rebuild(self, tickets: Iterable[Any]) -> int:
+        self.clear()
+        n = 0
+        for ticket in tickets:
+            if ticket.task_id and ticket.status != "failed":
+                self.bind(ticket.task_id, ticket.ticket_id)
+                n += 1
+        return n
+
+    def __len__(self) -> int:
+        return self._conn.execute("SELECT COUNT(*) FROM dedup").fetchone()[0]
+
+
+# ------------------------------------------------------------- result stores
+class InMemoryResultStore:
+    """Retained result frames; the memory backend mirrors the ticket field."""
+
+    durable = False
+
+    def __init__(self) -> None:
+        self._frames: dict[str, bytes] = {}
+
+    def put(self, ticket_id: str, frame: bytes) -> None:
+        self._frames[ticket_id] = frame
+
+    def get(self, ticket_id: str) -> Optional[bytes]:
+        return self._frames.get(ticket_id)
+
+    def drop(self, ticket_id: str) -> None:
+        self._frames.pop(ticket_id, None)
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+
+class SqliteResultStore:
+    durable = True
+
+    def __init__(self, conn: sqlite3.Connection) -> None:
+        self._conn = conn
+
+    def put(self, ticket_id: str, frame: bytes) -> None:
+        self._conn.execute(
+            "INSERT INTO results (ticket_id, frame) VALUES (?, ?)"
+            " ON CONFLICT(ticket_id) DO UPDATE SET frame=excluded.frame",
+            (ticket_id, frame),
+        )
+
+    def get(self, ticket_id: str) -> Optional[bytes]:
+        row = self._conn.execute(
+            "SELECT frame FROM results WHERE ticket_id = ?", (ticket_id,)
+        ).fetchone()
+        return bytes(row[0]) if row is not None else None
+
+    def drop(self, ticket_id: str) -> None:
+        self._conn.execute("DELETE FROM results WHERE ticket_id = ?", (ticket_id,))
+
+    def __len__(self) -> int:
+        return self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+
+
+# ------------------------------------------------------------------- bundle
+class GatewayStorage:
+    """One gateway's three stores plus the crash/restart contract."""
+
+    def __init__(self, backend: str, tickets, dedup, results) -> None:
+        self.backend = backend
+        self.tickets = tickets
+        self.dedup = dedup
+        self.results = results
+
+    @property
+    def durable(self) -> bool:
+        return bool(getattr(self.dedup, "durable", False))
+
+    def on_crash(self) -> None:
+        """Volatile state dies with the process; durable state survives."""
+        if not self.durable:
+            self.dedup.clear()
+
+    def on_restart(self) -> int:
+        """Recover the dedup index; returns the number of usable bindings.
+
+        Memory backend: best-effort rebuild from surviving tickets (the
+        pre-storage behaviour).  Sqlite backend: the index never died — the
+        binding count is reported as-is.
+        """
+        if self.durable:
+            return len(self.dedup)
+        return self.dedup.rebuild(self.tickets.values())
+
+
+def make_storage(
+    backend: str = "memory",
+    conn: Optional[sqlite3.Connection] = None,
+    path: str = "",
+) -> GatewayStorage:
+    """Build a :class:`GatewayStorage` bundle for ``backend``.
+
+    ``sqlite`` with an explicit ``conn`` attaches to (and recovers from)
+    an existing database — the process-replacement path; otherwise a
+    private database is opened at ``path`` (``""`` → ``:memory:``).
+    """
+    if backend == "memory":
+        return GatewayStorage(
+            "memory", InMemoryTicketStore(), DedupTable(), InMemoryResultStore()
+        )
+    if backend != "sqlite":
+        raise ValueError(f"unknown storage backend {backend!r}")
+    if conn is None:
+        conn = sqlite3.connect(path or ":memory:")
+    conn.executescript(_SCHEMA)
+    tickets = SqliteTicketStore(conn)
+    results = SqliteResultStore(conn)
+    # Recovered tickets get their retained result frames back; everything
+    # else (events, watchdogs) is re-armed by the adopting gateway.
+    for ticket in tickets.values():
+        if ticket.result_frame is None:
+            ticket.result_frame = results.get(ticket.ticket_id)
+    return GatewayStorage("sqlite", tickets, SqliteDedupTable(conn), results)

@@ -7,6 +7,7 @@ Usage (installed as ``pdagent-experiments``)::
     pdagent-experiments fig13        # Figure 13 trials + variances
     pdagent-experiments faults       # Fig. 12 workload under a fault schedule
     pdagent-experiments overload     # dispatch storm: protected vs unprotected
+    pdagent-experiments fleet        # roamed retries: fleet tier vs baseline
     pdagent-experiments claims       # C1 code sizes, C2 footprint
     pdagent-experiments ablations    # A1-A4
     pdagent-experiments extensions   # E1-E4
@@ -31,12 +32,12 @@ import os
 import sys
 
 from ..telemetry.exporters import TraceCollector
-from . import ablations, claims, extensions, faults, fig12, fig13, overload
+from . import ablations, claims, extensions, faults, fig12, fig13, fleet, overload
 
 __all__ = ["main"]
 
 #: Experiments whose runs are registered with the --trace collector.
-_TRACED = ("fig12", "fig13", "faults", "overload")
+_TRACED = ("fig12", "fig13", "faults", "overload", "fleet")
 
 
 def _ns(args) -> tuple[int, ...]:
@@ -83,10 +84,29 @@ def _run_overload(args, collector=None):
     return result
 
 
+def _run_fleet(args, collector=None):
+    """Device-population sweep; --max-n caps the largest population."""
+    populations = fleet.DEFAULT_POPULATIONS
+    if args.max_n:
+        populations = tuple(n for n in populations if n <= args.max_n) or (
+            args.max_n,
+        )
+    result = fleet.main(
+        seed=args.seed, populations=populations, collector=collector
+    )
+    if args.csv:
+        path = os.path.join(args.csv, "fleet.csv")
+        with open(path, "w") as fh:
+            fh.write(result.to_csv())
+        print(f"[csv] wrote {path}")
+    return result
+
+
 _EXPERIMENTS = {
     "fig12": _run_fig12,
     "fig13": _run_fig13,
     "overload": _run_overload,
+    "fleet": _run_fleet,
     "faults": lambda args, collector=None: faults.main(
         seed=args.seed, collector=collector
     ),
@@ -149,7 +169,7 @@ def main(argv: list[str] | None = None) -> int:
     collector = TraceCollector() if args.trace else None
     if args.experiment == "all":
         for name in (
-            "fig12", "fig13", "faults", "overload",
+            "fig12", "fig13", "faults", "overload", "fleet",
             "claims", "ablations", "extensions",
         ):
             print(f"\n### {name} " + "#" * (60 - len(name)))

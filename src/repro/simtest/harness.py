@@ -123,7 +123,18 @@ def _config_for(spec: ScenarioSpec) -> PDAgentConfig:
     noise dominating scenario variety; a 60s watchdog bounds every stuck
     ticket well inside the horizon.  Dedup goes off only for the deliberate
     exactly-once injection.
+
+    Fleet specs additionally turn on the fleet tier with sqlite-backed
+    durable stores and a dedup TTL; non-fleet specs keep the exact pre-fleet
+    configuration so their timelines (and stored artifacts) stay stable.
     """
+    fleet_knobs: dict[str, Any] = {}
+    if spec.fleet:
+        fleet_knobs = dict(
+            fleet_enabled=True,
+            storage_backend="sqlite",
+            dedup_ttl_s=300.0,
+        )
     return PDAgentConfig(
         selection_policy="first",
         ticket_watchdog_s=60.0,
@@ -132,6 +143,7 @@ def _config_for(spec: ScenarioSpec) -> PDAgentConfig:
         admission_queue_limit=3,
         breaker_cooldown_s=10.0,
         dedup_enabled=not spec.inject_double_dispatch,
+        **fleet_knobs,
     )
 
 
@@ -254,6 +266,39 @@ class _Harness:
         #: Every (gateway, ticket_id) a successful deploy returned — the
         #: "tickets survive crash/restart" side of conservation.
         self.ticket_births: list[tuple[str, str]] = []
+        #: First task_id issued per device — resolves symbolic
+        #: ``owner:<device>`` crash targets against the fleet hash ring.
+        self._first_task_id: dict[str, str] = {}
+
+    # -- fleet-aware ticket addressing ------------------------------------
+    def _ticket_home(self, fallback: str, ticket_id: str) -> str:
+        """The gateway a ticket lives on: its id prefix (fleet handoff may
+        hand a device a ticket minted elsewhere), else the deploy target."""
+        origin, sep, _ = ticket_id.partition("/t-")
+        if sep and origin in self.deployment.gateways:
+            return origin
+        return fallback
+
+    def _birth(self, handle) -> None:
+        self.ticket_births.append(
+            (self._ticket_home(handle.gateway, handle.ticket), handle.ticket)
+        )
+
+    def _await_ticket_final(self, handle) -> Generator:
+        """Wait for the handle's ticket to finalize, following supersede
+        pointers: a locally-accepted ticket the reconciler later superseded
+        finalizes as "superseded" while the *winner* keeps running."""
+        gateway = self._ticket_home(handle.gateway, handle.ticket)
+        ticket = self.deployment.gateway(gateway).ticket(handle.ticket)
+        for _ in range(4):
+            yield ticket.completed
+            if ticket.status == "superseded" and ticket.superseded_by:
+                gateway = self._ticket_home(gateway, ticket.superseded_by)
+                ticket = self.deployment.gateway(gateway).ticket(
+                    ticket.superseded_by
+                )
+                continue
+            return
 
     # -- one logical user task -------------------------------------------
     def _drive(
@@ -265,12 +310,14 @@ class _Harness:
         gateway: Optional[str],
         start: float,
         deploy_twice: bool = False,
+        roam_retry: bool = False,
     ) -> Generator:
         platform = self.deployment.platform(outcome.device)
         yield self.sim.timeout(start)
         task_id = platform.dispatcher.new_task_id()
         outcome.task_id = task_id
         self.issued_task_ids.add(task_id)
+        self._first_task_id.setdefault(outcome.device, task_id)
         try:
             if not platform.is_subscribed(service):
                 yield from platform.subscribe(service, gateway=gateway)
@@ -282,7 +329,7 @@ class _Harness:
                         service, params, stops=stops, gateway=gateway,
                         task_id=task_id,
                     )
-                    self.ticket_births.append((handle.gateway, handle.ticket))
+                    self._birth(handle)
                     if deploy_twice and attempt == 0:
                         # The deliberate exactly-once violation: re-deploy
                         # the same task_id immediately (dedup is disabled
@@ -291,7 +338,7 @@ class _Harness:
                             service, params, stops=stops, gateway=gateway,
                             task_id=task_id,
                         )
-                        self.ticket_births.append((dupe.gateway, dupe.ticket))
+                        self._birth(dupe)
                     break
                 except PDAgentError as exc:
                     last = exc
@@ -301,11 +348,30 @@ class _Harness:
                 return
             outcome.gateway = handle.gateway
             outcome.ticket = handle.ticket
+            if roam_retry and len(self.spec.gateways) > 1:
+                # The device "moves": retry the same task_id at a different
+                # gateway.  The fleet tier must hand back the one winning
+                # ticket (claim forwarding / supersede), and the collect
+                # below then runs through the *second* gateway — the
+                # collect-anywhere path under test.
+                other = next(
+                    g for g in self.spec.gateways if g != handle.gateway
+                )
+                try:
+                    dupe = yield from platform.deploy(
+                        service, params, stops=stops, gateway=other,
+                        task_id=task_id,
+                    )
+                    self._birth(dupe)
+                    handle = dupe
+                    outcome.gateway = handle.gateway
+                    outcome.ticket = handle.ticket
+                except PDAgentError:
+                    pass  # roam leg failed; collect via the original handle
             # Tickets are durable, so the completion event survives gateway
             # crashes; the watchdog guarantees it fires (status "failed")
             # even if the agent is lost for good.
-            ticket = self.deployment.gateway(handle.gateway).ticket(handle.ticket)
-            yield ticket.completed
+            yield from self._await_ticket_final(handle)
             last = None
             for _ in range(COLLECT_ATTEMPTS):
                 try:
@@ -334,7 +400,8 @@ class _Harness:
         self.outcomes.append(outcome)
         service, params, stops = _task_params(spec_task)
         yield from self._drive(
-            outcome, service, params, stops, dev.pinned_gateway, spec_task.start
+            outcome, service, params, stops, dev.pinned_gateway, spec_task.start,
+            roam_retry=spec_task.roam_retry,
         )
 
     def _burst_task(self, k: int) -> Generator:
@@ -376,18 +443,36 @@ class _Harness:
             "device-move", dev.name, detail=f"to ap-{dev.move_to_ap}"
         )
 
+    def _crash_target(self, point) -> str:
+        """Resolve a crash point's gateway, including symbolic ``owner:``.
+
+        Resolution happens at crash *time* (not launch) so the device's
+        first task_id exists and the hash ring can name the owner; a device
+        that never issued a task degrades to the first gateway.
+        """
+        name = point.gateway
+        if not name.startswith("owner:"):
+            return name
+        device = name.partition(":")[2]
+        task_id = self._first_task_id.get(device)
+        fleet = self.deployment.fleet
+        if task_id and fleet is not None:
+            return fleet.owner(task_id)
+        return self.spec.gateways[0]
+
     def _gateway_crash(self, point) -> Generator:
-        gateway = self.deployment.gateway(point.gateway)
         tracer = self.deployment.network.tracer
         yield self.sim.timeout(point.at)
+        target = self._crash_target(point)
+        gateway = self.deployment.gateway(target)
         gateway.crash()
         tracer.log_fault(
-            "gateway-crash", point.gateway, detail=f"for {point.down_for:g}s"
+            "gateway-crash", target, detail=f"for {point.down_for:g}s"
         )
         yield self.sim.timeout(point.down_for)
         rebuilt = gateway.restart()
         tracer.log_fault(
-            "gateway-restart", point.gateway, detail=f"{rebuilt} dedup bindings rebuilt"
+            "gateway-restart", target, detail=f"{rebuilt} dedup bindings rebuilt"
         )
 
     # -- launch ------------------------------------------------------------

@@ -5,9 +5,15 @@ telemetry, the tracer's fault ledger, the kernel calendar — and returns
 :class:`Violation` records.  The catalogue (also documented in DESIGN.md):
 
 ``exactly-once``
-    At most one live (non-failed) ticket per ``task_id`` per gateway,
-    always; across gateways too unless the run had fault/crash activity
-    (failover legitimately re-dispatches a task at another gateway).
+    At most one live (non-failed, non-superseded) ticket per ``task_id``
+    per gateway, always; across gateways too unless the run had fault/crash
+    activity (failover legitimately re-dispatches a task at another
+    gateway).
+``fleet-exactly-once``
+    Fleet runs tighten the cross-gateway clause: at most one live ticket
+    per ``task_id`` across the *whole* fleet at quiescence, fault activity
+    or not — claim forwarding plus the local-accept reconciler must always
+    converge on a single winner (losers end "superseded" or "failed").
 ``no-lost-task``
     In a quiet run every task completes.  In a chaos run a failed task must
     carry a *recognized* failure class and the fault ledger must be
@@ -58,7 +64,13 @@ RECOGNIZED_FAILURES = ("deploy:", "collect:", "result:", "platform:", "shed:")
 
 #: Ticket end states whose result document is still held on the gateway.
 _DOCUMENT_STATES = ("completed", "retracted", "failed")
-_TERMINAL_STATES = ("completed", "retracted", "disposed", "failed", "expired")
+_TERMINAL_STATES = (
+    "completed", "retracted", "disposed", "failed", "expired", "superseded",
+)
+
+#: End states that release a ticket's claim on its task_id: "failed"
+#: unbinds dedup, "superseded" lost a fleet claim race to another ticket.
+_NOT_LIVE_STATES = ("failed", "superseded")
 
 #: Agent lifecycle states that mean "still doing something" — impossible
 #: once the event calendar has drained.
@@ -114,8 +126,9 @@ def check_exactly_once(ctx: RunContext) -> Iterable[Violation]:
                 )
     for task_id, entries in sorted(per_task.items()):
         # "failed" released its dedup binding — a retried task may own a
-        # fresh live ticket alongside any number of failed ones.
-        live = [e for e in entries if e[2] != "failed"]
+        # fresh live ticket alongside any number of failed ones; a
+        # "superseded" ticket lost its fleet claim to the listed winner.
+        live = [e for e in entries if e[2] not in _NOT_LIVE_STATES]
         by_gateway: dict[str, int] = {}
         for gw_addr, _, _ in live:
             by_gateway[gw_addr] = by_gateway.get(gw_addr, 0) + 1
@@ -132,6 +145,35 @@ def check_exactly_once(ctx: RunContext) -> Iterable[Violation]:
                 "exactly-once",
                 f"task {task_id} holds live tickets on several gateways "
                 f"{sorted(by_gateway)} with no fault to justify failover",
+                subject=task_id,
+            )
+
+
+def check_fleet_exactly_once(ctx: RunContext) -> Iterable[Violation]:
+    """Fleet runs: one live ticket per task across ALL gateways, always.
+
+    The single-gateway checker tolerates cross-gateway duplicates when a
+    fault explains them; the fleet tier exists precisely to remove that
+    excuse — the claim protocol plus the local-accept reconciler must have
+    converged on one winner by quiescence (the reconcile window is far
+    shorter than any generated outage-free tail), so fault activity does
+    not relax this check.
+    """
+    if not ctx.spec.fleet or ctx.spec.inject_double_dispatch:
+        return
+    per_task: dict[str, list[tuple[str, str]]] = {}
+    for gw_addr, gateway in ctx.deployment.gateways.items():
+        for ticket in gateway.tickets():
+            if ticket.task_id and ticket.status not in _NOT_LIVE_STATES:
+                per_task.setdefault(ticket.task_id, []).append(
+                    (gw_addr, ticket.ticket_id)
+                )
+    for task_id, entries in sorted(per_task.items()):
+        if len(entries) > 1:
+            yield Violation(
+                "fleet-exactly-once",
+                f"task {task_id} holds {len(entries)} live tickets across "
+                f"the fleet: {sorted(entries)}",
                 subject=task_id,
             )
 
@@ -381,6 +423,7 @@ def check_quiescence(ctx: RunContext) -> Iterable[Violation]:
 #: Name → checker, in report order.
 INVARIANTS = {
     "exactly-once": check_exactly_once,
+    "fleet-exactly-once": check_fleet_exactly_once,
     "no-lost-task": check_no_lost_task,
     "ticket-conservation": check_ticket_conservation,
     "span-tree": check_span_tree,

@@ -67,6 +67,10 @@ class TaskSpec:
     #: foodsearch knobs.
     cuisine: str = "thai"
     max_price: int = 160
+    #: Fleet scenarios: immediately re-deploy the same ``task_id`` at a
+    #: *different* gateway (a roaming device retrying an upload) and collect
+    #: through the second gateway — the collect-anywhere path.
+    roam_retry: bool = False
 
     def __post_init__(self) -> None:
         if self.app not in APPS:
@@ -118,7 +122,14 @@ class FaultSpec:
 
 @dataclass(frozen=True)
 class CrashPoint:
-    """A gateway software crash (volatile state lost) + restart."""
+    """A gateway software crash (volatile state lost) + restart.
+
+    ``gateway`` is usually a concrete address ("gw-1"); fleet scenarios may
+    use the symbolic form ``"owner:<device>"``, which the harness resolves —
+    at crash time, against the deployment's hash ring — to the gateway that
+    *owns* that device's first task, so the crash provably hits the fleet
+    tier's authoritative node rather than a random bystander.
+    """
 
     gateway: str
     at: float
@@ -148,6 +159,9 @@ class ScenarioSpec:
     crashes: tuple[CrashPoint, ...] = ()
     burst: Optional[OverloadBurst] = None
     horizon: float = DEFAULT_HORIZON_S
+    #: Run the gateways as a fleet tier: consistent-hash task ownership,
+    #: claim forwarding, sqlite-backed durable stores, dedup TTL.
+    fleet: bool = False
     #: Test hook: disable gateway dedup and deploy one task twice with the
     #: same task_id — a deliberate exactly-once violation the shrinker
     #: acceptance test minimizes.  Never set by :func:`generate`.
@@ -177,6 +191,11 @@ class ScenarioSpec:
             f"{len(self.faults)} fault(s)",
             f"{len(self.crashes)} crash point(s)",
         ]
+        if self.fleet:
+            n_roam = sum(
+                1 for d in self.devices for t in d.tasks if t.roam_retry
+            )
+            bits.append(f"fleet tier ({n_roam} roaming retr{'y' if n_roam == 1 else 'ies'})")
         if self.burst is not None:
             bits.append(f"burst of {self.burst.n_tasks} at {self.burst.gateway}")
         if self.inject_double_dispatch:
@@ -342,7 +361,36 @@ def generate(seed: int) -> ScenarioSpec:
             n_tasks=burst_stream.randint(4, 8),
         )
 
+    # Fleet tier: its own stream, so adding it never reshuffles the draws
+    # any pre-fleet aspect makes (old seeds keep their old scenarios).
+    fleet = False
+    fleet_stream = streams.get("simtest:fleet")
+    if n_gateways >= 2 and fleet_stream.bernoulli(0.5):
+        fleet = True
+        devices = [
+            replace(
+                dev,
+                tasks=tuple(
+                    replace(task, roam_retry=fleet_stream.bernoulli(0.35))
+                    for task in dev.tasks
+                ),
+            )
+            for dev in devices
+        ]
+        if fleet_stream.bernoulli(0.3):
+            # Crash the *owner* of some device's first task mid-run — the
+            # harness resolves the symbolic target against the hash ring.
+            victim = str(fleet_stream.choice([d.name for d in devices]))
+            crashes.append(
+                CrashPoint(
+                    gateway=f"owner:{victim}",
+                    at=_round(fleet_stream.uniform(10.0, 60.0)),
+                    down_for=_round(fleet_stream.uniform(3.0, 8.0)),
+                )
+            )
+
     return ScenarioSpec(
+        fleet=fleet,
         seed=seed,
         n_gateways=n_gateways,
         n_sites=n_sites,

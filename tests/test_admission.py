@@ -220,6 +220,48 @@ class TestDedupTable:
         assert table.lookup("t-2") is None  # failed: free to retry afresh
         assert table.lookup("stale") is None
 
+    def test_ttl_lazy_expiry_and_purge(self):
+        table = DedupTable()
+        table.bind("t-1", "tick-1", expires_at=10.0)
+        table.bind("t-2", "tick-2")  # no expiry: gateway-lifetime binding
+        assert table.lookup("t-1", now=9.99) == "tick-1"
+        assert table.lookup("t-1", now=10.0) is None  # lazy expiry at lookup
+        assert len(table) == 1  # the expired entry was dropped, not masked
+        table.set_expiry("t-2", 20.0)
+        table.set_expiry("t-missing", 20.0)  # miss is a no-op
+        assert table.purge_expired(now=25.0) == 1
+        assert table.lookup("t-2") is None
+
+    def test_lookup_without_clock_never_expires(self):
+        # Call sites that don't pass `now` (the pre-TTL interface) keep the
+        # original behaviour: a binding with an armed expiry still answers.
+        table = DedupTable()
+        table.bind("t-1", "tick-1", expires_at=10.0)
+        assert table.lookup("t-1") == "tick-1"
+
+    def test_ttl_bounds_gateway_dedup_index(self):
+        """End to end: dedup_ttl_s lapses the binding after result expiry.
+
+        A retry inside the TTL window dedups onto the original ticket; a
+        retry after both the result retention TTL *and* the dedup TTL have
+        elapsed dispatches a fresh agent (the index no longer pins it).
+        """
+        config = PDAgentConfig(result_ttl_s=5.0, dedup_ttl_s=30.0)
+        dep = build_dep(config=config)
+        subscribe(dep)
+        handle = deploy(dep, task_id="task-ttl")
+        finish(dep, handle)  # first download starts the retention clock
+        dep.sim.run(until=dep.sim.now + 10.0)  # result expires, TTL armed
+        gw = dep.gateway("gw-0")
+        assert gw.dedup.lookup("task-ttl") == handle.ticket
+        retry = deploy(dep, task_id="task-ttl")
+        assert retry.ticket == handle.ticket  # inside the window: dedup hit
+        dep.sim.run(until=dep.sim.now + 60.0)  # dedup TTL elapses
+        assert gw.dedup.lookup("task-ttl", now=dep.sim.now) is None
+        assert dep.network.tracer.counters.get("gateway_dedup_expired", 0) >= 1
+        fresh = deploy(dep, task_id="task-ttl")
+        assert fresh.ticket != handle.ticket  # binding lapsed: fresh dispatch
+
 
 # ---------------------------------------------------------------------------
 # exactly-once under a lost-response retry storm

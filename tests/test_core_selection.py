@@ -232,3 +232,58 @@ class TestReprobeRegressions:
         proc = dep.sim.process(selector.select(exclude={"gw-0", "gw-1", "gw-2"}))
         with pytest.raises(NoGatewayAvailableError):
             dep.sim.run(until=proc)
+
+
+class TestPreferredGateway:
+    """``select(prefer=...)`` — collect re-selection goes back to the origin.
+
+    The fleet tier's collect-anywhere path re-selects a gateway when the
+    device's cached choice went stale (link flap, handover).  Preferring
+    the ticket's origin keeps the collect on the gateway that holds the
+    result — any other pick works only via relay — so a viable preferred
+    address short-circuits the policy, but never overrides exclusion or an
+    open breaker.
+    """
+
+    def test_prefer_overrides_policy_when_viable(self):
+        dep = build(policy="first")
+        selector = dep.platform("pda").selector
+        proc = dep.sim.process(selector.select(prefer="gw-2"))
+        assert dep.sim.run(until=proc) == "gw-2"  # policy alone → gw-0
+        assert selector.probes_sent == 0  # short-circuit: no probe sweep
+
+    def test_prefer_overrides_nearest_policy(self):
+        from dataclasses import replace
+
+        dep = build(policy="nearest")
+        net = dep.network
+        # gw-0 is by far the nearest; a plain select() would pick it.
+        for src, dst in (("gw-0", "backbone"), ("backbone", "gw-0")):
+            link = net.link(src, dst)
+            link.spec = replace(link.spec, latency=0.0001, jitter=0.0)
+        selector = dep.platform("pda").selector
+        proc = dep.sim.process(selector.select(prefer="gw-1"))
+        assert dep.sim.run(until=proc) == "gw-1"
+
+    def test_excluded_prefer_falls_through_to_policy(self):
+        dep = build(policy="first")
+        selector = dep.platform("pda").selector
+        proc = dep.sim.process(selector.select(exclude={"gw-2"}, prefer="gw-2"))
+        assert dep.sim.run(until=proc) == "gw-0"
+
+    def test_breaker_open_prefer_falls_through_to_policy(self):
+        dep = build(
+            policy="first", breaker_threshold=1, breaker_cooldown_s=1e9
+        )
+        platform = dep.platform("pda")
+        proc = dep.sim.process(platform.selector.refresh_list())
+        dep.sim.run(until=proc)
+        platform.breaker.record_failure("gw-1")
+        proc = dep.sim.process(platform.selector.select(prefer="gw-1"))
+        assert dep.sim.run(until=proc) == "gw-0"
+
+    def test_unknown_prefer_falls_through_to_policy(self):
+        dep = build(policy="first")
+        selector = dep.platform("pda").selector
+        proc = dep.sim.process(selector.select(prefer="gw-99"))
+        assert dep.sim.run(until=proc) == "gw-0"

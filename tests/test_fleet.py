@@ -1,0 +1,385 @@
+"""Fleet tier: hash-ring ownership, claim forwarding, collect-anywhere.
+
+Covers the distributed-tier PR end to end:
+
+* :class:`HashRing` / :class:`Fleet` mechanics — deterministic md5
+  ownership, virtual-node balance, membership-order insensitivity;
+* the claim wire protocol (request/reply XML round trips);
+* roamed-retry exactly-once — re-uploading a task at a *different*
+  gateway hands back the winning ticket and never launches a second
+  agent (the ``bound`` → supersede path);
+* collect-anywhere — a third gateway relays the result document, and a
+  superseded ticket redirects its collect to the winner;
+* chaos — the owner crashing during the claim window degrades to local
+  accept and the background reconciler converges to one live ticket;
+  the *forwarder* crashing mid-claim trips the crash-epoch guard so the
+  minted-but-unlaunched ticket fails instead of double-dispatching.
+"""
+
+import pytest
+
+from repro.apps.ebanking import (
+    BankServiceAgent,
+    EBankingAgent,
+    ebanking_service_code,
+    make_transactions,
+)
+from repro.core import DeploymentBuilder, PDAgentConfig
+from repro.core.fleet import (
+    Fleet,
+    HashRing,
+    claim_reply,
+    claim_request,
+    release_request,
+)
+from repro.mas import Stop
+from repro.xmlcodec import parse_bytes
+
+GATEWAYS = ("gw-0", "gw-1", "gw-2")
+
+
+def fleet_config(**kw):
+    kw.setdefault("selection_policy", "first")
+    kw.setdefault("fleet_enabled", True)
+    kw.setdefault("storage_backend", "sqlite")
+    return PDAgentConfig(**kw)
+
+
+def build_dep(seed=7, config=None):
+    builder = DeploymentBuilder(master_seed=seed, config=config or fleet_config())
+    builder.add_central("central")
+    for gw in GATEWAYS:
+        builder.add_gateway(gw)
+    builder.add_site("bank-a", services=[BankServiceAgent(bank_name="a")])
+    builder.add_device("pda", wireless="WLAN")
+    builder.register_agent_class(EBankingAgent)
+    builder.publish(ebanking_service_code())
+    return builder.build()
+
+
+def drive(dep, gen):
+    proc = dep.sim.process(gen)
+    return dep.sim.run(until=proc)
+
+
+def subscribe(dep):
+    drive(dep, dep.platform("pda").subscribe("ebanking", gateway="gw-0"))
+
+
+def deploy(dep, gateway, task_id):
+    return drive(
+        dep,
+        dep.platform("pda").deploy(
+            "ebanking",
+            {"transactions": make_transactions(["bank-a"], 1)},
+            stops=[Stop("bank-a")],
+            gateway=gateway,
+            task_id=task_id,
+        ),
+    )
+
+
+def ticket_of(dep, ticket_id):
+    origin = ticket_id.partition("/t-")[0]
+    return dep.gateway(origin).ticket(ticket_id)
+
+
+def dispatched_agents(dep):
+    return [
+        t for gw in GATEWAYS for t in dep.gateway(gw).tickets() if t.agent_id
+    ]
+
+
+def pick_gateways(dep, task_id):
+    """(owner, forwarder, third) for ``task_id`` — deterministic per ring."""
+    owner = dep.fleet.owner(task_id)
+    others = [g for g in GATEWAYS if g != owner]
+    return owner, others[0], others[1]
+
+
+# ---------------------------------------------------------------------------
+# hash ring
+# ---------------------------------------------------------------------------
+
+
+class TestHashRing:
+    def test_owner_deterministic_across_instances(self):
+        a = HashRing(["gw-0", "gw-1", "gw-2"])
+        b = HashRing(["gw-2", "gw-0", "gw-1"])  # membership order irrelevant
+        for key in (f"task-{i}" for i in range(50)):
+            assert a.owner(key) == b.owner(key)
+
+    def test_every_member_owns_some_keys(self):
+        ring = HashRing(["gw-0", "gw-1", "gw-2"], replicas=64)
+        owners = {ring.owner(f"task-{i}") for i in range(200)}
+        assert owners == {"gw-0", "gw-1", "gw-2"}
+
+    def test_single_member_owns_everything(self):
+        ring = HashRing(["gw-0"])
+        assert all(ring.owner(f"k{i}") == "gw-0" for i in range(10))
+
+    def test_removal_only_moves_displaced_keys(self):
+        """Consistent hashing: keys not owned by the removed member stay."""
+        full = HashRing(["gw-0", "gw-1", "gw-2"])
+        reduced = HashRing(["gw-0", "gw-1"])
+        for i in range(100):
+            key = f"task-{i}"
+            if full.owner(key) != "gw-2":
+                assert reduced.owner(key) == full.owner(key)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing(["gw-0"], replicas=0)
+
+    def test_fleet_wrapper(self):
+        fleet = Fleet(["gw-1", "gw-0"])
+        assert fleet.members == ("gw-0", "gw-1")
+        assert len(fleet) == 2
+        assert "gw-0" in fleet and "gw-9" not in fleet
+        assert fleet.owner("x") in fleet.members
+
+
+class TestWireProtocol:
+    def test_claim_request_roundtrip(self):
+        doc = parse_bytes(claim_request("task-1", "gw-0/t-1", "gw-0"))
+        assert doc.require("task") == "task-1"
+        assert doc.require("ticket") == "gw-0/t-1"
+        assert doc.require("from") == "gw-0"
+
+    def test_claim_reply_roundtrip(self):
+        doc = parse_bytes(claim_reply("bound", "gw-1/t-7", "agent-3"))
+        assert doc.require("verdict") == "bound"
+        assert doc.findtext("ticket") == "gw-1/t-7"
+        assert doc.findtext("agent") == "agent-3"
+
+    def test_release_request_roundtrip(self):
+        doc = parse_bytes(release_request("task-1", "gw-0/t-1"))
+        assert doc.require("task") == "task-1"
+        assert doc.require("ticket") == "gw-0/t-1"
+
+
+# ---------------------------------------------------------------------------
+# roamed retry: fleet-wide exactly-once
+# ---------------------------------------------------------------------------
+
+
+class TestRoamedRetry:
+    def test_retry_at_other_gateway_returns_winner(self):
+        dep = build_dep()
+        subscribe(dep)
+        owner, forwarder, third = pick_gateways(dep, "roam-task")
+        h1 = deploy(dep, forwarder, task_id="roam-task")
+        h2 = deploy(dep, third, task_id="roam-task")
+        assert h2.ticket == h1.ticket
+        assert len(dispatched_agents(dep)) == 1
+        assert dep.network.tracer.counters["fleet.claim_bound"] >= 1
+
+    def test_loser_ticket_superseded_with_pointer(self):
+        dep = build_dep()
+        subscribe(dep)
+        owner, forwarder, third = pick_gateways(dep, "sup-task")
+        h1 = deploy(dep, forwarder, task_id="sup-task")
+        deploy(dep, third, task_id="sup-task")
+        losers = [
+            t
+            for t in dep.gateway(third).tickets()
+            if t.task_id == "sup-task" and t.status == "superseded"
+        ]
+        assert len(losers) == 1
+        assert losers[0].superseded_by == h1.ticket
+        assert losers[0].agent_id == ""  # never launched
+        assert dep.network.tracer.counters["gateway_superseded"] == 1
+
+    def test_retry_at_owner_hits_binding_directly(self):
+        dep = build_dep()
+        subscribe(dep)
+        owner, forwarder, _ = pick_gateways(dep, "owner-task")
+        h1 = deploy(dep, forwarder, task_id="owner-task")
+        h2 = deploy(dep, owner, task_id="owner-task")
+        assert h2.ticket == h1.ticket
+        assert len(dispatched_agents(dep)) == 1
+        assert dep.network.tracer.counters["gateway.dedup_hit"] >= 1
+
+    def test_owner_handler_refuses_second_claimant(self):
+        dep = build_dep()
+        subscribe(dep)
+        deploy(dep, pick_gateways(dep, "ref-task")[1], task_id="ref-task")
+        deploy(dep, pick_gateways(dep, "ref-task")[2], task_id="ref-task")
+        assert dep.network.tracer.counters["fleet.claims_refused"] >= 1
+
+    def test_fleet_disabled_still_single_gateway_dedup(self):
+        config = fleet_config(fleet_enabled=False, storage_backend="memory")
+        dep = build_dep(config=config)
+        subscribe(dep)
+        assert dep.fleet is None
+        h1 = deploy(dep, "gw-0", task_id="t")
+        h2 = deploy(dep, "gw-0", task_id="t")
+        assert h2.ticket == h1.ticket
+        # ...but a roamed retry duplicates: the structural gap under test.
+        h3 = deploy(dep, "gw-1", task_id="t")
+        assert h3.ticket != h1.ticket
+        assert len(dispatched_agents(dep)) == 2
+
+
+# ---------------------------------------------------------------------------
+# collect-anywhere
+# ---------------------------------------------------------------------------
+
+
+class TestCollectAnywhere:
+    def test_collect_winner_via_third_gateway(self):
+        dep = build_dep()
+        subscribe(dep)
+        owner, forwarder, third = pick_gateways(dep, "col-task")
+        h1 = deploy(dep, forwarder, task_id="col-task")
+        h2 = deploy(dep, third, task_id="col-task")  # handle from the roam
+        dep.sim.run(until=ticket_of(dep, h2.ticket).completed)
+        result = drive(dep, dep.platform("pda").collect(h2, via=third))
+        assert result.status == "completed"
+        assert dep.network.tracer.counters["gateway_relays"] >= 1
+
+    def test_superseded_collect_redirects_to_winner(self):
+        dep = build_dep()
+        subscribe(dep)
+        owner, forwarder, third = pick_gateways(dep, "red-task")
+        h1 = deploy(dep, forwarder, task_id="red-task")
+        deploy(dep, third, task_id="red-task")
+        dep.sim.run(until=ticket_of(dep, h1.ticket).completed)
+        loser = next(
+            t
+            for t in dep.gateway(third).tickets()
+            if t.task_id == "red-task" and t.status == "superseded"
+        )
+        # Download names the *loser* ticket at its own gateway: the gateway
+        # must follow the supersede pointer to the winner's document (the
+        # raw netmanager path — a device that only ever heard the loser id
+        # has no dispatch record for the winner).
+        frame = drive(
+            dep,
+            dep.platform("pda").netmanager.download_result(
+                third, loser.ticket_id
+            ),
+        )
+        assert frame
+        assert dep.network.tracer.counters["gateway_supersede_redirects"] >= 1
+
+    def test_collect_across_owner_crash_restart(self):
+        dep = build_dep()
+        subscribe(dep)
+        owner, forwarder, third = pick_gateways(dep, "dur-task")
+        handle = deploy(dep, forwarder, task_id="dur-task")
+        origin = handle.ticket.partition("/t-")[0]
+        dep.sim.run(until=ticket_of(dep, handle.ticket).completed)
+        gw = dep.gateway(origin)
+        gw.crash()
+        gw.restart()
+        # sqlite store: ticket, result document and dedup binding survived.
+        result = drive(dep, dep.platform("pda").collect(handle, via=third))
+        assert result.status == "completed"
+        retry = deploy(dep, third, task_id="dur-task")
+        assert retry.ticket == handle.ticket
+        assert len(dispatched_agents(dep)) == 1
+
+
+# ---------------------------------------------------------------------------
+# chaos: crashes inside the claim window
+# ---------------------------------------------------------------------------
+
+
+class TestOwnerCrashMidForward:
+    def test_owner_down_degrades_to_local_accept_then_reconciles(self):
+        config = fleet_config(
+            fleet_claim_timeout_s=1.0,
+            fleet_reconcile_interval_s=2.0,
+            fleet_breaker_cooldown_s=2.0,
+        )
+        dep = build_dep(config=config)
+        subscribe(dep)
+        owner, forwarder, third = pick_gateways(dep, "la-task")
+        dep.gateway(owner).crash()
+        handle = deploy(dep, forwarder, task_id="la-task")
+        counters = dep.network.tracer.counters
+        assert counters["fleet.local_accepts"] == 1
+        # The dispatch went ahead — devices are never hung on fleet RPCs.
+        assert handle.ticket.partition("/t-")[0] == forwarder
+        dep.gateway(owner).restart()
+        # The background reconciler re-claims once the owner is back.
+        dep.sim.run(until=dep.sim.now + 10.0)
+        assert counters.get("fleet.reconciled", 0) == 1
+        # The owner now redirects roamed retries to the reconciled ticket.
+        retry = deploy(dep, third, task_id="la-task")
+        assert retry.ticket == handle.ticket
+        assert len(dispatched_agents(dep)) == 1
+
+    def test_concurrent_local_accepts_converge_to_one_winner(self):
+        config = fleet_config(
+            fleet_claim_timeout_s=1.0,
+            fleet_reconcile_interval_s=2.0,
+            fleet_breaker_cooldown_s=3.0,
+        )
+        dep = build_dep(config=config)
+        subscribe(dep)
+        owner, forwarder, third = pick_gateways(dep, "dual-task")
+        dep.gateway(owner).crash()
+        h1 = deploy(dep, forwarder, task_id="dual-task")
+        h2 = deploy(dep, third, task_id="dual-task")
+        assert h1.ticket != h2.ticket  # both locally accepted while owner down
+        dep.gateway(owner).restart()
+        dep.sim.run(until=dep.sim.now + 30.0)
+        live = [
+            t
+            for gw in GATEWAYS
+            for t in dep.gateway(gw).tickets()
+            if t.task_id == "dual-task"
+            and t.status not in ("failed", "superseded")
+        ]
+        assert len(live) == 1
+        counters = dep.network.tracer.counters
+        assert counters.get("fleet.reconciled", 0) >= 1
+        assert (
+            counters.get("fleet.reconciled_superseded", 0)
+            + counters.get("gateway_superseded", 0)
+            >= 1
+        )
+
+    def test_forwarder_crash_mid_claim_trips_epoch_guard(self):
+        """The PR-5 intake guard, extended to the claim window: a forwarder
+        that crashes while its claim RPC is in flight must fail the minted
+        ticket (it was never launched) instead of dispatching it — the
+        device's shed-retry then mints afresh, and exactly one agent runs.
+        """
+        config = fleet_config(shed_retry_after_s=3.0)
+        dep = build_dep(config=config)
+        subscribe(dep)
+        owner, forwarder, third = pick_gateways(dep, "ep-task")
+        gw = dep.gateway(forwarder)
+        client = gw.fleet_client
+        real_claim = client.claim
+
+        def crashing_claim(task_id, ticket_id):
+            # The crash lands while the claim is outstanding; the servlet
+            # generator itself keeps running and must notice via the epoch.
+            client.claim = real_claim
+            gw.crash()
+            yield dep.sim.timeout(0.1)
+            return ("granted", "", "")
+
+        client.claim = crashing_claim
+        dep.sim.process(_restart_later(dep, gw, 1.0), name="test-restart")
+        handle = deploy(dep, forwarder, task_id="ep-task")
+        tickets = [
+            t for t in dep.gateway(forwarder).tickets() if t.task_id == "ep-task"
+        ]
+        failed = [t for t in tickets if t.status == "failed"]
+        assert len(failed) == 1 and failed[0].agent_id == ""
+        assert len(dispatched_agents(dep)) == 1
+        assert handle.ticket != failed[0].ticket_id
+        live = [t for t in tickets if t.status not in ("failed", "superseded")]
+        assert [t.ticket_id for t in live] == [handle.ticket]
+
+
+def _restart_later(dep, gw, delay):
+    yield dep.sim.timeout(delay)
+    gw.restart()

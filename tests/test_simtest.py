@@ -106,6 +106,7 @@ class TestInvariantCatalogue:
     def test_catalogue_is_complete(self):
         expected = {
             "exactly-once",
+            "fleet-exactly-once",
             "no-lost-task",
             "ticket-conservation",
             "span-tree",
