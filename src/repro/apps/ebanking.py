@@ -133,6 +133,7 @@ class EBankingAgent(MobileAgent):
         here = ctx.here
         if here != self.home:
             # Execute this bank's share of the batch against its teller.
+            site_details = []
             for txn in self.state.get("params", {}).get("transactions", []):
                 if txn.get("bank") != here:
                     continue
@@ -141,7 +142,11 @@ class EBankingAgent(MobileAgent):
                 detail["bank"] = here
                 detail["txn_id"] = txn.get("txn_id")
                 self.state.setdefault("results", []).append(detail)
+                site_details.append(detail)
             ctx.log(f"processed bank {here}")
+            # Streaming sessions: this bank's transaction details reach the
+            # user in ~one RTT instead of after the full tour.
+            ctx.report_partial({"bank": here, "transactions": site_details})
         if self.itinerary.next_stop() is None:
             if here == self.home:
                 # Back at the gateway: the result document is created from

@@ -98,6 +98,13 @@ class FoodSearchAgent(MobileAgent):
                     ctx.extend_itinerary(partner, task="referral")
                     self.state["extra_sites"] = extra + 1
             ctx.log(f"searched {ctx.here}: {len(self.state.get('results', []))} total")
+            # Streaming sessions: push this site's matches home so the user
+            # sees early results while the tour continues.
+            ctx.report_partial(
+                {"site": ctx.here, "matches": reply.get("matches", [])}
+                if reply.get("status") == "ok"
+                else {"site": ctx.here, "matches": []}
+            )
         if self.itinerary.next_stop() is None:
             if ctx.here == self.home:
                 matches = self.state.get("results", [])

@@ -117,10 +117,12 @@ class ShoppingAgent(MobileAgent):
 
         if phase == "quote" and ctx.here != self.home and "vendor" in ctx.services_here():
             reply = yield from ctx.ask_service("vendor", {"op": "quote", "item": item})
-            self.state.setdefault("quotes", []).append(
-                dict(reply, site=ctx.here)
-            )
+            quote = dict(reply, site=ctx.here)
+            self.state.setdefault("quotes", []).append(quote)
             ctx.log(f"quoted {ctx.here}: {reply.get('price', 'n/a')}")
+            # Streaming sessions: each vendor's quote streams home as the
+            # agent gathers it.
+            ctx.report_partial(quote)
 
         if phase == "buy" and ctx.here == self.state.get("winner"):
             reply = yield from ctx.ask_service(

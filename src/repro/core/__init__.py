@@ -29,10 +29,16 @@ from .fleet import Fleet, FleetClient, HashRing
 from .gateway import GATEWAY_PORT, TASK_ID_HEADER, Gateway, Ticket
 from .netmanager import NetworkManager
 from .packed_info import PackedInfo, PIContent, pack, pi_from_xml, pi_to_xml, unpack
-from .platform import CollectedResult, DispatchHandle, PDAgentPlatform
+from .platform import (
+    CollectedResult,
+    DispatchHandle,
+    PDAgentPlatform,
+    StreamingDispatch,
+)
 from .registry import CentralServer, GatewayEntry, fetch_gateway_list
 from .retry import CircuitBreaker, RetryPolicy
 from .security import DeviceSecurity, GatewaySecurity
+from .session import SessionManager
 from .selection import GatewaySelector, ProbeResult
 from .storage import GatewayStorage, make_storage
 from .ui import DeviceUI
@@ -101,4 +107,6 @@ __all__ = [
     "HashRing",
     "GatewayStorage",
     "make_storage",
+    "SessionManager",
+    "StreamingDispatch",
 ]

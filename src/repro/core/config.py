@@ -156,6 +156,30 @@ class PDAgentConfig:
     fleet_reconcile_interval_s: float = 5.0
     fleet_reconcile_attempts: int = 10
 
+    # --- streaming session layer ---------------------------------------------
+    #: Device side: upload the PI through a resumable chunked session and
+    #: collect per-hop partial results instead of the one-shot
+    #: store-and-forward exchange.  Off by default — the classic path.
+    session_enabled: bool = False
+    #: Chunk size for resumable uploads (bytes of the protected PI frame
+    #: per PUT).  Small enough that a link flap loses at most one chunk.
+    session_chunk_bytes: int = 1024
+    #: Concurrent session requests a gateway processes (its own admission
+    #: class, so a chunk flood can never starve result downloads).
+    gateway_session_workers: int = 8
+    #: Session requests allowed to wait for a worker before shedding.
+    session_queue_limit: int = 32
+    #: Idle session retention: an open session with no contact for this
+    #: many seconds is reaped (its partial upload state is dropped).
+    session_ttl_s: float = 600.0
+    #: Per-session reconnect-window push queue bound; when full the oldest
+    #: notification is dropped (the poll fallback still covers it).
+    push_queue_limit: int = 64
+    #: Device partial-result poll cadence while a session is open (seconds)
+    #: — much tighter than ``poll_interval`` because the session answers
+    #: from memory and flushes queued push events on the same contact.
+    session_poll_interval_s: float = 2.0
+
     def __post_init__(self) -> None:
         if self.selection_policy not in ("nearest", "first", "random", "round_robin"):
             raise ValueError(f"unknown selection policy {self.selection_policy!r}")
@@ -209,6 +233,18 @@ class PDAgentConfig:
             raise ValueError("fleet_reconcile_interval_s must be positive")
         if self.fleet_reconcile_attempts < 1:
             raise ValueError("fleet_reconcile_attempts must be >= 1")
+        if self.session_chunk_bytes < 64:
+            raise ValueError("session_chunk_bytes must be >= 64")
+        if self.gateway_session_workers < 1:
+            raise ValueError("gateway_session_workers must be >= 1")
+        if self.session_queue_limit < 0:
+            raise ValueError("session_queue_limit must be >= 0")
+        if self.session_ttl_s <= 0:
+            raise ValueError("session_ttl_s must be positive")
+        if self.push_queue_limit < 1:
+            raise ValueError("push_queue_limit must be >= 1")
+        if self.session_poll_interval_s <= 0:
+            raise ValueError("session_poll_interval_s must be positive")
 
     def with_(self, **changes) -> "PDAgentConfig":
         """A modified copy (convenience for sweeps)."""

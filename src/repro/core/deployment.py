@@ -136,6 +136,7 @@ class DeploymentBuilder:
             self.registry,
             wire_format=wire_format_by_name(self.mas_flavour),
         )
+        mas.hop_reports_enabled = self.config.session_enabled
         self._mas_servers[address] = mas
         gateway = Gateway(
             self.network,
@@ -166,6 +167,7 @@ class DeploymentBuilder:
             self.registry,
             wire_format=wire_format_by_name(self.mas_flavour),
         )
+        mas.hop_reports_enabled = self.config.session_enabled
         self._mas_servers[address] = mas
         for service in services or []:
             mas.register_service(service)

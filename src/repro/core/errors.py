@@ -32,7 +32,24 @@ class AuthorizationError(PDAgentError):
 
 
 class ResultNotReadyError(PDAgentError):
-    """Result document not yet available at the gateway (§3.3)."""
+    """Result document not yet available at the gateway (§3.3).
+
+    When the gateway can see the dispatched agent's itinerary cursor, its
+    204 answer carries hop progress and the exception exposes it as
+    ``hops_visited`` / ``hops_remaining`` (both ``None`` otherwise); the
+    device poll loop stretches its next wait by the remaining hop count
+    instead of hammering a gateway whose agent is mid-tour.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        hops_visited: "int | None" = None,
+        hops_remaining: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        self.hops_visited = hops_visited
+        self.hops_remaining = hops_remaining
 
 
 class GatewayError(PDAgentError):

@@ -45,6 +45,11 @@ from .errors import (
 from .fleet import Fleet, FleetClient, claim_reply
 from .packed_info import PIContent, unpack
 from .security import GatewaySecurity
+from .session import (
+    HOPS_REMAINING_HEADER,
+    HOPS_VISITED_HEADER,
+    SessionManager,
+)
 from .storage import GatewayStorage, make_storage
 from .subscription import ServiceCatalog, SubscriptionDirectory, code_to_xml
 
@@ -442,6 +447,22 @@ class Gateway:
             queue_limit=self.config.download_queue_limit,
             retry_after_s=self.config.shed_retry_after_s,
         )
+        # Streaming session traffic (chunks, polls, hop reports) gets its
+        # own pool: a chunk flood can starve neither dispatches nor result
+        # downloads.  The completing chunk additionally takes an "upload"
+        # slot for the dispatch itself — different pools, no deadlock.
+        self.admission.add_class(
+            "session",
+            workers=self.config.gateway_session_workers,
+            queue_limit=self.config.session_queue_limit,
+            retry_after_s=self.config.shed_retry_after_s,
+        )
+        #: Streaming session layer (resumable uploads, partial streams,
+        #: reconnect push).  Always constructed — its storage-backed state
+        #: participates in crash/restart — but the HTTP surface answers 404
+        #: unless ``config.session_enabled``.
+        self.sessions = SessionManager(self)
+        self.catalog.add_listener(self.sessions.notify_service_updated)
         self.http = HttpServer(
             self.node, port=port, service_time=self.config.gateway_service_time
         )
@@ -453,6 +474,7 @@ class Gateway:
         self.http.route("/status", self._handle_status)
         self.http.route("/fleet/claim", self._handle_fleet_claim)
         self.http.route("/fleet/release", self._handle_fleet_release)
+        self.http.route("/session/", self._handle_session)
 
     # ------------------------------------------------------------ plumbing
     @property
@@ -562,6 +584,7 @@ class Gateway:
         self.storage.on_crash()
         self.admission.drop_queued()
         self.agent_creator.forget_nonces()
+        self.sessions.on_crash()
         self.network.tracer.count("gateway_crashes")
 
     def restart(self) -> int:
@@ -644,6 +667,9 @@ class Gateway:
             self.storage.results.put(ticket.ticket_id, ticket.result_frame)
         self.storage.tickets.persist(ticket)
         self.network.tracer.count(f"gateway_results:{disposition}")
+        # Reconnect-window push: devices holding an open session learn the
+        # outcome on their next contact instead of blind-polling for it.
+        self.sessions.notify_result_ready(ticket)
         if ticket.span is not None:
             ticket.span.end(status=disposition)
 
@@ -664,6 +690,8 @@ class Gateway:
         ticket.status = "expired"
         self.file_directory.release(ticket.ticket_id)
         self.storage.results.drop(ticket.ticket_id)
+        # The partial stream shares the result document's lifetime.
+        self.storage.sessions.drop_partials(ticket.ticket_id)
         self.storage.tickets.persist(ticket)
         self.network.tracer.count("gateway_results_expired")
         self._arm_dedup_expiry(ticket)
@@ -829,46 +857,112 @@ class Gateway:
             return HttpResponse(400, reason="PI body must be bytes")
             yield  # pragma: no cover - unreachable; keeps handler a generator
         arrived = self.sim.now
-        tracer = self.network.tracer
         try:
-            existing = self._dedup_answer(req.headers.get(TASK_ID_HEADER, ""))
+            resp = yield from self._intake_frame(
+                bytes(req.body),
+                task_id=req.headers.get(TASK_ID_HEADER, ""),
+                trace=SpanContext.from_headers(req.headers),
+            )
+            return resp
+        finally:
+            # Per-priority latency histogram (sheds and dedup hits included:
+            # what the device experienced, whatever the outcome).
+            self.network.tracer.observe(
+                "gateway.latency:upload", self.sim.now - arrived
+            )
+
+    def _intake_frame(
+        self, frame: bytes, task_id: str = "", trace: Optional[SpanContext] = None
+    ) -> Generator:
+        """Process: the shared PI intake — dedup, admission, dispatch.
+
+        The one-shot ``/pi`` handler and the session layer's completing
+        chunk both drive this exact path, so exactly-once and overload
+        protection hold identically however the frame arrived.  ``task_id``
+        is the unauthenticated fast-path hint (the header for ``/pi``, the
+        session record for a chunked upload); the authoritative id inside
+        the PI is re-checked by the dispatch pipeline.
+        """
+        tracer = self.network.tracer
+        existing = self._dedup_answer(task_id)
+        if existing is not None:
+            return self._dispatched_response(*existing)
+        try:
+            admission = self.admission.try_admit("upload")
+        except GatewayOverloadedError as exc:
+            return self._shed_response(exc)
+        try:
+            yield admission.request
+            tracer.observe(
+                "gateway.queue_wait:upload", self.sim.now - admission.enqueued_at
+            )
+            # Re-check after the queue wait: an identical retry may have
+            # been admitted and dispatched while this one waited.
+            existing = self._dedup_answer(task_id)
             if existing is not None:
                 return self._dispatched_response(*existing)
             try:
-                admission = self.admission.try_admit("upload")
+                ticket_id, agent_id = yield from self.dispatch_handler.handle(
+                    frame, trace=trace
+                )
+            except GatewayOverloadedError as exc:
+                # Crash-epoch abort mid-intake: answer like a shed so
+                # the device retries onto the restarted gateway.
+                return self._shed_response(exc)
+            except AuthorizationError as exc:
+                return HttpResponse(403, reason=str(exc))
+            except (DeploymentError, IntegrityError, CryptoError) as exc:
+                # Structural damage (bad envelope/frame) and integrity
+                # failures are the client's problem, not a server fault.
+                return HttpResponse(400, reason=str(exc))
+        finally:
+            admission.release()
+        return self._dispatched_response(ticket_id, agent_id)
+
+    def _handle_session(self, req: HttpRequest) -> Generator:
+        """Streaming session endpoint: ``/session/<op>[/<session-id>]``.
+
+        All session traffic — open/resume handshakes, chunks, polls,
+        closes, and MAS hop reports — runs under the dedicated "session"
+        admission class.  The completing chunk's dispatch additionally
+        passes through the "upload" class inside
+        :meth:`SessionManager._commit`, so chunk floods contend with
+        uploads only at the moment they become one.
+        """
+        if not self.config.session_enabled:
+            return HttpResponse(404, reason="streaming sessions not enabled")
+            yield  # pragma: no cover - unreachable; keeps handler a generator
+        arrived = self.sim.now
+        tracer = self.network.tracer
+        try:
+            try:
+                admission = self.admission.try_admit("session")
             except GatewayOverloadedError as exc:
                 return self._shed_response(exc)
             try:
                 yield admission.request
                 tracer.observe(
-                    "gateway.queue_wait:upload", self.sim.now - admission.enqueued_at
+                    "gateway.queue_wait:session",
+                    self.sim.now - admission.enqueued_at,
                 )
-                # Re-check after the queue wait: an identical retry may have
-                # been admitted and dispatched while this one waited.
-                existing = self._dedup_answer(req.headers.get(TASK_ID_HEADER, ""))
-                if existing is not None:
-                    return self._dispatched_response(*existing)
-                try:
-                    ticket_id, agent_id = yield from self.dispatch_handler.handle(
-                        bytes(req.body), trace=SpanContext.from_headers(req.headers)
-                    )
-                except GatewayOverloadedError as exc:
-                    # Crash-epoch abort mid-intake: answer like a shed so
-                    # the device retries onto the restarted gateway.
-                    return self._shed_response(exc)
-                except AuthorizationError as exc:
-                    return HttpResponse(403, reason=str(exc))
-                except (DeploymentError, IntegrityError, CryptoError) as exc:
-                    # Structural damage (bad envelope/frame) and integrity
-                    # failures are the client's problem, not a server fault.
-                    return HttpResponse(400, reason=str(exc))
+                rest = req.path[len("/session/") :]
+                op, _, session_id = rest.partition("/")
+                if op == "open":
+                    return self.sessions.handle_open(req)
+                if op == "chunk":
+                    resp = yield from self.sessions.handle_chunk(req, session_id)
+                    return resp
+                if op == "poll":
+                    return self.sessions.handle_poll(req, session_id)
+                if op == "close":
+                    return self.sessions.handle_close(req, session_id)
+                if op == "partial":
+                    return self.sessions.receive_hop_report(req)
+                return HttpResponse(404, reason=f"unknown session op {op!r}")
             finally:
                 admission.release()
-            return self._dispatched_response(ticket_id, agent_id)
         finally:
-            # Per-priority latency histogram (sheds and dedup hits included:
-            # what the device experienced, whatever the outcome).
-            tracer.observe("gateway.latency:upload", self.sim.now - arrived)
+            tracer.observe("gateway.latency:session", self.sim.now - arrived)
 
     def _handle_result(self, req: HttpRequest) -> Generator:
         """§3.3 result collection: GET /result/<ticket-id>.
@@ -934,7 +1028,11 @@ class Gateway:
                 410, reason=f"result for {ticket_id} expired after download"
             )
         if ticket.result_frame is None:
-            return HttpResponse(204, reason="result not ready")
+            return HttpResponse(
+                204,
+                reason="result not ready",
+                headers=self._hop_progress_headers(ticket),
+            )
         if ticket.first_downloaded_at is None:
             ticket.first_downloaded_at = self.sim.now
             self.storage.tickets.persist(ticket)
@@ -945,6 +1043,26 @@ class Gateway:
         return HttpResponse(
             200, body=ticket.result_frame, body_size=len(ticket.result_frame)
         )
+
+    def _hop_progress_headers(self, ticket: Ticket) -> dict[str, str]:
+        """Itinerary progress headers for a "result not ready" answer.
+
+        The counts come from the live agent's (or its latest checkpoint's)
+        itinerary cursor via the adapter; adapters without the optional
+        ``hop_progress`` hook — or agents the MAS no longer knows — yield
+        no headers, and the device falls back to fixed-interval polling.
+        """
+        probe = getattr(self.adapter, "hop_progress", None)
+        if probe is None or not ticket.agent_id:
+            return {}
+        progress = probe(ticket.agent_id)
+        if progress is None:
+            return {}
+        visited, remaining = progress
+        return {
+            HOPS_VISITED_HEADER: str(visited),
+            HOPS_REMAINING_HEADER: str(remaining),
+        }
 
     def _handle_status(self, req: HttpRequest) -> HttpResponse:
         """Gateway self-monitoring: ticket counts and workspace usage.
@@ -1019,7 +1137,11 @@ class Gateway:
         except TransportError as exc:
             return HttpResponse(502, reason=f"origin gateway unreachable: {exc}")
         if upstream.status == 204:
-            return HttpResponse(204, reason="result not ready")
+            # Keep the origin's hop-progress headers: the device's adaptive
+            # poll works the same through a relay as it does directly.
+            return HttpResponse(
+                204, reason="result not ready", headers=dict(upstream.headers)
+            )
         if not upstream.ok:
             # Pass the structured error through — status AND headers (e.g.
             # the origin's Retry-After), not just a collapsed reason string.
@@ -1088,6 +1210,7 @@ class Gateway:
             ticket.status = "disposed"
             self.file_directory.release(ticket.ticket_id)
             self.storage.results.drop(ticket.ticket_id)
+            self.storage.sessions.drop_partials(ticket.ticket_id)
             self.storage.tickets.persist(ticket)
             self._arm_dedup_expiry(ticket)
             if ticket.span is not None:

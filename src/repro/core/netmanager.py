@@ -21,9 +21,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator, Optional
 
-from ..simnet.http import HttpResponse, request
+from ..simnet.http import HttpRequest, HttpResponse, request
 from ..simnet.topology import NoRouteError
-from ..simnet.transport import TransportError
+from ..simnet.transport import TransportError, connect
 from ..telemetry.spans import SpanContext
 from ..xmlcodec import Element, parse_bytes, write_bytes
 from .errors import (
@@ -34,11 +34,12 @@ from .errors import (
 )
 from .gateway import GATEWAY_PORT, TASK_ID_HEADER
 from .retry import CircuitBreaker, RetryPolicy
+from .session import HOPS_REMAINING_HEADER, HOPS_VISITED_HEADER
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..device import Device
 
-__all__ = ["NetworkManager"]
+__all__ = ["NetworkManager", "SessionChannel"]
 
 #: Failures worth retrying: the gateway process may be restarting, the
 #: wireless link may be in an outage window.  Application-level rejections
@@ -65,6 +66,11 @@ class NetworkManager:
         self.retries = 0
         #: 503 sheds waited out (Retry-After honoured) — not failures.
         self.shed_waits = 0
+        #: Request-body bytes sent more than once because an exchange was
+        #: retried (transport failure or shed).  The streaming-vs-baseline
+        #: experiments compare this ledger: a resumed chunk upload re-sends
+        #: one chunk where a store-and-forward restart re-sends the frame.
+        self.retransmitted_bytes = 0
         #: ``(purpose, attempt, backoff_delay)`` per retry, in order — the
         #: reproducibility contract: same master seed ⇒ identical log.
         self.retry_log: list[tuple[str, int, float]] = []
@@ -132,7 +138,11 @@ class NetworkManager:
             raise_for_status=False, trace=trace,
         )
         if resp.status == 204:
-            raise ResultNotReadyError(ticket_id)
+            raise ResultNotReadyError(
+                ticket_id,
+                hops_visited=_int_header(resp, HOPS_VISITED_HEADER),
+                hops_remaining=_int_header(resp, HOPS_REMAINING_HEADER),
+            )
         if resp.status == 410:
             raise ResultExpiredError(
                 f"result for {ticket_id} expired: {resp.reason}"
@@ -153,6 +163,70 @@ class NetworkManager:
             gateway, "POST", "/agent", body, f"agent-{op}", trace=trace
         )
         return parse_bytes(resp.body)
+
+    # ------------------------------------------------------------ streaming sessions
+    def session_exchange(
+        self,
+        gateway: str,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        purpose: str = "session",
+        headers: Optional[dict[str, str]] = None,
+        trace: Optional[SpanContext] = None,
+    ) -> Generator:
+        """Process: one streaming-session exchange; returns the raw response.
+
+        The session protocol answers "normal" non-2xx statuses (409 offset
+        resync, 404 expired session) that the device-side session machine
+        interprets itself, so status checking is left to the caller; only
+        transport failures and 503 sheds are retried here as usual.
+        """
+        resp = yield from self._exchange(
+            gateway, method, path, body, purpose,
+            raise_for_status=False, trace=trace, headers=headers,
+        )
+        return resp
+
+    def open_session_channel(
+        self, gateway: str, trace: Optional[SpanContext] = None
+    ) -> Generator:
+        """Process: open one persistent connection for pipelined session I/O.
+
+        A chunked upload over per-chunk HTTP/1.0 exchanges would pay the
+        wireless link's connection setup (GPRS channel acquisition plus a
+        handshake RTT — seconds, not milliseconds) once *per chunk*,
+        tripling upload latency against the single-shot ``/pi`` path.  The
+        gateway's HTTP server already serves keep-alive pipelining, so the
+        session layer rides one connection per burst: setup is paid once,
+        and each chunk costs only its own transfer time plus the ack
+        round trip.  Resume granularity is unchanged — every chunk is
+        individually acknowledged, so a mid-burst link cut loses at most
+        the chunk in flight.
+
+        Returns a :class:`SessionChannel`.  A connect failure feeds the
+        circuit breaker and surfaces as :class:`GatewayError`, exactly
+        like a failed exchange.
+        """
+        span = self.network.telemetry.start_span(
+            "net.session-stream",
+            node=self.device.address,
+            parent=trace,
+            attrs={"gateway": gateway},
+        )
+        try:
+            sock = yield from connect(
+                self.network, self.device.address, gateway,
+                GATEWAY_PORT, purpose="session-stream",
+            )
+        except _RETRIABLE as exc:
+            if self.breaker is not None:
+                self.breaker.record_failure(gateway)
+            span.end(status="error")
+            raise GatewayError(
+                f"session channel to {gateway} failed: {exc}"
+            ) from exc
+        return SessionChannel(self, gateway, sock, span)
 
     # ------------------------------------------------------------ internals
     def _exchange(
@@ -224,6 +298,7 @@ class NetworkManager:
                     self.retries += 1
                     self.retry_log.append((purpose, attempt, delay))
                     self.network.tracer.count("device_retries")
+                    self._count_retransmit(body, purpose)
                     yield sim.timeout(delay)
                     attempt += 1
                     continue
@@ -241,6 +316,7 @@ class NetworkManager:
                     self.shed_waits += 1
                     self.retry_log.append((purpose, attempt, delay))
                     self.network.tracer.count("device_shed_waits")
+                    self._count_retransmit(body, purpose)
                     yield sim.timeout(delay)
                     attempt += 1
                     continue
@@ -259,3 +335,100 @@ class NetworkManager:
             # process) must not leave the exchange span dangling.
             if span.open:
                 span.end(status="error", attempts=attempt)
+
+    def _count_retransmit(self, body: Optional[bytes], purpose: str) -> None:
+        """Ledger: the next attempt re-sends ``body`` from byte zero."""
+        self.count_restart(len(body) if body is not None else 0, purpose)
+
+    def count_restart(self, nbytes: int, purpose: str) -> None:
+        """Ledger: ``nbytes`` already-sent payload bytes will be re-sent.
+
+        Public so the session layer can account resume gaps (bytes the
+        device had put on the wire but the gateway never acknowledged) and
+        the deploy failover can account full-frame restarts — keeping the
+        ``retransmitted_bytes`` ledger comparable across the streaming and
+        store-and-forward upload paths.
+        """
+        if nbytes > 0:
+            self.retransmitted_bytes += nbytes
+            self.network.tracer.count("device_retransmit_bytes", nbytes)
+
+
+class SessionChannel:
+    """One persistent device→gateway connection for pipelined session traffic.
+
+    Created by :meth:`NetworkManager.open_session_channel`.  Each
+    :meth:`exchange` is a single send/receive on the shared connection —
+    no internal retry: a transport failure means the connection (and with
+    it the burst) is dead, and the device-side session machine decides
+    whether to back off and resume.  Successes and failures feed the
+    shared circuit breaker like any other exchange.
+    """
+
+    def __init__(
+        self, net: "NetworkManager", gateway: str, sock, span
+    ) -> None:
+        self.net = net
+        self.gateway = gateway
+        self._sock = sock
+        self._span = span
+        self.exchanges = 0
+
+    @property
+    def sim(self):
+        return self.net.network.sim
+
+    def exchange(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[dict[str, str]] = None,
+    ) -> Generator:
+        """Process: one request/response round trip on the channel."""
+        wire_headers = self._span.context.to_headers()
+        if headers:
+            wire_headers.update(headers)
+        req = HttpRequest(
+            method=method,
+            path=path,
+            body=body,
+            body_size=len(body) if body is not None else 0,
+            client=self.net.device.address,
+            headers=wire_headers,
+        )
+        try:
+            yield from self._sock.send(req, req.wire_size)
+            message = yield from self._sock.recv()
+        except _RETRIABLE as exc:
+            if self.net.breaker is not None:
+                self.net.breaker.record_failure(self.gateway)
+            raise GatewayError(
+                f"session channel to {self.gateway} broke: {exc}"
+            ) from exc
+        resp = message.payload
+        if not isinstance(resp, HttpResponse):
+            raise GatewayError(
+                f"session channel: unexpected payload {resp!r}"
+            )
+        if self.net.breaker is not None:
+            self.net.breaker.record_success(self.gateway)
+        self.exchanges += 1
+        return resp
+
+    def close(self) -> None:
+        """Tear down the connection and close the burst span."""
+        self._sock.close()
+        if self._span.open:
+            self._span.end(exchanges=self.exchanges)
+
+
+def _int_header(resp: HttpResponse, name: str) -> Optional[int]:
+    """Parse an optional integer response header; None when absent/garbled."""
+    raw = resp.headers.get(name)
+    if raw is None:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None

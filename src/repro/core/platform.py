@@ -40,8 +40,14 @@ from .subscription import code_from_xml
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..device import Device
+    from ..device.session import DeviceSession
 
-__all__ = ["PDAgentPlatform", "DispatchHandle", "CollectedResult"]
+__all__ = [
+    "PDAgentPlatform",
+    "DispatchHandle",
+    "CollectedResult",
+    "StreamingDispatch",
+]
 
 
 @dataclass(frozen=True)
@@ -68,6 +74,20 @@ class CollectedResult:
     status: str
     data: Any
     document_bytes: int
+
+
+@dataclass(frozen=True)
+class StreamingDispatch:
+    """A streaming deployment: the classic handle plus its live session.
+
+    The session object keeps accumulating partial results and push events
+    as :meth:`PDAgentPlatform.collect_streaming` polls it; its ledgers
+    (``bytes_sent``, ``partials``, ``first_partial_at`` …) are what the
+    streaming experiments measure.
+    """
+
+    handle: DispatchHandle
+    session: "DeviceSession"
 
 
 class PDAgentPlatform:
@@ -207,6 +227,11 @@ class PDAgentPlatform:
                     # over — the caller asked for that one specifically.
                     if explicit:
                         raise
+                    # The abandoned attempt's frame is re-sent from byte
+                    # zero at the next gateway: a store-and-forward restart.
+                    self.netmanager.count_restart(
+                        len(packed.data), "deploy-failover"
+                    )
                     failed.add(gateway)
                     gateway = yield from self.selector.select(exclude=failed)
             deploy_span.end(gateway=gateway, ticket=ticket)
@@ -297,16 +322,170 @@ class PDAgentPlatform:
 
         Each poll is a real (short) connection; the poll interval is
         configured by :attr:`~repro.core.config.PDAgentConfig.poll_interval`.
+        When the gateway's "not ready" answer carries hop progress, the
+        next wait stretches with the hops still ahead of the agent —
+        a tour with five sites to go is not worth re-dialling for in one
+        base interval.
         """
         for _ in range(self.config.max_polls):
             try:
                 result = yield from self.collect(handle)
                 return result
-            except ResultNotReadyError:
-                yield self.device.sim.timeout(self.config.poll_interval)
+            except ResultNotReadyError as exc:
+                scale = max(1, exc.hops_remaining or 0)
+                yield self.device.sim.timeout(self.config.poll_interval * scale)
         raise ResultNotReadyError(
             f"{handle.ticket}: no result after {self.config.max_polls} polls"
         )
+
+    # ------------------------------------------------------------ streaming sessions
+    def deploy_streaming(
+        self,
+        service: str,
+        params: dict[str, Any],
+        stops: Optional[list[Stop]] = None,
+        gateway: Optional[str] = None,
+        task_id: Optional[str] = None,
+    ) -> Generator:
+        """Process: :meth:`deploy`, but over a resumable chunked session.
+
+        The packed PI travels as ``config.session_chunk_bytes``-sized
+        chunks; a LinkDown costs only the chunk in flight (plus the resume
+        handshake) instead of the whole frame.  Returns a
+        :class:`StreamingDispatch` whose session then serves
+        :meth:`collect_streaming`.  Requires ``config.session_enabled``
+        deployments — a gateway without the session layer answers 404 and
+        the deployment fails rather than silently degrading.
+        """
+        from ..device.session import DeviceSession  # lazy: import cycle
+
+        stored = self.db.find_code_by_service(service)
+        if stored is None:
+            raise SubscriptionError(
+                f"not subscribed to {service!r}; call subscribe() first"
+            )
+        explicit = gateway is not None
+        if task_id is None:
+            task_id = self.dispatcher.new_task_id()
+        tele = self.device.network.telemetry
+        root = tele.start_span(
+            f"task:{service}", node=self.device.address,
+            attrs={"device": self.device.device_id, "mode": "streaming"},
+        )
+        deploy_span = tele.start_span(
+            "device.deploy", node=self.device.address, parent=root,
+            attrs={"mode": "streaming"},
+        )
+        try:
+            gateway = yield from self._resolve_gateway(gateway)
+            failed: set[str] = set()
+            while True:
+                content = self.dispatcher.build_content(
+                    stored, params, stops=stops, origin=gateway,
+                    trace=deploy_span.context, task_id=task_id,
+                )
+                packed = yield from self.dispatcher.pack_for(
+                    content, gateway, trace=deploy_span.context
+                )
+                session = DeviceSession(
+                    self.netmanager, gateway, self.config,
+                    task_id=task_id, frame=packed.data,
+                    trace=deploy_span.context,
+                )
+                try:
+                    ticket, agent_id = yield from session.upload()
+                    break
+                except GatewayError:
+                    # Same failover contract as deploy(): sessions are
+                    # gateway-local, so moving on means a fresh session
+                    # (and a re-pack) against the next candidate.  Bytes
+                    # the dead session had already shipped are re-sent
+                    # there — ledger them like any other restart.
+                    if explicit:
+                        raise
+                    self.netmanager.count_restart(
+                        session.bytes_sent, "session-failover"
+                    )
+                    failed.add(gateway)
+                    gateway = yield from self.selector.select(exclude=failed)
+            deploy_span.end(
+                gateway=gateway, ticket=ticket, chunks=session.chunks_sent
+            )
+        finally:
+            if deploy_span.open:
+                deploy_span.end(status="error")
+            if root.open and deploy_span.status != "ok":
+                root.end(status="error")
+        handle = DispatchHandle(
+            ticket=ticket, agent_id=agent_id, gateway=gateway, service=service,
+            trace_id=root.trace_id, task_id=task_id,
+        )
+        self.db.record_dispatch(
+            DispatchRecord(
+                ticket=ticket,
+                agent_id=agent_id,
+                gateway=gateway,
+                service=service,
+                status="dispatched",
+                dispatched_at=self.device.sim.now,
+            )
+        )
+        return StreamingDispatch(handle=handle, session=session)
+
+    def collect_streaming(self, dispatch: StreamingDispatch) -> Generator:
+        """Process: poll the session until the result is ready, then collect.
+
+        Each poll drains partial results (accumulated on
+        ``dispatch.session.partials``) and queued push events; the final
+        document download goes through the unchanged :meth:`collect` path,
+        so the returned :class:`CollectedResult` is byte-identical to a
+        non-streaming collection of the same ticket.  Polls that come back
+        empty stretch the next wait (up to 4× the base interval) — the
+        agent is mid-hop and re-dialling the wireless link every base
+        interval would buy nothing; a fresh partial snaps the interval
+        back, since the next hop's answer is the one the user is watching
+        for.  If the session expires gateway-side mid-poll, collection
+        degrades gracefully to the classic :meth:`collect_poll` loop.
+        """
+        session = dispatch.session
+        base = self.config.session_poll_interval_s
+        interval = base
+        for _ in range(self.config.max_polls):
+            if session.result_ready:
+                break
+            try:
+                poll = yield from session.poll()
+            except GatewayError:
+                # Session gone (TTL or a crash under the memory backend):
+                # the ticket still exists — fall back to plain polling.
+                result = yield from self.collect_poll(dispatch.handle)
+                return result
+            if poll.ready:
+                break
+            if poll.fresh or poll.events:
+                interval = base
+            else:
+                interval = min(interval * 1.5, 4.0 * base)
+            yield self.device.sim.timeout(interval)
+        else:
+            raise ResultNotReadyError(
+                f"{dispatch.handle.ticket}: no result after "
+                f"{self.config.max_polls} session polls"
+            )
+        result = yield from self.collect(dispatch.handle)
+        yield from session.close()
+        return result
+
+    @staticmethod
+    def streamed_partials(session: "DeviceSession") -> list[dict[str, Any]]:
+        """Decode a session's accumulated partials into site results."""
+        decoded = []
+        for entry in session.partials:
+            value = value_from_xml(parse_bytes(entry["payload"].encode("utf-8")))
+            decoded.append(
+                {"seq": entry["seq"], "site": entry["site"], "value": value}
+            )
+        return decoded
 
     # ------------------------------------------------------------ agent management
     def agent_status(self, handle: DispatchHandle) -> Generator:

@@ -25,6 +25,10 @@ Schema (one database per gateway)::
             children)
     dedup(task_id PK, ticket_id, expires_at)
     results(ticket_id PK, frame BLOB)
+    sessions(session_id PK, device_id, task_id, total_bytes, digest,
+             created_at, last_contact, ticket_id)
+    session_chunks(session_id, offset, data BLOB)
+    session_partials(ticket_id, seq, site, payload, at)
 
 The kernel's :class:`~repro.simnet.primitives.Event` and telemetry spans are
 deliberately *not* persisted: they are process state.  Recovered tickets
@@ -35,6 +39,7 @@ watchdogs (see ``Gateway.__init__``).
 from __future__ import annotations
 
 import sqlite3
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable, Optional
 
 from .admission import DedupTable
@@ -44,11 +49,14 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "GatewayStorage",
+    "SessionRecord",
     "InMemoryTicketStore",
     "SqliteTicketStore",
     "SqliteDedupTable",
     "InMemoryResultStore",
     "SqliteResultStore",
+    "InMemorySessionStore",
+    "SqliteSessionStore",
     "make_storage",
 ]
 
@@ -73,6 +81,30 @@ CREATE TABLE IF NOT EXISTS dedup (
 CREATE TABLE IF NOT EXISTS results (
     ticket_id TEXT PRIMARY KEY,
     frame BLOB NOT NULL
+);
+CREATE TABLE IF NOT EXISTS sessions (
+    session_id TEXT PRIMARY KEY,
+    device_id TEXT NOT NULL DEFAULT '',
+    task_id TEXT NOT NULL DEFAULT '',
+    total_bytes INTEGER NOT NULL,
+    digest TEXT NOT NULL DEFAULT '',
+    created_at REAL NOT NULL,
+    last_contact REAL NOT NULL DEFAULT 0,
+    ticket_id TEXT NOT NULL DEFAULT ''
+);
+CREATE TABLE IF NOT EXISTS session_chunks (
+    session_id TEXT NOT NULL,
+    offset INTEGER NOT NULL,
+    data BLOB NOT NULL,
+    PRIMARY KEY (session_id, offset)
+);
+CREATE TABLE IF NOT EXISTS session_partials (
+    ticket_id TEXT NOT NULL,
+    seq INTEGER NOT NULL,
+    site TEXT NOT NULL DEFAULT '',
+    payload TEXT NOT NULL DEFAULT '',
+    at REAL NOT NULL DEFAULT 0,
+    PRIMARY KEY (ticket_id, seq)
 );
 """
 
@@ -313,15 +345,212 @@ class SqliteResultStore:
         return self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
 
 
+# ------------------------------------------------------------- session stores
+@dataclass
+class SessionRecord:
+    """Durable state of one open device↔gateway streaming session.
+
+    Chunks and partial-result entries live beside the record in the store
+    (keyed by session and ticket respectively); the record itself carries
+    only what the resume handshake needs.
+    """
+
+    session_id: str
+    device_id: str
+    task_id: str
+    total_bytes: int
+    digest: str
+    created_at: float
+    last_contact: float = 0.0
+    #: Set once the assembled frame was dispatched — a committed session
+    #: answers re-sent final chunks with the existing ticket.
+    ticket_id: str = ""
+
+
+class InMemorySessionStore:
+    """Volatile session state: dies with the gateway process."""
+
+    durable = False
+
+    def __init__(self) -> None:
+        self._by_id: dict[str, SessionRecord] = {}
+        self._chunks: dict[str, dict[int, bytes]] = {}
+        self._partials: dict[str, list[dict]] = {}
+
+    # -- sessions -----------------------------------------------------------
+    def create(self, record: SessionRecord) -> None:
+        self._by_id[record.session_id] = record
+        self._chunks.setdefault(record.session_id, {})
+
+    def persist(self, record: SessionRecord) -> None:
+        """Record a mutation.  Memory records are live objects: no-op."""
+        self._by_id.setdefault(record.session_id, record)
+
+    def get(self, session_id: str) -> Optional[SessionRecord]:
+        return self._by_id.get(session_id)
+
+    def by_task(self, task_id: str) -> Optional[SessionRecord]:
+        """The open session for ``task_id`` — the resume handshake's key."""
+        if not task_id:
+            return None
+        for record in self._by_id.values():
+            if record.task_id == task_id:
+                return record
+        return None
+
+    def delete(self, session_id: str) -> None:
+        self._by_id.pop(session_id, None)
+        self._chunks.pop(session_id, None)
+
+    def values(self) -> list[SessionRecord]:
+        return list(self._by_id.values())
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def max_seq(self, prefix: str) -> int:
+        return max((_seq_of(s, prefix) for s in self._by_id), default=0)
+
+    # -- chunks -------------------------------------------------------------
+    def put_chunk(self, session_id: str, offset: int, data: bytes) -> None:
+        self._chunks.setdefault(session_id, {})[offset] = data
+
+    def chunks(self, session_id: str) -> dict[int, bytes]:
+        return dict(self._chunks.get(session_id, {}))
+
+    # -- partial-result streams --------------------------------------------
+    def append_partial(self, ticket_id: str, entry: dict) -> None:
+        self._partials.setdefault(ticket_id, []).append(entry)
+
+    def partials(self, ticket_id: str) -> list[dict]:
+        return list(self._partials.get(ticket_id, []))
+
+    def drop_partials(self, ticket_id: str) -> None:
+        self._partials.pop(ticket_id, None)
+
+    def clear(self) -> None:
+        """Crash: every open upload and partial stream is process state."""
+        self._by_id.clear()
+        self._chunks.clear()
+        self._partials.clear()
+
+
+class SqliteSessionStore(InMemorySessionStore):
+    """Write-through session store: resume survives a gateway restart."""
+
+    durable = True
+
+    def __init__(self, conn: sqlite3.Connection) -> None:
+        super().__init__()
+        self._conn = conn
+        self._load()
+
+    def _load(self) -> None:
+        for row in self._conn.execute(
+            "SELECT session_id, device_id, task_id, total_bytes, digest,"
+            " created_at, last_contact, ticket_id FROM sessions"
+            " ORDER BY session_id"
+        ).fetchall():
+            self._by_id[row[0]] = SessionRecord(
+                session_id=row[0],
+                device_id=row[1],
+                task_id=row[2],
+                total_bytes=row[3],
+                digest=row[4],
+                created_at=row[5],
+                last_contact=row[6],
+                ticket_id=row[7],
+            )
+        for session_id, offset, data in self._conn.execute(
+            "SELECT session_id, offset, data FROM session_chunks"
+        ).fetchall():
+            self._chunks.setdefault(session_id, {})[offset] = bytes(data)
+        for ticket_id, seq, site, payload, at in self._conn.execute(
+            "SELECT ticket_id, seq, site, payload, at FROM session_partials"
+            " ORDER BY ticket_id, seq"
+        ).fetchall():
+            self._partials.setdefault(ticket_id, []).append(
+                {"seq": seq, "site": site, "payload": payload, "at": at}
+            )
+
+    def _write(self, record: SessionRecord) -> None:
+        self._conn.execute(
+            "INSERT INTO sessions (session_id, device_id, task_id,"
+            " total_bytes, digest, created_at, last_contact, ticket_id)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?)"
+            " ON CONFLICT(session_id) DO UPDATE SET"
+            " last_contact=excluded.last_contact, ticket_id=excluded.ticket_id",
+            (
+                record.session_id,
+                record.device_id,
+                record.task_id,
+                record.total_bytes,
+                record.digest,
+                record.created_at,
+                record.last_contact,
+                record.ticket_id,
+            ),
+        )
+
+    def create(self, record: SessionRecord) -> None:
+        super().create(record)
+        self._write(record)
+
+    def persist(self, record: SessionRecord) -> None:
+        super().persist(record)
+        self._write(record)
+
+    def delete(self, session_id: str) -> None:
+        super().delete(session_id)
+        self._conn.execute(
+            "DELETE FROM sessions WHERE session_id = ?", (session_id,)
+        )
+        self._conn.execute(
+            "DELETE FROM session_chunks WHERE session_id = ?", (session_id,)
+        )
+
+    def put_chunk(self, session_id: str, offset: int, data: bytes) -> None:
+        super().put_chunk(session_id, offset, data)
+        self._conn.execute(
+            "INSERT INTO session_chunks (session_id, offset, data)"
+            " VALUES (?, ?, ?) ON CONFLICT(session_id, offset)"
+            " DO UPDATE SET data=excluded.data",
+            (session_id, offset, data),
+        )
+
+    def append_partial(self, ticket_id: str, entry: dict) -> None:
+        super().append_partial(ticket_id, entry)
+        self._conn.execute(
+            "INSERT OR REPLACE INTO session_partials"
+            " (ticket_id, seq, site, payload, at) VALUES (?, ?, ?, ?, ?)",
+            (
+                ticket_id,
+                entry.get("seq", 0),
+                entry.get("site", ""),
+                entry.get("payload", ""),
+                entry.get("at", 0.0),
+            ),
+        )
+
+    def drop_partials(self, ticket_id: str) -> None:
+        super().drop_partials(ticket_id)
+        self._conn.execute(
+            "DELETE FROM session_partials WHERE ticket_id = ?", (ticket_id,)
+        )
+
+
 # ------------------------------------------------------------------- bundle
 class GatewayStorage:
-    """One gateway's three stores plus the crash/restart contract."""
+    """One gateway's stores plus the crash/restart contract."""
 
-    def __init__(self, backend: str, tickets, dedup, results) -> None:
+    def __init__(
+        self, backend: str, tickets, dedup, results, sessions=None
+    ) -> None:
         self.backend = backend
         self.tickets = tickets
         self.dedup = dedup
         self.results = results
+        self.sessions = sessions if sessions is not None else InMemorySessionStore()
 
     @property
     def durable(self) -> bool:
@@ -331,13 +560,17 @@ class GatewayStorage:
         """Volatile state dies with the process; durable state survives."""
         if not self.durable:
             self.dedup.clear()
+        if not getattr(self.sessions, "durable", False):
+            self.sessions.clear()
 
     def on_restart(self) -> int:
         """Recover the dedup index; returns the number of usable bindings.
 
         Memory backend: best-effort rebuild from surviving tickets (the
         pre-storage behaviour).  Sqlite backend: the index never died — the
-        binding count is reported as-is.
+        binding count is reported as-is.  Session state follows the same
+        split: memory sessions died with the process (devices restart their
+        uploads from byte 0), sqlite sessions resume where they left off.
         """
         if self.durable:
             return len(self.dedup)
@@ -357,7 +590,11 @@ def make_storage(
     """
     if backend == "memory":
         return GatewayStorage(
-            "memory", InMemoryTicketStore(), DedupTable(), InMemoryResultStore()
+            "memory",
+            InMemoryTicketStore(),
+            DedupTable(),
+            InMemoryResultStore(),
+            InMemorySessionStore(),
         )
     if backend != "sqlite":
         raise ValueError(f"unknown storage backend {backend!r}")
@@ -371,4 +608,10 @@ def make_storage(
     for ticket in tickets.values():
         if ticket.result_frame is None:
             ticket.result_frame = results.get(ticket.ticket_id)
-    return GatewayStorage("sqlite", tickets, SqliteDedupTable(conn), results)
+    return GatewayStorage(
+        "sqlite",
+        tickets,
+        SqliteDedupTable(conn),
+        results,
+        SqliteSessionStore(conn),
+    )

@@ -111,6 +111,16 @@ class ServiceCatalog:
 
     def __init__(self) -> None:
         self._codes: dict[str, ServiceCode] = {}
+        self._listeners: list = []
+
+    def add_listener(self, callback) -> None:
+        """Register ``callback(code)``, invoked after every publish.
+
+        The streaming session layer uses this to queue service-updated
+        notifications on open device sessions instead of waiting for the
+        device's next blind catalogue refresh.
+        """
+        self._listeners.append(callback)
 
     def publish(self, code: ServiceCode) -> None:
         """Add or upgrade a service."""
@@ -120,6 +130,8 @@ class ServiceCatalog:
                 f"{code.service!r} v{code.version} does not upgrade v{existing.version}"
             )
         self._codes[code.service] = code
+        for callback in list(self._listeners):
+            callback(code)
 
     def lookup(self, service: str) -> ServiceCode:
         try:
@@ -169,6 +181,14 @@ class SubscriptionDirectory:
 
     def subscriptions_of(self, device_id: str) -> list[Subscription]:
         return [s for s in self._by_id.values() if s.device_id == device_id]
+
+    def subscribers_of(self, service: str) -> list[str]:
+        """Device ids subscribed to ``service`` (push-notification fan-out)."""
+        seen: list[str] = []
+        for sub in self._by_id.values():
+            if sub.service == service and sub.device_id not in seen:
+                seen.append(sub.device_id)
+        return seen
 
     def __len__(self) -> int:
         return len(self._by_id)

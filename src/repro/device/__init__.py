@@ -3,6 +3,9 @@
 Bundles a network node with CPU scaling, an RMS storage quota, and an energy
 ledger.  Canned profiles in :mod:`~repro.device.profiles` encode the paper's
 2004-era hardware classes and link technologies.
+
+:mod:`~repro.device.session` adds the device half of the streaming session
+layer (resumable chunked upload, partial-result polling, reconnect push).
 """
 
 from .device import Device, EnergyLedger
@@ -14,6 +17,10 @@ from .profiles import (
     link_profile,
 )
 
+# Imported last: .session reaches into repro.core (leaf modules only), which
+# itself imports this package — Device/profiles above must already be bound.
+from .session import DeviceSession, SessionPoll
+
 __all__ = [
     "Device",
     "EnergyLedger",
@@ -22,4 +29,6 @@ __all__ = [
     "link_profile",
     "DEVICES",
     "LINKS",
+    "DeviceSession",
+    "SessionPoll",
 ]

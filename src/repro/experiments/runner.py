@@ -8,6 +8,7 @@ Usage (installed as ``pdagent-experiments``)::
     pdagent-experiments faults       # Fig. 12 workload under a fault schedule
     pdagent-experiments overload     # dispatch storm: protected vs unprotected
     pdagent-experiments fleet        # roamed retries: fleet tier vs baseline
+    pdagent-experiments streaming    # resumable sessions vs store-and-forward
     pdagent-experiments claims       # C1 code sizes, C2 footprint
     pdagent-experiments ablations    # A1-A4
     pdagent-experiments extensions   # E1-E4
@@ -32,12 +33,22 @@ import os
 import sys
 
 from ..telemetry.exporters import TraceCollector
-from . import ablations, claims, extensions, faults, fig12, fig13, fleet, overload
+from . import (
+    ablations,
+    claims,
+    extensions,
+    faults,
+    fig12,
+    fig13,
+    fleet,
+    overload,
+    streaming,
+)
 
 __all__ = ["main"]
 
 #: Experiments whose runs are registered with the --trace collector.
-_TRACED = ("fig12", "fig13", "faults", "overload", "fleet")
+_TRACED = ("fig12", "fig13", "faults", "overload", "fleet", "streaming")
 
 
 def _ns(args) -> tuple[int, ...]:
@@ -110,6 +121,9 @@ _EXPERIMENTS = {
     "faults": lambda args, collector=None: faults.main(
         seed=args.seed, collector=collector
     ),
+    "streaming": lambda args, collector=None: streaming.main(
+        seed=args.seed, collector=collector
+    ),
     "claims": lambda args, collector=None: claims.main(),
     "ablations": lambda args, collector=None: ablations.main(),
     "extensions": lambda args, collector=None: extensions.main(),
@@ -169,7 +183,7 @@ def main(argv: list[str] | None = None) -> int:
     collector = TraceCollector() if args.trace else None
     if args.experiment == "all":
         for name in (
-            "fig12", "fig13", "faults", "overload", "fleet",
+            "fig12", "fig13", "faults", "overload", "fleet", "streaming",
             "claims", "ablations", "extensions",
         ):
             print(f"\n### {name} " + "#" * (60 - len(name)))

@@ -194,6 +194,15 @@ class LocalServerAdapter:
     def wait_completion(self, agent_id: str):
         return self.server.completion_event(agent_id)
 
+    def hop_progress(self, agent_id: str) -> Optional[tuple[int, int]]:
+        """Optional adapter hook: ``(visited, remaining)`` hop counts.
+
+        The gateway probes this (via ``getattr``) to annotate "result not
+        ready" answers with itinerary progress; remote-MAS adapters may
+        simply not provide it.
+        """
+        return self.server.hop_progress_of(agent_id)
+
     def result_of(self, agent_id: str) -> Any:
         return self.server.result_of(agent_id)
 

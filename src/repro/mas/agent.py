@@ -181,6 +181,17 @@ class AgentContext:
         """Append a stop — agents may re-plan from discovered context."""
         self._agent.itinerary.append(Stop(address, task))
 
+    def report_partial(self, value: Any) -> None:
+        """Report this hop's site result to the origin gateway (streaming).
+
+        Fire-and-forget and free when the deployment has streaming
+        sessions off; with them on, the home gateway appends ``value`` to
+        the dispatching ticket's partial stream so the device's next
+        session poll sees it — the first-hop answer in ~one RTT instead
+        of a full tour later.
+        """
+        self._server.report_hop_result(self._agent, value)
+
     # -- communication ------------------------------------------------------------
     def ask_service(self, service_name: str, request: dict) -> Generator:
         """Process: query a stationary service agent on the *current* host.

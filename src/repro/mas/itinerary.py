@@ -71,15 +71,21 @@ class Itinerary:
         self.cursor += 1
 
     def rewind(self, n: int = 1) -> None:
-        """Move the cursor back ``n`` stops (bounded at 0).
+        """Move the cursor back ``n`` stops.
 
         Used by checkpoint re-dispatch under the "retry" site-failure
         policy: the re-landed agent visits the failed stop again instead
-        of skipping its work.
+        of skipping its work.  Rewinding past the first visited stop is a
+        caller bug (it would silently re-plan the whole tour), so ``n``
+        must satisfy ``0 <= n <= cursor``.
         """
         if n < 0:
             raise ValueError(f"cannot rewind by {n!r}")
-        self.cursor = max(0, self.cursor - n)
+        if n > self.cursor:
+            raise ValueError(
+                f"cannot rewind {n} stop(s): only {self.cursor} visited"
+            )
+        self.cursor -= n
 
     def remaining(self) -> list[Stop]:
         return list(self.stops[self.cursor :])

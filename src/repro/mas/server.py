@@ -126,6 +126,11 @@ class MobileAgentServer:
     #: the sender's dispatch-retry machinery backs off and re-attempts —
     #: the MAS-tier twin of the gateway's 503 shed.  0 disables the bound.
     transfer_intake_limit: int = 16
+    #: Streaming sessions: when True, :meth:`report_hop_result` posts each
+    #: hop's site result to the agent's home gateway so a device poll can
+    #: stream partials.  Installed per deployment (off by default — a
+    #: store-and-forward deployment generates no extra traffic).
+    hop_reports_enabled: bool = False
 
     def __init__(
         self,
@@ -984,6 +989,76 @@ class MobileAgentServer:
                 proc.interrupt("management-preempt")
             except RuntimeError:  # terminated in this very tick
                 pass
+
+    # ------------------------------------------------------------ hop reports
+    def report_hop_result(self, agent: MobileAgent, value: Any) -> None:
+        """Streaming sessions: report this hop's site result home.
+
+        Fire-and-forget — the tour never waits on (or fails with) the
+        report; the final result document is authoritative either way.
+        No-op unless the deployment enabled :attr:`hop_reports_enabled`,
+        so store-and-forward runs are byte-identical to before.
+        """
+        if not self.hop_reports_enabled:
+            return
+        from ..xmlcodec import Element, write_bytes
+        from .serializer import value_to_xml
+
+        doc = Element(
+            "hopreport", {"agent": agent.agent_id, "site": self.address}
+        )
+        doc.text = write_bytes(value_to_xml(value)).decode("utf-8")
+        self.sim.process(
+            self._post_hop_report(
+                agent.home, write_bytes(doc), agent.trace_ctx
+            ),
+            name=f"mas-hopreport:{agent.agent_id}",
+        )
+
+    def _post_hop_report(self, home: str, body: bytes, trace) -> Generator:
+        """Process: one ``POST /session/partial`` to the home gateway."""
+        from ..core.gateway import GATEWAY_PORT
+        from ..simnet.http import request as http_request
+
+        headers = trace.to_headers() if trace is not None else None
+        try:
+            yield from http_request(
+                self.network,
+                self.address,
+                home,
+                "POST",
+                "/session/partial",
+                body=body,
+                body_size=len(body),
+                port=GATEWAY_PORT,
+                purpose="hop-report",
+                raise_for_status=False,
+                headers=headers,
+            )
+        except (TransportError, NoRouteError, ConnectionClosed):
+            # Lost report (crashed gateway, cut link): the stream simply
+            # misses this hop until the final document arrives.
+            self.network.tracer.count("hop_reports_lost")
+
+    def hop_progress_of(self, agent_id: str) -> Optional[tuple[int, int]]:
+        """``(visited, remaining)`` itinerary counts for an agent, or None.
+
+        Answers from the resident agent when it is here, else from the
+        latest home-side checkpoint (homes track their travellers).  Used
+        by the gateway to annotate "result not ready" answers so devices
+        can poll adaptively.
+        """
+        agent = self._agents.get(agent_id)
+        itinerary = agent.itinerary if agent is not None else None
+        if itinerary is None:
+            entry = self._checkpoints.get(agent_id)
+            if entry is None:
+                return None
+            try:
+                itinerary = self.wire_format.decode(entry[0]).itinerary
+            except MigrationError:
+                return None
+        return itinerary.cursor, len(itinerary.remaining())
 
     # ------------------------------------------------------------ remote control
     def _send_control(self, destination: str, payload: dict, size: int) -> Generator:

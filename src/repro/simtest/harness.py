@@ -81,6 +81,8 @@ class TaskOutcome:
     finished_at: float = -1.0
     burst: bool = False
     injected: bool = False
+    #: Task rode the streaming session layer (chunked upload + poll).
+    session: bool = False
 
 
 @dataclass
@@ -127,13 +129,21 @@ def _config_for(spec: ScenarioSpec) -> PDAgentConfig:
     Fleet specs additionally turn on the fleet tier with sqlite-backed
     durable stores and a dedup TTL; non-fleet specs keep the exact pre-fleet
     configuration so their timelines (and stored artifacts) stay stable.
+    Streaming specs likewise turn on the session layer — with chunks small
+    enough that a generated mid-upload LinkDown really lands between
+    chunks, exercising resume rather than a single-exchange retry.
     """
-    fleet_knobs: dict[str, Any] = {}
+    extra_knobs: dict[str, Any] = {}
     if spec.fleet:
-        fleet_knobs = dict(
+        extra_knobs.update(
             fleet_enabled=True,
             storage_backend="sqlite",
             dedup_ttl_s=300.0,
+        )
+    if spec.streaming:
+        extra_knobs.update(
+            session_enabled=True,
+            session_chunk_bytes=256,
         )
     return PDAgentConfig(
         selection_policy="first",
@@ -143,7 +153,7 @@ def _config_for(spec: ScenarioSpec) -> PDAgentConfig:
         admission_queue_limit=3,
         breaker_cooldown_s=10.0,
         dedup_enabled=not spec.inject_double_dispatch,
-        **fleet_knobs,
+        **extra_knobs,
     )
 
 
@@ -269,6 +279,9 @@ class _Harness:
         #: First task_id issued per device — resolves symbolic
         #: ``owner:<device>`` crash targets against the fleet hash ring.
         self._first_task_id: dict[str, str] = {}
+        #: Every (device, DeviceSession) a streaming task created — the
+        #: session invariants audit these ledgers against the gateways.
+        self.sessions: list[tuple[str, Any]] = []
 
     # -- fleet-aware ticket addressing ------------------------------------
     def _ticket_home(self, fallback: str, ticket_id: str) -> str:
@@ -311,6 +324,7 @@ class _Harness:
         start: float,
         deploy_twice: bool = False,
         roam_retry: bool = False,
+        session: bool = False,
     ) -> Generator:
         platform = self.deployment.platform(outcome.device)
         yield self.sim.timeout(start)
@@ -322,13 +336,26 @@ class _Harness:
             if not platform.is_subscribed(service):
                 yield from platform.subscribe(service, gateway=gateway)
             handle = None
+            dispatch = None
             last: Optional[Exception] = None
             for attempt in range(DEPLOY_ATTEMPTS):
                 try:
-                    handle = yield from platform.deploy(
-                        service, params, stops=stops, gateway=gateway,
-                        task_id=task_id,
-                    )
+                    if session:
+                        # Streaming path: chunked resumable upload; the
+                        # session then serves the collect below.
+                        dispatch = yield from platform.deploy_streaming(
+                            service, params, stops=stops, gateway=gateway,
+                            task_id=task_id,
+                        )
+                        handle = dispatch.handle
+                        self.sessions.append(
+                            (outcome.device, dispatch.session)
+                        )
+                    else:
+                        handle = yield from platform.deploy(
+                            service, params, stops=stops, gateway=gateway,
+                            task_id=task_id,
+                        )
                     self._birth(handle)
                     if deploy_twice and attempt == 0:
                         # The deliberate exactly-once violation: re-deploy
@@ -375,7 +402,15 @@ class _Harness:
             last = None
             for _ in range(COLLECT_ATTEMPTS):
                 try:
-                    result = yield from platform.collect(handle)
+                    if dispatch is not None:
+                        # Streaming collect: session polls (draining the
+                        # partial stream and push events) gate the final
+                        # download, which stays byte-identical to collect().
+                        result = yield from platform.collect_streaming(
+                            dispatch
+                        )
+                    else:
+                        result = yield from platform.collect(handle)
                     outcome.ok = result.status in ("completed", "retracted")
                     if not outcome.ok:
                         outcome.detail = f"result:{result.status}"
@@ -386,6 +421,13 @@ class _Harness:
                     last = exc
                 yield self.sim.timeout(COLLECT_RETRY_WAIT_S)
             outcome.detail = f"collect:{type(last).__name__}"
+            if dispatch is not None:
+                # Best-effort leak hygiene: a task that gave up on its
+                # result must still release the gateway-side session.
+                try:
+                    yield from dispatch.session.close()
+                except PDAgentError:
+                    pass
         except GatewayOverloadedError:
             outcome.detail = "shed:GatewayOverloadedError"
         except PDAgentError as exc:
@@ -396,12 +438,15 @@ class _Harness:
             outcome.finished_at = self.sim.now
 
     def _user_task(self, dev: DeviceSpec, spec_task: TaskSpec) -> Generator:
-        outcome = TaskOutcome(device=dev.name, app=spec_task.app)
+        outcome = TaskOutcome(
+            device=dev.name, app=spec_task.app, session=spec_task.session
+        )
         self.outcomes.append(outcome)
         service, params, stops = _task_params(spec_task)
         yield from self._drive(
             outcome, service, params, stops, dev.pinned_gateway, spec_task.start,
             roam_retry=spec_task.roam_retry,
+            session=spec_task.session,
         )
 
     def _burst_task(self, k: int) -> Generator:
@@ -513,6 +558,7 @@ def run_spec(spec: ScenarioSpec) -> RunReport:
         outcomes=harness.outcomes,
         issued_task_ids=harness.issued_task_ids,
         ticket_births=harness.ticket_births,
+        sessions=harness.sessions,
     )
     violations = check_all(ctx)
 

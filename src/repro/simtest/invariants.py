@@ -38,6 +38,14 @@ telemetry, the tracer's fault ledger, the kernel calendar — and returns
     byte; admission queues and worker pools are empty; no connection is
     still open and no MAS agent is still running once the calendar drains
     (quiet runs; chaos runs may legitimately strand both).
+``session-stream``
+    The streaming session layer's three safety claims: no assembled frame
+    ever failed its digest check; every device's accumulated partial list
+    is seq-contiguous and a prefix of the gateway's authoritative stream
+    for the ticket; committed sessions point at real tickets; and in quiet
+    runs no session record survives quiescence (a chaos run may strand a
+    session whose device gave up mid-outage — the TTL reaps it on the next
+    contact, which a drained calendar never delivers).
 ``quiescence``
     The calendar truly drained before the horizon — anything still
     scheduled at the end of a run is a wedged process.
@@ -99,6 +107,9 @@ class RunContext:
     outcomes: list["TaskOutcome"]
     issued_task_ids: set[str]
     ticket_births: list[tuple[str, str]] = field(default_factory=list)
+    #: (device, DeviceSession) pairs streaming tasks drove — audited
+    #: against the gateway-side partial streams and session stores.
+    sessions: list[tuple[str, object]] = field(default_factory=list)
 
     @property
     def sim(self):
@@ -378,7 +389,7 @@ def check_leak_freedom(ctx: RunContext) -> Iterable[Violation]:
                 f"!= sum of tracked allocations {held_total}",
                 subject=gw_addr,
             )
-        for cls in ("upload", "download"):
+        for cls in ("upload", "download", "session"):
             depth = gateway.admission.queue_depth(cls)
             inflight = gateway.admission.inflight(cls)
             if depth or inflight:
@@ -409,6 +420,84 @@ def check_leak_freedom(ctx: RunContext) -> Iterable[Violation]:
                     )
 
 
+def check_session_stream(ctx: RunContext) -> Iterable[Violation]:
+    """Streaming sessions: frames intact, partial prefixes, no leaked records.
+
+    The per-device ledger checks are pure reads of :class:`DeviceSession`
+    attributes; the prefix comparison runs only where it is meaningful —
+    the device's last-seen stream epoch must match the gateway's (a device
+    that never re-polled after a restart legitimately holds a stale copy),
+    and a gateway stream reclaimed with an expired/disposed result document
+    excuses a shorter authoritative list.
+    """
+    mismatches = ctx.tracer.counters.get("gateway.session_digest_mismatch", 0)
+    if mismatches:
+        yield Violation(
+            "session-stream",
+            f"{mismatches} assembled frame(s) failed the digest check "
+            "(chunked reassembly corrupted an upload)",
+        )
+    all_tickets = {
+        t.ticket_id: t
+        for gateway in ctx.deployment.gateways.values()
+        for t in gateway.tickets()
+    }
+    for device, session in ctx.sessions:
+        seqs = [p["seq"] for p in session.partials]
+        if seqs != list(range(1, len(seqs) + 1)):
+            yield Violation(
+                "session-stream",
+                f"device partial stream is not seq-contiguous from 1: {seqs}",
+                subject=device,
+            )
+        if not session.ticket_id:
+            continue
+        if session.ticket_id not in all_tickets:
+            yield Violation(
+                "session-stream",
+                f"committed session {session.session_id or '<closed>'} points "
+                f"at a ticket {session.ticket_id} no gateway holds",
+                subject=device,
+            )
+            continue
+        gateway = ctx.deployment.gateways.get(session.gateway)
+        if gateway is None or gateway.crash_epoch != session.epoch:
+            continue
+        mine = [(p["seq"], p["site"], p["payload"]) for p in session.partials]
+        stream = [
+            (p["seq"], p["site"], p["payload"])
+            for p in gateway.storage.sessions.partials(session.ticket_id)
+        ]
+        if len(stream) < len(mine):
+            ticket = all_tickets[session.ticket_id]
+            if ticket.result_frame is not None:
+                yield Violation(
+                    "session-stream",
+                    f"device holds {len(mine)} partial(s) for ticket "
+                    f"{session.ticket_id} but the gateway stream has only "
+                    f"{len(stream)} with the result document still live",
+                    subject=device,
+                )
+            continue  # stream reclaimed with the result document
+        if stream[: len(mine)] != mine:
+            yield Violation(
+                "session-stream",
+                f"device partials diverge from the gateway stream for ticket "
+                f"{session.ticket_id} (must be a prefix)",
+                subject=device,
+            )
+    if not ctx.fault_active:
+        for gw_addr, gateway in ctx.deployment.gateways.items():
+            leaked = gateway.sessions.open_sessions()
+            if leaked:
+                yield Violation(
+                    "session-stream",
+                    f"{len(leaked)} session record(s) survive quiescence in "
+                    f"a quiet run: {sorted(r.session_id for r in leaked)}",
+                    subject=gw_addr,
+                )
+
+
 def check_quiescence(ctx: RunContext) -> Iterable[Violation]:
     """The run must end because it finished, not because time ran out."""
     pending = ctx.sim.peek()
@@ -430,6 +519,7 @@ INVARIANTS = {
     "clock-monotonic": check_clock_monotonic,
     "rng-isolation": check_rng_isolation,
     "leak-freedom": check_leak_freedom,
+    "session-stream": check_session_stream,
     "quiescence": check_quiescence,
 }
 

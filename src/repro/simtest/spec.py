@@ -71,6 +71,10 @@ class TaskSpec:
     #: *different* gateway (a roaming device retrying an upload) and collect
     #: through the second gateway — the collect-anywhere path.
     roam_retry: bool = False
+    #: Streaming scenarios: upload the PI over a chunked resumable session
+    #: and collect via session polls (partial results + push events) instead
+    #: of the store-and-forward verbs.
+    session: bool = False
 
     def __post_init__(self) -> None:
         if self.app not in APPS:
@@ -181,6 +185,11 @@ class ScenarioSpec:
         """No fault/crash/overload activity: every task must succeed."""
         return not self.faults and not self.crashes and self.burst is None
 
+    @property
+    def streaming(self) -> bool:
+        """At least one task rides the streaming session layer."""
+        return any(t.session for d in self.devices for t in d.tasks)
+
     def describe(self) -> str:
         n_tasks = sum(len(d.tasks) for d in self.devices)
         bits = [
@@ -196,6 +205,11 @@ class ScenarioSpec:
                 1 for d in self.devices for t in d.tasks if t.roam_retry
             )
             bits.append(f"fleet tier ({n_roam} roaming retr{'y' if n_roam == 1 else 'ies'})")
+        if self.streaming:
+            n_stream = sum(
+                1 for d in self.devices for t in d.tasks if t.session
+            )
+            bits.append(f"{n_stream} streaming session(s)")
         if self.burst is not None:
             bits.append(f"burst of {self.burst.n_tasks} at {self.burst.gateway}")
         if self.inject_double_dispatch:
@@ -386,6 +400,45 @@ def generate(seed: int) -> ScenarioSpec:
                     gateway=f"owner:{victim}",
                     at=_round(fleet_stream.uniform(10.0, 60.0)),
                     down_for=_round(fleet_stream.uniform(3.0, 8.0)),
+                )
+            )
+
+    # Streaming sessions: again a dedicated stream appended after every
+    # earlier aspect, so turning the layer on reshuffles nothing that came
+    # before (old seeds keep their old scenarios).
+    session_stream = streams.get("simtest:session")
+    if session_stream.bernoulli(0.4):
+        devices = [
+            replace(
+                dev,
+                tasks=tuple(
+                    replace(task, session=True)
+                    if not task.roam_retry and session_stream.bernoulli(0.6)
+                    else task
+                    for task in dev.tasks
+                ),
+            )
+            for dev in devices
+        ]
+        streaming_tasks = [
+            (dev, task)
+            for dev in devices
+            for task in dev.tasks
+            if task.session
+        ]
+        if streaming_tasks and session_stream.bernoulli(0.6):
+            # Cut the session device's AP uplink just after its task starts
+            # so the LinkDown lands mid-upload (or mid-partial-stream) —
+            # the resume handshake and cursor resync are what's under test.
+            dev, task = streaming_tasks[
+                session_stream.randint(0, len(streaming_tasks) - 1)
+            ]
+            faults.append(
+                FaultSpec(
+                    kind="link-down",
+                    target=f"ap:{dev.ap}",
+                    at=_round(task.start + session_stream.uniform(0.05, 2.0)),
+                    duration=_round(session_stream.uniform(2.0, 8.0)),
                 )
             )
 

@@ -187,3 +187,66 @@ class TestItinerary:
             Itinerary(origin="")
         with pytest.raises(ValueError):
             Itinerary(origin="gw", stops=[], cursor=5)
+
+    def test_rewind_bounds(self):
+        it = Itinerary(origin="gw", stops=[Stop("a"), Stop("b")], cursor=2)
+        it.rewind()
+        assert it.cursor == 1
+        it.rewind(0)
+        assert it.cursor == 1
+        with pytest.raises(ValueError):
+            it.rewind(-1)
+        # Rewinding past the visited count must raise, not silently clamp:
+        # a guardian that over-rewinds would re-run the whole tour.
+        with pytest.raises(ValueError):
+            it.rewind(2)
+        assert it.cursor == 1  # unchanged by the rejected call
+
+
+_stops = st.lists(
+    st.builds(
+        Stop,
+        address=st.text(
+            st.characters(codec="utf-8", exclude_characters="\x00"),
+            min_size=1, max_size=12,
+        ),
+        task=st.text(max_size=8),
+    ),
+    max_size=6,
+)
+
+
+class TestItineraryProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(stops=_stops, data=st.data())
+    def test_dict_round_trip_preserves_stops_and_cursor(self, stops, data):
+        cursor = data.draw(st.integers(min_value=0, max_value=len(stops)))
+        it = Itinerary(origin="gw", stops=stops, cursor=cursor)
+        back = Itinerary.from_dict(it.to_dict())
+        assert back.origin == it.origin
+        assert back.cursor == it.cursor
+        assert back.stops == it.stops
+        assert [s.address for s in back.remaining()] == [
+            s.address for s in it.remaining()
+        ]
+
+    @settings(max_examples=100, deadline=None)
+    @given(stops=_stops, data=st.data())
+    def test_rewind_inverts_advance(self, stops, data):
+        cursor = data.draw(st.integers(min_value=0, max_value=len(stops)))
+        it = Itinerary(origin="gw", stops=stops, cursor=cursor)
+        n = data.draw(st.integers(min_value=0, max_value=cursor))
+        it.rewind(n)
+        assert it.cursor == cursor - n
+        for _ in range(n):
+            it.advance()
+        assert it.cursor == cursor
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        address=st.text(min_size=1, max_size=20),
+        task=st.text(max_size=20),
+    )
+    def test_stop_dict_round_trip(self, address, task):
+        stop = Stop(address=address, task=task)
+        assert Stop.from_dict(stop.to_dict()) == stop

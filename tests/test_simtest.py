@@ -77,6 +77,39 @@ class TestSwarm:
         assert [o.detail for o in first.outcomes] == [o.detail for o in second.outcomes]
 
 
+class TestStreamingSessions:
+    def test_generator_emits_streaming_scenarios(self):
+        flagged = [s for s in range(40) if generate(s).streaming]
+        assert flagged, "no streaming scenario in the first 40 seeds"
+        # The session stream also injects mid-upload link flaps: at least
+        # one flagged seed must carry a fault aimed at an AP uplink.
+        assert any(
+            f.target.startswith("ap:")
+            for s in flagged
+            for f in generate(s).faults
+        )
+
+    def test_roam_retry_tasks_never_stream(self):
+        # Sessions are gateway-local; the roaming-retry path re-deploys at
+        # a different gateway, so the generator must never combine them.
+        for seed in range(60):
+            for dev in generate(seed).devices:
+                for task in dev.tasks:
+                    assert not (task.session and task.roam_retry)
+
+    def test_streaming_seed_runs_clean_with_session_outcomes(self):
+        spec = generate(1)
+        assert spec.streaming
+        report = run_spec(spec)
+        assert report.ok, report.summary()
+        assert any(o.session and o.ok for o in report.outcomes)
+
+    def test_streaming_replay_byte_identical(self):
+        spec = generate(2)
+        assert spec.streaming
+        assert run_spec(spec).jsonl == run_spec(spec).jsonl
+
+
 class TestInjection:
     def test_injection_fires_exactly_once_violation(self):
         spec = generate(1).with_(inject_double_dispatch=True)
@@ -113,6 +146,7 @@ class TestInvariantCatalogue:
             "clock-monotonic",
             "rng-isolation",
             "leak-freedom",
+            "session-stream",
             "quiescence",
         }
         assert expected == set(INVARIANTS)

@@ -1,0 +1,174 @@
+"""Dedicated coverage for :mod:`repro.core.subscription`.
+
+The catalogue/directory pair previously had only incidental coverage via
+the platform integration tests; this file pins down the publish/upgrade
+contract, the code XML wire form (including non-ASCII application names
+and empty parameter schemas), and the listener/subscriber fan-out the
+streaming push layer relies on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import SubscriptionError
+from repro.core.subscription import (
+    ServiceCatalog,
+    ServiceCode,
+    SubscriptionDirectory,
+    code_from_xml,
+    code_to_xml,
+)
+from repro.xmlcodec import parse_bytes, write_bytes
+
+
+def make_code(service="ebanking", version=1, **kw):
+    defaults = dict(
+        agent_class="EBankingAgent",
+        param_schema=("transactions",),
+        code_size=512,
+        description="test app",
+    )
+    defaults.update(kw)
+    return ServiceCode(service=service, version=version, **defaults)
+
+
+class TestCatalogPublish:
+    def test_publish_and_lookup(self):
+        catalog = ServiceCatalog()
+        code = make_code()
+        catalog.publish(code)
+        assert catalog.lookup("ebanking") is code
+        assert catalog.services() == ["ebanking"]
+
+    def test_duplicate_registration_same_version_refused(self):
+        catalog = ServiceCatalog()
+        catalog.publish(make_code(version=2))
+        with pytest.raises(SubscriptionError):
+            catalog.publish(make_code(version=2))
+
+    def test_downgrade_refused_upgrade_allowed(self):
+        catalog = ServiceCatalog()
+        catalog.publish(make_code(version=3))
+        with pytest.raises(SubscriptionError):
+            catalog.publish(make_code(version=2))
+        catalog.publish(make_code(version=4))
+        assert catalog.lookup("ebanking").version == 4
+
+    def test_refused_publish_keeps_existing_code(self):
+        catalog = ServiceCatalog()
+        original = make_code(version=2)
+        catalog.publish(original)
+        with pytest.raises(SubscriptionError):
+            catalog.publish(make_code(version=1))
+        assert catalog.lookup("ebanking") is original
+
+    def test_unknown_service_lookup_raises(self):
+        with pytest.raises(SubscriptionError):
+            ServiceCatalog().lookup("ghost")
+
+    def test_listeners_fire_per_publish_not_on_refusal(self):
+        catalog = ServiceCatalog()
+        seen = []
+        catalog.add_listener(lambda code: seen.append(code.version))
+        catalog.publish(make_code(version=1))
+        with pytest.raises(SubscriptionError):
+            catalog.publish(make_code(version=1))
+        catalog.publish(make_code(version=2))
+        assert seen == [1, 2]
+
+
+class TestCodeXml:
+    def roundtrip(self, code, code_id=""):
+        wire = write_bytes(code_to_xml(code, code_id))
+        return code_from_xml(parse_bytes(wire))
+
+    def test_round_trip_plain(self):
+        code = make_code()
+        back, code_id = self.roundtrip(code, "mac-000042")
+        assert back == code
+        assert code_id == "mac-000042"
+
+    def test_round_trip_non_ascii_names(self):
+        code = make_code(
+            service="電子銀行",
+            description="多банк — приложение ✓",
+        )
+        back, _ = self.roundtrip(code)
+        assert back.service == "電子銀行"
+        assert back.description == "多банк — приложение ✓"
+        assert back == code
+
+    def test_round_trip_empty_param_schema(self):
+        code = make_code(param_schema=())
+        back, code_id = self.roundtrip(code)
+        assert back.param_schema == ()
+        assert code_id == ""
+        assert back == code
+
+    def test_wrong_root_tag_rejected(self):
+        with pytest.raises(SubscriptionError):
+            code_from_xml(parse_bytes(b"<notcode version='1'/>"))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        service=st.text(
+            st.characters(codec="utf-8", exclude_categories=("Cc", "Cs", "Zl", "Zp")),
+            min_size=1,
+            max_size=16,
+        ),
+        version=st.integers(min_value=1, max_value=999),
+        params=st.lists(
+            st.text(
+                st.sampled_from("abcdefghij_"), min_size=1, max_size=8
+            ),
+            max_size=4,
+        ),
+        size=st.integers(min_value=0, max_value=2048),
+    )
+    def test_round_trip_property(self, service, version, params, size):
+        code = ServiceCode(
+            service=service,
+            version=version,
+            agent_class="Agent",
+            param_schema=tuple(params),
+            code_size=size,
+        )
+        back, _ = self.roundtrip(code)
+        assert back == code
+
+    def test_payload_is_deterministic_and_sized(self):
+        code = make_code(code_size=100)
+        assert len(code.payload()) == 100
+        assert code.payload() == code.payload()
+
+
+class TestDirectory:
+    def test_subscribe_mints_unique_ids(self):
+        directory = SubscriptionDirectory()
+        a = directory.subscribe("pda-1", make_code())
+        b = directory.subscribe("pda-2", make_code())
+        assert a.code_id != b.code_id
+        assert directory.lookup(a.code_id).device_id == "pda-1"
+        assert len(directory) == 2
+
+    def test_empty_device_id_refused(self):
+        with pytest.raises(SubscriptionError):
+            SubscriptionDirectory().subscribe("", make_code())
+
+    def test_subscribers_of_deduplicates_preserving_order(self):
+        directory = SubscriptionDirectory()
+        directory.subscribe("pda-1", make_code())
+        directory.subscribe("pda-2", make_code())
+        directory.subscribe("pda-1", make_code(version=2))  # re-subscribe
+        directory.subscribe("pda-3", make_code("other"))
+        assert directory.subscribers_of("ebanking") == ["pda-1", "pda-2"]
+        assert directory.subscribers_of("other") == ["pda-3"]
+        assert directory.subscribers_of("ghost") == []
+
+    def test_subscriptions_of_device(self):
+        directory = SubscriptionDirectory()
+        directory.subscribe("pda-1", make_code())
+        directory.subscribe("pda-1", make_code("other"))
+        services = {s.service for s in directory.subscriptions_of("pda-1")}
+        assert services == {"ebanking", "other"}
