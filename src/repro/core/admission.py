@@ -293,6 +293,13 @@ class DedupTable:
     def forget(self, task_id: str) -> None:
         self._by_task.pop(task_id, None)
 
+    def items(self) -> list[tuple[str, str, Optional[float]]]:
+        """Every binding as ``(task_id, ticket_id, expires_at)`` (drain scan)."""
+        return [
+            (task_id, ticket_id, expires_at)
+            for task_id, (ticket_id, expires_at) in sorted(self._by_task.items())
+        ]
+
     def clear(self) -> None:
         self._by_task.clear()
 

@@ -155,6 +155,22 @@ class PDAgentConfig:
     #: interval, at most this many times, then abandon.
     fleet_reconcile_interval_s: float = 5.0
     fleet_reconcile_attempts: int = 10
+    #: Failure detector: suspicion probe cadence, and how long a suspect
+    #: may stay silent before the shared view marks it ``down``.
+    fleet_heartbeat_interval_s: float = 1.0
+    fleet_suspicion_timeout_s: float = 6.0
+    #: Graceful drain: how long a draining gateway waits for in-flight
+    #: dispatches to finish before migrating whatever state it still owns.
+    fleet_drain_timeout_s: float = 30.0
+    #: Migration wire protocol: items per /fleet/migrate batch and send
+    #: attempts per batch (idempotent — a resend is first-wins at the
+    #: receiver, so retries are safe).
+    fleet_migrate_batch: int = 32
+    fleet_migrate_attempts: int = 3
+    #: Release retries before counting ``fleet.release_failed`` and letting
+    #: the stale owner binding age out via its TTL.
+    fleet_release_attempts: int = 3
+    fleet_release_retry_s: float = 2.0
 
     # --- streaming session layer ---------------------------------------------
     #: Device side: upload the PI through a resumable chunked session and
@@ -233,6 +249,20 @@ class PDAgentConfig:
             raise ValueError("fleet_reconcile_interval_s must be positive")
         if self.fleet_reconcile_attempts < 1:
             raise ValueError("fleet_reconcile_attempts must be >= 1")
+        if self.fleet_heartbeat_interval_s <= 0:
+            raise ValueError("fleet_heartbeat_interval_s must be positive")
+        if self.fleet_suspicion_timeout_s <= 0:
+            raise ValueError("fleet_suspicion_timeout_s must be positive")
+        if self.fleet_drain_timeout_s <= 0:
+            raise ValueError("fleet_drain_timeout_s must be positive")
+        if self.fleet_migrate_batch < 1:
+            raise ValueError("fleet_migrate_batch must be >= 1")
+        if self.fleet_migrate_attempts < 1:
+            raise ValueError("fleet_migrate_attempts must be >= 1")
+        if self.fleet_release_attempts < 1:
+            raise ValueError("fleet_release_attempts must be >= 1")
+        if self.fleet_release_retry_s <= 0:
+            raise ValueError("fleet_release_retry_s must be positive")
         if self.session_chunk_bytes < 64:
             raise ValueError("session_chunk_bytes must be >= 64")
         if self.gateway_session_workers < 1:

@@ -218,6 +218,10 @@ class DeploymentBuilder:
             )
             for gateway in self._gateways.values():
                 gateway.enable_fleet(fleet)
+            for platform in self._platforms.values():
+                # Health-aware selection: devices skip draining/down
+                # members and follow drain successor hints on collect.
+                platform.selector.membership = fleet.view
         return Deployment(
             fleet=fleet,
             network=self.network,

@@ -22,6 +22,7 @@ Internal components mirror the paper's Fig. 6 architecture:
 from __future__ import annotations
 
 import itertools
+import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Generator, Optional, Union
 
@@ -42,7 +43,14 @@ from .errors import (
     GatewayError,
     GatewayOverloadedError,
 )
-from .fleet import Fleet, FleetClient, claim_reply
+from .fleet import (
+    FLEET_HEARTBEAT_PATH,
+    FLEET_MIGRATE_PATH,
+    Fleet,
+    FleetClient,
+    claim_reply,
+    heartbeat_request,
+)
 from .packed_info import PIContent, unpack
 from .security import GatewaySecurity
 from .session import (
@@ -50,7 +58,7 @@ from .session import (
     HOPS_VISITED_HEADER,
     SessionManager,
 )
-from .storage import GatewayStorage, make_storage
+from .storage import GatewayStorage, SessionRecord, make_storage
 from .subscription import ServiceCatalog, SubscriptionDirectory, code_to_xml
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -316,7 +324,9 @@ class AgentDispatchHandler:
                     gw._supersede_ticket(ticket, winner)
                     dispatch_span.end(status="superseded")
                     return winner, winner_agent
-                if verdict == "unreachable":
+                if verdict == "handoff":
+                    gw._handoff_accept(content.task_id, ticket)
+                elif verdict == "unreachable":
                     gw._local_accept(content.task_id, ticket)
             gw.file_directory.allocate(
                 ticket.ticket_id, len(content.code_body) + 2048
@@ -414,6 +424,18 @@ class Gateway:
         self.fleet_client: Optional[FleetClient] = None
         #: Locally-accepted task claims awaiting owner reconciliation.
         self._unreconciled: dict[str, str] = {}
+        #: Graceful departure: while True, new uploads are refused with a
+        #: structured 503 naming the ring successor.
+        self.draining = False
+        #: Items a completed drain knowingly left behind (dispatch
+        #: stragglers, unacked batches) — audited by the simtest swarm.
+        self.drain_leftover: frozenset[str] = frozenset()
+        #: Hinted handoff — claims this gateway arbitrated on behalf of a
+        #: suspected-down owner: ``task_id -> (ticket_id, owner)``, replayed
+        #: at the owner when it answers heartbeats again.
+        self._handoff_hints: dict[str, tuple[str, str]] = {}
+        #: Members with a suspicion probe in flight (one probe per suspect).
+        self._probing: set[str] = set()
         self._adopt_recovered_tickets()
         #: Bounded, classed intake.  "upload" is the expensive agent-dispatch
         #: class; "download" the cheap result/agent-op class with its own
@@ -474,6 +496,8 @@ class Gateway:
         self.http.route("/status", self._handle_status)
         self.http.route("/fleet/claim", self._handle_fleet_claim)
         self.http.route("/fleet/release", self._handle_fleet_release)
+        self.http.route("/fleet/heartbeat", self._handle_fleet_heartbeat)
+        self.http.route("/fleet/migrate", self._handle_fleet_migrate)
         self.http.route("/session/", self._handle_session)
 
     # ------------------------------------------------------------ plumbing
@@ -505,6 +529,7 @@ class Gateway:
         """Join ``fleet``: consistent-hash task ownership + claim forwarding."""
         self.fleet = fleet
         self.fleet_client = FleetClient(self, fleet)
+        fleet.view.add_listener(self._on_epoch_change)
 
     def _new_ticket(self, content: PIContent) -> Ticket:
         ticket = Ticket(
@@ -604,6 +629,15 @@ class Gateway:
                 self.file_directory.release(ticket_id)
         if self.node.crashed:
             self.node.resume_listeners()
+        self.draining = False
+        if self.fleet is not None:
+            # Rejoining after a detected failure (or a completed drain) is a
+            # ring event: a new epoch, so stale claims get re-answered and
+            # peers rebalance this member's key range back to it.
+            view = self.fleet.view
+            if view.state(self.address) != "active":
+                view.rejoin(self.address)
+            view.record_heartbeat(self.address, self.sim.now)
         self.network.tracer.count("gateway_restarts")
         return rebuilt
 
@@ -627,6 +661,8 @@ class Gateway:
         deployment is worth attempting.
         """
         yield self.sim.timeout(self.config.ticket_watchdog_s)
+        if self.storage.tickets.get(ticket.ticket_id) is not ticket:
+            return  # migrated away (drain/rebalance): no longer ours to fail
         if ticket.status != "dispatched":
             return
         error = {
@@ -684,6 +720,8 @@ class Gateway:
         ``dedup_ttl_s`` arms its expiry, bounding the index for long runs.
         """
         yield self.sim.timeout(self.config.result_ttl_s)
+        if self.storage.tickets.get(ticket.ticket_id) is not ticket:
+            return  # migrated away (drain/rebalance): the new home owns TTL
         if ticket.result_frame is None:
             return
         ticket.result_frame = None
@@ -887,6 +925,11 @@ class Gateway:
         existing = self._dedup_answer(task_id)
         if existing is not None:
             return self._dispatched_response(*existing)
+        if self.draining:
+            # Graceful departure: dedup answers above still serve (cheap,
+            # and the ticket may live elsewhere anyway), but no NEW work is
+            # admitted — the device is pointed at the ring successor.
+            return self._drain_response()
         try:
             admission = self.admission.try_admit("upload")
         except GatewayOverloadedError as exc:
@@ -932,6 +975,11 @@ class Gateway:
         if not self.config.session_enabled:
             return HttpResponse(404, reason="streaming sessions not enabled")
             yield  # pragma: no cover - unreachable; keeps handler a generator
+        if self.draining and req.path.startswith("/session/open"):
+            # New-session handshakes are new uploads: refuse with the
+            # successor hint.  In-flight session ops keep flowing so the
+            # drain can quiesce them.
+            return self._drain_response()
         arrived = self.sim.now
         tracer = self.network.tracer
         try:
@@ -995,13 +1043,34 @@ class Gateway:
                     # extra hop, so safe even on a relayed request).
                     resp = yield from self._follow_supersede(local)
                     return resp
+                origin, sep, _ = ticket_id.partition("/t-")
+                if (
+                    local is None
+                    and sep
+                    and origin == self.address
+                    and self.fleet is not None
+                ):
+                    # One of OUR ticket ids that we no longer hold: it was
+                    # migrated out during a drain.  The current ring
+                    # successor is the deterministic next home — relay even
+                    # on a hopped request (the successor answers locally or
+                    # 404s, so this terminates).
+                    successor = self.fleet.view.successor(self.address)
+                    if successor:
+                        resp = yield from self._relay_fetch(successor, ticket_id)
+                        return resp
                 if local is None and not hopped and self._foreign_fleet_ticket(
                     ticket_id
                 ):
                     # A fleet sibling minted this ticket: fetch from its
                     # origin instead of answering 404 to a roaming device.
-                    origin, _, _ = ticket_id.partition("/t-")
-                    resp = yield from self._relay_fetch(origin, ticket_id)
+                    # A non-active origin (draining/down) can't answer —
+                    # its migrated state lives at its ring successor.
+                    target = origin
+                    if self.fleet.view.state(origin) != "active":
+                        target = self.fleet.view.successor(origin) or origin
+                        self.network.tracer.count("fleet.collect_rerouted")
+                    resp = yield from self._relay_fetch(target, ticket_id)
                     return resp
                 return self._result_response(ticket_id)
             finally:
@@ -1236,6 +1305,28 @@ class Gateway:
             ticket_id = doc.require("ticket")
         except (XmlError, KeyError, TypeError) as exc:
             return HttpResponse(400, reason=str(exc))
+        view = self.fleet.view
+        claim_epoch = doc.get("epoch", "")
+        on_behalf_of = doc.get("for", "")
+        if claim_epoch and int(claim_epoch) != view.epoch:
+            # The claimant resolved ownership on a ring this fleet no
+            # longer runs: answering "granted"/"bound" would be a verdict
+            # from the wrong owner.  Send the new view; the claimant's next
+            # round re-resolves.
+            self.network.tracer.count("fleet.claims_stale")
+            body = claim_reply(
+                "stale", "", epoch=view.epoch, owner=view.owner(task_id)
+            )
+            return HttpResponse(200, body=body, body_size=len(body))
+        if on_behalf_of and view.owner_excluding(task_id, on_behalf_of) != self.address:
+            # Hinted handoff aimed at the wrong standby (the view moved
+            # under the claimant): refuse rather than arbitrate a task this
+            # gateway has no standing for.
+            self.network.tracer.count("fleet.claims_misdirected")
+            body = claim_reply(
+                "stale", "", epoch=view.epoch, owner=view.owner(task_id)
+            )
+            return HttpResponse(200, body=body, body_size=len(body))
         if not self.config.dedup_enabled:
             body = claim_reply("granted", ticket_id)
             return HttpResponse(200, body=body, body_size=len(body))
@@ -1249,10 +1340,18 @@ class Gateway:
                 else:
                     agent = local.agent_id
             self.network.tracer.count("fleet.claims_refused")
+            if on_behalf_of and task_id not in self._handoff_hints:
+                # Make sure the absent owner learns the winner on recovery
+                # even when the winning binding predates the handoff.
+                self._record_handoff_hint(task_id, existing, on_behalf_of)
             body = claim_reply("bound", existing, agent)
             return HttpResponse(200, body=body, body_size=len(body))
         self.dedup.bind(task_id, ticket_id)
         self.network.tracer.count("fleet.claims_granted")
+        if on_behalf_of:
+            # Standby grant: remember it for the owner's return, and start
+            # probing so recovery is noticed promptly.
+            self._record_handoff_hint(task_id, ticket_id, on_behalf_of)
         body = claim_reply("granted", ticket_id)
         return HttpResponse(200, body=body, body_size=len(body))
 
@@ -1266,10 +1365,569 @@ class Gateway:
             ticket_id = doc.require("ticket")
         except (XmlError, KeyError, TypeError) as exc:
             return HttpResponse(400, reason=str(exc))
-        if self.dedup.lookup(task_id) == ticket_id:
+        released = self.dedup.lookup(task_id) == ticket_id
+        if released:
             self.dedup.forget(task_id)
             self.network.tracer.count("fleet.claims_released")
-        return HttpResponse(200, body=b"", body_size=0)
+        body = write_bytes(
+            Element("releaseack", {"released": "1" if released else "0"})
+        )
+        return HttpResponse(200, body=body, body_size=len(body))
+
+    def _handle_fleet_heartbeat(self, req: HttpRequest) -> HttpResponse:
+        """Liveness probe: answering at all is the proof.
+
+        The ack carries this member's epoch and state; the probe sender
+        records the heartbeat in the shared view, which rejoins a
+        ``down`` member automatically.
+        """
+        if self.fleet is None:
+            return HttpResponse(404, reason="fleet tier not enabled")
+        try:
+            doc = parse_bytes(req.body)
+            sender = doc.require("from")
+        except (XmlError, KeyError, TypeError) as exc:
+            return HttpResponse(400, reason=str(exc))
+        view = self.fleet.view
+        if sender != self.address:
+            # Gossip both ways: hearing from a peer proves it lives too.
+            view.record_heartbeat(sender, self.sim.now)
+        ack = Element(
+            "heartbeatack",
+            {"epoch": str(view.epoch), "state": view.state(self.address)},
+        )
+        body = write_bytes(ack)
+        return HttpResponse(200, body=body, body_size=len(body))
+
+    def _handle_fleet_migrate(self, req: HttpRequest) -> HttpResponse:
+        """Receive a batch of migrated state (drain or rebalance).
+
+        Atomic and idempotent: every item applies first-wins through the
+        storage adapters, so a retried batch (the sender never saw the ack)
+        re-applies as a no-op and is re-acked.  The ack is the sender's
+        licence to drop its local copy.
+        """
+        if self.fleet is None:
+            return HttpResponse(404, reason="fleet tier not enabled")
+        try:
+            doc = parse_bytes(req.body)
+        except XmlError as exc:
+            return HttpResponse(400, reason=str(exc))
+        accepted = 0
+        for el in doc:
+            self._apply_migrated(el)
+            accepted += 1
+        self.network.tracer.count("fleet.migrated_in", accepted)
+        ack = Element(
+            "migrateack",
+            {"accepted": str(accepted), "epoch": str(self.fleet.view.epoch)},
+        )
+        body = write_bytes(ack)
+        return HttpResponse(200, body=body, body_size=len(body))
+
+    def _apply_migrated(self, el: Element) -> None:
+        if el.tag == "binding":
+            task_id = el.require("task")
+            ticket_id = el.require("ticket")
+            existing = self.dedup.lookup(task_id, self.sim.now)
+            if existing is None:
+                expires = el.get("expires", "")
+                self.dedup.bind(
+                    task_id, ticket_id, float(expires) if expires else None
+                )
+            elif existing != ticket_id:
+                self.network.tracer.count("fleet.migrate_conflicts")
+            return
+        if el.tag == "ticket":
+            ticket_id = el.require("id")
+            if self.storage.tickets.get(ticket_id) is not None:
+                return
+            downloaded = el.get("downloaded", "")
+            ticket = Ticket(
+                ticket_id=ticket_id,
+                agent_id=el.get("agent", ""),
+                device_id=el.get("device", ""),
+                service=el.get("service", ""),
+                status=el.get("status", "completed"),
+                created_at=float(el.get("created", "0")),
+                completed=Event(self.sim),
+                task_id=el.get("task", ""),
+                first_downloaded_at=float(downloaded) if downloaded else None,
+                superseded_by=el.get("superseded-by", ""),
+                children=[c for c in el.get("children", "").split(",") if c],
+            )
+            if ticket.status != "dispatched":
+                ticket.completed.succeed(ticket.status)
+            frame_hex = el.findtext("frame")
+            if frame_hex:
+                ticket.result_frame = bytes.fromhex(frame_hex)
+                self.storage.results.put(ticket.ticket_id, ticket.result_frame)
+                self.file_directory.allocate(
+                    ticket.ticket_id, len(ticket.result_frame)
+                )
+            self.storage.tickets.insert(ticket)
+            for child in el.findall("partial"):
+                if child.text:
+                    self.storage.sessions.append_partial(
+                        ticket.ticket_id, json.loads(child.text)
+                    )
+            if (
+                ticket.result_frame is not None
+                and ticket.first_downloaded_at is not None
+                and self.config.result_ttl_s > 0
+            ):
+                # The origin's TTL timer died with the migration; restart
+                # retention from arrival here.
+                self.sim.process(
+                    self._expire_result(ticket),
+                    name=f"gw-expire:{ticket.ticket_id}",
+                )
+            return
+        if el.tag == "session":
+            session_id = el.require("id")
+            if self.storage.sessions.get(session_id) is not None:
+                return
+            record = SessionRecord(
+                session_id=session_id,
+                device_id=el.get("device", ""),
+                task_id=el.get("task", ""),
+                total_bytes=int(el.get("total", "0")),
+                digest=el.get("digest", ""),
+                created_at=float(el.get("created", "0")),
+                last_contact=float(el.get("contact", "0")),
+                ticket_id=el.get("ticket", ""),
+            )
+            self.storage.sessions.create(record)
+            for child in el.findall("chunk"):
+                if child.text:
+                    self.storage.sessions.put_chunk(
+                        session_id,
+                        int(child.get("offset", "0")),
+                        bytes.fromhex(child.text),
+                    )
+
+    # ---------------------------------------------------- membership lifecycle
+    def _on_epoch_change(self, epoch: int, reason: str, member: str) -> None:
+        """Synchronous listener on the shared view: react to every bump.
+
+        Reconciliation re-runs (the new view may finally name a reachable
+        owner), recorded hints replay toward a rejoining member, and a join
+        triggers the rebalance sweep that moves the joiner's key range —
+        and any state parked with a stand-in — back where it belongs.
+        """
+        if self.node.crashed:
+            return
+        for task_id, ticket_id in list(self._unreconciled.items()):
+            ticket = self.storage.tickets.get(ticket_id)
+            if ticket is not None:
+                self.sim.process(
+                    self._reconcile_once(task_id, ticket),
+                    name=f"fleet-reconcile-epoch:{ticket_id}",
+                )
+        if reason == "join" and member != self.address:
+            self._replay_hints_for(member)
+            if not self.draining:
+                self.sim.process(
+                    self._rebalance_after_join(member),
+                    name=f"fleet-rebalance:{member}",
+                )
+
+    def _reconcile_once(self, task_id: str, ticket: Ticket) -> Generator:
+        """One immediate re-claim after an epoch change (vs the timed loop)."""
+        if self._unreconciled.get(task_id) != ticket.ticket_id:
+            return
+        verdict, winner, _agent = yield from self.fleet_client.claim(
+            task_id, ticket.ticket_id
+        )
+        if self._unreconciled.get(task_id) != ticket.ticket_id:
+            return  # raced the timed reconciler; it already settled
+        if verdict in ("granted", "local"):
+            self._unreconciled.pop(task_id, None)
+            self.network.tracer.count("fleet.reconciled")
+        elif verdict == "bound":
+            yield from self._supersede_with_retract(ticket, winner)
+            self.network.tracer.count("fleet.reconciled_superseded")
+
+    # -------------------------------------------------------- failure detector
+    def _suspect_member(self, member: str) -> None:
+        """Arm a suspicion probe for ``member`` (one at a time, bounded).
+
+        Called when a claim round fails against a member and when a handoff
+        hint is recorded.  Event-driven rather than a standing heartbeat
+        loop: quiescent simulations stay quiescent.
+        """
+        if self.fleet is None or member == self.address or self.node.crashed:
+            return
+        if self.fleet.view.state(member) != "active" or member in self._probing:
+            return
+        self._probing.add(member)
+        self.network.tracer.count("fleet.suspects")
+        self.sim.process(
+            self._probe_suspect(member), name=f"fleet-probe:{member}:{self.address}"
+        )
+
+    def _probe_suspect(self, member: str) -> Generator:
+        view = self.fleet.view
+        config = self.config
+        deadline = self.sim.now + config.fleet_suspicion_timeout_s
+        try:
+            while True:
+                if self.node.crashed or view.state(member) != "active":
+                    return
+                alive = yield from self._heartbeat_probe(member)
+                if alive:
+                    view.record_heartbeat(member, self.sim.now)
+                    self.network.tracer.count("fleet.suspicion_cleared")
+                    self._replay_hints_for(member)
+                    return
+                if self.sim.now >= deadline:
+                    self.network.tracer.count("fleet.marked_down")
+                    view.mark_down(member)
+                    return
+                yield self.sim.timeout(config.fleet_heartbeat_interval_s)
+        finally:
+            self._probing.discard(member)
+
+    def _heartbeat_probe(self, member: str) -> Generator:
+        """Process: one bounded heartbeat round-trip; True iff it answered."""
+        body = heartbeat_request(self.address, self.fleet.view.epoch)
+        rpc = self.sim.process(
+            self.fleet_client._rpc(
+                member, FLEET_HEARTBEAT_PATH, body, purpose="fleet-heartbeat"
+            ),
+            name=f"fleet-hb:{member}",
+        )
+        deadline = self.sim.timeout(self.config.fleet_heartbeat_interval_s)
+        fired = yield self.sim.any_of([rpc, deadline])
+        if rpc not in fired:
+            return False
+        ok, _payload = fired[rpc]
+        return ok
+
+    # ---------------------------------------------------------- hinted handoff
+    def _handoff_accept(self, task_id: str, ticket: Ticket) -> None:
+        """The owner's standby granted our claim: dispatch, but reconcile.
+
+        Unlike a blind local accept, a standby grant serialized concurrent
+        roaming retries of the task; the background reconciler still runs so
+        the real owner's verdict lands once it answers again.
+        """
+        self._unreconciled[task_id] = ticket.ticket_id
+        self.network.tracer.count("fleet.handoff_accepts")
+        self.sim.process(
+            self._reconcile(task_id, ticket),
+            name=f"fleet-reconcile:{ticket.ticket_id}",
+        )
+
+    def _record_handoff_hint(self, task_id: str, ticket_id: str, owner: str) -> None:
+        self._handoff_hints[task_id] = (ticket_id, owner)
+        self.network.tracer.count("fleet.hints_recorded")
+        self._suspect_member(owner)
+
+    def _replay_hints_for(self, member: str) -> None:
+        """Spawn a replay of every hint held on ``member``'s behalf."""
+        if self.node.crashed:
+            return
+        hints = [
+            (task_id, ticket_id)
+            for task_id, (ticket_id, owner) in sorted(self._handoff_hints.items())
+            if owner == member
+        ]
+        if hints:
+            self.sim.process(
+                self._replay_hints(member, hints),
+                name=f"fleet-hint-replay:{member}",
+            )
+
+    def _replay_hints(
+        self, member: str, hints: list[tuple[str, str]]
+    ) -> Generator:
+        for task_id, ticket_id in hints:
+            if self._handoff_hints.get(task_id) != (ticket_id, member):
+                continue  # superseded or replayed by a racing pass
+            outcome = yield from self.fleet_client.claim_at(
+                member, task_id, ticket_id
+            )
+            if outcome is None:
+                return  # gone again; the next recovery replays the rest
+            verdict, winner, _agent = outcome
+            if verdict == "stale":
+                continue  # view moved mid-replay; the next epoch retriggers
+            self._handoff_hints.pop(task_id, None)
+            if verdict == "bound" and winner != ticket_id:
+                # The owner knew a different winner all along (durable
+                # index): repoint locally; the hinted ticket's claimant
+                # reconciles itself against the owner.
+                self.network.tracer.count("fleet.hints_conflicted")
+                self.dedup.bind(task_id, winner)
+                local = self.storage.tickets.get(ticket_id)
+                if local is not None:
+                    yield from self._supersede_with_retract(local, winner)
+            else:
+                self.network.tracer.count("fleet.hints_replayed")
+
+    # ------------------------------------------------------------ drain protocol
+    def drain(self) -> Generator:
+        """Process: leave the ring gracefully, handing owned state onward.
+
+        1. Stop admitting new uploads (structured 503 + successor hint) and
+           leave the ring at a new epoch — claims re-resolve immediately.
+        2. Quiesce: wait (bounded) for in-flight dispatches to finalize.
+        3. Migrate dedup bindings to their ring owners and every ticket,
+           retained result, partial stream and upload session to the ring
+           successor over ``/fleet/migrate``.
+        4. Record the drain as complete.  Returns items migrated.
+        """
+        if self.fleet is None:
+            raise GatewayError("drain requires the fleet tier")
+        if self.draining:
+            return 0
+        self.draining = True
+        view = self.fleet.view
+        self.network.tracer.count("fleet.drains_started")
+        view.begin_drain(self.address)
+        deadline = self.sim.now + self.config.fleet_drain_timeout_s
+        while self.sim.now < deadline:
+            if not any(
+                t.status == "dispatched" for t in self.storage.tickets.values()
+            ):
+                break
+            yield self.sim.timeout(0.5)
+        migrated = yield from self._migrate_out()
+        # Declare what legitimately stayed behind (dispatch stragglers the
+        # quiesce window missed, batches whose ack never came): the swarm's
+        # drain-handoff invariant condemns anything held by a drained
+        # member that this ledger does not account for.
+        self.drain_leftover = frozenset(
+            [t.ticket_id for t in self.storage.tickets.values()]
+            + [r.session_id for r in self.storage.sessions.values()]
+            + [task_id for task_id, _, _ in self.dedup.items()]
+        )
+        view.finish_drain(self.address)
+        self.network.tracer.count("fleet.drains_completed")
+        return migrated
+
+    def _migrate_out(self) -> Generator:
+        """Process: push every owned item to its post-drain home, batched."""
+        view = self.fleet.view
+        per_dest: dict[str, list[Element]] = {}
+        for task_id, ticket_id, expires_at in self.dedup.items():
+            dest = view.owner(task_id)
+            if not dest or dest == self.address:
+                continue
+            el = Element("binding", {"task": task_id, "ticket": ticket_id})
+            if expires_at is not None:
+                el.set("expires", repr(expires_at))
+            per_dest.setdefault(dest, []).append(el)
+        successor = view.successor(self.address)
+        if successor:
+            for ticket in self.storage.tickets.values():
+                if ticket.status == "dispatched":
+                    # Still owned by a live agent; the watchdog covers
+                    # stragglers the quiesce window missed.
+                    continue
+                per_dest.setdefault(successor, []).append(
+                    self._ticket_element(ticket)
+                )
+            for record in self.storage.sessions.values():
+                per_dest.setdefault(successor, []).append(
+                    self._session_element(record)
+                )
+        migrated = 0
+        batch_size = self.config.fleet_migrate_batch
+        for dest in sorted(per_dest):
+            elements = per_dest[dest]
+            for start in range(0, len(elements), batch_size):
+                chunk = elements[start : start + batch_size]
+                sent = yield from self._send_migrate_batch(dest, chunk)
+                if sent:
+                    migrated += len(chunk)
+        return migrated
+
+    def _send_migrate_batch(
+        self, dest: str, elements: list[Element]
+    ) -> Generator:
+        """Process: one batch with bounded retries; commit on ack.
+
+        Uncommitted items stay local — the drain is resumable: re-running
+        it resends them, and first-wins application makes the resend safe.
+        """
+        doc = Element(
+            "migrate", {"from": self.address, "epoch": str(self.fleet.view.epoch)}
+        )
+        for el in elements:
+            doc.append(el)
+        body = write_bytes(doc)
+        attempts = self.config.fleet_migrate_attempts
+        for attempt in range(attempts):
+            ok, _payload = yield from self.fleet_client._rpc(
+                dest, FLEET_MIGRATE_PATH, body, purpose="fleet-migrate"
+            )
+            if ok:
+                for el in elements:
+                    self._migrate_commit(el)
+                self.network.tracer.count("fleet.migrated_out", len(elements))
+                return True
+            if attempt + 1 < attempts:
+                yield self.sim.timeout(1.0)
+        self.network.tracer.count("fleet.migrate_failed")
+        return False
+
+    def _migrate_commit(self, el: Element) -> None:
+        """The receiver acked ``el``: drop the local copy."""
+        if el.tag == "binding":
+            self.dedup.forget(el.get("task", ""))
+        elif el.tag == "ticket":
+            ticket_id = el.get("id", "")
+            self._unreconciled.pop(el.get("task", ""), None)
+            self.file_directory.release(ticket_id)
+            self.storage.results.drop(ticket_id)
+            self.storage.sessions.drop_partials(ticket_id)
+            self.storage.tickets.delete(ticket_id)
+        elif el.tag == "session":
+            self.storage.sessions.delete(el.get("id", ""))
+
+    def _ticket_element(self, ticket: Ticket) -> Element:
+        el = Element(
+            "ticket",
+            {
+                "id": ticket.ticket_id,
+                "agent": ticket.agent_id,
+                "device": ticket.device_id,
+                "service": ticket.service,
+                "status": ticket.status,
+                "created": repr(ticket.created_at),
+                "task": ticket.task_id,
+            },
+        )
+        if ticket.first_downloaded_at is not None:
+            el.set("downloaded", repr(ticket.first_downloaded_at))
+        if ticket.superseded_by:
+            el.set("superseded-by", ticket.superseded_by)
+        if ticket.children:
+            el.set("children", ",".join(ticket.children))
+        if ticket.result_frame is not None:
+            el.add("frame", text=ticket.result_frame.hex())
+        for entry in self.storage.sessions.partials(ticket.ticket_id):
+            el.add("partial", text=json.dumps(entry, sort_keys=True))
+        return el
+
+    def _session_element(self, record: SessionRecord) -> Element:
+        el = Element(
+            "session",
+            {
+                "id": record.session_id,
+                "device": record.device_id,
+                "task": record.task_id,
+                "total": str(record.total_bytes),
+                "digest": record.digest,
+                "created": repr(record.created_at),
+                "contact": repr(record.last_contact),
+                "ticket": record.ticket_id,
+            },
+        )
+        for offset, data in sorted(
+            self.storage.sessions.chunks(record.session_id).items()
+        ):
+            el.add("chunk", {"offset": str(offset)}, text=data.hex())
+        return el
+
+    def _drain_response(self) -> HttpResponse:
+        """Structured refusal while draining: 503 + the successor to use."""
+        successor = ""
+        if self.fleet is not None:
+            successor = self.fleet.view.successor(self.address)
+        self.network.tracer.count("gateway.drain_refusals")
+        retry_after = self.config.shed_retry_after_s
+        doc = Element(
+            "draining", {"successor": successor, "retry-after": f"{retry_after:g}"}
+        )
+        body = write_bytes(doc)
+        headers = {"Retry-After": f"{retry_after:g}"}
+        if successor:
+            headers["x-fleet-successor"] = successor
+        return HttpResponse(
+            503,
+            body=body,
+            body_size=len(body),
+            reason="gateway draining",
+            headers=headers,
+        )
+
+    # ------------------------------------------------------------- rebalancing
+    def _rebalance_after_join(self, member: str) -> Generator:
+        """Process: move state where the post-join ring says it belongs.
+
+        Two sweeps, both bounded by what this gateway actually holds:
+
+        * **Home sweep** — tickets and sessions minted by a now-active
+          origin (parked here by an earlier drain) are moved back, so
+          prefix-routed collects find them at the origin again.
+        * **Binding sweep** — dedup bindings whose ring owner is now the
+          joiner are *copied* to it (first-wins; the local copy stays), so
+          a claim for a task in the joiner's new range cannot be granted
+          blind.  This is the epoch-safe half of bounded key movement.
+        """
+        if self.fleet is None or self.draining or self.node.crashed:
+            return 0
+        view = self.fleet.view
+        per_dest: dict[str, list[Element]] = {}
+        moves: list[Element] = []
+        for ticket in self.storage.tickets.values():
+            origin, sep, _ = ticket.ticket_id.partition("/t-")
+            if (
+                sep
+                and origin != self.address
+                and view.state(origin) == "active"
+                and ticket.status != "dispatched"
+            ):
+                el = self._ticket_element(ticket)
+                per_dest.setdefault(origin, []).append(el)
+                moves.append(el)
+        for record in self.storage.sessions.values():
+            origin, sep, _ = record.session_id.partition("/s-")
+            if sep and origin != self.address and view.state(origin) == "active":
+                el = self._session_element(record)
+                per_dest.setdefault(origin, []).append(el)
+                moves.append(el)
+        copies: list[Element] = []
+        if member != self.address and view.state(member) == "active":
+            for task_id, ticket_id, expires_at in self.dedup.items():
+                if view.owner(task_id) != member:
+                    continue
+                el = Element("binding", {"task": task_id, "ticket": ticket_id})
+                if expires_at is not None:
+                    el.set("expires", repr(expires_at))
+                per_dest.setdefault(member, []).append(el)
+                copies.append(el)
+        moved = 0
+        move_ids = {id(el) for el in moves}
+        batch_size = self.config.fleet_migrate_batch
+        for dest in sorted(per_dest):
+            elements = per_dest[dest]
+            for start in range(0, len(elements), batch_size):
+                chunk = elements[start : start + batch_size]
+                doc = Element(
+                    "migrate",
+                    {"from": self.address, "epoch": str(view.epoch)},
+                )
+                for el in chunk:
+                    doc.append(el)
+                body = write_bytes(doc)
+                ok, _payload = yield from self.fleet_client._rpc(
+                    dest, FLEET_MIGRATE_PATH, body, purpose="fleet-rebalance"
+                )
+                if ok:
+                    for el in chunk:
+                        # Moves delete locally; binding copies stay (a
+                        # racing claim may still land here; first-wins at
+                        # the new owner keeps both consistent).
+                        if id(el) in move_ids:
+                            self._migrate_commit(el)
+                    moved += len(chunk)
+        if moved:
+            self.network.tracer.count("fleet.rebalanced", moved)
+        return moved
 
 
 def _op_reply(ticket: Ticket, state: str) -> bytes:

@@ -302,6 +302,18 @@ class NetworkManager:
                     yield sim.timeout(delay)
                     attempt += 1
                     continue
+                if resp.status == 503 and resp.headers.get("x-fleet-successor"):
+                    # Draining gateway: waiting out Retry-After and re-trying
+                    # the SAME gateway would spin until the deadline — it is
+                    # leaving, not busy.  Fail fast (breaker-neutral: the
+                    # refusal is deliberate) so the caller's failover
+                    # re-selects through the health-aware selector.
+                    self.network.tracer.count("device_drain_redirects")
+                    raise GatewayOverloadedError(
+                        f"{purpose} refused by draining {gateway} "
+                        f"(successor {resp.headers['x-fleet-successor']})",
+                        retry_after=resp.retry_after or 0.0,
+                    )
                 if resp.status == 503 and policy.honour_retry_after:
                     delay = resp.retry_after
                     if delay is None:

@@ -67,6 +67,10 @@ class GatewaySelector:
         self.config = config
         self.keyring = keyring
         self.breaker = breaker
+        #: Fleet membership view (installed at deployment build when the
+        #: fleet tier is on).  Members not in a healthy state are hard-
+        #: excluded from selection; ``None`` means no health signal.
+        self.membership = None
         self._entries: list[GatewayEntry] = []
         self._probes: dict[str, ProbeResult] = {}
         # Bumped by invalidate_probes(); probe sweeps that straddle a bump
@@ -199,6 +203,14 @@ class GatewaySelector:
         if not self._entries:
             yield from self.refresh_list()
         exclude = set(exclude or ())
+        if prefer is not None and not self._healthy(prefer):
+            # A draining/down origin cannot answer; its ring successor holds
+            # (or relays to) the migrated state — prefer that instead.
+            redirected = (
+                self.membership.successor(prefer) if self.membership else ""
+            )
+            self.network.tracer.count("select.prefer_redirected")
+            prefer = redirected or None
         skip, entries = self._candidates(exclude)
         if prefer is not None:
             for entry in entries:
@@ -245,8 +257,27 @@ class GatewaySelector:
             "back empty or invalidated (concurrent handovers/refreshes)"
         )
 
+    def _healthy(self, address: str) -> bool:
+        """False only when the membership view marks ``address`` unhealthy.
+
+        Unknown addresses (no view installed, or not a fleet member) are
+        healthy — absence of signal is not a verdict.
+        """
+        if self.membership is None:
+            return True
+        return self.membership.state(address) in ("", "active")
+
     def _candidates(self, exclude: set[str]) -> tuple[set[str], list[GatewayEntry]]:
-        """Current ``(skip, candidate entries)`` honouring breaker state."""
+        """Current ``(skip, candidate entries)`` honouring breaker + health.
+
+        Membership-unhealthy members (draining/down/joining) join the *hard*
+        exclude: unlike the heuristic breaker, the view is authoritative —
+        a draining gateway refuses every upload, so the all-breaker-open
+        fallback must never resurrect one.
+        """
+        exclude = exclude | {
+            e.address for e in self._entries if not self._healthy(e.address)
+        }
         skip = set(exclude)
         if self.breaker is not None:
             skip |= self.breaker.open_addresses()

@@ -138,6 +138,10 @@ class InMemoryTicketStore:
     def get(self, ticket_id: str) -> Optional["Ticket"]:
         return self._by_id.get(ticket_id)
 
+    def delete(self, ticket_id: str) -> None:
+        """Drop a ticket entirely (it migrated to another gateway)."""
+        self._by_id.pop(ticket_id, None)
+
     def values(self) -> list["Ticket"]:
         return list(self._by_id.values())
 
@@ -222,6 +226,11 @@ class SqliteTicketStore(InMemoryTicketStore):
         super().persist(ticket)
         self._write(ticket)
 
+    def delete(self, ticket_id: str) -> None:
+        super().delete(ticket_id)
+        self._conn.execute("DELETE FROM tickets WHERE ticket_id = ?", (ticket_id,))
+        self._conn.execute("DELETE FROM results WHERE ticket_id = ?", (ticket_id,))
+
 
 # ------------------------------------------------------------- dedup stores
 class SqliteDedupTable:
@@ -292,6 +301,15 @@ class SqliteDedupTable:
                 self.bind(ticket.task_id, ticket.ticket_id)
                 n += 1
         return n
+
+    def items(self) -> list[tuple[str, str, Optional[float]]]:
+        """Every binding as ``(task_id, ticket_id, expires_at)`` (drain scan)."""
+        return [
+            (row[0], row[1], row[2])
+            for row in self._conn.execute(
+                "SELECT task_id, ticket_id, expires_at FROM dedup ORDER BY task_id"
+            )
+        ]
 
     def __len__(self) -> int:
         return self._conn.execute("SELECT COUNT(*) FROM dedup").fetchone()[0]

@@ -9,6 +9,7 @@ Usage (installed as ``pdagent-experiments``)::
     pdagent-experiments overload     # dispatch storm: protected vs unprotected
     pdagent-experiments fleet        # roamed retries: fleet tier vs baseline
     pdagent-experiments streaming    # resumable sessions vs store-and-forward
+    pdagent-experiments churn        # rolling restart of every fleet member
     pdagent-experiments claims       # C1 code sizes, C2 footprint
     pdagent-experiments ablations    # A1-A4
     pdagent-experiments extensions   # E1-E4
@@ -35,6 +36,7 @@ import sys
 from ..telemetry.exporters import TraceCollector
 from . import (
     ablations,
+    churn,
     claims,
     extensions,
     faults,
@@ -48,7 +50,7 @@ from . import (
 __all__ = ["main"]
 
 #: Experiments whose runs are registered with the --trace collector.
-_TRACED = ("fig12", "fig13", "faults", "overload", "fleet", "streaming")
+_TRACED = ("fig12", "fig13", "faults", "overload", "fleet", "streaming", "churn")
 
 
 def _ns(args) -> tuple[int, ...]:
@@ -113,8 +115,27 @@ def _run_fleet(args, collector=None):
     return result
 
 
+def _run_churn(args, collector=None):
+    """Device-population sweep; --max-n caps the largest population."""
+    populations = churn.DEFAULT_POPULATIONS
+    if args.max_n:
+        populations = tuple(n for n in populations if n <= args.max_n) or (
+            args.max_n,
+        )
+    result = churn.main(
+        seed=args.seed, populations=populations, collector=collector
+    )
+    if args.csv:
+        path = os.path.join(args.csv, "churn.csv")
+        with open(path, "w") as fh:
+            fh.write(result.to_csv())
+        print(f"[csv] wrote {path}")
+    return result
+
+
 _EXPERIMENTS = {
     "fig12": _run_fig12,
+    "churn": _run_churn,
     "fig13": _run_fig13,
     "overload": _run_overload,
     "fleet": _run_fleet,
@@ -184,7 +205,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "all":
         for name in (
             "fig12", "fig13", "faults", "overload", "fleet", "streaming",
-            "claims", "ablations", "extensions",
+            "churn", "claims", "ablations", "extensions",
         ):
             print(f"\n### {name} " + "#" * (60 - len(name)))
             _EXPERIMENTS[name](args, collector=collector)

@@ -139,6 +139,12 @@ def _config_for(spec: ScenarioSpec) -> PDAgentConfig:
             fleet_enabled=True,
             storage_backend="sqlite",
             dedup_ttl_s=300.0,
+            # Membership lifecycle: tight deterministic timers so failure
+            # detection, drain quiesce, and rejoin all settle well inside
+            # the horizon even when a scenario stacks churn on faults.
+            fleet_heartbeat_interval_s=1.0,
+            fleet_suspicion_timeout_s=4.0,
+            fleet_drain_timeout_s=20.0,
         )
     if spec.streaming:
         extra_knobs.update(
@@ -520,6 +526,30 @@ class _Harness:
             "gateway-restart", target, detail=f"{rebuilt} dedup bindings rebuilt"
         )
 
+    def _gateway_drain(self, point) -> Generator:
+        """Drive one membership-churn event: drain, then optionally rejoin.
+
+        A member a concurrent crash point already took down is skipped —
+        the failure detector owns that departure; racing a graceful drain
+        against it would just re-enter through the restart path anyway.
+        """
+        tracer = self.deployment.network.tracer
+        yield self.sim.timeout(point.at)
+        gateway = self.deployment.gateway(point.gateway)
+        if gateway.node.crashed or gateway.draining:
+            return
+        migrated = yield from gateway.drain()
+        tracer.log_fault(
+            "gateway-drain", point.gateway,
+            detail=f"{migrated} item(s) handed off",
+        )
+        if point.down_for is None:
+            return  # left for good: the strictest drain-handoff audit
+        gateway.crash()
+        yield self.sim.timeout(point.down_for)
+        gateway.restart()
+        tracer.log_fault("gateway-rejoin", point.gateway)
+
     # -- launch ------------------------------------------------------------
     def launch(self) -> None:
         spec = self.spec
@@ -527,6 +557,10 @@ class _Harness:
         for point in spec.crashes:
             self.sim.process(
                 self._gateway_crash(point), name=f"simtest-crash:{point.gateway}"
+            )
+        for point in spec.drains:
+            self.sim.process(
+                self._gateway_drain(point), name=f"simtest-drain:{point.gateway}"
             )
         for dev in spec.devices:
             if dev.move_at is not None:

@@ -11,9 +11,25 @@ telemetry, the tracer's fault ledger, the kernel calendar — and returns
     gateway).
 ``fleet-exactly-once``
     Fleet runs tighten the cross-gateway clause: at most one live ticket
-    per ``task_id`` across the *whole* fleet at quiescence, fault activity
-    or not — claim forwarding plus the local-accept reconciler must always
-    converge on a single winner (losers end "superseded" or "failed").
+    *identity* per ``task_id`` across the whole fleet at quiescence, fault
+    and membership churn included — claim forwarding, hinted handoff and
+    the reconciler must always converge on a single winner (losers end
+    "superseded" or "failed").  A migration batch whose ack was lost may
+    leave the same ticket id resident on two members (at-least-once
+    transfer); two *distinct* live ids never.
+``epoch-monotonic``
+    Fleet runs: the shared membership view's epoch log is strictly
+    increasing, ends at the current epoch, and every bump names a known
+    transition (join/drain/down).
+``membership-consistency``
+    Fleet runs: every member is in a legal lifecycle state, the ownership
+    ring is built over exactly the active members (whenever any are), and
+    the view knows exactly the deployment's gateways.
+``drain-handoff``
+    A member whose graceful drain completed (and that never rejoined)
+    holds nothing beyond what the drain explicitly declared as left
+    behind (dispatch stragglers, unacked batches) — no silently skipped
+    ticket, session record, or dedup binding.
 ``no-lost-task``
     In a quiet run every task completes.  In a chaos run a failed task must
     carry a *recognized* failure class and the fault ledger must be
@@ -161,30 +177,33 @@ def check_exactly_once(ctx: RunContext) -> Iterable[Violation]:
 
 
 def check_fleet_exactly_once(ctx: RunContext) -> Iterable[Violation]:
-    """Fleet runs: one live ticket per task across ALL gateways, always.
+    """Fleet runs: one live ticket identity per task, fleet-wide, always.
 
     The single-gateway checker tolerates cross-gateway duplicates when a
     fault explains them; the fleet tier exists precisely to remove that
-    excuse — the claim protocol plus the local-accept reconciler must have
-    converged on one winner by quiescence (the reconcile window is far
-    shorter than any generated outage-free tail), so fault activity does
-    not relax this check.
+    excuse — the claim protocol, hinted handoff and the reconciler must
+    have converged on one winner by quiescence (the reconcile window is
+    far shorter than any generated outage-free tail), so neither fault
+    activity nor membership churn relaxes this check.  Duplicates are
+    counted by distinct ticket *id*: drain migration is at-least-once (the
+    sender retains anything whose ack was lost), so one id legitimately
+    resident on two members is conservation, not duplication.
     """
     if not ctx.spec.fleet or ctx.spec.inject_double_dispatch:
         return
-    per_task: dict[str, list[tuple[str, str]]] = {}
+    per_task: dict[str, dict[str, list[str]]] = {}
     for gw_addr, gateway in ctx.deployment.gateways.items():
         for ticket in gateway.tickets():
             if ticket.task_id and ticket.status not in _NOT_LIVE_STATES:
-                per_task.setdefault(ticket.task_id, []).append(
-                    (gw_addr, ticket.ticket_id)
-                )
-    for task_id, entries in sorted(per_task.items()):
-        if len(entries) > 1:
+                per_task.setdefault(ticket.task_id, {}).setdefault(
+                    ticket.ticket_id, []
+                ).append(gw_addr)
+    for task_id, by_ticket in sorted(per_task.items()):
+        if len(by_ticket) > 1:
             yield Violation(
                 "fleet-exactly-once",
-                f"task {task_id} holds {len(entries)} live tickets across "
-                f"the fleet: {sorted(entries)}",
+                f"task {task_id} holds {len(by_ticket)} distinct live "
+                f"tickets across the fleet: {sorted(by_ticket)}",
                 subject=task_id,
             )
 
@@ -222,8 +241,30 @@ def check_no_lost_task(ctx: RunContext) -> Iterable[Violation]:
 
 
 def check_ticket_conservation(ctx: RunContext) -> Iterable[Violation]:
-    """Tickets are durable, attributable, and final at quiescence."""
+    """Tickets are durable, attributable, and final at quiescence.
+
+    Fleet runs check births against the *whole* fleet rather than the
+    minting gateway: drain migration and join rebalancing legitimately
+    move a ticket between members — what may never happen is the ticket
+    vanishing from every store.
+    """
+    fleet_held: set[str] = set()
+    if ctx.spec.fleet:
+        fleet_held = {
+            t.ticket_id
+            for gateway in ctx.deployment.gateways.values()
+            for t in gateway.tickets()
+        }
     for gw_addr, ticket_id in ctx.ticket_births:
+        if ctx.spec.fleet:
+            if ticket_id not in fleet_held:
+                yield Violation(
+                    "ticket-conservation",
+                    f"ticket {ticket_id} vanished from every fleet member "
+                    "(migration must conserve, not lose)",
+                    subject=gw_addr,
+                )
+            continue
         gateway = ctx.deployment.gateways[gw_addr]
         if ticket_id not in {t.ticket_id for t in gateway.tickets()}:
             yield Violation(
@@ -498,6 +539,117 @@ def check_session_stream(ctx: RunContext) -> Iterable[Violation]:
                 )
 
 
+def check_epoch_monotonic(ctx: RunContext) -> Iterable[Violation]:
+    """The membership view's epoch history is a strictly increasing log."""
+    fleet = ctx.deployment.fleet
+    if fleet is None:
+        return
+    view = fleet.view
+    epochs = [epoch for epoch, _, _ in view.epoch_log]
+    if epochs != sorted(set(epochs)):
+        yield Violation(
+            "epoch-monotonic",
+            f"epoch log is not strictly increasing: {epochs}",
+        )
+    if not epochs or view.epoch != epochs[-1]:
+        yield Violation(
+            "epoch-monotonic",
+            f"view epoch {view.epoch} disagrees with the last logged "
+            f"entry {epochs[-1] if epochs else '<none>'}",
+        )
+    for epoch, reason, member in view.epoch_log[1:]:
+        if reason not in ("join", "drain", "down"):
+            yield Violation(
+                "epoch-monotonic",
+                f"epoch {epoch} bumped for unknown transition {reason!r}",
+                subject=member,
+            )
+
+
+def check_membership_consistency(ctx: RunContext) -> Iterable[Violation]:
+    """States are legal, the ring tracks the active set, nobody is missing."""
+    fleet = ctx.deployment.fleet
+    if fleet is None:
+        return
+    from ..core.fleet import MEMBER_STATES
+
+    view = fleet.view
+    for member, state in sorted(view.states.items()):
+        if state not in MEMBER_STATES:
+            yield Violation(
+                "membership-consistency",
+                f"member in unknown lifecycle state {state!r}",
+                subject=member,
+            )
+    active = set(view.active_members)
+    ring_members = set(view._ring.members)
+    if active and ring_members != active:
+        yield Violation(
+            "membership-consistency",
+            f"ownership ring {sorted(ring_members)} diverges from the "
+            f"active set {sorted(active)}",
+        )
+    known = set(view.members)
+    gateways = set(ctx.deployment.gateways)
+    if known != gateways:
+        yield Violation(
+            "membership-consistency",
+            f"view members {sorted(known)} != deployment gateways "
+            f"{sorted(gateways)}",
+        )
+
+
+def check_drain_handoff(ctx: RunContext) -> Iterable[Violation]:
+    """A completed drain leaves nothing behind it did not declare.
+
+    Audited only for members that never rejoined — a rejoin pulls state
+    back home, so the post-run store of a rejoined member legitimately
+    holds items again.  The declared-leftover ledger covers the two lawful
+    residues (dispatch stragglers the quiesce window missed, batches whose
+    ack never arrived); anything else on a drained member is a migration
+    bug, not an operational accident.
+    """
+    fleet = ctx.deployment.fleet
+    if fleet is None:
+        return
+    view = fleet.view
+    for member, at_epoch in view.drains_completed:
+        rejoined = any(
+            epoch > at_epoch and reason == "join" and who == member
+            for epoch, reason, who in view.epoch_log
+        )
+        if rejoined:
+            continue
+        gateway = ctx.deployment.gateways[member]
+        declared = gateway.drain_leftover
+        stray_tickets = sorted(
+            t.ticket_id
+            for t in gateway.tickets()
+            if t.ticket_id not in declared
+        )
+        stray_sessions = sorted(
+            record.session_id
+            for record in gateway.storage.sessions.values()
+            if record.session_id not in declared
+        )
+        stray_bindings = sorted(
+            task_id
+            for task_id, _, _ in gateway.dedup.items()
+            if task_id not in declared
+        )
+        for kind, stray in (
+            ("ticket(s)", stray_tickets),
+            ("session record(s)", stray_sessions),
+            ("dedup binding(s)", stray_bindings),
+        ):
+            if stray:
+                yield Violation(
+                    "drain-handoff",
+                    f"drained member still holds undeclared {kind}: {stray}",
+                    subject=member,
+                )
+
+
 def check_quiescence(ctx: RunContext) -> Iterable[Violation]:
     """The run must end because it finished, not because time ran out."""
     pending = ctx.sim.peek()
@@ -513,6 +665,9 @@ def check_quiescence(ctx: RunContext) -> Iterable[Violation]:
 INVARIANTS = {
     "exactly-once": check_exactly_once,
     "fleet-exactly-once": check_fleet_exactly_once,
+    "epoch-monotonic": check_epoch_monotonic,
+    "membership-consistency": check_membership_consistency,
+    "drain-handoff": check_drain_handoff,
     "no-lost-task": check_no_lost_task,
     "ticket-conservation": check_ticket_conservation,
     "span-tree": check_span_tree,

@@ -13,11 +13,12 @@ Simplification moves, in descending order of how much scenario they remove:
 1. drop a whole device (and any overload burst riding on it),
 2. drop the overload burst,
 3. drop a gateway crash point,
-4. drop a fault event,
-5. drop a task from a device,
-6. cancel a device's mobility,
-7. shorten a task's itinerary to its first stop,
-8. reduce an e-banking batch to one transaction.
+4. drop a membership drain point,
+5. drop a fault event,
+6. drop a task from a device,
+7. cancel a device's mobility,
+8. shorten a task's itinerary to its first stop,
+9. reduce an e-banking batch to one transaction.
 
 The fixpoint — no move keeps the failure — is the minimal repro the CLI
 saves as a JSON artifact.
@@ -87,6 +88,11 @@ def candidates(spec: ScenarioSpec) -> Iterator[tuple[str, ScenarioSpec]]:
         yield (
             f"drop crash point at {point.gateway}",
             replace(spec, crashes=_drop(spec.crashes, i)),
+        )
+    for i, point in enumerate(spec.drains):
+        yield (
+            f"drop drain of {point.gateway}",
+            replace(spec, drains=_drop(spec.drains, i)),
         )
     for i, fault in enumerate(spec.faults):
         yield (

@@ -31,6 +31,7 @@ __all__ = [
     "DeviceSpec",
     "FaultSpec",
     "CrashPoint",
+    "DrainPoint",
     "OverloadBurst",
     "ScenarioSpec",
     "generate",
@@ -141,6 +142,27 @@ class CrashPoint:
 
 
 @dataclass(frozen=True)
+class DrainPoint:
+    """A graceful gateway departure: drain (state handoff) then optionally
+    a rejoin ``down_for`` seconds after the drain completes.
+
+    ``down_for=None`` means the member leaves the fleet for good — the
+    strictest case for the drain-handoff invariant, since nothing it still
+    holds can ever be rebalanced home again.
+    """
+
+    gateway: str
+    at: float
+    down_for: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"negative drain time {self.at!r}")
+        if self.down_for is not None and self.down_for <= 0:
+            raise ValueError(f"down_for must be positive, got {self.down_for!r}")
+
+
+@dataclass(frozen=True)
 class OverloadBurst:
     """N concurrent quick deployments slammed at one gateway."""
 
@@ -161,6 +183,9 @@ class ScenarioSpec:
     devices: tuple[DeviceSpec, ...]
     faults: tuple[FaultSpec, ...] = ()
     crashes: tuple[CrashPoint, ...] = ()
+    #: Membership churn: graceful drains (with optional rejoin) — only ever
+    #: generated for fleet scenarios with at least two gateways.
+    drains: tuple[DrainPoint, ...] = ()
     burst: Optional[OverloadBurst] = None
     horizon: float = DEFAULT_HORIZON_S
     #: Run the gateways as a fleet tier: consistent-hash task ownership,
@@ -182,8 +207,13 @@ class ScenarioSpec:
 
     @property
     def quiet(self) -> bool:
-        """No fault/crash/overload activity: every task must succeed."""
-        return not self.faults and not self.crashes and self.burst is None
+        """No fault/crash/churn/overload activity: every task must succeed."""
+        return (
+            not self.faults
+            and not self.crashes
+            and not self.drains
+            and self.burst is None
+        )
 
     @property
     def streaming(self) -> bool:
@@ -200,6 +230,9 @@ class ScenarioSpec:
             f"{len(self.faults)} fault(s)",
             f"{len(self.crashes)} crash point(s)",
         ]
+        if self.drains:
+            n_rejoin = sum(1 for d in self.drains if d.down_for is not None)
+            bits.append(f"{len(self.drains)} drain(s) ({n_rejoin} rejoining)")
         if self.fleet:
             n_roam = sum(
                 1 for d in self.devices for t in d.tasks if t.roam_retry
@@ -247,10 +280,16 @@ def spec_from_json(doc: dict[str, Any]) -> ScenarioSpec:
     )
     faults = tuple(FaultSpec(**f) for f in doc.pop("faults", ()))
     crashes = tuple(CrashPoint(**c) for c in doc.pop("crashes", ()))
+    drains = tuple(DrainPoint(**d) for d in doc.pop("drains", ()))
     burst_doc = doc.pop("burst", None)
     burst = OverloadBurst(**burst_doc) if burst_doc is not None else None
     return ScenarioSpec(
-        devices=devices, faults=faults, crashes=crashes, burst=burst, **doc
+        devices=devices,
+        faults=faults,
+        crashes=crashes,
+        drains=drains,
+        burst=burst,
+        **doc,
     )
 
 
@@ -442,6 +481,26 @@ def generate(seed: int) -> ScenarioSpec:
                 )
             )
 
+    # Membership churn: yet another appended stream (old seeds keep their
+    # old scenarios).  Only fleet runs with a spare member drain — somebody
+    # must stay active to receive the handoff.
+    drains: list[DrainPoint] = []
+    churn_stream = streams.get("simtest:churn")
+    if fleet and n_gateways >= 2 and churn_stream.bernoulli(0.35):
+        candidates = list(gateways)
+        churn_stream.shuffle(candidates)
+        n_drains = churn_stream.randint(1, min(2, n_gateways - 1))
+        for member in candidates[:n_drains]:
+            drains.append(
+                DrainPoint(
+                    gateway=member,
+                    at=_round(churn_stream.uniform(10.0, 60.0)),
+                    down_for=_round(churn_stream.uniform(2.0, 6.0))
+                    if churn_stream.bernoulli(0.7)
+                    else None,
+                )
+            )
+
     return ScenarioSpec(
         fleet=fleet,
         seed=seed,
@@ -451,5 +510,6 @@ def generate(seed: int) -> ScenarioSpec:
         devices=tuple(devices),
         faults=tuple(faults),
         crashes=tuple(crashes),
+        drains=tuple(drains),
         burst=burst,
     )

@@ -287,3 +287,99 @@ class TestPreferredGateway:
         selector = dep.platform("pda").selector
         proc = dep.sim.process(selector.select(prefer="gw-99"))
         assert dep.sim.run(until=proc) == "gw-0"
+
+
+class TestMembershipHealth:
+    """Health-aware selection: the fleet membership view gates candidacy.
+
+    Draining/down members refuse (or cannot answer) uploads, so the
+    selector must never pick one — not even through the all-breaker-open
+    fallback — and a ``prefer`` pointing at an unhealthy origin follows
+    the drain successor hint instead.
+    """
+
+    def _build(self, **config_kw):
+        from repro.core.fleet import MembershipView
+
+        config_kw.setdefault("policy", "first")
+        dep = build(**config_kw)
+        selector = dep.platform("pda").selector
+        view = MembershipView(["gw-0", "gw-1", "gw-2"])
+        selector.membership = view
+        return dep, selector, view
+
+    def _select(self, dep, selector, **kw):
+        proc = dep.sim.process(selector.select(**kw))
+        return dep.sim.run(until=proc)
+
+    def test_draining_member_never_selected(self):
+        dep, selector, view = self._build()
+        view.begin_drain("gw-0")
+        assert self._select(dep, selector) == "gw-1"
+
+    def test_down_member_never_selected(self):
+        dep, selector, view = self._build()
+        view.mark_down("gw-0")
+        assert self._select(dep, selector) == "gw-1"
+
+    def test_nearest_policy_skips_unhealthy(self):
+        from dataclasses import replace
+
+        dep, selector, view = self._build(policy="nearest")
+        net = dep.network
+        # gw-0 is by far the nearest, but it is draining.
+        for src, dst in (("gw-0", "backbone"), ("backbone", "gw-0")):
+            link = net.link(src, dst)
+            link.spec = replace(link.spec, latency=0.0001, jitter=0.0)
+        view.begin_drain("gw-0")
+        assert self._select(dep, selector) != "gw-0"
+
+    def test_all_unhealthy_raises(self):
+        dep, selector, view = self._build()
+        view.begin_drain("gw-0")
+        view.mark_down("gw-1")
+        view.mark_down("gw-2")
+        proc = dep.sim.process(selector.select())
+        with pytest.raises(NoGatewayAvailableError):
+            dep.sim.run(until=proc)
+
+    def test_breaker_fallback_cannot_resurrect_down_member(self):
+        """The all-breaker-open escape hatch relaxes the *heuristic* skip
+        set only — the membership view is authoritative, so a down member
+        stays excluded even when every healthy candidate is breaker-open.
+        """
+        dep, selector, view = self._build(
+            breaker_threshold=1, breaker_cooldown_s=1e9
+        )
+        platform = dep.platform("pda")
+        proc = dep.sim.process(selector.refresh_list())
+        dep.sim.run(until=proc)
+        view.mark_down("gw-0")
+        platform.breaker.record_failure("gw-1")
+        platform.breaker.record_failure("gw-2")
+        chosen = self._select(dep, selector)
+        assert chosen == "gw-1"  # suspect beats refusing; gw-0 stays out
+
+    def test_prefer_draining_origin_follows_successor_hint(self):
+        """Collect re-selection: a draining origin cannot answer, but its
+        ring successor holds (or relays to) the migrated result.
+        """
+        dep, selector, view = self._build()
+        view.begin_drain("gw-1")
+        assert self._select(dep, selector, prefer="gw-1") == "gw-2"
+        assert dep.network.tracer.counters["select.prefer_redirected"] == 1
+
+    def test_prefer_down_origin_with_no_successor_falls_to_policy(self):
+        dep, selector, view = self._build()
+        view.mark_down("gw-1")
+        view.mark_down("gw-2")
+        # successor("gw-1") is "gw-0" (the only active member left).
+        assert self._select(dep, selector, prefer="gw-1") == "gw-0"
+
+    def test_healthy_prefer_unaffected(self):
+        dep, selector, view = self._build()
+        assert self._select(dep, selector, prefer="gw-2") == "gw-2"
+        assert (
+            dep.network.tracer.counters.get("select.prefer_redirected", 0)
+            == 0
+        )

@@ -10,10 +10,12 @@ Covers the distributed-tier PR end to end:
   agent (the ``bound`` → supersede path);
 * collect-anywhere — a third gateway relays the result document, and a
   superseded ticket redirects its collect to the winner;
-* chaos — the owner crashing during the claim window degrades to local
-  accept and the background reconciler converges to one live ticket;
-  the *forwarder* crashing mid-claim trips the crash-epoch guard so the
-  minted-but-unlaunched ticket fails instead of double-dispatching.
+* chaos — the owner crashing during the claim window degrades to hinted
+  handoff (the ring standby arbitrates on the owner's behalf) and the
+  background reconciler converges to one live ticket once the owner is
+  back; the *forwarder* crashing mid-claim trips the crash-epoch guard
+  so the minted-but-unlaunched ticket fails instead of
+  double-dispatching.
 """
 
 import pytest
@@ -139,6 +141,57 @@ class TestHashRing:
         assert len(fleet) == 2
         assert "gw-0" in fleet and "gw-9" not in fleet
         assert fleet.owner("x") in fleet.members
+
+
+class TestHashRingMinimalMovement:
+    """Consistent-hashing contract: membership churn moves ~K/N keys.
+
+    Deterministic property sweep (no randomness beyond md5 itself): for a
+    one-member delta in either direction, keys whose owner survives in both
+    rings must never move between survivors, and the displaced fraction
+    stays in the same ballpark as the ideal 1/N share.
+    """
+
+    MEMBERS = ("gw-0", "gw-1", "gw-2", "gw-3", "gw-4")
+    KEYS = tuple(f"task-{i}" for i in range(300))
+
+    @pytest.mark.parametrize("replicas", (8, 32, 64))
+    def test_added_member_only_steals_keys(self, replicas):
+        before = HashRing(self.MEMBERS, replicas=replicas)
+        after = HashRing(self.MEMBERS + ("gw-new",), replicas=replicas)
+        moved = 0
+        for key in self.KEYS:
+            if after.owner(key) != before.owner(key):
+                # A key may move only *to* the joiner — survivors never
+                # exchange keys among themselves.
+                assert after.owner(key) == "gw-new"
+                moved += 1
+        # Ideal share is K/(N+1) = 50; virtual-node variance is bounded.
+        assert 0 < moved < len(self.KEYS) * 0.45
+
+    @pytest.mark.parametrize("replicas", (8, 32, 64))
+    def test_removed_member_only_releases_keys(self, replicas):
+        full = HashRing(self.MEMBERS, replicas=replicas)
+        reduced = HashRing(
+            tuple(m for m in self.MEMBERS if m != "gw-2"), replicas=replicas
+        )
+        displaced = 0
+        for key in self.KEYS:
+            if full.owner(key) == "gw-2":
+                displaced += 1
+                assert reduced.owner(key) != "gw-2"
+            else:
+                # Keys the departed member never owned must not move.
+                assert reduced.owner(key) == full.owner(key)
+        assert 0 < displaced < len(self.KEYS) * 0.45
+
+    @pytest.mark.parametrize("replicas", (8, 32, 64))
+    def test_round_trip_restores_ownership(self, replicas):
+        """Remove-then-re-add lands every key back on its original owner."""
+        full = HashRing(self.MEMBERS, replicas=replicas)
+        rebuilt = HashRing(tuple(reversed(self.MEMBERS)), replicas=replicas)
+        for key in self.KEYS:
+            assert rebuilt.owner(key) == full.owner(key)
 
 
 class TestWireProtocol:
@@ -289,7 +342,7 @@ class TestCollectAnywhere:
 
 
 class TestOwnerCrashMidForward:
-    def test_owner_down_degrades_to_local_accept_then_reconciles(self):
+    def test_owner_down_degrades_to_hinted_handoff_then_reconciles(self):
         config = fleet_config(
             fleet_claim_timeout_s=1.0,
             fleet_reconcile_interval_s=2.0,
@@ -301,19 +354,27 @@ class TestOwnerCrashMidForward:
         dep.gateway(owner).crash()
         handle = deploy(dep, forwarder, task_id="la-task")
         counters = dep.network.tracer.counters
-        assert counters["fleet.local_accepts"] == 1
+        # The owner's ring standby arbitrated the claim instead of a blind
+        # local accept — and the claim stays on the reconcile ledger.
+        assert counters["fleet.handoff_accepts"] == 1
+        assert counters.get("fleet.local_accepts", 0) == 0
         # The dispatch went ahead — devices are never hung on fleet RPCs.
         assert handle.ticket.partition("/t-")[0] == forwarder
         dep.gateway(owner).restart()
         # The background reconciler re-claims once the owner is back.
         dep.sim.run(until=dep.sim.now + 10.0)
-        assert counters.get("fleet.reconciled", 0) == 1
+        assert counters.get("fleet.reconciled", 0) >= 1
         # The owner now redirects roamed retries to the reconciled ticket.
         retry = deploy(dep, third, task_id="la-task")
         assert retry.ticket == handle.ticket
         assert len(dispatched_agents(dep)) == 1
 
-    def test_concurrent_local_accepts_converge_to_one_winner(self):
+    def test_concurrent_roamers_serialize_through_standby(self):
+        """The hinted-handoff upgrade over blind local accept: while the
+        owner is down, its ring standby arbitrates, so two concurrent
+        roaming retries of one task converge on a single ticket — no
+        duplicate agent is ever launched, not even transiently.
+        """
         config = fleet_config(
             fleet_claim_timeout_s=1.0,
             fleet_reconcile_interval_s=2.0,
@@ -325,7 +386,10 @@ class TestOwnerCrashMidForward:
         dep.gateway(owner).crash()
         h1 = deploy(dep, forwarder, task_id="dual-task")
         h2 = deploy(dep, third, task_id="dual-task")
-        assert h1.ticket != h2.ticket  # both locally accepted while owner down
+        assert h1.ticket == h2.ticket  # the standby serialized both claims
+        assert len(dispatched_agents(dep)) == 1
+        counters = dep.network.tracer.counters
+        assert counters["fleet.handoff_accepts"] >= 1
         dep.gateway(owner).restart()
         dep.sim.run(until=dep.sim.now + 30.0)
         live = [
@@ -336,13 +400,71 @@ class TestOwnerCrashMidForward:
             and t.status not in ("failed", "superseded")
         ]
         assert len(live) == 1
-        counters = dep.network.tracer.counters
         assert counters.get("fleet.reconciled", 0) >= 1
-        assert (
-            counters.get("fleet.reconciled_superseded", 0)
-            + counters.get("gateway_superseded", 0)
-            >= 1
+
+    def test_breaker_rechecked_every_claim_round(self):
+        """Satellite fix: the forwarding breaker is consulted *per round*,
+        not snapshotted once before the loop — a breaker that trips after
+        two refused rounds stops the probing immediately instead of burning
+        the remaining attempts against a dead owner.
+        """
+        config = fleet_config(
+            fleet_claim_timeout_s=1.0,
+            fleet_claim_attempts=4,
+            fleet_breaker_threshold=2,
+            fleet_breaker_cooldown_s=60.0,
         )
+        dep = build_dep(config=config)
+        subscribe(dep)
+        owner, forwarder, third = pick_gateways(dep, "brk-task")
+        dep.gateway(owner).crash()
+        handle = deploy(dep, forwarder, task_id="brk-task")
+        counters = dep.network.tracer.counters
+        # Two refused rounds trip the breaker; rounds three and four are
+        # skipped (the old code would have shown four errors, no skip).
+        assert counters["fleet.claim_error"] == 2
+        assert counters["fleet.claim_skipped_breaker_open"] == 1
+        # The dispatch still proceeded via the hinted-handoff standby.
+        assert handle.ticket
+        assert len(dispatched_agents(dep)) == 1
+
+    def test_release_exhaustion_is_counted(self):
+        """Satellite fix: a release that cannot reach the owner retries a
+        bounded number of times and then *counts* the failure instead of
+        silently leaving the binding to linger until its TTL.
+        """
+        config = fleet_config(
+            fleet_release_attempts=2,
+            fleet_release_retry_s=0.5,
+        )
+        dep = build_dep(config=config)
+        owner, forwarder, _ = pick_gateways(dep, "rel-task")
+        dep.gateway(owner).crash()
+        client = dep.gateway(forwarder).fleet_client
+        drive(dep, client.release("rel-task", f"{forwarder}/t-9"))
+        counters = dep.network.tracer.counters
+        assert counters["fleet.release_failed"] == 1
+        assert counters.get("fleet.release_recovered", 0) == 0
+
+    def test_release_retry_recovers_across_restart(self):
+        """The bounded retry rides out a short owner outage: the second
+        attempt lands after the restart and the exhaustion counter stays
+        untouched.
+        """
+        config = fleet_config(
+            fleet_release_attempts=3,
+            fleet_release_retry_s=1.0,
+        )
+        dep = build_dep(config=config)
+        owner, forwarder, _ = pick_gateways(dep, "rec-task")
+        gw = dep.gateway(owner)
+        gw.crash()
+        dep.sim.process(_restart_later(dep, gw, 0.5), name="test-restart")
+        client = dep.gateway(forwarder).fleet_client
+        drive(dep, client.release("rec-task", f"{forwarder}/t-9"))
+        counters = dep.network.tracer.counters
+        assert counters.get("fleet.release_failed", 0) == 0
+        assert counters["fleet.release_recovered"] == 1
 
     def test_forwarder_crash_mid_claim_trips_epoch_guard(self):
         """The PR-5 intake guard, extended to the claim window: a forwarder

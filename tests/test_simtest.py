@@ -110,6 +110,49 @@ class TestStreamingSessions:
         assert run_spec(spec).jsonl == run_spec(spec).jsonl
 
 
+class TestChurnStream:
+    def test_generator_emits_drain_scenarios(self):
+        flagged = [s for s in range(80) if generate(s).drains]
+        assert flagged, "no drain scenario in the first 80 seeds"
+        # Both flavours must appear: members that rejoin after a spell down
+        # and members that leave the fleet for good.
+        points = [p for s in flagged for p in generate(s).drains]
+        assert any(p.down_for is not None for p in points)
+        assert any(p.down_for is None for p in points)
+
+    def test_drains_require_a_fleet_with_a_successor(self):
+        # A drain hands state to a ring successor, so the generator must
+        # only schedule one when the scenario has a fleet of at least two.
+        for seed in range(80):
+            spec = generate(seed)
+            if spec.drains:
+                assert spec.fleet and spec.n_gateways >= 2
+                assert len(spec.drains) < spec.n_gateways
+                drained = [p.gateway for p in spec.drains]
+                assert len(drained) == len(set(drained))
+
+    def test_drain_spec_json_roundtrip(self):
+        flagged = [s for s in range(80) if generate(s).drains]
+        spec = generate(flagged[0])
+        doc = json.loads(json.dumps(spec.to_json()))
+        restored = spec_from_json(doc)
+        assert restored == spec
+        assert restored.drains == spec.drains
+
+    def test_drain_seed_runs_clean(self):
+        flagged = [s for s in range(80) if generate(s).drains]
+        spec = generate(flagged[0])
+        report = run_spec(spec)
+        assert report.ok, report.summary() + "".join(
+            f"\n  {v.invariant}: {v.detail}" for v in report.violations
+        )
+
+    def test_drain_replay_byte_identical(self):
+        flagged = [s for s in range(80) if generate(s).drains]
+        spec = generate(flagged[0])
+        assert run_spec(spec).jsonl == run_spec(spec).jsonl
+
+
 class TestInjection:
     def test_injection_fires_exactly_once_violation(self):
         spec = generate(1).with_(inject_double_dispatch=True)
@@ -140,6 +183,9 @@ class TestInvariantCatalogue:
         expected = {
             "exactly-once",
             "fleet-exactly-once",
+            "epoch-monotonic",
+            "membership-consistency",
+            "drain-handoff",
             "no-lost-task",
             "ticket-conservation",
             "span-tree",
