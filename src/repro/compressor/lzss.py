@@ -1,6 +1,6 @@
 """LZSS dictionary codec.
 
-LZ77-family coder with a 4 KB sliding window and 2–33 byte matches — the
+LZ77-family coder with a 4 KB sliding window and 3–34 byte matches — the
 classic "simple text compression" profile that suits repetitive XML markup
 and was computationally feasible on 2004-era handhelds.
 
@@ -10,19 +10,26 @@ Stream format (MSB-first bits):
 * flag bit ``1`` → match: 12-bit backward distance (1-based) + 5-bit
   length-minus-``MIN_MATCH``.
 
-Encoding uses a hash-chain match finder (3-byte hash heads, bounded chain
-walk) so it stays near-linear on pathological inputs.
+The match finder is a hash chain over 3-byte prefixes (most recent
+candidate first, walk bounded by ``_MAX_CHAIN``).  The chains for the whole
+buffer are precomputed in one vectorized pass — a stable argsort groups
+equal hashes while keeping positions ascending, which links every position
+to its nearest earlier same-hash position — so the encode loop does no
+per-position bookkeeping at all: positions covered by an emitted match are
+skipped outright.  Match extension compares 8-byte slices before falling
+back to the byte tail, and both directions keep their bit accumulator in
+local integers instead of going through :mod:`.bitio`; the codec sits on
+the per-message hot path and per-position work dominated its profile.
 """
 
 from __future__ import annotations
 
 try:  # numpy is already a simulator dependency (rng streams); used only
-    # to batch-precompute match-finder hashes, with a pure-Python fallback.
+    # to batch-precompute the match-finder chains, with a pure-Python
+    # fallback that builds the identical structure.
     import numpy as _np
 except ImportError:  # pragma: no cover
     _np = None
-
-from .bitio import BitReader, BitWriter
 
 __all__ = ["LzssCodec", "WINDOW_SIZE", "MIN_MATCH", "MAX_MATCH"]
 
@@ -32,8 +39,29 @@ MAX_MATCH = MIN_MATCH + (1 << 5) - 1  # 5-bit length field
 _MAX_CHAIN = 64  # bound the match-finder work per position
 
 
-def _hash3(data: bytes, i: int) -> int:
-    return (data[i] * 131 + data[i + 1] * 31 + data[i + 2]) & 0xFFFF
+def _prev_same_hash(data: bytes, n: int) -> list[int]:
+    """``prev[j]`` = nearest position ``< j`` with the same 3-byte hash.
+
+    Hash chains as one flat array: walking ``prev[prev[...]]`` from any
+    position enumerates earlier same-hash candidates nearest-first,
+    exactly like an incrementally-built head/prev chain table.
+    """
+    if _np is not None:
+        buf = _np.frombuffer(data, dtype=_np.uint8).astype(_np.int32)
+        hashes = (buf[:-2] * 131 + buf[1:-1] * 31 + buf[2:]) & 0xFFFF
+        order = _np.argsort(hashes, kind="stable")
+        ordered = hashes[order]
+        same = ordered[1:] == ordered[:-1]
+        prev = _np.full(n - 2, -1, dtype=_np.int64)
+        prev[order[1:][same]] = order[:-1][same]
+        return prev.tolist()
+    last: dict[int, int] = {}
+    prev_list = [-1] * (n - 2)
+    for j in range(n - 2):
+        h = (data[j] * 131 + data[j + 1] * 31 + data[j + 2]) & 0xFFFF
+        prev_list[j] = last.get(h, -1)
+        last[h] = j
+    return prev_list
 
 
 class LzssCodec:
@@ -44,100 +72,105 @@ class LzssCodec:
 
     def encode(self, data: bytes) -> bytes:
         n = len(data)
-        writer = BitWriter()
-        write_bits = writer.write_bits
-        # Hash chains: head[h] = most recent position with hash h;
-        # prev[i] = previous position with the same hash as i.  A flat
-        # 64K-slot array beats a dict here: every probe and insert is one
-        # C-level list index instead of a hash lookup.
-        head = [-1] * 0x10000
-        prev = [-1] * n
+        out = bytearray()
+        out_append = out.append
+        # Bit accumulator: ``acc`` holds ``nbits`` pending bits, MSB-first;
+        # whole bytes are flushed as soon as they complete.
+        acc = 0
+        nbits = 0
         hash_end = n - MIN_MATCH  # last position with a full 3-byte hash
-        # Precompute every position's 3-byte hash in one vectorized pass
-        # (hashes[j] is valid for j <= hash_end).
-        if n >= MIN_MATCH:
-            if _np is not None:
-                buf = _np.frombuffer(data, dtype=_np.uint8).astype(_np.int32)
-                hashes = (
-                    (buf[:-2] * 131 + buf[1:-1] * 31 + buf[2:]) & 0xFFFF
-                ).tolist()
-            else:
-                hashes = [
-                    (data[j] * 131 + data[j + 1] * 31 + data[j + 2]) & 0xFFFF
-                    for j in range(n - 2)
-                ]
-        else:
-            hashes = []
+        prev_list = _prev_same_hash(data, n) if n >= MIN_MATCH else []
         i = 0
         while i < n:
+            remaining = n - i
+            limit = MAX_MATCH if remaining > MAX_MATCH else remaining
             best_len = 0
             best_dist = 0
             if i <= hash_end:
-                h = hashes[i]
-                candidate = head[h]
-                chain = 0
-                limit = MAX_MATCH if n - i > MAX_MATCH else n - i
-                floor = i - WINDOW_SIZE
-                while candidate >= 0 and chain < _MAX_CHAIN:
-                    if candidate < floor:
-                        break
-                    # A candidate can only beat ``best_len`` if it also
-                    # matches at offset ``best_len`` — checking that single
-                    # byte first skips the full extension for most of the
-                    # chain without changing which match is chosen.
-                    if best_len == 0 or data[candidate + best_len] == data[i + best_len]:
-                        # Extend the match.
-                        length = 0
-                        while (
-                            length < limit
-                            and data[candidate + length] == data[i + length]
+                candidate = prev_list[i]
+                if candidate >= 0:
+                    floor = i - WINDOW_SIZE
+                    if floor < 0:
+                        floor = 0
+                    chain = 0
+                    while candidate >= floor and chain < _MAX_CHAIN:
+                        # A candidate can only beat ``best_len`` if it also
+                        # matches at offset ``best_len`` — checking that
+                        # single byte first skips the full extension for
+                        # most of the chain without changing which match
+                        # is chosen.
+                        if (
+                            best_len == 0
+                            or data[candidate + best_len] == data[i + best_len]
                         ):
-                            length += 1
-                        if length > best_len:
-                            best_len = length
-                            best_dist = i - candidate
-                            if length == limit:
-                                break
-                    candidate = prev[candidate]
-                    chain += 1
+                            # Extend: whole 8-byte slices first (one C-level
+                            # compare each), then the byte tail.
+                            length = 0
+                            while (
+                                length + 8 <= limit
+                                and data[candidate + length : candidate + length + 8]
+                                == data[i + length : i + length + 8]
+                            ):
+                                length += 8
+                            while (
+                                length < limit
+                                and data[candidate + length] == data[i + length]
+                            ):
+                                length += 1
+                            if length > best_len:
+                                best_len = length
+                                best_dist = i - candidate
+                                if length == limit:
+                                    break
+                        candidate = prev_list[candidate]
+                        chain += 1
             if best_len >= MIN_MATCH:
                 # One 18-bit field: flag 1, 12-bit distance, 5-bit length.
-                write_bits(
-                    (1 << 17) | ((best_dist - 1) << 5) | (best_len - MIN_MATCH),
-                    18,
+                acc = (
+                    (acc << 18)
+                    | (1 << 17)
+                    | ((best_dist - 1) << 5)
+                    | (best_len - MIN_MATCH)
                 )
-                # Insert every covered position into the chains.
-                end = i + best_len
-                if end > hash_end:
-                    insert_end = hash_end + 1
-                    if insert_end < i:
-                        insert_end = i
-                else:
-                    insert_end = end
-                while i < insert_end:
-                    h = hashes[i]
-                    prev[i] = head[h]
-                    head[h] = i
-                    i += 1
-                i = end
+                nbits += 18
+                i += best_len
             else:
                 # One 9-bit field: flag 0 then the literal byte.
-                write_bits(data[i], 9)
-                if i <= hash_end:
-                    prev[i] = head[h]
-                    head[h] = i
+                acc = (acc << 9) | data[i]
+                nbits += 9
                 i += 1
-        return writer.getvalue()
+            while nbits >= 8:
+                nbits -= 8
+                out_append((acc >> nbits) & 0xFF)
+            acc &= (1 << nbits) - 1
+        if nbits:
+            out_append((acc << (8 - nbits)) & 0xFF)
+        return bytes(out)
 
     def decode(self, data: bytes, original_length: int) -> bytes:
         out = bytearray()
-        reader = BitReader(data)
-        read_bit = reader.read_bit
-        read_bits = reader.read_bits
+        out_append = out.append
         produced = 0
+        # Bit accumulator mirroring encode: refill whole bytes, consume
+        # 18- or 9-bit tokens from the top.
+        acc = 0
+        nbits = 0
+        idx = 0
         while produced < original_length:
-            if read_bit():
-                token = read_bits(17)
+            if nbits < 18:
+                take = data[idx : idx + 8]
+                if take:
+                    nbits += len(take) * 8
+                    idx += len(take)
+                    acc = (acc << (len(take) * 8)) | int.from_bytes(take, "big")
+                elif nbits == 0:
+                    raise EOFError("bit stream exhausted")
+            if (acc >> (nbits - 1)) & 1:
+                if nbits < 18:
+                    raise EOFError("bit stream exhausted")
+                nbits -= 18
+                token = (acc >> nbits) & 0x1FFFF
+                acc &= (1 << nbits) - 1
                 dist = (token >> 5) + 1
                 length = (token & 0x1F) + MIN_MATCH
                 start = produced - dist
@@ -153,7 +186,11 @@ class LzssCodec:
                     out += pattern * reps + pattern[:rem]
                 produced += length
             else:
-                out.append(read_bits(8))
+                if nbits < 9:
+                    raise EOFError("bit stream exhausted")
+                nbits -= 9
+                out_append((acc >> nbits) & 0xFF)
+                acc &= (1 << nbits) - 1
                 produced += 1
         if produced != original_length:
             raise ValueError("corrupt lzss stream: length overshoot")

@@ -10,6 +10,10 @@ Usage (installed as ``pdagent-experiments``)::
     pdagent-experiments fleet        # roamed retries: fleet tier vs baseline
     pdagent-experiments streaming    # resumable sessions vs store-and-forward
     pdagent-experiments churn        # rolling restart of every fleet member
+    pdagent-experiments scale        # device-population kernel sweep
+                                     #   (--shards N for the sharded kernel;
+                                     #   not part of "all" — it is the perf
+                                     #   bench, see BENCH_scale.json)
     pdagent-experiments claims       # C1 code sizes, C2 footprint
     pdagent-experiments ablations    # A1-A4
     pdagent-experiments extensions   # E1-E4
@@ -44,6 +48,7 @@ from . import (
     fig13,
     fleet,
     overload,
+    scale,
     streaming,
 )
 
@@ -133,8 +138,40 @@ def _run_churn(args, collector=None):
     return result
 
 
+def _run_scale(args, collector=None):
+    """Device-population sweep; --max-n caps the largest population and
+    --shards runs every row on the sharded kernel."""
+    populations = scale.DEFAULT_POPULATIONS
+    if args.max_n:
+        populations = tuple(n for n in populations if n <= args.max_n) or (
+            args.max_n,
+        )
+    result = scale.run_scale_sweep(
+        populations,
+        seed=args.seed,
+        shards=getattr(args, "shards", 0) or 0,
+        executor=getattr(args, "executor", "inline"),
+    )
+    print(result.render())
+    if args.csv:
+        path = os.path.join(args.csv, "scale.csv")
+        rows = ["population,gateways,shards,mode,events_processed,"
+                "events_per_sec,events_per_sec_per_shard"]
+        rows += [
+            f"{r.population},{r.gateways},{r.shards},{r.mode},"
+            f"{r.events_processed},{r.events_per_sec:.1f},"
+            f"{r.events_per_sec_per_shard:.1f}"
+            for r in result.populations
+        ]
+        with open(path, "w") as fh:
+            fh.write("\n".join(rows) + "\n")
+        print(f"[csv] wrote {path}")
+    return result
+
+
 _EXPERIMENTS = {
     "fig12": _run_fig12,
+    "scale": _run_scale,
     "churn": _run_churn,
     "fig13": _run_fig13,
     "overload": _run_overload,
@@ -197,6 +234,19 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         help="cap the transaction sweep at N (smaller, faster runs)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="scale: run the sweep on a sharded kernel with N shards",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("inline", "serial", "process"),
+        default="inline",
+        help="scale: sharded executor (inline exact merge, or "
+        "region-partitioned serial/multiprocessing sub-simulations)",
     )
     args = parser.parse_args(argv)
     if args.csv:

@@ -70,6 +70,16 @@ class AgletsWireFormat:
     def encode(self, agent: "MobileAgent") -> bytes:
         return compress(serialize_agent(agent), "lzss")
 
+    def snapshot(self, agent: "MobileAgent") -> bytes:
+        """Local checkpoint form: framed but uncompressed.
+
+        Checkpoints stored at the agent's home never cross a link, so they
+        skip the LZSS pass (the dominant CPU cost of :meth:`encode`); the
+        null-codec frame is self-describing, so :meth:`decode` reads both
+        forms interchangeably.
+        """
+        return compress(serialize_agent(agent), "null")
+
     def decode(self, data: bytes) -> AgentSnapshot:
         try:
             return deserialize_agent(decompress(data))

@@ -411,9 +411,15 @@ class MobileAgentServer:
         if agent.home == self.address:
             self._locations[agent.agent_id] = self.address
             if self.checkpointing:
-                self._store_checkpoint(
-                    agent.agent_id, self.wire_format.encode(agent), self.address
+                # A home-side checkpoint never crosses a link — store the
+                # wire format's cheap local snapshot form when it has one.
+                snapshot = getattr(self.wire_format, "snapshot", None)
+                data = (
+                    snapshot(agent)
+                    if snapshot is not None
+                    else self.wire_format.encode(agent)
                 )
+                self._store_checkpoint(agent.agent_id, data, self.address)
         else:
             # Tell home where we are (cheap fire-and-forget probe), carrying
             # the checkpoint when checkpointing is on.

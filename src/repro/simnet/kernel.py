@@ -104,6 +104,10 @@ class Simulator:
         delay: float = 0.0,
         priority: bool = False,
     ) -> None:
+        if delay < 0.0 or delay != delay:  # rejects negatives and NaN
+            raise ValueError(
+                f"invalid event delay {delay!r}: must be a non-negative number"
+            )
         self._seq += 1
         heapq.heappush(
             self._queue, (self._now + delay, 0 if priority else 1, self._seq, event)
@@ -123,45 +127,38 @@ class Simulator:
         self._event_count += 1
         event._process()
 
-    def run(self, until: float | Event | None = None) -> Any:
-        """Run until the calendar drains, a deadline, or an event fires.
+    def _run_preamble(
+        self, until: float | Event | None
+    ) -> tuple[Optional[Event], "Optional[_StopSentinel]", float]:
+        """Shared ``run()`` argument handling for all simulator flavours.
 
-        Parameters
-        ----------
-        until:
-            ``None`` — run to exhaustion.  A number — run until the clock
-            reaches it (the clock is advanced to the deadline even if the
-            calendar drains earlier).  An :class:`Event` — run until it is
-            processed and return its value (raising if it failed).
+        Returns ``(stop_event, sentinel, deadline)``.  ``sentinel`` is None
+        when no event-halt is needed (no *until* event, or it is already
+        processed — in which case the caller must skip the loop and go
+        straight to :meth:`_run_epilogue`, which returns its value or
+        re-raises its failure).
         """
         stop_event: Optional[Event] = None
+        sentinel: Optional[_StopSentinel] = None
         deadline = float("inf")
         if isinstance(until, Event):
             stop_event = until
-            if stop_event.processed:
-                return stop_event.value
-            sentinel = _StopSentinel()
-            stop_event.add_callback(sentinel)
+            if not stop_event.processed:
+                sentinel = _StopSentinel()
+                stop_event.add_callback(sentinel)
         elif until is not None:
             deadline = float(until)
             if deadline < self._now:
                 raise ValueError(
                     f"until={deadline} is in the past (now={self._now})"
                 )
-        # Inlined step() loop: one heap pop + callback dispatch per event,
-        # with the queue and pop pre-bound.  Identical semantics (same pop
-        # order, same events_processed counting) — step() stays the
-        # single-event reference implementation.
-        queue = self._queue
-        pop = heapq.heappop
-        try:
-            while queue and queue[0][0] <= deadline:
-                time, _, _, event = pop(queue)
-                self._now = time
-                self._event_count += 1
-                event._process()
-        except StopSimulation:
-            pass
+        return stop_event, sentinel, deadline
+
+    def _run_epilogue(self, stop_event: Optional[Event], deadline: float) -> Any:
+        """Shared ``run()`` result handling: return the stop event's value
+        (raising its exception when it failed — the already-processed and
+        in-loop paths deliberately behave identically) or advance the clock
+        to an explicit deadline."""
         if stop_event is not None:
             if not stop_event.triggered:
                 raise RuntimeError(
@@ -174,9 +171,54 @@ class Simulator:
             self._now = max(self._now, deadline)
         return None
 
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the calendar drains, a deadline, or an event fires.
+
+        Parameters
+        ----------
+        until:
+            ``None`` — run to exhaustion.  A number — run until the clock
+            reaches it (the clock is advanced to the deadline even if the
+            calendar drains earlier).  An :class:`Event` — run until it is
+            processed and return its value (raising if it failed).
+        """
+        stop_event, sentinel, deadline = self._run_preamble(until)
+        if stop_event is None or sentinel is not None:
+            # Inlined step() loop: one heap pop + callback dispatch per
+            # event, with the queue and pop pre-bound.  Identical semantics
+            # (same pop order, same events_processed counting) — step()
+            # stays the single-event reference implementation.
+            queue = self._queue
+            pop = heapq.heappop
+            try:
+                while queue and queue[0][0] <= deadline:
+                    time, _, _, event = pop(queue)
+                    self._now = time
+                    self._event_count += 1
+                    event._process()
+                    # The sentinel only *flags* the halt; breaking here —
+                    # after _process() returned — guarantees every callback
+                    # of the stop event ran before the simulation stops.
+                    if sentinel is not None and sentinel.stop:
+                        break
+            except StopSimulation:
+                pass
+        return self._run_epilogue(stop_event, deadline)
+
 
 class _StopSentinel:
-    """Callback object that halts :meth:`Simulator.run` when invoked."""
+    """Callback that flags :meth:`Simulator.run` to halt after the current
+    event's callback list has fully drained.
+
+    Raising from inside the callback list (the previous design) silently
+    skipped every callback registered behind the sentinel on the stop
+    event; setting a flag defers the halt to the dispatch loop instead.
+    """
+
+    __slots__ = ("stop",)
+
+    def __init__(self) -> None:
+        self.stop = False
 
     def __call__(self, event: Event) -> None:
-        raise StopSimulation()
+        self.stop = True

@@ -172,8 +172,8 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
-        if delay < 0:
-            raise ValueError(f"negative delay {delay!r}")
+        if delay < 0 or delay != delay:  # rejects negatives and NaN
+            raise ValueError(f"invalid timeout delay {delay!r}")
         super().__init__(sim)
         self.delay = delay
         self._ok = True

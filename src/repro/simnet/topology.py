@@ -20,6 +20,7 @@ import networkx as nx
 from .kernel import Simulator
 from .link import Link, LinkSpec
 from .node import Node
+from .primitives import Event, EventState
 from .rng import StreamFactory
 from .trace import Tracer
 from repro.telemetry.spans import Telemetry
@@ -73,11 +74,17 @@ class Network:
         # bandwidth); invalidated together with _routes on topology change.
         self._route_links: dict[tuple[str, str], list[Link]] = {}
         self._bottlenecks: dict[tuple[str, str], float] = {}
+        # Shard (gateway-region) assignment: address -> shard index.
+        # Unassigned nodes (backbone, central, bank sites) are *infrastructure*
+        # and appear in every region's routing subgraph.
+        self._shards: dict[str, int] = {}
+        self._region_graphs: Optional[dict[int, nx.DiGraph]] = None
 
     def _invalidate_routes(self) -> None:
         self._routes.clear()
         self._route_links.clear()
         self._bottlenecks.clear()
+        self._region_graphs = None
 
     # -- topology construction -------------------------------------------------
     def add_node(self, node: Node | str, kind: str = "host", cpu_factor: float = 1.0) -> Node:
@@ -177,6 +184,95 @@ class Network:
             self._graph.remove_edge(src, dst)
         self._invalidate_routes()
 
+    # -- shard (region) assignment -------------------------------------------
+    def assign_shard(self, address: str, shard: int) -> None:
+        """Home ``address`` in gateway region ``shard``.
+
+        Shard assignment is a locality hint for the sharded kernel and for
+        region-scoped routing; it never changes delivery semantics (the
+        sharded kernel's merge is exact regardless of assignment).
+        """
+        if address not in self._nodes:
+            raise KeyError(f"unknown node {address!r}")
+        if shard < 0:
+            raise ValueError(f"shard index must be >= 0, got {shard!r}")
+        self._shards[address] = int(shard)
+        self._invalidate_routes()
+
+    def shard_of(self, address: str) -> Optional[int]:
+        """Home shard of a node, or None for unassigned infrastructure."""
+        return self._shards.get(address)
+
+    def conservative_lookahead(self) -> float:
+        """Minimum base link latency — the conservative lookahead bound.
+
+        Any cross-shard delivery traverses at least one link, so no event
+        posted now can *nominally* land in another region sooner than this.
+        The sharded kernel uses it only to window the exchange; exactness
+        never depends on it (jitter models may undercut the base latency).
+        """
+        if not self._links:
+            return 0.0
+        return min(link.spec.latency for link in self._links.values())
+
+    def _build_region_graphs(self) -> dict[int, nx.DiGraph]:
+        """Materialise one routing subgraph per region in a single edge pass.
+
+        Region *k* holds every edge whose endpoints are both in region *k*
+        or unassigned infrastructure; infra–infra edges go to all regions
+        and cross-region edges to none (those routes fall back to the full
+        graph).  Real DiGraphs — not ``nx.subgraph`` views — so Dijkstra's
+        adjacency scans are O(region), not O(population): with the hub-and-
+        spoke deployments the backbone's full-graph degree grows with the
+        population and made routing the dominant superlinear cost.
+        """
+        regions = {
+            shard: nx.DiGraph() for shard in sorted(set(self._shards.values()))
+        }
+        shards = self._shards
+        for src, dst, data in self._graph.edges(data=True):
+            s_src = shards.get(src)
+            s_dst = shards.get(dst)
+            if s_src is None and s_dst is None:
+                targets = regions.values()
+            elif s_src is None or s_dst is None or s_src == s_dst:
+                region = regions.get(s_src if s_src is not None else s_dst)
+                targets = (region,) if region is not None else ()
+            else:  # cross-region edge: full-graph routing only
+                targets = ()
+            for graph in targets:
+                graph.add_edge(src, dst, **data)
+        return regions
+
+    def _region_route(self, src: str, dst: str) -> Optional[list[str]]:
+        """Region-scoped shortest path, or None to use the full graph.
+
+        Applies when the endpoints share a region (counting infrastructure
+        as a member of every region).  The hub-and-spoke deployments route
+        every such pair through infrastructure inside the region subgraph,
+        so the result matches the full-graph path; any pair the subgraph
+        cannot serve falls back rather than erroring.
+        """
+        shards = self._shards
+        if not shards:
+            return None
+        s_src = shards.get(src)
+        s_dst = shards.get(dst)
+        if s_src is None and s_dst is None:
+            return None
+        if s_src is not None and s_dst is not None and s_src != s_dst:
+            return None
+        region = s_src if s_src is not None else s_dst
+        if self._region_graphs is None:
+            self._region_graphs = self._build_region_graphs()
+        graph = self._region_graphs.get(region)
+        if graph is None:
+            return None
+        try:
+            return nx.shortest_path(graph, src, dst, weight="weight")
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return None
+
     # -- routing ------------------------------------------------------------
     def route(self, src: str, dst: str) -> list[str]:
         """Shortest-latency node path from ``src`` to ``dst`` (inclusive)."""
@@ -187,10 +283,12 @@ class Network:
         if path is None:
             if src not in self._nodes or dst not in self._nodes:
                 raise KeyError(f"route endpoints {src!r}/{dst!r} must be nodes")
-            try:
-                path = nx.shortest_path(self._graph, src, dst, weight="weight")
-            except nx.NetworkXNoPath:
-                raise NoRouteError(f"no route {src} -> {dst}") from None
+            path = self._region_route(src, dst)
+            if path is None:
+                try:
+                    path = nx.shortest_path(self._graph, src, dst, weight="weight")
+                except nx.NetworkXNoPath:
+                    raise NoRouteError(f"no route {src} -> {dst}") from None
             self._routes[key] = path
         return path
 
@@ -264,9 +362,32 @@ class Network:
         dgram = Datagram(src, dst, payload, size, self.sim.now)
         self.sim.process(self._deliver(dgram), name=f"dgram:{src}->{dst}")
 
+    def _delivery_timeout(self, src: str, dst: str, delay: float) -> Event:
+        """Event firing after ``delay``, homed at the *destination's* shard.
+
+        On the single-heap kernel this is a plain timeout.  On a sharded
+        kernel, deliveries whose destination lives in another region go
+        through the cross-shard exchange so the wake-up lands on the
+        destination's calendar; the exchange consumes exactly one sequence
+        number, like the timeout it replaces, keeping the merged event order
+        byte-identical with the single-heap run.
+        """
+        sim = self.sim
+        post = getattr(sim, "post_cross_shard", None)
+        if post is not None:
+            dst_shard = self._shards.get(dst)
+            if dst_shard is not None and dst_shard != sim.active_shard:
+                event = Event(sim)
+                event._ok = True
+                event._value = None
+                event._state = EventState.TRIGGERED
+                post(event, delay, dst_shard)
+                return event
+        return sim.timeout(delay)
+
     def _deliver(self, dgram: Datagram) -> Generator:
         delay, _ = self.sample_path_delay(dgram.src, dgram.dst, dgram.size)
-        yield self.sim.timeout(delay)
+        yield self._delivery_timeout(dgram.src, dgram.dst, delay)
         self.node(dgram.dst).datagrams.put(dgram)
         self.tracer.count("datagrams_delivered")
 

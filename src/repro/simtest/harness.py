@@ -163,9 +163,14 @@ def _config_for(spec: ScenarioSpec) -> PDAgentConfig:
     )
 
 
-def build_deployment(spec: ScenarioSpec) -> Deployment:
-    """Wire the scenario's world: infrastructure, apps, access points."""
-    builder = DeploymentBuilder(master_seed=spec.seed, config=_config_for(spec))
+def build_deployment(spec: ScenarioSpec, shards: int | None = None) -> Deployment:
+    """Wire the scenario's world: infrastructure, apps, access points.
+
+    ``shards`` runs the scenario on the sharded kernel; the exported
+    report is byte-identical to the single-heap run (the merge is exact)."""
+    builder = DeploymentBuilder(
+        master_seed=spec.seed, config=_config_for(spec), shards=shards
+    )
     builder.add_central("central")
     for gw in spec.gateways:
         builder.add_gateway(gw)
@@ -578,9 +583,9 @@ class _Harness:
 
 
 # ---------------------------------------------------------------- running
-def run_spec(spec: ScenarioSpec) -> RunReport:
+def run_spec(spec: ScenarioSpec, shards: int | None = None) -> RunReport:
     """Build, drive, check, and export one scenario.  Deterministic."""
-    deployment = build_deployment(spec)
+    deployment = build_deployment(spec, shards=shards)
     harness = _Harness(spec, deployment)
     harness.launch()
     sim = deployment.sim

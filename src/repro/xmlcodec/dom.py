@@ -19,10 +19,20 @@ __all__ = ["Element"]
 # XML 1.0 Name production, ASCII subset (sufficient for the PI format).
 _NAME_RE = re.compile(r"^[A-Za-z_:][A-Za-z0-9_:.\-]*$")
 
+# Tag/attribute vocabularies are tiny and repeat millions of times on the
+# codec hot path — remember names that already validated.  Only valid names
+# enter the set, so invalid ones always reach the regex (and its error).
+_KNOWN_NAMES: set[str] = set()
+_KNOWN_NAMES_MAX = 4096
+
 
 def _check_name(name: str, what: str) -> str:
+    if name in _KNOWN_NAMES:
+        return name
     if not _NAME_RE.match(name):
         raise XmlWriteError(f"invalid {what} name {name!r}")
+    if len(_KNOWN_NAMES) < _KNOWN_NAMES_MAX:
+        _KNOWN_NAMES.add(name)
     return name
 
 
@@ -45,10 +55,12 @@ class Element:
         text: str = "",
     ) -> None:
         self.tag = _check_name(tag, "element")
-        self.attrib: dict[str, str] = {}
+        own: dict[str, str] = {}
         if attrib:
             for key, value in attrib.items():
-                self.set(key, value)
+                _check_name(key, "attribute")
+                own[key] = value if type(value) is str else str(value)
+        self.attrib = own
         self.text = text
         self.tail = ""
         self._children: list[Element] = []

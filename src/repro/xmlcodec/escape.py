@@ -2,12 +2,18 @@
 
 from __future__ import annotations
 
+import re
+
 from .errors import XmlParseError
 
 __all__ = ["escape_text", "escape_attr", "unescape"]
 
 _TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
 _ATTR_ESCAPES = {**_TEXT_ESCAPES, '"': "&quot;", "'": "&apos;"}
+# Most values escape nothing — detect that with one C-level scan instead of
+# one replace() pass per special character.
+_TEXT_NEEDS = re.compile(r"[&<>]")
+_ATTR_NEEDS = re.compile(r"[&<>\"']")
 _ENTITIES = {
     "amp": "&",
     "lt": "<",
@@ -19,6 +25,8 @@ _ENTITIES = {
 
 def escape_text(value: str) -> str:
     """Escape character data for element content."""
+    if _TEXT_NEEDS.search(value) is None:
+        return value
     out = value
     for char, entity in _TEXT_ESCAPES.items():
         out = out.replace(char, entity)
@@ -27,6 +35,8 @@ def escape_text(value: str) -> str:
 
 def escape_attr(value: str) -> str:
     """Escape character data for a double-quoted attribute value."""
+    if _ATTR_NEEDS.search(value) is None:
+        return value
     out = value
     for char, entity in _ATTR_ESCAPES.items():
         out = out.replace(char, entity)

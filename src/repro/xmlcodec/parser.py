@@ -23,6 +23,23 @@ __all__ = ["parse", "parse_bytes"]
 _NAME_RE = re.compile(r"[A-Za-z_:][A-Za-z0-9_:.\-]*")
 _WS = " \t\r\n"
 
+# Fast path for the overwhelmingly common shape of an open tag — name plus
+# zero or more quoted attributes — matched in one C-level pass.  Anything
+# the pattern does not cover (stray characters, unquoted values, ``<`` in a
+# value) falls back to the strict scanner below, which produces the precise
+# error.
+_OPEN_TAG_RE = re.compile(
+    r"<([A-Za-z_:][A-Za-z0-9_:.\-]*)"
+    r"((?:[ \t\r\n]+[A-Za-z_:][A-Za-z0-9_:.\-]*[ \t\r\n]*=[ \t\r\n]*"
+    r"(?:\"[^\"<]*\"|'[^'<]*'))*)"
+    r"[ \t\r\n]*(/?)>"
+)
+_ATTR_ITEM_RE = re.compile(
+    r"[ \t\r\n]+([A-Za-z_:][A-Za-z0-9_:.\-]*)[ \t\r\n]*=[ \t\r\n]*"
+    r"(?:\"([^\"<]*)\"|'([^'<]*)')"
+)
+_CLOSE_TAG_RE = re.compile(r"([A-Za-z_:][A-Za-z0-9_:.\-]*)[ \t\r\n]*>")
+
 
 class _Cursor:
     """Scanning state over the input string."""
@@ -130,17 +147,52 @@ def _parse_attributes(cur: _Cursor, tag: str) -> dict[str, str]:
 
 
 def _parse_element(cur: _Cursor) -> Element:
-    cur.expect("<")
-    tag = cur.read_name("element")
-    attrib = _parse_attributes(cur, tag)
-    elem = Element(tag, attrib)
-    cur.skip_ws()
-    if cur.startswith("/>"):
-        cur.advance(2)
-        return elem
-    cur.expect(">")
+    m = _OPEN_TAG_RE.match(cur.text, cur.pos)
+    if m is not None:
+        tag = m.group(1)
+        raw_attrs = m.group(2)
+        start = cur.pos
+        cur.pos = m.end()
+        if raw_attrs:
+            attrib: dict[str, str] = {}
+            for am in _ATTR_ITEM_RE.finditer(raw_attrs):
+                name = am.group(1)
+                if name in attrib:
+                    raise XmlParseError(
+                        f"duplicate attribute {name!r} in <{tag}>", start
+                    )
+                raw = am.group(2)
+                if raw is None:
+                    raw = am.group(3)
+                attrib[name] = (
+                    unescape(raw, start) if "&" in raw else raw
+                )
+            elem = Element(tag, attrib)
+        else:
+            elem = Element(tag)
+        if m.group(3):  # self-closing
+            return elem
+    else:
+        # Strict scanner: produces exact errors for malformed tags.
+        cur.expect("<")
+        tag = cur.read_name("element")
+        attrib = _parse_attributes(cur, tag)
+        elem = Element(tag, attrib)
+        cur.skip_ws()
+        if cur.startswith("/>"):
+            cur.advance(2)
+            return elem
+        cur.expect(">")
     _parse_content(cur, elem)
     # _parse_content consumed "</"; match the closing name.
+    cm = _CLOSE_TAG_RE.match(cur.text, cur.pos)
+    if cm is not None:
+        if cm.group(1) != tag:
+            raise XmlParseError(
+                f"mismatched </{cm.group(1)}>; expected </{tag}>", cur.pos
+            )
+        cur.pos = cm.end()
+        return elem
     close = cur.read_name("closing tag")
     if close != tag:
         raise XmlParseError(f"mismatched </{close}>; expected </{tag}>", cur.pos)
@@ -152,6 +204,7 @@ def _parse_element(cur: _Cursor) -> Element:
 def _parse_content(cur: _Cursor, elem: Element) -> None:
     """Fill ``elem.text``, children and their tails until the closing tag."""
     last_child: Element | None = None
+    text = cur.text
 
     def add_text(chunk: str) -> None:
         nonlocal last_child
@@ -163,29 +216,34 @@ def _parse_content(cur: _Cursor, elem: Element) -> None:
             last_child.tail += chunk
 
     while True:
-        if cur.eof:
-            raise XmlParseError(f"unterminated <{elem.tag}>", cur.pos)
-        if cur.startswith("</"):
-            cur.advance(2)
+        pos = cur.pos
+        lt = text.find("<", pos)
+        if lt == -1:
+            raise XmlParseError(f"unterminated <{elem.tag}>", pos)
+        if lt > pos:
+            chunk = text[pos:lt]
+            add_text(unescape(chunk, pos) if "&" in chunk else chunk)
+            cur.pos = lt
+        # Dispatch on the character after "<" instead of prefix-testing
+        # every construct at every step.
+        after = text[lt + 1 : lt + 2]
+        if after == "/":
+            cur.pos = lt + 2
             return
-        if cur.startswith("<!--"):
-            cur.advance(4)
-            cur.read_until("-->", "comment")
-        elif cur.startswith("<![CDATA["):
-            cur.advance(9)
-            add_text(cur.read_until("]]>", "CDATA section"))
-        elif cur.startswith("<?"):
-            cur.advance(2)
+        if after == "!":
+            if text.startswith("<!--", lt):
+                cur.pos = lt + 4
+                cur.read_until("-->", "comment")
+            elif text.startswith("<![CDATA[", lt):
+                cur.pos = lt + 9
+                add_text(cur.read_until("]]>", "CDATA section"))
+            else:
+                last_child = elem.append(_parse_element(cur))
+        elif after == "?":
+            cur.pos = lt + 2
             cur.read_until("?>", "processing instruction")
-        elif cur.startswith("<"):
-            last_child = elem.append(_parse_element(cur))
         else:
-            start = cur.pos
-            end = cur.text.find("<", start)
-            if end == -1:
-                raise XmlParseError(f"unterminated <{elem.tag}>", start)
-            cur.pos = end
-            add_text(unescape(cur.text[start:end], start))
+            last_child = elem.append(_parse_element(cur))
 
 
 def parse(text: str) -> Element:

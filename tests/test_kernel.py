@@ -383,6 +383,103 @@ class TestRunSemantics:
         assert build_and_run() == build_and_run()
 
 
+class TestRunLoopBugfixes:
+    """Regression tests for the kernel run-loop bugfix sweep.
+
+    Each of these failed on the pre-fix kernel: the stop sentinel raised
+    StopSimulation mid-dispatch (skipping callbacks registered after it),
+    run(until=<processed failed event>) returned the exception instead of
+    raising it, and bad delays were only caught by the defensive
+    "calendar went backwards" check at pop time.
+    """
+
+    def test_stop_event_callbacks_drain_before_halt(self, sim):
+        """A waiter that subscribes to the stop event *after* run() started
+        (so its callback lands behind the stop sentinel) must still be
+        resumed when the event fires — the halt is deferred until the
+        event's callback list has fully drained."""
+        ev = sim.event()
+        log = []
+
+        def waiter():
+            yield sim.timeout(1.0)  # subscribe to ev mid-run, after the sentinel
+            value = yield ev
+            log.append(value)
+
+        def firer():
+            yield sim.timeout(2.0)
+            ev.succeed("late-callback")
+
+        sim.process(waiter())
+        sim.process(firer())
+        assert sim.run(until=ev) == "late-callback"
+        assert log == ["late-callback"]
+
+    def test_plain_callback_after_sentinel_runs_before_halt(self, sim):
+        """Same bug, minimal form: a raw callback appended behind the
+        sentinel must run exactly once before the halt."""
+        ev = sim.event()
+        seen = []
+
+        def subscriber():
+            yield sim.timeout(1.0)
+            ev.add_callback(lambda e: seen.append(e.value))
+
+        def firer():
+            yield sim.timeout(2.0)
+            ev.succeed(7)
+
+        sim.process(subscriber())
+        sim.process(firer())
+        sim.run(until=ev)
+        assert seen == [7]
+
+    def test_run_until_already_processed_failed_event_raises(self, sim):
+        """run(until=event) on an already-processed *failed* event must
+        raise its exception — matching the post-loop path — not return
+        the exception object as a value."""
+        ev = sim.event()
+        ev.fail(ValueError("already failed"))
+        sim.run()
+        assert ev.processed and not ev.ok
+        with pytest.raises(ValueError, match="already failed"):
+            sim.run(until=ev)
+
+    def test_run_until_failed_event_both_paths_agree(self, sim):
+        """The in-loop and already-processed paths raise the same exception."""
+        ev = sim.event()
+
+        def firer():
+            yield sim.timeout(1.0)
+            ev.fail(KeyError("boom"))
+
+        sim.process(firer())
+        with pytest.raises(KeyError):
+            sim.run(until=ev)
+        with pytest.raises(KeyError):
+            sim.run(until=ev)  # now already processed: same outcome
+
+    def test_nan_delay_rejected_at_schedule_time(self, sim):
+        with pytest.raises(ValueError, match="delay"):
+            sim.timeout(float("nan"))
+
+    def test_negative_delay_rejected_by_schedule_event(self, sim):
+        ev = sim.event()
+        with pytest.raises(ValueError, match="delay"):
+            sim._schedule_event(ev, delay=-0.5)
+
+    def test_nan_delay_rejected_by_schedule_event(self, sim):
+        ev = sim.event()
+        with pytest.raises(ValueError, match="delay"):
+            sim._schedule_event(ev, delay=float("nan"))
+
+    def test_valid_delays_still_accepted(self, sim):
+        sim.timeout(0.0)
+        sim.timeout(5.0)
+        sim.run()
+        assert sim.now == 5.0
+
+
 class TestConditionEdgeCases:
     def test_any_of_empty_fires_immediately(self, sim):
         cond = sim.any_of([])

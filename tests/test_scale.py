@@ -9,7 +9,7 @@ reassociation, or cache state into the timeline fails loudly.
 
 import io
 
-from repro.experiments.scale import run_population
+from repro.experiments.scale import _maxrss_bytes, run_population
 from repro.experiments.scenario import build_scenario, run_pdagent_batch
 from repro.telemetry import TraceCollector
 
@@ -53,6 +53,42 @@ class TestGoldenSeedDeterminism:
         assert event_counts[0] == event_counts[1]
 
 
+class TestShardedScaleIdentity:
+    def test_sharded_run_identical_timeline(self):
+        """The sharded kernel replays the single-heap timeline exactly —
+        same event count, same end time, same completions."""
+        single = run_population(POP, seed=0, n_gateways=4)
+        sharded = run_population(POP, seed=0, n_gateways=4, shards=4)
+        assert sharded.mode == "sharded"
+        assert sharded.shards == 4
+        assert sharded.events_processed == single.events_processed
+        assert sharded.sim_time_s == single.sim_time_s
+        assert sharded.tasks_completed == single.tasks_completed == POP
+        assert sharded.events_per_sec_per_shard > 0
+
+    def test_one_shard_identical_timeline(self):
+        single = run_population(POP, seed=2)
+        sharded = run_population(POP, seed=2, shards=1)
+        assert sharded.events_processed == single.events_processed
+        assert sharded.sim_time_s == single.sim_time_s
+
+    def test_region_executors_serial_vs_process_identical(self):
+        """The region-partitioned executor is executor-invariant: the
+        serial and multiprocessing pools produce identical merged results
+        (the deterministic-merge contract for worker batches)."""
+        serial = run_population(
+            POP, seed=0, n_gateways=4, shards=2, executor="serial"
+        )
+        pooled = run_population(
+            POP, seed=0, n_gateways=4, shards=2, executor="process"
+        )
+        assert serial.mode == "sharded-serial"
+        assert pooled.mode == "sharded-mp"
+        assert serial.events_processed == pooled.events_processed
+        assert serial.sim_time_s == pooled.sim_time_s
+        assert serial.tasks_completed == pooled.tasks_completed == POP
+
+
 class TestScaleHarness:
     def test_population_result_fields(self):
         result = run_population(POP, seed=0)
@@ -69,3 +105,32 @@ class TestScaleHarness:
         result = run_population(POP, seed=0, n_gateways=4)
         assert result.gateways == 4
         assert result.tasks_completed == POP
+
+
+class TestPeakRssUnits:
+    """ru_maxrss units audit: KiB on Linux, bytes on macOS — both paths
+    must come out as the same number of bytes."""
+
+    def _patched(self, monkeypatch, raw):
+        import resource
+
+        class FakeUsage:
+            ru_maxrss = raw
+
+        monkeypatch.setattr(
+            resource, "getrusage", lambda who: FakeUsage(), raising=True
+        )
+
+    def test_linux_kib_to_bytes(self, monkeypatch):
+        self._patched(monkeypatch, 2048)  # 2048 KiB
+        assert _maxrss_bytes(platform="linux") == 2048 * 1024
+
+    def test_darwin_bytes_passthrough(self, monkeypatch):
+        self._patched(monkeypatch, 2048 * 1024)  # same RSS, reported in bytes
+        assert _maxrss_bytes(platform="darwin") == 2048 * 1024
+
+    def test_real_measurement_is_sane(self):
+        rss = _maxrss_bytes()
+        # A running pytest process holds tens of MiB; a unit slip would put
+        # this three orders of magnitude off in either direction.
+        assert 10 * 1024 * 1024 < rss < 100 * 1024 * 1024 * 1024
