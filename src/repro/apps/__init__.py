@@ -3,9 +3,18 @@
 * :mod:`~repro.apps.ebanking` — the paper's evaluation workload (§4);
 * :mod:`~repro.apps.foodsearch` — the paper's other named example, with
   context-adaptive itinerary extension;
-* :mod:`~repro.apps.newswire` — a fan-out digest exercising cloning.
+* :mod:`~repro.apps.newswire` — a fan-out digest exercising cloning;
+* :mod:`~repro.apps.ridedispatch` — latency-critical geo-sharded matching;
+* :mod:`~repro.apps.auction` — deadline-critical sniping (PI deadlines);
+* :mod:`~repro.apps.jobfarm` — throughput-critical fan-out/merge farming.
 """
 
+from .auction import (
+    AuctionHouseServiceAgent,
+    AuctionSnipeAgent,
+    auction_service_code,
+    make_lots,
+)
 from .ebanking import (
     BANK_THINK_TIME,
     BankServiceAgent,
@@ -19,6 +28,14 @@ from .foodsearch import (
     foodsearch_service_code,
     make_listings,
 )
+from .jobfarm import (
+    GridForemanServiceAgent,
+    GridWorkerServiceAgent,
+    JobCourierAgent,
+    JobFarmAgent,
+    jobfarm_service_code,
+    make_job,
+)
 from .mcommerce import (
     ShoppingAgent,
     VendorServiceAgent,
@@ -30,6 +47,12 @@ from .newswire import (
     NewswireAgent,
     make_stories,
     newswire_service_code,
+)
+from .ridedispatch import (
+    DriverBoardServiceAgent,
+    RideDispatchAgent,
+    make_drivers,
+    ridedispatch_service_code,
 )
 from .workflow import (
     ApproverServiceAgent,
@@ -60,4 +83,18 @@ __all__ = [
     "WorkflowAgent",
     "workflow_service_code",
     "threshold_policy",
+    "DriverBoardServiceAgent",
+    "RideDispatchAgent",
+    "ridedispatch_service_code",
+    "make_drivers",
+    "AuctionHouseServiceAgent",
+    "AuctionSnipeAgent",
+    "auction_service_code",
+    "make_lots",
+    "GridWorkerServiceAgent",
+    "GridForemanServiceAgent",
+    "JobCourierAgent",
+    "JobFarmAgent",
+    "jobfarm_service_code",
+    "make_job",
 ]

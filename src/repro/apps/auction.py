@@ -1,0 +1,178 @@
+"""Auction sniping: deadline-critical bidding under overload.
+
+A collector wants one specific lot that closes at a hard ``deadline``.
+The travelling :class:`AuctionSnipeAgent` visits auction-house sites,
+checks the lot's current price at each resident
+:class:`AuctionHouseServiceAgent`, and places a bid at the cheapest house
+whose asking price fits the budget — but only while simulated time is
+still inside the deadline; a late agent *withdraws* rather than buying a
+closed lot.
+
+This is the *deadline-critical* archetype of the scenario-diversity
+suite, and the one that gives the platform a new wire-level field: the
+deployment carries the deadline inside the Packed Information
+(``<deadline>`` element), and the gateway refuses to dispatch an agent
+whose deadline already passed (HTTP 400 + ``x-deadline-expired``) — an
+admission shed's Retry-After wait must never resurrect a task whose
+useful life ended in the queue.  The swarm's ``deadline-dispatch``
+invariant audits exactly that: no ticket for a deadline task is ever
+minted after the deadline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..core.subscription import ServiceCode
+from ..mas import AgentContext, MobileAgent, ServiceAgent
+
+__all__ = [
+    "AuctionHouseServiceAgent",
+    "AuctionSnipeAgent",
+    "auction_service_code",
+    "make_lots",
+]
+
+
+class AuctionHouseServiceAgent(ServiceAgent):
+    """One auction house's resident agent.
+
+    ``lots`` is a list of dicts with keys ``lot``, ``price``, ``closes``.
+    Bids are accepted while the simulated clock is before both the lot's
+    own close and the bidder's declared deadline; every accepted bid is
+    ledgered so tests can audit at-most-one-winning-bid per task.
+    """
+
+    def __init__(
+        self,
+        lots: list[dict[str, Any]],
+        name: str = "auction-house",
+        quote_time: float = 0.06,
+    ) -> None:
+        super().__init__(name, processing_time=quote_time)
+        self.lots = {entry["lot"]: dict(entry) for entry in lots}
+        self.bids: list[dict[str, Any]] = []
+
+    def handle(self, caller_id: str, request: dict) -> Generator:
+        yield self.server.node.compute(self.processing_time)
+        op = request.get("op")
+        lot = self.lots.get(request.get("lot", ""))
+        if op == "quote":
+            if lot is None:
+                return {"status": "ok", "listed": False}
+            return {
+                "status": "ok",
+                "listed": True,
+                "price": lot["price"],
+                "closes": lot["closes"],
+            }
+        if op == "bid":
+            if lot is None:
+                return {"status": "error", "reason": "unknown lot"}
+            now = self.server.sim.now
+            deadline = float(request.get("deadline", float("inf")))
+            if now > deadline or now > float(lot["closes"]):
+                return {"status": "ok", "accepted": False, "reason": "closed"}
+            bid = {
+                "lot": lot["lot"],
+                "bidder": caller_id,
+                "amount": float(request.get("amount", lot["price"])),
+                "site": self.server.address,
+                "at": now,
+            }
+            self.bids.append(bid)
+            return {"status": "ok", "accepted": True, "bid": bid}
+        return {"status": "error", "reason": f"unknown op {op!r}"}
+
+
+class AuctionSnipeAgent(MobileAgent):
+    """Quotes the lot across houses, bids at the cheapest one in time.
+
+    Params: ``lot`` (required), ``budget``, ``deadline`` (sim seconds;
+    0/absent = no deadline).  State: ``quotes`` — per-site asking prices;
+    ``bid`` — the accepted bid, if any.  The agent snipes *en route*: the
+    first house whose price fits the budget gets the bid immediately
+    (waiting for a full sweep is how snipers lose), and later stops only
+    quote for the result report.
+    """
+
+    code_size = 1664
+
+    def on_arrival(self, ctx: AgentContext) -> Generator:
+        params = self.state.get("params", {})
+        deadline = float(params.get("deadline", 0.0) or 0.0)
+        if ctx.here != self.home and "auction-house" in ctx.services_here():
+            reply = yield from ctx.ask_service(
+                "auction-house", {"op": "quote", "lot": params.get("lot", "")}
+            )
+            if reply.get("status") == "ok" and reply.get("listed"):
+                quote = {
+                    "site": ctx.here,
+                    "price": reply["price"],
+                    "closes": reply["closes"],
+                }
+                self.state.setdefault("quotes", []).append(quote)
+                ctx.report_partial(quote)
+                in_time = not deadline or ctx.sim.now <= deadline
+                if (
+                    self.state.get("bid") is None
+                    and in_time
+                    and float(reply["price"])
+                    <= float(params.get("budget", float("inf")))
+                ):
+                    bid = yield from ctx.ask_service(
+                        "auction-house",
+                        {
+                            "op": "bid",
+                            "lot": params.get("lot", ""),
+                            "amount": reply["price"],
+                            "deadline": deadline or float("inf"),
+                        },
+                    )
+                    if bid.get("status") == "ok" and bid.get("accepted"):
+                        self.state["bid"] = dict(bid["bid"])
+        if self.itinerary.next_stop() is None or (
+            deadline and ctx.sim.now > deadline and self.state.get("bid") is None
+        ):
+            # Past the deadline with no bid placed, the rest of the tour is
+            # pointless — a sniper that cannot win stops burning hops.
+            if ctx.here == self.home:
+                bid = self.state.get("bid")
+                ctx.complete(
+                    {
+                        "won": bid is not None,
+                        "bid": bid,
+                        "quotes": self.state.get("quotes", []),
+                        "deadline": deadline,
+                    }
+                )
+            ctx.return_home()
+        ctx.follow_itinerary()
+        yield ctx.idle()  # pragma: no cover - follow_itinerary always raises
+
+
+def auction_service_code(version: int = 1) -> ServiceCode:
+    """The downloadable auction-sniping MA application."""
+    return ServiceCode(
+        service="auctionsnipe",
+        version=version,
+        agent_class="AuctionSnipeAgent",
+        param_schema=("lot", "budget"),
+        code_size=1664,
+        description="Deadline-bounded cross-house auction sniping",
+    )
+
+
+def make_lots(site_index: int, count: int = 6) -> list[dict[str, Any]]:
+    """Deterministic synthetic lot board for house ``site_index``."""
+    lots = []
+    for i in range(count):
+        k = site_index * 37 + i * 13
+        lots.append(
+            {
+                "lot": f"lot-{i}",
+                "price": 100 + (k * 23) % 400,
+                "closes": 600.0 + (k % 7) * 120.0,
+            }
+        )
+    return lots

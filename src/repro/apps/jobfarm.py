@@ -1,0 +1,253 @@
+"""Grid job farming: throughput-critical fan-out/merge across sites.
+
+The DIAMOnDS pattern (arxiv cs/0305062): a master agent lands at a
+rendezvous site, fans a compute job out as one *courier sub-agent per
+shard site*, and merges the shard results as they stream back via agent
+messaging.  The pieces:
+
+* :class:`GridWorkerServiceAgent` — a site's resident compute service:
+  runs one job shard (simulated CPU time proportional to the job size)
+  and returns a deterministic shard value;
+* :class:`JobCourierAgent` — the spawned sub-agent: travels to its one
+  assigned site, runs the shard on the local worker, messages the result
+  back to the master, and disposes in place (no return hop — the data
+  already travelled);
+* :class:`JobFarmAgent` — the master: computes the rendezvous-local shard
+  itself, asks the resident :class:`GridForemanServiceAgent` to spawn
+  couriers for the remote shards, then merges messages under a bounded
+  join window so a lost courier (site crash) degrades the merge instead
+  of wedging the tour.
+
+The swarm's ``jobfarm-merge`` invariant audits the merge: duplicate
+shard results are condemned unconditionally (a courier's report must be
+merged exactly once), and in quiet runs the merged set must equal the
+expected shard set exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..core.subscription import ServiceCode
+from ..mas import AgentContext, MobileAgent, ServiceAgent
+from ..mas.itinerary import Itinerary, Stop
+
+__all__ = [
+    "GridWorkerServiceAgent",
+    "GridForemanServiceAgent",
+    "JobCourierAgent",
+    "JobFarmAgent",
+    "jobfarm_service_code",
+    "make_job",
+]
+
+#: How long the master waits for courier reports before merging what it
+#: has.  Generous against quiet-run courier round trips (a few seconds)
+#: but far below the harness collect budget and the scenario horizon.
+JOIN_TIMEOUT_S = 25.0
+
+
+def shard_value(job: dict, site: str) -> int:
+    """The deterministic result of running ``job`` on ``site``'s slice."""
+    acc = 0
+    seed = f"{job.get('name', 'job')}@{site}"
+    for ch in seed:
+        acc = (acc * 131 + ord(ch)) % 1_000_003
+    return acc * int(job.get("size", 1)) % 1_000_003
+
+
+class GridWorkerServiceAgent(ServiceAgent):
+    """A site's resident compute service: runs one job shard."""
+
+    def __init__(
+        self,
+        name: str = "grid-worker",
+        unit_time: float = 0.04,
+    ) -> None:
+        super().__init__(name, processing_time=unit_time)
+        self.jobs_run = 0
+
+    def handle(self, caller_id: str, request: dict) -> Generator:
+        if request.get("op") != "run":
+            yield self.server.node.compute(self.processing_time)
+            return {"status": "error", "reason": "unknown op"}
+        job = request.get("job", {})
+        # Throughput-critical: CPU cost scales with the shard size.
+        yield self.server.node.compute(
+            self.processing_time * max(1, int(job.get("size", 1)))
+        )
+        self.jobs_run += 1
+        return {
+            "status": "ok",
+            "site": self.server.address,
+            "value": shard_value(job, self.server.address),
+        }
+
+
+class GridForemanServiceAgent(ServiceAgent):
+    """The rendezvous site's courier factory.
+
+    A mobile agent cannot spawn sub-agents itself (its context has no
+    server-side creation rights); it asks the resident foreman, which
+    creates one :class:`JobCourierAgent` per requested site on the local
+    server.  The courier class must be registered deployment-wide so the
+    work sites can decode the transferred agents.
+    """
+
+    def __init__(
+        self,
+        name: str = "grid-foreman",
+        spawn_time: float = 0.02,
+    ) -> None:
+        super().__init__(name, processing_time=spawn_time)
+        self.spawned: list[str] = []
+
+    def handle(self, caller_id: str, request: dict) -> Generator:
+        if request.get("op") != "farm":
+            yield self.server.node.compute(self.processing_time)
+            return {"status": "error", "reason": "unknown op"}
+        sites = list(request.get("sites", ()))
+        job = dict(request.get("job", {}))
+        yield self.server.node.compute(self.processing_time * max(1, len(sites)))
+        courier_ids = []
+        for site in sites:
+            courier = self.server.create_agent(
+                JobCourierAgent,
+                owner=caller_id,
+                itinerary=Itinerary(
+                    origin=self.server.address,
+                    stops=[Stop(site, task="grind")],
+                ),
+                state={"master": caller_id, "site": site, "job": job},
+            )
+            courier_ids.append(courier.agent_id)
+        self.spawned.extend(courier_ids)
+        return {"status": "ok", "couriers": courier_ids}
+
+
+class JobCourierAgent(MobileAgent):
+    """One shard's courier: travel, compute, report back, dispose.
+
+    State: ``master`` (agent id to report to), ``site``, ``job``.
+    """
+
+    code_size = 1024
+
+    def on_arrival(self, ctx: AgentContext) -> Generator:
+        if ctx.here == self.home:
+            # Freshly spawned at the rendezvous: head out.
+            ctx.follow_itinerary()
+        report = {"site": ctx.here, "value": None, "courier": self.agent_id}
+        if "grid-worker" in ctx.services_here():
+            reply = yield from ctx.ask_service(
+                "grid-worker", {"op": "run", "job": self.state.get("job", {})}
+            )
+            if reply.get("status") == "ok":
+                report["value"] = reply["value"]
+        try:
+            yield from ctx.send_message(
+                self.state.get("master", ""), "shard-result", report
+            )
+        finally:
+            # The data travelled; the courier need not.  A failed send is
+            # the master's problem (its join window degrades the merge).
+            ctx.dispose()
+
+
+class JobFarmAgent(MobileAgent):
+    """The farm master: local shard + remote couriers + bounded merge.
+
+    Params: ``job`` (dict with ``name``/``size``), ``sites`` (every shard
+    site, rendezvous included).  The itinerary carries only the rendezvous
+    stop; the fan-out happens *inside* the MAS tier, which is the point —
+    one wireless upload buys a whole grid sweep.
+    """
+
+    code_size = 2176
+
+    def on_arrival(self, ctx: AgentContext) -> Generator:
+        params = self.state.get("params", {})
+        if ctx.here != self.home and self.state.get("shards") is None:
+            job = dict(params.get("job", {}))
+            sites = [str(s) for s in params.get("sites", ())]
+            shards: dict[str, Any] = {}
+            reports: list[dict] = []
+            if ctx.here in sites and "grid-worker" in ctx.services_here():
+                reply = yield from ctx.ask_service(
+                    "grid-worker", {"op": "run", "job": job}
+                )
+                if reply.get("status") == "ok":
+                    shards[str(reply["site"])] = reply["value"]
+                    reports.append({"site": reply["site"], "value": reply["value"]})
+            remote = [s for s in sites if s != ctx.here]
+            couriers: list[str] = []
+            if remote and "grid-foreman" in ctx.services_here():
+                reply = yield from ctx.ask_service(
+                    "grid-foreman", {"op": "farm", "sites": remote, "job": job}
+                )
+                if reply.get("status") == "ok":
+                    couriers = list(reply["couriers"])
+            # Bounded merge: one pending receive at a time, raced against
+            # the join deadline, so a lost courier degrades the merge
+            # instead of wedging the agent (and with it the whole tour).
+            deadline = ctx.sim.now + JOIN_TIMEOUT_S
+            pending = None
+            expected = len(couriers)
+            received = 0
+            while received < expected and ctx.sim.now < deadline:
+                if pending is None:
+                    pending = ctx.receive("shard-result")
+                timer = ctx.sleep(min(1.0, max(0.001, deadline - ctx.sim.now)))
+                yield ctx.sim.any_of([pending, timer])
+                if pending.triggered:
+                    body = dict(pending.value.body)
+                    pending = None
+                    received += 1
+                    reports.append(
+                        {"site": body.get("site"), "value": body.get("value")}
+                    )
+                    if body.get("value") is not None:
+                        shards[str(body.get("site"))] = body.get("value")
+            self.state["shards"] = shards
+            self.state["reports"] = reports
+            self.state["missing"] = sorted(
+                s for s in sites if s not in shards
+            )
+            ctx.report_partial(
+                {"site": ctx.here, "merged": len(shards), "expected": len(sites)}
+            )
+        if self.itinerary.next_stop() is None:
+            if ctx.here == self.home:
+                shards = self.state.get("shards") or {}
+                ctx.complete(
+                    {
+                        "shards": [
+                            {"site": site, "value": shards[site]}
+                            for site in sorted(shards)
+                        ],
+                        "reports": self.state.get("reports", []),
+                        "missing": self.state.get("missing", []),
+                        "total": sum(shards.values()) % 1_000_003,
+                    }
+                )
+            ctx.return_home()
+        ctx.follow_itinerary()
+        yield ctx.idle()  # pragma: no cover - follow_itinerary always raises
+
+
+def jobfarm_service_code(version: int = 1) -> ServiceCode:
+    """The downloadable grid job-farming MA application."""
+    return ServiceCode(
+        service="jobfarm",
+        version=version,
+        agent_class="JobFarmAgent",
+        param_schema=("job", "sites"),
+        code_size=2176,
+        description="Fan-out/merge grid job farming via courier sub-agents",
+    )
+
+
+def make_job(index: int, size: int = 3) -> dict[str, Any]:
+    """Deterministic synthetic job description."""
+    kinds = ["render", "align", "index", "simulate"]
+    return {"name": f"{kinds[index % len(kinds)]}-{index}", "size": size}

@@ -1,0 +1,187 @@
+"""Ride dispatch: latency-critical matching over geo-sharded driver pools.
+
+A rider requests a pickup in a ``zone``; each network site holds the
+driver board for one geographic shard.  The travelling
+:class:`RideDispatchAgent` sweeps the shard sites on its itinerary,
+collects pickup candidates (driver, ETA) from each resident
+:class:`DriverBoardServiceAgent`, streams the best-so-far home as a
+partial result after every shard (the rider watches the match tighten in
+real time), and completes with the globally best assignment.
+
+This is the *latency-critical* archetype of the scenario-diversity suite:
+the result is worthless if it arrives after the rider has hailed a cab by
+hand, so the diversity experiment reports p99 end-to-end latency per app
+class — ride dispatch is the class that must stay tight under diurnal
+peaks and flash crowds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..core.subscription import ServiceCode
+from ..mas import AgentContext, MobileAgent, ServiceAgent
+
+__all__ = [
+    "DriverBoardServiceAgent",
+    "RideDispatchAgent",
+    "ridedispatch_service_code",
+    "make_drivers",
+]
+
+
+class DriverBoardServiceAgent(ServiceAgent):
+    """One geo-shard's resident driver board.
+
+    ``drivers`` is a list of dicts with keys ``driver``, ``zone``,
+    ``eta_s``, ``rating``.  A query filters by zone and returns the
+    shard's candidates; the board also tracks how many assignments it
+    has confirmed (so tests can audit double-dispatching riders).
+    """
+
+    def __init__(
+        self,
+        drivers: list[dict[str, Any]],
+        name: str = "driver-board",
+        match_time: float = 0.05,
+    ) -> None:
+        super().__init__(name, processing_time=match_time)
+        self.drivers = drivers
+        self.assignments: list[dict[str, Any]] = []
+
+    def handle(self, caller_id: str, request: dict) -> Generator:
+        yield self.server.node.compute(self.processing_time)
+        op = request.get("op")
+        if op == "query":
+            zone = request.get("zone")
+            candidates = [
+                dict(entry, site=self.server.address)
+                for entry in self.drivers
+                if zone is None or entry["zone"] == zone
+            ]
+            candidates.sort(key=lambda c: (c["eta_s"], c["driver"]))
+            return {"status": "ok", "candidates": candidates[:3]}
+        if op == "assign":
+            assignment = {
+                "driver": request.get("driver", ""),
+                "rider": caller_id,
+                "site": self.server.address,
+            }
+            self.assignments.append(assignment)
+            return {"status": "ok", "assignment": assignment}
+        return {"status": "error", "reason": f"unknown op {op!r}"}
+
+
+class RideDispatchAgent(MobileAgent):
+    """Sweeps geo-shards for the fastest pickup, then books it.
+
+    Params: ``zone`` (required), ``max_eta_s`` (acceptability bound).
+    State: ``best`` — the leading candidate; ``candidates`` — count seen.
+    The agent books at the site whose shard produced the winner: the last
+    itinerary stop doubles as the booking stop when the winner is local,
+    otherwise the agent extends its itinerary back to the winning shard —
+    matching how real dispatchers confirm against the owning region.
+    """
+
+    code_size = 1920
+
+    def on_arrival(self, ctx: AgentContext) -> Generator:
+        params = self.state.get("params", {})
+        if ctx.here != self.home and "driver-board" in ctx.services_here():
+            booking = self.state.get("book_at")
+            if booking == ctx.here:
+                best = self.state.get("best") or {}
+                reply = yield from ctx.ask_service(
+                    "driver-board",
+                    {"op": "assign", "driver": best.get("driver", "")},
+                )
+                if reply.get("status") == "ok":
+                    self.state["assignment"] = reply["assignment"]
+            else:
+                reply = yield from ctx.ask_service(
+                    "driver-board",
+                    {"op": "query", "zone": params.get("zone")},
+                )
+                if reply.get("status") == "ok":
+                    for candidate in reply["candidates"]:
+                        self.state["candidates"] = (
+                            int(self.state.get("candidates", 0)) + 1
+                        )
+                        best = self.state.get("best")
+                        if best is None or (
+                            candidate["eta_s"],
+                            candidate["driver"],
+                        ) < (best["eta_s"], best["driver"]):
+                            self.state["best"] = dict(candidate)
+                # Latency-critical: stream the leading match home after
+                # every shard so the rider sees the ETA tighten live.
+                ctx.report_partial(
+                    {
+                        "site": ctx.here,
+                        "best": dict(self.state.get("best") or {}),
+                    }
+                )
+        if self.itinerary.next_stop() is None:
+            best = self.state.get("best")
+            booked = self.state.get("assignment") is not None
+            if (
+                best is not None
+                and not booked
+                and self.state.get("book_at") is None
+                and float(best.get("eta_s", 1e9))
+                <= float(params.get("max_eta_s", 1e9))
+            ):
+                if best["site"] == ctx.here:
+                    # The winner is local: confirm without another hop.
+                    reply = yield from ctx.ask_service(
+                        "driver-board",
+                        {"op": "assign", "driver": best.get("driver", "")},
+                    )
+                    if reply.get("status") == "ok":
+                        self.state["assignment"] = reply["assignment"]
+                    ctx.return_home()
+                # Sweep done, winner elsewhere: confirm at the owning shard.
+                self.state["book_at"] = best["site"]
+                ctx.extend_itinerary(best["site"], task="book")
+            elif ctx.here == self.home:
+                ctx.complete(
+                    {
+                        "matched": booked,
+                        "assignment": self.state.get("assignment"),
+                        "best": self.state.get("best"),
+                        "candidates": int(self.state.get("candidates", 0)),
+                    }
+                )
+            else:
+                ctx.return_home()
+        ctx.follow_itinerary()
+        yield ctx.idle()  # pragma: no cover - follow_itinerary always raises
+
+
+def ridedispatch_service_code(version: int = 1) -> ServiceCode:
+    """The downloadable ride-dispatch MA application."""
+    return ServiceCode(
+        service="ridedispatch",
+        version=version,
+        agent_class="RideDispatchAgent",
+        param_schema=("zone", "max_eta_s"),
+        code_size=1920,
+        description="Geo-sharded pickup matching via mobile agent",
+    )
+
+
+def make_drivers(site_index: int, count: int = 8) -> list[dict[str, Any]]:
+    """Deterministic synthetic driver pool for shard ``site_index``."""
+    zones = ["downtown", "airport", "harbor", "uptown"]
+    drivers = []
+    for i in range(count):
+        k = site_index * 29 + i * 11
+        drivers.append(
+            {
+                "driver": f"drv-{site_index}-{i}",
+                "zone": zones[k % len(zones)],
+                "eta_s": 60 + (k * 19) % 540,
+                "rating": round(3.0 + ((k * 7) % 20) / 10.0, 1),
+            }
+        )
+    return drivers

@@ -68,6 +68,7 @@ class AgentDispatcher:
         origin: str = "",
         trace: Optional[SpanContext] = None,
         task_id: str = "",
+        deadline: float = 0.0,
     ) -> PIContent:
         """Assemble the logical PI (validates params against the schema)."""
         schema = stored.code.param_schema
@@ -96,6 +97,7 @@ class AgentDispatcher:
             task_id=task_id,
             trace_id=trace.trace_id if trace is not None else "",
             trace_parent=trace.span_id if trace is not None else "",
+            deadline=deadline,
         )
 
     def pack_for(

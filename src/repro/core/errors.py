@@ -6,6 +6,7 @@ __all__ = [
     "PDAgentError",
     "SubscriptionError",
     "DeploymentError",
+    "DeadlineExpiredError",
     "AuthorizationError",
     "ResultNotReadyError",
     "ResultExpiredError",
@@ -25,6 +26,17 @@ class SubscriptionError(PDAgentError):
 
 class DeploymentError(PDAgentError):
     """Packed Information upload or agent creation failed (§3.2)."""
+
+
+class DeadlineExpiredError(DeploymentError):
+    """The PI carried a task deadline that passed before dispatch.
+
+    Deadline-critical tasks (auction sniping) declare their useful-life
+    bound inside the PI; a gateway must never mint a ticket for a task
+    whose deadline already passed — not even when the frame sat out an
+    admission shed's Retry-After wait.  Deterministic (the deadline will
+    not un-expire), so the device neither retries nor fails over.
+    """
 
 
 class AuthorizationError(PDAgentError):

@@ -39,6 +39,7 @@ from .admission import AdmissionController, TokenBucket
 from .config import PDAgentConfig
 from .errors import (
     AuthorizationError,
+    DeadlineExpiredError,
     DeploymentError,
     GatewayError,
     GatewayOverloadedError,
@@ -284,6 +285,16 @@ class AgentDispatchHandler:
         existing = gw._dedup_answer(content.task_id)
         if existing is not None:
             return existing
+        # Deadline admission: a task whose useful life ended in the queue
+        # (shed wait, retry loop, slow uplink) must never mint a ticket.
+        # Checked after dedup — a retry of a task dispatched *in* time must
+        # still find its ticket — and before authorize, so the nonce is not
+        # burned for a frame that will not dispatch.
+        if content.deadline and gw.sim.now > content.deadline:
+            raise DeadlineExpiredError(
+                f"task {content.task_id or content.dispatch_key!r} deadline "
+                f"{content.deadline:.3f} passed at {gw.sim.now:.3f}"
+            )
         dispatch_span = tele.start_span(
             "gateway.dispatch",
             node=gw.address,
@@ -954,6 +965,13 @@ class Gateway:
                 return self._shed_response(exc)
             except AuthorizationError as exc:
                 return HttpResponse(403, reason=str(exc))
+            except DeadlineExpiredError as exc:
+                # Deterministic refusal: the deadline will not un-expire, so
+                # the marker header tells the device to stop retrying — and
+                # to not fail over, since every gateway shares the clock.
+                return HttpResponse(
+                    400, reason=str(exc), headers={"x-deadline-expired": "1"}
+                )
             except (DeploymentError, IntegrityError, CryptoError) as exc:
                 # Structural damage (bad envelope/frame) and integrity
                 # failures are the client's problem, not a server fault.

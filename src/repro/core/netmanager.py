@@ -27,6 +27,7 @@ from ..simnet.transport import TransportError, connect
 from ..telemetry.spans import SpanContext
 from ..xmlcodec import Element, parse_bytes, write_bytes
 from .errors import (
+    DeadlineExpiredError,
     GatewayError,
     GatewayOverloadedError,
     ResultExpiredError,
@@ -333,6 +334,14 @@ class NetworkManager:
                     attempt += 1
                     continue
                 if raise_for_status and not resp.ok:
+                    if resp.headers.get("x-deadline-expired"):
+                        # Deterministic refusal, not a gateway fault: the
+                        # deadline will not un-expire anywhere, so neither
+                        # retry nor failover nor a breaker strike applies.
+                        span.end(status="deadline-expired")
+                        raise DeadlineExpiredError(
+                            f"{purpose} refused: {resp.reason}"
+                        )
                     if self.breaker is not None:
                         self.breaker.record_failure(gateway)
                     raise GatewayError(

@@ -50,6 +50,11 @@ class PIContent:
     # means the task is untraced and the gateway starts no linked spans.
     trace_id: str = ""
     trace_parent: str = ""
+    #: Absolute sim-time bound on the task's useful life.  A gateway must
+    #: refuse to dispatch an agent whose deadline already passed (the
+    #: queue, an admission shed, or a retry loop may have eaten it).
+    #: 0.0 = no deadline (legacy client).
+    deadline: float = 0.0
 
     def __post_init__(self) -> None:
         for name, value in (
@@ -90,6 +95,8 @@ def pi_to_xml(content: PIContent) -> Element:
     root.add("nonce", text=content.nonce)
     if content.task_id:
         root.add("task", text=content.task_id)
+    if content.deadline > 0:
+        root.add("deadline", text=repr(content.deadline))
     root.append(value_to_xml(content.params, "params"))
     if content.itinerary is not None:
         root.append(value_to_xml(content.itinerary.to_dict(), "itinerary"))
@@ -123,6 +130,7 @@ def pi_from_xml(root: Element) -> PIContent:
         ),
         code_body=root.findtext("code"),
         task_id=root.findtext("task"),
+        deadline=float(root.findtext("deadline") or 0.0),
         trace_id=trace_elem.get("id", "") if trace_elem is not None else "",
         trace_parent=trace_elem.get("parent", "") if trace_elem is not None else "",
     )

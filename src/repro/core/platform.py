@@ -171,6 +171,7 @@ class PDAgentPlatform:
         stops: Optional[list[Stop]] = None,
         gateway: Optional[str] = None,
         task_id: Optional[str] = None,
+        deadline: float = 0.0,
     ) -> Generator:
         """Process (§3.2): pack and upload the application.
 
@@ -210,6 +211,7 @@ class PDAgentPlatform:
                 content = self.dispatcher.build_content(
                     stored, params, stops=stops, origin=gateway,
                     trace=deploy_span.context, task_id=task_id,
+                    deadline=deadline,
                 )
                 packed = yield from self.dispatcher.pack_for(
                     content, gateway, trace=deploy_span.context
@@ -346,6 +348,7 @@ class PDAgentPlatform:
         stops: Optional[list[Stop]] = None,
         gateway: Optional[str] = None,
         task_id: Optional[str] = None,
+        deadline: float = 0.0,
     ) -> Generator:
         """Process: :meth:`deploy`, but over a resumable chunked session.
 
@@ -383,6 +386,7 @@ class PDAgentPlatform:
                 content = self.dispatcher.build_content(
                     stored, params, stops=stops, origin=gateway,
                     trace=deploy_span.context, task_id=task_id,
+                    deadline=deadline,
                 )
                 packed = yield from self.dispatcher.pack_for(
                     content, gateway, trace=deploy_span.context

@@ -9,6 +9,13 @@ layer (resumable chunked upload, partial-result polling, reconnect push).
 """
 
 from .device import Device, EnergyLedger
+from .mobility import (
+    MOBILITY_MODELS,
+    MobilityRoute,
+    corridor_route,
+    hotspot_route,
+    roaming_route,
+)
 from .profiles import (
     DEVICES,
     LINKS,
@@ -24,6 +31,11 @@ from .session import DeviceSession, SessionPoll
 __all__ = [
     "Device",
     "EnergyLedger",
+    "MOBILITY_MODELS",
+    "MobilityRoute",
+    "corridor_route",
+    "hotspot_route",
+    "roaming_route",
     "DeviceProfile",
     "device_profile",
     "link_profile",

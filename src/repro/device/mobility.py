@@ -1,0 +1,138 @@
+"""City-scale mobility models: commute corridors, hotspots, fast roaming.
+
+The platform's original mobility story was a single mid-run relocation
+(``DeviceSpec.move_at`` → one ``platform.relocate`` call).  Real fleets
+move in *patterns*, and the patterns stress different platform paths:
+
+* **corridor** — a commuter crossing gateway cells in order and returning
+  (home → work → home).  Stresses gateway re-selection and collect-anywhere:
+  the device deploys in one cell and collects in another.
+* **hotspot** — a device milling around a dense center cell, bouncing
+  between the center and its immediate neighbours but never leaving the
+  configured radius.  Stresses churn on one cell's admission/queues.
+* **roaming** — vehicle-speed laps across every cell with sub-upload dwell
+  times.  Stresses mid-upload handoff: a chunked session upload started in
+  one cell finishes in another, forcing the session resume path.
+
+A :class:`MobilityRoute` is declarative and JSON-round-trippable (the
+simtest spec embeds it); :func:`schedule` expands it into the concrete
+``(time, ap_index)`` relocation list the harness replays.  Pure data +
+pure functions — determinism comes from the caller's named RNG stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "MOBILITY_MODELS",
+    "MobilityRoute",
+    "schedule",
+    "corridor_route",
+    "hotspot_route",
+    "roaming_route",
+]
+
+#: Recognized mobility patterns (order matters: generator draws index here).
+MOBILITY_MODELS = ("corridor", "hotspot", "roaming")
+
+
+@dataclass(frozen=True)
+class MobilityRoute:
+    """A declarative relocation plan over access-point cells.
+
+    ``waypoints`` are AP indices visited *after* the device's initial
+    attachment, each ``dwell_s`` apart starting at ``start``.  The model
+    name records intent (and drives generation); the waypoint list alone
+    determines behavior, so a shrunk artifact replays without the model's
+    generator.
+    """
+
+    model: str
+    waypoints: tuple[int, ...]
+    start: float
+    dwell_s: float
+
+    def __post_init__(self) -> None:
+        if self.model not in MOBILITY_MODELS:
+            raise ValueError(f"unknown mobility model {self.model!r}")
+        if not self.waypoints:
+            raise ValueError("route needs at least one waypoint")
+        if self.start < 0:
+            raise ValueError(f"negative route start {self.start!r}")
+        if self.dwell_s <= 0:
+            raise ValueError(f"dwell_s must be positive, got {self.dwell_s!r}")
+
+
+def schedule(route: MobilityRoute) -> list[tuple[float, int]]:
+    """Expand a route into sorted ``(relocate_at, ap_index)`` steps."""
+    return [
+        (round(route.start + k * route.dwell_s, 3), ap)
+        for k, ap in enumerate(route.waypoints)
+    ]
+
+
+def _round(x: float) -> float:
+    return round(float(x), 3)
+
+
+def corridor_route(stream, n_aps: int, home_ap: int) -> MobilityRoute:
+    """A commute: walk cells from home to the far end, dwell, walk back.
+
+    The outbound leg visits every cell between home and the far edge in
+    order (the "corridor"), so the device provably crosses the expected
+    gateway-cell sequence; the return leg retraces it.
+    """
+    if n_aps < 2:
+        raise ValueError("a corridor needs at least 2 access points")
+    far = n_aps - 1 if home_ap < n_aps - 1 else 0
+    step = 1 if far > home_ap else -1
+    outbound = list(range(home_ap + step, far + step, step))
+    waypoints = tuple(outbound + outbound[-2::-1] + [home_ap])
+    return MobilityRoute(
+        model="corridor",
+        waypoints=waypoints,
+        start=_round(stream.uniform(5.0, 20.0)),
+        dwell_s=_round(stream.uniform(8.0, 15.0)),
+    )
+
+
+def hotspot_route(
+    stream, n_aps: int, center_ap: int, radius: int = 1, bounces: int = 4
+) -> MobilityRoute:
+    """Mill around ``center_ap``: every waypoint stays within ``radius``."""
+    cells = [
+        ap
+        for ap in range(n_aps)
+        if abs(ap - center_ap) <= radius
+    ]
+    waypoints = tuple(
+        int(stream.choice(cells)) for _ in range(max(1, bounces))
+    )
+    return MobilityRoute(
+        model="hotspot",
+        waypoints=waypoints,
+        start=_round(stream.uniform(5.0, 15.0)),
+        dwell_s=_round(stream.uniform(6.0, 12.0)),
+    )
+
+
+def roaming_route(
+    stream, n_aps: int, home_ap: int, laps: int = 2
+) -> MobilityRoute:
+    """Vehicle-speed laps over every cell with short dwell times.
+
+    The dwell is deliberately shorter than a chunked upload burst, so a
+    streaming session started in one cell routinely finishes in another —
+    the mid-upload handoff the session/resume layer exists for.
+    """
+    if n_aps < 2:
+        raise ValueError("roaming needs at least 2 access points")
+    lap = [ap for ap in range(n_aps) if ap != home_ap] + [home_ap]
+    waypoints = tuple(lap * max(1, laps))
+    return MobilityRoute(
+        model="roaming",
+        waypoints=waypoints,
+        start=_round(stream.uniform(2.0, 8.0)),
+        dwell_s=_round(stream.uniform(1.5, 3.0)),
+    )

@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from ..core.errors import DeploymentError, GatewayError
+from ..core.errors import DeadlineExpiredError, DeploymentError, GatewayError
 from ..core.session import (
     CHUNK_OFFSET_HEADER,
     NEXT_OFFSET_HEADER,
@@ -222,6 +222,12 @@ class DeviceSession:
                     self.net.count_restart(len(chunk), "session-chunk")
                     continue
                 if not resp.ok:
+                    if resp.headers.get("x-deadline-expired"):
+                        # The commit chunk ran full PI intake and the task's
+                        # deadline had passed: deterministic, don't resync.
+                        raise DeadlineExpiredError(
+                            f"session dispatch refused: {resp.reason}"
+                        )
                     raise DeploymentError(
                         f"session chunk rejected: {resp.status} {resp.reason}"
                     )

@@ -10,6 +10,8 @@
   injected fault schedule (completion rate, added connection time);
 * :mod:`~repro.experiments.overload` — dispatch storms through one
   under-provisioned gateway, protected (admission + dedup) vs not;
+* :mod:`~repro.experiments.diversity` — a diurnal + flash-crowd day at
+  1000+ devices over a three-gateway fleet, full application mix;
 * :mod:`~repro.experiments.runner` — the ``pdagent-experiments`` CLI.
 """
 
@@ -22,6 +24,12 @@ from .faults import (
     run_client_server_under_faults,
     run_fault_comparison,
     run_pdagent_under_faults,
+)
+from .diversity import (
+    ClassStats,
+    DiversityResult,
+    diversity_config,
+    run_diversity,
 )
 from .overload import (
     OverloadRunResult,
@@ -60,4 +68,8 @@ __all__ = [
     "overload_schedule",
     "run_overload",
     "run_overload_sweep",
+    "ClassStats",
+    "DiversityResult",
+    "diversity_config",
+    "run_diversity",
 ]

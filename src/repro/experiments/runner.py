@@ -10,6 +10,7 @@ Usage (installed as ``pdagent-experiments``)::
     pdagent-experiments fleet        # roamed retries: fleet tier vs baseline
     pdagent-experiments streaming    # resumable sessions vs store-and-forward
     pdagent-experiments churn        # rolling restart of every fleet member
+    pdagent-experiments diversity    # diurnal + flash-crowd day, full app mix
     pdagent-experiments scale        # device-population kernel sweep
                                      #   (--shards N for the sharded kernel;
                                      #   not part of "all" — it is the perf
@@ -42,6 +43,7 @@ from . import (
     ablations,
     churn,
     claims,
+    diversity,
     extensions,
     faults,
     fig12,
@@ -55,7 +57,10 @@ from . import (
 __all__ = ["main"]
 
 #: Experiments whose runs are registered with the --trace collector.
-_TRACED = ("fig12", "fig13", "faults", "overload", "fleet", "streaming", "churn")
+_TRACED = (
+    "fig12", "fig13", "faults", "overload", "fleet", "streaming", "churn",
+    "diversity",
+)
 
 
 def _ns(args) -> tuple[int, ...]:
@@ -169,8 +174,25 @@ def _run_scale(args, collector=None):
     return result
 
 
+def _run_diversity(args, collector=None):
+    """Diurnal + flash-crowd day; --max-n caps the device population."""
+    n_devices = diversity.DEFAULT_DEVICES
+    if args.max_n:
+        n_devices = min(n_devices, max(args.max_n, 1))
+    result = diversity.main(
+        seed=args.seed, n_devices=n_devices, collector=collector
+    )
+    if args.csv:
+        path = os.path.join(args.csv, "diversity.csv")
+        with open(path, "w") as fh:
+            fh.write(result.to_csv())
+        print(f"[csv] wrote {path}")
+    return result
+
+
 _EXPERIMENTS = {
     "fig12": _run_fig12,
+    "diversity": _run_diversity,
     "scale": _run_scale,
     "churn": _run_churn,
     "fig13": _run_fig13,
@@ -255,7 +277,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "all":
         for name in (
             "fig12", "fig13", "faults", "overload", "fleet", "streaming",
-            "churn", "claims", "ablations", "extensions",
+            "churn", "diversity", "claims", "ablations", "extensions",
         ):
             print(f"\n### {name} " + "#" * (60 - len(name)))
             _EXPERIMENTS[name](args, collector=collector)

@@ -23,6 +23,12 @@ import io
 from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
+from ..apps.auction import (
+    AuctionHouseServiceAgent,
+    AuctionSnipeAgent,
+    auction_service_code,
+    make_lots,
+)
 from ..apps.ebanking import (
     BankServiceAgent,
     EBankingAgent,
@@ -35,20 +41,35 @@ from ..apps.foodsearch import (
     foodsearch_service_code,
     make_listings,
 )
+from ..apps.jobfarm import (
+    GridForemanServiceAgent,
+    GridWorkerServiceAgent,
+    JobCourierAgent,
+    JobFarmAgent,
+    jobfarm_service_code,
+)
 from ..apps.mcommerce import (
     ShoppingAgent,
     VendorServiceAgent,
     make_inventory,
     mcommerce_service_code,
 )
+from ..apps.ridedispatch import (
+    DriverBoardServiceAgent,
+    RideDispatchAgent,
+    make_drivers,
+    ridedispatch_service_code,
+)
 from ..core import DeploymentBuilder, PDAgentConfig
 from ..core.deployment import Deployment
 from ..core.errors import (
+    DeadlineExpiredError,
     GatewayOverloadedError,
     PDAgentError,
     ResultNotReadyError,
 )
 from ..device import link_profile
+from ..device.mobility import schedule as mobility_schedule
 from ..mas import Stop
 from ..simnet.faults import FaultSchedule, LinkDegrade, LinkDown, NodeCrash
 from ..telemetry.exporters import TraceCollector
@@ -83,6 +104,14 @@ class TaskOutcome:
     injected: bool = False
     #: Task rode the streaming session layer (chunked upload + poll).
     session: bool = False
+    #: Absolute sim-time deadline carried in the PI (0 = none) — the
+    #: ``deadline-dispatch`` invariant audits gateway tickets against it.
+    deadline: float = 0.0
+    #: The shard sites a jobfarm task fanned out over — the
+    #: ``jobfarm-merge`` invariant compares the merged result against them.
+    sites: tuple = ()
+    #: The collected result document's data payload (None until collected).
+    data: Any = None
 
 
 @dataclass
@@ -183,14 +212,25 @@ def build_deployment(spec: ScenarioSpec, shards: int | None = None) -> Deploymen
                 BankServiceAgent(bank_name=site),
                 DirectoryServiceAgent(make_listings(i), partner=partner),
                 VendorServiceAgent(make_inventory(i)),
+                DriverBoardServiceAgent(make_drivers(i)),
+                AuctionHouseServiceAgent(make_lots(i)),
+                GridWorkerServiceAgent(),
+                GridForemanServiceAgent(),
             ],
         )
     builder.register_agent_class(EBankingAgent)
     builder.register_agent_class(FoodSearchAgent)
     builder.register_agent_class(ShoppingAgent)
+    builder.register_agent_class(RideDispatchAgent)
+    builder.register_agent_class(AuctionSnipeAgent)
+    builder.register_agent_class(JobFarmAgent)
+    builder.register_agent_class(JobCourierAgent)
     builder.publish(ebanking_service_code())
     builder.publish(foodsearch_service_code())
     builder.publish(mcommerce_service_code())
+    builder.publish(ridedispatch_service_code())
+    builder.publish(auction_service_code())
+    builder.publish(jobfarm_service_code())
     # Access points: router nodes between device radios and the backbone,
     # so mobility (re-homing to another AP) and AP-uplink faults are real
     # topology events, not no-ops.
@@ -261,6 +301,36 @@ def _task_params(spec_task: TaskSpec) -> tuple[str, dict[str, Any], list[Stop]]:
             "mcommerce",
             {"item": spec_task.item, "budget": spec_task.budget},
             [Stop(site, task="shopping") for site in sites],
+        )
+    if spec_task.app == "ridedispatch":
+        return (
+            "ridedispatch",
+            {"zone": spec_task.zone or "downtown", "max_eta_s": 600.0},
+            [Stop(site, task="match") for site in sites],
+        )
+    if spec_task.app == "auctionsnipe":
+        return (
+            "auctionsnipe",
+            {
+                "lot": spec_task.lot or "lot-0",
+                "budget": spec_task.budget,
+                "deadline": spec_task.deadline,
+            },
+            [Stop(site, task="quote") for site in sites],
+        )
+    if spec_task.app == "jobfarm":
+        # The itinerary carries only the rendezvous; the fan-out to the
+        # remaining shard sites happens inside the MAS tier via couriers.
+        return (
+            "jobfarm",
+            {
+                "job": {
+                    "name": spec_task.job or "job-0",
+                    "size": max(1, spec_task.job_size),
+                },
+                "sites": sites,
+            },
+            [Stop(sites[0], task="farm")],
         )
     return (
         "foodsearch",
@@ -336,6 +406,7 @@ class _Harness:
         deploy_twice: bool = False,
         roam_retry: bool = False,
         session: bool = False,
+        deadline: float = 0.0,
     ) -> Generator:
         platform = self.deployment.platform(outcome.device)
         yield self.sim.timeout(start)
@@ -356,7 +427,7 @@ class _Harness:
                         # session then serves the collect below.
                         dispatch = yield from platform.deploy_streaming(
                             service, params, stops=stops, gateway=gateway,
-                            task_id=task_id,
+                            task_id=task_id, deadline=deadline,
                         )
                         handle = dispatch.handle
                         self.sessions.append(
@@ -365,7 +436,7 @@ class _Harness:
                     else:
                         handle = yield from platform.deploy(
                             service, params, stops=stops, gateway=gateway,
-                            task_id=task_id,
+                            task_id=task_id, deadline=deadline,
                         )
                     self._birth(handle)
                     if deploy_twice and attempt == 0:
@@ -377,6 +448,11 @@ class _Harness:
                             task_id=task_id,
                         )
                         self._birth(dupe)
+                    break
+                except DeadlineExpiredError as exc:
+                    # Deterministic: the deadline will not un-expire at any
+                    # gateway, so further attempts would only burn airtime.
+                    last = exc
                     break
                 except PDAgentError as exc:
                     last = exc
@@ -423,6 +499,7 @@ class _Harness:
                     else:
                         result = yield from platform.collect(handle)
                     outcome.ok = result.status in ("completed", "retracted")
+                    outcome.data = result.data
                     if not outcome.ok:
                         outcome.detail = f"result:{result.status}"
                     return
@@ -450,7 +527,9 @@ class _Harness:
 
     def _user_task(self, dev: DeviceSpec, spec_task: TaskSpec) -> Generator:
         outcome = TaskOutcome(
-            device=dev.name, app=spec_task.app, session=spec_task.session
+            device=dev.name, app=spec_task.app, session=spec_task.session,
+            deadline=spec_task.deadline,
+            sites=spec_task.sites if spec_task.app == "jobfarm" else (),
         )
         self.outcomes.append(outcome)
         service, params, stops = _task_params(spec_task)
@@ -458,6 +537,7 @@ class _Harness:
             outcome, service, params, stops, dev.pinned_gateway, spec_task.start,
             roam_retry=spec_task.roam_retry,
             session=spec_task.session,
+            deadline=spec_task.deadline,
         )
 
     def _burst_task(self, k: int) -> Generator:
@@ -498,6 +578,30 @@ class _Harness:
         self.deployment.network.tracer.log_fault(
             "device-move", dev.name, detail=f"to ap-{dev.move_to_ap}"
         )
+
+    def _route_mover(self, dev: DeviceSpec) -> Generator:
+        """Walk a city-scale mobility route: one relocation per waypoint.
+
+        Waypoints that name the cell the device already occupies are
+        skipped (a hotspot bounce may repeat a cell; tearing the link down
+        just to re-attach in place would fake a handoff that never
+        happened), so the relocation count equals the real cell crossings.
+        """
+        platform = self.deployment.platform(dev.name)
+        tracer = self.deployment.network.tracer
+        current = dev.ap
+        for at, ap in mobility_schedule(dev.mobility):
+            wait = at - self.sim.now
+            if wait > 0:
+                yield self.sim.timeout(wait)
+            if ap == current:
+                continue
+            platform.relocate(f"ap-{ap}", link_profile(dev.wireless))
+            current = ap
+            tracer.log_fault(
+                "device-move", dev.name,
+                detail=f"{dev.mobility.model} to ap-{ap}",
+            )
 
     def _crash_target(self, point) -> str:
         """Resolve a crash point's gateway, including symbolic ``owner:``.
@@ -570,6 +674,10 @@ class _Harness:
         for dev in spec.devices:
             if dev.move_at is not None:
                 self.sim.process(self._mover(dev), name=f"simtest-move:{dev.name}")
+            if dev.mobility is not None:
+                self.sim.process(
+                    self._route_mover(dev), name=f"simtest-route:{dev.name}"
+                )
             for k, spec_task in enumerate(dev.tasks):
                 self.sim.process(
                     self._user_task(dev, spec_task),

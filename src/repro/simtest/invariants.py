@@ -62,6 +62,18 @@ telemetry, the tracer's fault ledger, the kernel calendar — and returns
     runs no session record survives quiescence (a chaos run may strand a
     session whose device gave up mid-outage — the TTL reaps it on the next
     contact, which a drained calendar never delivers).
+``deadline-dispatch``
+    No gateway ever mints a ticket for a deadline-carrying task after the
+    deadline passed — not even when the frame sat out an admission shed's
+    Retry-After wait or a device retry loop.  Audited unconditionally:
+    chaos is exactly what pushes dispatches late, and late dispatch is
+    exactly what the PI's ``<deadline>`` element forbids.
+``jobfarm-merge``
+    The job-farm master merges each courier's shard report exactly once —
+    duplicate shard sites in a merged result are condemned unconditionally
+    — and when nothing disruptive happened, the merged shard set equals
+    the expected shard site set exactly (one result per sub-agent, none
+    lost, none invented).
 ``quiescence``
     The calendar truly drained before the horizon — anything still
     scheduled at the end of a run is a wedged process.
@@ -650,6 +662,77 @@ def check_drain_handoff(ctx: RunContext) -> Iterable[Violation]:
                 )
 
 
+def check_deadline_dispatch(ctx: RunContext) -> Iterable[Violation]:
+    """No ticket for a deadline task is ever created past the deadline.
+
+    The harness stamps each outcome with the deadline its PI carried;
+    every gateway ticket bound to such a task must have been minted at or
+    before that instant — the gateway-side refusal
+    (:class:`~repro.core.errors.DeadlineExpiredError`) is the mechanism,
+    this checker is the proof.  Unconditional: fault activity explains a
+    *failed* deadline task, never a late-minted ticket.
+    """
+    deadlines = {
+        o.task_id: o.deadline
+        for o in ctx.outcomes
+        if o.task_id and o.deadline > 0
+    }
+    if not deadlines:
+        return
+    for gw_addr, gateway in ctx.deployment.gateways.items():
+        for ticket in gateway.tickets():
+            deadline = deadlines.get(ticket.task_id)
+            if deadline is None:
+                continue
+            if ticket.created_at > deadline + 1e-9:
+                yield Violation(
+                    "deadline-dispatch",
+                    f"ticket {ticket.ticket_id} for task {ticket.task_id} "
+                    f"minted at {ticket.created_at:g}, past its deadline "
+                    f"{deadline:g}",
+                    subject=gw_addr,
+                )
+
+
+def check_jobfarm_merge(ctx: RunContext) -> Iterable[Violation]:
+    """The fan-out/merge master receives exactly one result per sub-agent.
+
+    ``reports`` ledgers every message the master merged; a site appearing
+    twice means a courier's report was double-merged (or two couriers ran
+    the same shard) — condemned whatever else happened.  In an undisturbed
+    run the merged shard set must equal the expected shard sites exactly.
+    """
+    for outcome in ctx.outcomes:
+        if outcome.app != "jobfarm" or not isinstance(outcome.data, dict):
+            continue
+        reports = outcome.data.get("reports", [])
+        merged_sites = [r.get("site") for r in reports]
+        dupes = sorted(
+            {site for site in merged_sites if merged_sites.count(site) > 1}
+        )
+        if dupes:
+            yield Violation(
+                "jobfarm-merge",
+                f"task {outcome.task_id} merged duplicate shard site(s) "
+                f"{dupes} (each courier must report exactly once)",
+                subject=outcome.device,
+            )
+        if ctx.fault_active or not outcome.ok:
+            continue
+        expected = sorted(set(outcome.sites))
+        shards = sorted(
+            {s.get("site") for s in outcome.data.get("shards", [])}
+        )
+        if shards != expected:
+            yield Violation(
+                "jobfarm-merge",
+                f"task {outcome.task_id} merged shard sites {shards} but "
+                f"fanned out over {expected} with nothing disruptive in "
+                "the run",
+                subject=outcome.device,
+            )
+
+
 def check_quiescence(ctx: RunContext) -> Iterable[Violation]:
     """The run must end because it finished, not because time ran out."""
     pending = ctx.sim.peek()
@@ -675,6 +758,8 @@ INVARIANTS = {
     "rng-isolation": check_rng_isolation,
     "leak-freedom": check_leak_freedom,
     "session-stream": check_session_stream,
+    "deadline-dispatch": check_deadline_dispatch,
+    "jobfarm-merge": check_jobfarm_merge,
     "quiescence": check_quiescence,
 }
 

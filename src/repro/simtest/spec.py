@@ -24,7 +24,15 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, replace
 from typing import Any, Optional
 
+from ..device.mobility import (
+    MOBILITY_MODELS,
+    MobilityRoute,
+    corridor_route,
+    hotspot_route,
+    roaming_route,
+)
 from ..simnet.rng import StreamFactory
+from .traffic import TrafficSpec, sample_arrivals
 
 __all__ = [
     "TaskSpec",
@@ -37,10 +45,22 @@ __all__ = [
     "generate",
     "spec_from_json",
     "APPS",
+    "LEGACY_APPS",
+    "DIVERSE_APPS",
 ]
 
-#: The three demo applications a scenario mixes (ROADMAP §apps).
-APPS = ("ebanking", "foodsearch", "mcommerce")
+#: The paper's three demo applications (ROADMAP §apps).  The generator's
+#: original population draw chooses among exactly these — the tuple must
+#: never grow, or every pre-diversity seed would reshuffle its app mix.
+LEGACY_APPS = ("ebanking", "foodsearch", "mcommerce")
+
+#: The scenario-diversity archetypes: latency-critical geo-sharded
+#: matching, deadline-critical sniping, throughput-critical fan-out/merge.
+#: Drawn only from the appended ``simtest:archetypes`` stream.
+DIVERSE_APPS = ("ridedispatch", "auctionsnipe", "jobfarm")
+
+#: Every application a :class:`TaskSpec` may name.
+APPS = LEGACY_APPS + DIVERSE_APPS
 
 #: Fault kinds the generator composes.  ``site-crash`` maps to a simnet
 #: NodeCrash (kills resident agents, durable state survives); the link kinds
@@ -76,6 +96,17 @@ class TaskSpec:
     #: and collect via session polls (partial results + push events) instead
     #: of the store-and-forward verbs.
     session: bool = False
+    #: ride-dispatch: the pickup zone to match in.
+    zone: str = ""
+    #: auction-sniping: the lot to snipe, and the absolute sim-time deadline
+    #: carried inside the PI (0 = no deadline).  The ``deadline-dispatch``
+    #: invariant audits that no ticket is ever minted past it.
+    lot: str = ""
+    deadline: float = 0.0
+    #: job-farming: the job's name and size (shards fan out over ``sites``;
+    #: ``sites[0]`` is the rendezvous the master lands at).
+    job: str = ""
+    job_size: int = 0
 
     def __post_init__(self) -> None:
         if self.app not in APPS:
@@ -100,6 +131,10 @@ class DeviceSpec:
     #: Mobility: relocate to access point ``move_to_ap`` at ``move_at``.
     move_at: Optional[float] = None
     move_to_ap: Optional[int] = None
+    #: City-scale mobility: a multi-waypoint route (commute corridor, dense
+    #: hotspot, vehicle-speed roaming) the harness walks through repeated
+    #: relocations.  Mutually exclusive with the legacy one-hop move above.
+    mobility: Optional[MobilityRoute] = None
 
 
 @dataclass(frozen=True)
@@ -195,6 +230,11 @@ class ScenarioSpec:
     #: same task_id — a deliberate exactly-once violation the shrinker
     #: acceptance test minimizes.  Never set by :func:`generate`.
     inject_double_dispatch: bool = False
+    #: Scenario diversity: diurnal load shaping (plus an optional flash
+    #: crowd) the generator used to place task start times.  Recorded so a
+    #: stored spec documents *why* its arrivals cluster; the harness itself
+    #: only ever consumes the already-materialized task starts.
+    traffic: Optional[TrafficSpec] = None
 
     # ------------------------------------------------------------ helpers
     @property
@@ -243,6 +283,19 @@ class ScenarioSpec:
                 1 for d in self.devices for t in d.tasks if t.session
             )
             bits.append(f"{n_stream} streaming session(s)")
+        n_diverse = sum(
+            1 for d in self.devices for t in d.tasks if t.app in DIVERSE_APPS
+        )
+        if n_diverse:
+            bits.append(f"{n_diverse} diversity task(s)")
+        if self.traffic is not None:
+            shape = "diurnal traffic"
+            if self.traffic.flash() is not None:
+                shape += " + flash crowd"
+            bits.append(shape)
+        n_routes = sum(1 for d in self.devices if d.mobility is not None)
+        if n_routes:
+            bits.append(f"{n_routes} mobility route(s)")
         if self.burst is not None:
             bits.append(f"burst of {self.burst.n_tasks} at {self.burst.gateway}")
         if self.inject_double_dispatch:
@@ -252,11 +305,44 @@ class ScenarioSpec:
     # ------------------------------------------------------------ JSON
     def to_json(self) -> dict[str, Any]:
         doc = asdict(self)
+        # Diversity fields are scrubbed at their defaults so every spec
+        # minted before they existed serializes to byte-identical JSON —
+        # stored swarm artifacts stay stable across the schema growth.
+        for dev in doc["devices"]:
+            if dev["mobility"] is None:
+                del dev["mobility"]
+            for task in dev["tasks"]:
+                for key, default in _TASK_DIVERSITY_DEFAULTS:
+                    if task[key] == default:
+                        del task[key]
+        if doc["traffic"] is None:
+            del doc["traffic"]
         doc["schema"] = "pdagent-simtest-spec/1"
         return doc
 
     def with_(self, **changes: Any) -> "ScenarioSpec":
         return replace(self, **changes)
+
+
+#: (field, default) pairs scrubbed from serialized tasks when unset.
+_TASK_DIVERSITY_DEFAULTS = (
+    ("zone", ""),
+    ("lot", ""),
+    ("deadline", 0.0),
+    ("job", ""),
+    ("job_size", 0),
+)
+
+
+def _route_from_json(doc: Optional[dict[str, Any]]) -> Optional[MobilityRoute]:
+    if doc is None:
+        return None
+    return MobilityRoute(
+        model=doc["model"],
+        waypoints=tuple(doc["waypoints"]),
+        start=doc["start"],
+        dwell_s=doc["dwell_s"],
+    )
 
 
 def spec_from_json(doc: dict[str, Any]) -> ScenarioSpec:
@@ -275,6 +361,7 @@ def spec_from_json(doc: dict[str, Any]) -> ScenarioSpec:
             ),
             move_at=d.get("move_at"),
             move_to_ap=d.get("move_to_ap"),
+            mobility=_route_from_json(d.get("mobility")),
         )
         for d in doc.pop("devices")
     )
@@ -283,12 +370,15 @@ def spec_from_json(doc: dict[str, Any]) -> ScenarioSpec:
     drains = tuple(DrainPoint(**d) for d in doc.pop("drains", ()))
     burst_doc = doc.pop("burst", None)
     burst = OverloadBurst(**burst_doc) if burst_doc is not None else None
+    traffic_doc = doc.pop("traffic", None)
+    traffic = TrafficSpec(**traffic_doc) if traffic_doc is not None else None
     return ScenarioSpec(
         devices=devices,
         faults=faults,
         crashes=crashes,
         drains=drains,
         burst=burst,
+        traffic=traffic,
         **doc,
     )
 
@@ -323,6 +413,47 @@ def _make_task(stream, app: str, sites: tuple[str, ...]) -> TaskSpec:
     )
 
 
+#: Zones the ride-dispatch driver pools shard over (see apps.ridedispatch).
+_ZONES = ("downtown", "airport", "harbor", "uptown")
+
+#: Job kinds the grid farm renders (see apps.jobfarm).
+_JOB_KINDS = ("render", "align", "index", "simulate")
+
+
+def _make_diverse_task(stream, app: str, sites: tuple[str, ...]) -> TaskSpec:
+    """One scenario-diversity task (ride-dispatch / auction / job-farm)."""
+    n_stops = stream.randint(1, len(sites))
+    itinerary = list(sites)
+    stream.shuffle(itinerary)
+    itinerary = tuple(itinerary[:n_stops])
+    start = _round(stream.uniform(0.0, 40.0))
+    if app == "ridedispatch":
+        return TaskSpec(
+            app=app, sites=itinerary, start=start,
+            zone=str(stream.choice(list(_ZONES))),
+        )
+    if app == "auctionsnipe":
+        # Deadlines are generous relative to a quiet run's deploy path
+        # (subscribe + pack + upload lands within a couple of seconds of
+        # the start) so only genuine chaos — sheds, outages, retry loops —
+        # can push a dispatch past one.
+        deadline = 0.0
+        if stream.bernoulli(0.7):
+            deadline = _round(start + stream.uniform(45.0, 90.0))
+        return TaskSpec(
+            app=app, sites=itinerary, start=start,
+            lot=f"lot-{stream.randint(0, 5)}",
+            budget=_round(stream.uniform(150.0, 520.0)),
+            deadline=deadline,
+        )
+    size = stream.randint(1, 4)
+    return TaskSpec(
+        app=app, sites=itinerary, start=start,
+        job=f"{stream.choice(list(_JOB_KINDS))}-{size}",
+        job_size=size,
+    )
+
+
 def generate(seed: int) -> ScenarioSpec:
     """Derive a full scenario from one integer seed — pure and stable.
 
@@ -344,7 +475,7 @@ def generate(seed: int) -> ScenarioSpec:
         ap = pop.randint(0, n_aps - 1)
         pinned = str(pop.choice(list(gateways))) if pop.bernoulli(0.7) else None
         tasks = tuple(
-            _make_task(pop, str(pop.choice(list(APPS))), sites)
+            _make_task(pop, str(pop.choice(list(LEGACY_APPS))), sites)
             for _ in range(pop.randint(1, 2))
         )
         move_at = move_to = None
@@ -501,6 +632,102 @@ def generate(seed: int) -> ScenarioSpec:
                 )
             )
 
+    # ---- scenario diversity: three more appended streams, each drawn
+    # after everything above, so every pre-diversity seed keeps its exact
+    # scenario (the pinned-JSON regression test enforces this). ----
+
+    # New app archetypes: extra tasks appended to existing devices; the
+    # population draw itself still chooses among LEGACY_APPS only.
+    arch_stream = streams.get("simtest:archetypes")
+    if arch_stream.bernoulli(0.45):
+        for _ in range(arch_stream.randint(1, 2)):
+            idx = arch_stream.randint(0, len(devices) - 1)
+            app = str(arch_stream.choice(list(DIVERSE_APPS)))
+            task = _make_diverse_task(arch_stream, app, sites)
+            devices[idx] = replace(
+                devices[idx], tasks=devices[idx].tasks + (task,)
+            )
+
+    # Diurnal / flash-crowd traffic: re-time task starts onto a load curve.
+    # Session tasks keep their legacy starts — the session stream above
+    # timed its mid-upload LinkDown against them.  A re-timed task with a
+    # deadline keeps its deadline *slack*, not the absolute instant.
+    traffic = None
+    traffic_stream = streams.get("simtest:traffic")
+    if traffic_stream.bernoulli(0.35):
+        flash_knobs: dict[str, Any] = {}
+        if traffic_stream.bernoulli(0.5):
+            flash_knobs = dict(
+                flash_at=_round(traffic_stream.uniform(20.0, 120.0)),
+                flash_magnitude=_round(traffic_stream.uniform(2.0, 5.0)),
+                flash_decay_s=_round(traffic_stream.uniform(5.0, 15.0)),
+                flash_epicenter_ap=traffic_stream.randint(0, n_aps - 1),
+                flash_radius=traffic_stream.randint(0, 1),
+            )
+        traffic = TrafficSpec(
+            day_s=_round(traffic_stream.uniform(180.0, 360.0)),
+            peak_ratio=_round(traffic_stream.uniform(2.0, 6.0)),
+            peaks=traffic_stream.randint(1, 2),
+            **flash_knobs,
+        )
+        movable = [
+            (i, k)
+            for i, dev in enumerate(devices)
+            for k, task in enumerate(dev.tasks)
+            if not task.session
+        ]
+        curve = traffic.curve(daily_tasks=len(movable))
+        arrivals = sample_arrivals(traffic_stream, curve, len(movable))
+        flash = traffic.flash()
+        for (i, k), arrival in zip(movable, arrivals):
+            dev = devices[i]
+            task = dev.tasks[k]
+            start = arrival
+            if flash is not None and flash.cell_weight(dev.ap) > 0:
+                # Devices inside the spike's cells pile onto the onset
+                # instead: flash offset, attenuated by cell distance.
+                u = traffic_stream.uniform(0.0, 1.0)
+                if traffic_stream.bernoulli(flash.cell_weight(dev.ap)):
+                    start = _round(flash.at + flash.sample_offset(u))
+            changed = {"start": start}
+            if task.deadline > 0:
+                changed["deadline"] = _round(
+                    start + (task.deadline - task.start)
+                )
+            tasks = list(dev.tasks)
+            tasks[k] = replace(task, **changed)
+            devices[i] = replace(dev, tasks=tuple(tasks))
+
+    # City-scale mobility: corridor / hotspot / roaming routes for devices
+    # that neither carry the legacy one-hop move nor anchor a dev-radio
+    # fault (the fault edge is resolved against the home AP and must exist
+    # when it fires).
+    mobility_stream = streams.get("simtest:mobility")
+    if n_aps >= 2 and mobility_stream.bernoulli(0.4):
+        fault_devs = {
+            f.target.partition(":")[2]
+            for f in faults
+            if f.target.startswith("dev:")
+        }
+        candidates = [
+            i
+            for i, dev in enumerate(devices)
+            if dev.move_at is None and dev.name not in fault_devs
+        ]
+        if candidates:
+            n_routes = mobility_stream.randint(1, min(2, len(candidates)))
+            mobility_stream.shuffle(candidates)
+            for i in candidates[:n_routes]:
+                dev = devices[i]
+                model = str(mobility_stream.choice(list(MOBILITY_MODELS)))
+                if model == "corridor":
+                    route = corridor_route(mobility_stream, n_aps, dev.ap)
+                elif model == "hotspot":
+                    route = hotspot_route(mobility_stream, n_aps, dev.ap)
+                else:
+                    route = roaming_route(mobility_stream, n_aps, dev.ap)
+                devices[i] = replace(dev, mobility=route)
+
     return ScenarioSpec(
         fleet=fleet,
         seed=seed,
@@ -512,4 +739,5 @@ def generate(seed: int) -> ScenarioSpec:
         crashes=tuple(crashes),
         drains=tuple(drains),
         burst=burst,
+        traffic=traffic,
     )

@@ -1,0 +1,228 @@
+"""Seeded workload traffic: diurnal load curves and flash-crowd spikes.
+
+The swarm's original task mix was *flat*: every task's start time was an
+independent ``uniform(0, 40)`` draw, so the platform never saw the load
+shapes real fleets produce — a morning/evening commute double peak, or a
+stadium letting out next to one gateway.  This module supplies the two
+missing shapes as pure, seed-deterministic machinery:
+
+* :class:`DiurnalCurve` — a day-long arrival-rate curve with a configurable
+  peak/trough ratio whose integral over the day is *exactly* the configured
+  task count (the property test integrates it numerically);
+* :class:`FlashCrowd` — a localized spike: an epicenter access point, a
+  radius of affected cells, and an exponentially *decaying* boost after
+  onset (monotone by construction — also property-tested);
+* :func:`sample_arrivals` — inverse-transform sampling of ``n`` arrival
+  times under a curve, from a caller-supplied named RNG stream, so the
+  same seed yields a byte-identical schedule forever.
+
+Everything here is plain arithmetic over a :class:`~repro.simnet.rng.Stream`
+— no wall clock, no global random state — which is what lets
+``simtest/spec.py::generate`` fold traffic shaping into scenarios without
+breaking the replay contract.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "DiurnalCurve",
+    "FlashCrowd",
+    "TrafficSpec",
+    "sample_arrivals",
+    "ap_weights",
+]
+
+
+@dataclass(frozen=True)
+class DiurnalCurve:
+    """A one-day arrival-rate curve: baseline plus a sinusoidal peak.
+
+    ``rate(t) = base + amplitude * (1 - cos(2*pi*peaks*t/day_s)) / 2``
+
+    with ``base``/``amplitude`` chosen so that the integral over
+    ``[0, day_s]`` equals ``daily_tasks``.  ``peak_ratio`` is the
+    peak-to-trough rate ratio (>= 1; 1 degenerates to a flat curve);
+    ``peaks`` is the number of maxima per day (2 models the classic
+    commute double hump).
+    """
+
+    daily_tasks: float
+    day_s: float
+    peak_ratio: float = 4.0
+    peaks: int = 2
+
+    def __post_init__(self) -> None:
+        if self.daily_tasks < 0:
+            raise ValueError("daily_tasks must be >= 0")
+        if self.day_s <= 0:
+            raise ValueError("day_s must be positive")
+        if self.peak_ratio < 1.0:
+            raise ValueError("peak_ratio must be >= 1")
+        if self.peaks < 1:
+            raise ValueError("peaks must be >= 1")
+
+    # The sinusoid's mean over a whole day is base + amplitude/2, so the
+    # normalization below makes integral(0, day_s) == daily_tasks exactly.
+    @property
+    def _mean_rate(self) -> float:
+        return self.daily_tasks / self.day_s
+
+    @property
+    def _base(self) -> float:
+        # peak = base + amplitude, trough = base; ratio = peak/trough.
+        # mean = base + amplitude/2  =>  base = 2*mean / (ratio + 1).
+        return 2.0 * self._mean_rate / (self.peak_ratio + 1.0)
+
+    @property
+    def _amplitude(self) -> float:
+        return self._base * (self.peak_ratio - 1.0)
+
+    def rate(self, t: float) -> float:
+        """Instantaneous arrival rate (tasks/second) at time ``t``."""
+        phase = 2.0 * math.pi * self.peaks * (t % self.day_s) / self.day_s
+        return self._base + self._amplitude * (1.0 - math.cos(phase)) / 2.0
+
+    def integral(self, t0: float, t1: float) -> float:
+        """Analytic ``∫ rate dt`` over ``[t0, t1]`` (0 <= t0 <= t1 <= day_s)."""
+
+        def antiderivative(t: float) -> float:
+            omega = 2.0 * math.pi * self.peaks / self.day_s
+            return (self._base + self._amplitude / 2.0) * t - (
+                self._amplitude / (2.0 * omega)
+            ) * math.sin(omega * t)
+
+        return antiderivative(t1) - antiderivative(t0)
+
+    def quantile(self, u: float) -> float:
+        """Inverse CDF: the time by which a fraction ``u`` of the day's
+        arrivals have occurred.  Solved by bisection — the CDF is strictly
+        increasing (rate > 0 whenever peak_ratio is finite), so the root
+        is unique; 60 iterations pin it far below millisecond grain.
+        """
+        if not 0.0 <= u <= 1.0:
+            raise ValueError(f"quantile arg {u!r} outside [0, 1]")
+        total = self.integral(0.0, self.day_s)
+        if total <= 0.0:
+            return u * self.day_s
+        target = u * total
+        lo, hi = 0.0, self.day_s
+        for _ in range(60):
+            mid = (lo + hi) / 2.0
+            if self.integral(0.0, mid) < target:
+                lo = mid
+            else:
+                hi = mid
+        return (lo + hi) / 2.0
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """A localized demand spike: epicenter AP, affected radius, decay.
+
+    The boost multiplier is 0 before onset and decays exponentially after:
+
+    ``boost(t) = magnitude * exp(-(t - at) / decay_s)``   for ``t >= at``
+
+    which is monotone non-increasing on ``[at, ∞)`` by construction.
+    ``radius`` bounds which access-point cells feel the spike — cell
+    distance is ``|ap - epicenter_ap|`` (APs are laid out as a line of
+    cells in the swarm's world), attenuated linearly to the radius edge.
+    """
+
+    at: float
+    magnitude: float
+    decay_s: float
+    epicenter_ap: int = 0
+    radius: int = 1
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("flash crowd onset must be >= 0")
+        if self.magnitude < 0:
+            raise ValueError("magnitude must be >= 0")
+        if self.decay_s <= 0:
+            raise ValueError("decay_s must be positive")
+        if self.radius < 0:
+            raise ValueError("radius must be >= 0")
+
+    def boost(self, t: float) -> float:
+        """The spike's rate multiplier at time ``t`` (0 before onset)."""
+        if t < self.at:
+            return 0.0
+        return self.magnitude * math.exp(-(t - self.at) / self.decay_s)
+
+    def cell_weight(self, ap: int) -> float:
+        """How strongly cell ``ap`` feels the spike: 1 at the epicenter,
+        linearly attenuated to 0 just past ``radius``."""
+        distance = abs(int(ap) - self.epicenter_ap)
+        if distance > self.radius:
+            return 0.0
+        return 1.0 - distance / (self.radius + 1.0)
+
+    def sample_offset(self, u: float) -> float:
+        """Inverse-CDF offset after onset for a uniform draw ``u``:
+        exponential with mean ``decay_s``, capped at 6 lifetimes so every
+        generated arrival stays well inside a scenario horizon."""
+        if not 0.0 <= u < 1.0:
+            u = min(max(u, 0.0), 1.0 - 1e-12)
+        return min(-math.log(1.0 - u) * self.decay_s, 6.0 * self.decay_s)
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """The JSON-round-trippable traffic block a :class:`ScenarioSpec` carries.
+
+    Kept separate from the curve/crowd classes so the spec stores plain
+    knob values (what the shrinker and artifacts need) while the behavior
+    objects stay pure functions of them.
+    """
+
+    day_s: float
+    peak_ratio: float = 4.0
+    peaks: int = 2
+    #: Optional flash crowd (zero magnitude means none).
+    flash_at: float = 0.0
+    flash_magnitude: float = 0.0
+    flash_decay_s: float = 8.0
+    flash_epicenter_ap: int = 0
+    flash_radius: int = 1
+
+    def curve(self, daily_tasks: float) -> DiurnalCurve:
+        return DiurnalCurve(
+            daily_tasks=daily_tasks,
+            day_s=self.day_s,
+            peak_ratio=self.peak_ratio,
+            peaks=self.peaks,
+        )
+
+    def flash(self) -> FlashCrowd | None:
+        if self.flash_magnitude <= 0.0:
+            return None
+        return FlashCrowd(
+            at=self.flash_at,
+            magnitude=self.flash_magnitude,
+            decay_s=self.flash_decay_s,
+            epicenter_ap=self.flash_epicenter_ap,
+            radius=self.flash_radius,
+        )
+
+
+def sample_arrivals(stream, curve: DiurnalCurve, n: int) -> list[float]:
+    """``n`` arrival times under ``curve``, sorted, millisecond-rounded.
+
+    Inverse-transform sampling: draw ``n`` uniforms from the named stream,
+    map each through the curve's quantile function, sort.  Pure function of
+    the stream's state — the same seed always yields the same schedule.
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    draws = [stream.uniform(0.0, 1.0) for _ in range(n)]
+    return sorted(round(curve.quantile(u), 3) for u in draws)
+
+
+def ap_weights(flash: FlashCrowd, n_aps: int) -> list[float]:
+    """Per-cell spike weights for a world of ``n_aps`` line cells."""
+    return [flash.cell_weight(ap) for ap in range(n_aps)]

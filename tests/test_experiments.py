@@ -208,3 +208,38 @@ class TestRunnerCli:
 
         with pytest.raises(SystemExit):
             main(["figure99"])
+
+
+class TestDiversityExperiment:
+    def test_small_day_completes_across_the_full_mix(self):
+        from repro.experiments.diversity import run_diversity
+
+        day = run_diversity(seed=0, n_devices=60)
+        assert day.completed == 60 and day.failed == 0
+        assert day.deadline_missed == 0
+        # Every archetype must appear even in a small day.
+        assert all(stats.n > 0 for stats in day.classes.values())
+        assert set(day.classes) == {
+            "ebanking", "foodsearch", "mcommerce",
+            "ridedispatch", "auctionsnipe", "jobfarm",
+        }
+        for stats in day.classes.values():
+            assert len(stats.latencies) == stats.completed
+            assert 0.0 < stats.p50 <= stats.p99 <= day.sim_time_s
+
+    def test_csv_and_render_shape(self):
+        from repro.experiments.diversity import run_diversity
+
+        day = run_diversity(seed=3, n_devices=40)
+        lines = day.to_csv().strip().splitlines()
+        assert lines[0] == "app,tasks,completed,completion_rate,p50_s,p99_s"
+        assert any(line.startswith("_sheds,") for line in lines)
+        assert "Diversity day" in day.render()
+
+    def test_diversity_cli_smoke(self, capsys, tmp_path):
+        from repro.experiments.runner import main
+
+        assert main(["diversity", "--max-n", "30", "--csv", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Diversity day: 30 devices" in out
+        assert (tmp_path / "diversity.csv").exists()

@@ -1,9 +1,20 @@
 """Tests for device mobility (§3 design issue "Mobility"): handover,
-RTT-cache invalidation, and nearest-gateway re-discovery after movement."""
+RTT-cache invalidation, nearest-gateway re-discovery after movement, and
+the city-scale route models (commute corridors, hotspots, roaming)."""
 
 from dataclasses import replace
 
 import pytest
+
+from repro.device.mobility import (
+    MOBILITY_MODELS,
+    MobilityRoute,
+    corridor_route,
+    hotspot_route,
+    roaming_route,
+    schedule,
+)
+from repro.simnet.rng import StreamFactory
 
 from repro.apps.ebanking import (
     BankServiceAgent,
@@ -200,3 +211,113 @@ class TestMidSelectHandover:
         proc = dep.sim.process(selector.select())
         assert dep.sim.run(until=proc) == "gw-1"
         assert selector.probes_sent == sent_before
+
+
+def _stream(seed=0, name="test:mobility"):
+    return StreamFactory(master_seed=seed).get(name)
+
+
+class TestMobilityRoutes:
+    def test_model_registry(self):
+        assert MOBILITY_MODELS == ("corridor", "hotspot", "roaming")
+
+    def test_corridor_crosses_expected_cell_sequence(self):
+        # Home at cell 0 in a 5-cell city: out through 1,2,3 to 4, then
+        # back through 3,2,1 to 0 — every gateway cell, in order.
+        route = corridor_route(_stream(3), n_aps=5, home_ap=0)
+        assert route.model == "corridor"
+        assert route.waypoints == (1, 2, 3, 4, 3, 2, 1, 0)
+        # And from the far end the corridor runs the other way.
+        back = corridor_route(_stream(3), n_aps=5, home_ap=4)
+        assert back.waypoints == (3, 2, 1, 0, 1, 2, 3, 4)
+
+    def test_corridor_steps_are_adjacent_cells(self):
+        route = corridor_route(_stream(9), n_aps=6, home_ap=2)
+        walk = (2,) + route.waypoints
+        assert all(abs(a - b) == 1 for a, b in zip(walk, walk[1:])), (
+            "a commuter crosses cells one at a time"
+        )
+        assert route.waypoints[-1] == 2, "the commute ends back home"
+
+    def test_hotspot_stays_within_radius(self):
+        for seed in range(10):
+            route = hotspot_route(
+                _stream(seed), n_aps=8, center_ap=4, radius=1, bounces=6
+            )
+            assert route.model == "hotspot"
+            assert all(abs(ap - 4) <= 1 for ap in route.waypoints), (
+                f"seed {seed}: hotspot left its radius: {route.waypoints}"
+            )
+
+    def test_hotspot_radius_clipped_to_world(self):
+        route = hotspot_route(
+            _stream(1), n_aps=3, center_ap=0, radius=2, bounces=5
+        )
+        assert all(0 <= ap < 3 for ap in route.waypoints)
+
+    def test_roaming_laps_every_cell_with_short_dwell(self):
+        route = roaming_route(_stream(4), n_aps=4, home_ap=1, laps=2)
+        assert route.model == "roaming"
+        lap = route.waypoints[: len(route.waypoints) // 2]
+        assert set(lap) == {0, 1, 2, 3}
+        assert route.waypoints == lap * 2
+        assert route.dwell_s <= 3.0, "roaming dwell must be sub-upload"
+
+    def test_routes_are_seed_deterministic(self):
+        for factory in (
+            lambda s: corridor_route(s, 5, 0),
+            lambda s: hotspot_route(s, 5, 2),
+            lambda s: roaming_route(s, 5, 0),
+        ):
+            assert factory(_stream(42)) == factory(_stream(42))
+
+    def test_schedule_expansion(self):
+        route = MobilityRoute(
+            model="hotspot", waypoints=(2, 3, 2), start=5.0, dwell_s=4.0
+        )
+        assert schedule(route) == [(5.0, 2), (9.0, 3), (13.0, 2)]
+
+    def test_route_validation(self):
+        with pytest.raises(ValueError):
+            MobilityRoute("teleport", (1,), 0.0, 1.0)
+        with pytest.raises(ValueError):
+            MobilityRoute("corridor", (), 0.0, 1.0)
+        with pytest.raises(ValueError):
+            MobilityRoute("corridor", (1,), -1.0, 1.0)
+        with pytest.raises(ValueError):
+            MobilityRoute("corridor", (1,), 0.0, 0.0)
+        with pytest.raises(ValueError):
+            corridor_route(_stream(0), n_aps=1, home_ap=0)
+        with pytest.raises(ValueError):
+            roaming_route(_stream(0), n_aps=1, home_ap=0)
+
+
+class TestRoamingReselection:
+    def test_roaming_triggers_mid_session_gateway_reselection(self):
+        """Walking a roaming route across regions must flip the selected
+        gateway at least once mid-session (the collect-anywhere premise)."""
+        dep = build_two_region_world()
+        platform = dep.platform("pda")
+        route = roaming_route(_stream(8), n_aps=2, home_ap=0, laps=2)
+        aps = {0: "ap-east", 1: "ap-west"}
+
+        def walk():
+            chosen = []
+            gw = yield from platform.selector.select()
+            chosen.append(gw)
+            for at, ap in schedule(route):
+                if at > dep.sim.now:
+                    yield dep.sim.timeout(at - dep.sim.now)
+                if aps[ap] != platform.device.attachment:
+                    platform.relocate(aps[ap], link_profile("WLAN"))
+                gw = yield from platform.selector.select()
+                chosen.append(gw)
+            return chosen
+
+        proc = dep.sim.process(walk())
+        chosen = dep.sim.run(until=proc)
+        reselections = sum(1 for a, b in zip(chosen, chosen[1:]) if a != b)
+        assert reselections >= 1, (
+            f"roaming across regions never reselected a gateway: {chosen}"
+        )
+        assert dep.devices["pda"].handovers >= 2

@@ -193,6 +193,8 @@ class TestInvariantCatalogue:
             "rng-isolation",
             "leak-freedom",
             "session-stream",
+            "deadline-dispatch",
+            "jobfarm-merge",
             "quiescence",
         }
         assert expected == set(INVARIANTS)

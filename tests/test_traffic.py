@@ -1,0 +1,263 @@
+"""Property tests for seeded traffic shaping (``repro.simtest.traffic``)
+plus the generator seed-compatibility regression.
+
+The three load-bearing properties from the scenario-diversity work:
+
+* same seed → *byte-identical* arrival schedule (the replay contract);
+* the diurnal curve's integral over the day equals the configured daily
+  task count (the curve is a density, not a vibe);
+* a flash-crowd spike decays monotonically after onset.
+
+Plus the compatibility pin: seeds that pre-date the diversity streams
+must keep producing the exact ``ScenarioSpec`` they always did — the
+new ``simtest:archetypes`` / ``simtest:traffic`` / ``simtest:mobility``
+streams are appended, never interleaved, so historical artifacts and
+regression seeds replay unchanged.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.simnet.rng import StreamFactory
+from repro.simtest import generate, spec_from_json
+from repro.simtest.traffic import (
+    DiurnalCurve,
+    FlashCrowd,
+    TrafficSpec,
+    ap_weights,
+    sample_arrivals,
+)
+
+
+def _stream(seed: int, name: str = "test:traffic"):
+    return StreamFactory(master_seed=seed).get(name)
+
+
+class TestDiurnalCurve:
+    def test_integral_over_day_equals_daily_tasks(self):
+        for daily, day_s, ratio, peaks in [
+            (100.0, 86400.0, 4.0, 2),
+            (1000.0, 240.0, 6.0, 1),
+            (7.0, 60.0, 1.0, 3),
+        ]:
+            curve = DiurnalCurve(daily, day_s, peak_ratio=ratio, peaks=peaks)
+            assert curve.integral(0.0, day_s) == pytest.approx(daily, rel=1e-9)
+
+    def test_numeric_integration_agrees_with_analytic(self):
+        curve = DiurnalCurve(500.0, 300.0, peak_ratio=5.0, peaks=2)
+        n = 200_000
+        dt = curve.day_s / n
+        riemann = sum(curve.rate(k * dt) for k in range(n)) * dt
+        assert riemann == pytest.approx(500.0, rel=1e-3)
+
+    def test_peak_trough_ratio(self):
+        curve = DiurnalCurve(100.0, 120.0, peak_ratio=4.0, peaks=2)
+        rates = [curve.rate(t * 0.01) for t in range(12_000)]
+        assert max(rates) / min(rates) == pytest.approx(4.0, rel=1e-3)
+
+    def test_flat_when_ratio_is_one(self):
+        curve = DiurnalCurve(60.0, 60.0, peak_ratio=1.0)
+        assert curve.rate(0.0) == pytest.approx(curve.rate(17.3))
+        assert curve.quantile(0.5) == pytest.approx(30.0, abs=1e-6)
+
+    def test_quantile_inverts_the_cdf(self):
+        curve = DiurnalCurve(240.0, 240.0, peak_ratio=4.0, peaks=2)
+        for u in (0.0, 0.1, 0.25, 0.5, 0.8, 0.99, 1.0):
+            t = curve.quantile(u)
+            assert 0.0 <= t <= curve.day_s
+            assert curve.integral(0.0, t) == pytest.approx(
+                u * 240.0, abs=1e-6 * 240.0
+            )
+
+    def test_quantile_monotone(self):
+        curve = DiurnalCurve(50.0, 100.0, peak_ratio=8.0)
+        qs = [curve.quantile(u / 50.0) for u in range(51)]
+        assert qs == sorted(qs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalCurve(-1.0, 60.0)
+        with pytest.raises(ValueError):
+            DiurnalCurve(10.0, 0.0)
+        with pytest.raises(ValueError):
+            DiurnalCurve(10.0, 60.0, peak_ratio=0.5)
+        with pytest.raises(ValueError):
+            DiurnalCurve(10.0, 60.0, peaks=0)
+        with pytest.raises(ValueError):
+            DiurnalCurve(10.0, 60.0).quantile(1.5)
+
+
+class TestFlashCrowd:
+    def test_zero_before_onset(self):
+        flash = FlashCrowd(at=100.0, magnitude=3.0, decay_s=10.0)
+        assert flash.boost(0.0) == 0.0
+        assert flash.boost(99.999) == 0.0
+        assert flash.boost(100.0) == pytest.approx(3.0)
+
+    def test_spike_decays_monotonically(self):
+        flash = FlashCrowd(at=50.0, magnitude=4.0, decay_s=7.0)
+        ts = [50.0 + k * 0.37 for k in range(400)]
+        boosts = [flash.boost(t) for t in ts]
+        assert all(a > b for a, b in zip(boosts, boosts[1:])), (
+            "flash boost must strictly decay after onset"
+        )
+        assert boosts[0] == pytest.approx(4.0)
+
+    def test_cell_weight_attenuates_with_distance(self):
+        flash = FlashCrowd(
+            at=0.0, magnitude=1.0, decay_s=1.0, epicenter_ap=3, radius=2
+        )
+        assert flash.cell_weight(3) == 1.0
+        assert flash.cell_weight(2) == flash.cell_weight(4)
+        assert flash.cell_weight(3) > flash.cell_weight(4) > flash.cell_weight(5)
+        assert flash.cell_weight(0) == 0.0
+        assert flash.cell_weight(6) == 0.0
+        weights = ap_weights(flash, 8)
+        assert len(weights) == 8
+        assert weights[3] == 1.0 and weights[0] == 0.0
+
+    def test_sample_offset_capped(self):
+        flash = FlashCrowd(at=0.0, magnitude=1.0, decay_s=5.0)
+        assert flash.sample_offset(0.0) == 0.0
+        # Even a draw indistinguishable from 1.0 stays within 6 lifetimes.
+        assert flash.sample_offset(1.0 - 1e-15) <= 6.0 * 5.0
+        assert flash.sample_offset(0.5) == pytest.approx(
+            5.0 * 0.6931, rel=1e-3
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlashCrowd(at=-1.0, magnitude=1.0, decay_s=1.0)
+        with pytest.raises(ValueError):
+            FlashCrowd(at=0.0, magnitude=-1.0, decay_s=1.0)
+        with pytest.raises(ValueError):
+            FlashCrowd(at=0.0, magnitude=1.0, decay_s=0.0)
+        with pytest.raises(ValueError):
+            FlashCrowd(at=0.0, magnitude=1.0, decay_s=1.0, radius=-1)
+
+
+class TestSampleArrivals:
+    def test_same_seed_byte_identical_schedule(self):
+        curve = DiurnalCurve(200.0, 240.0, peak_ratio=4.0, peaks=2)
+        a = sample_arrivals(_stream(7), curve, 200)
+        b = sample_arrivals(_stream(7), curve, 200)
+        assert json.dumps(a) == json.dumps(b), (
+            "same seed must yield a byte-identical arrival schedule"
+        )
+
+    def test_distinct_seeds_differ(self):
+        curve = DiurnalCurve(50.0, 100.0)
+        assert sample_arrivals(_stream(1), curve, 50) != sample_arrivals(
+            _stream(2), curve, 50
+        )
+
+    def test_sorted_millisecond_grid_inside_day(self):
+        curve = DiurnalCurve(300.0, 180.0, peak_ratio=6.0)
+        arrivals = sample_arrivals(_stream(3), curve, 300)
+        assert arrivals == sorted(arrivals)
+        assert all(0.0 <= t <= 180.0 for t in arrivals)
+        assert all(round(t, 3) == t for t in arrivals)
+
+    def test_empirical_distribution_follows_the_curve(self):
+        # With n draws, the count landing in [t0, t1] should approximate
+        # integral(t0, t1); deterministic seed keeps the tolerance safe.
+        curve = DiurnalCurve(4000.0, 240.0, peak_ratio=4.0, peaks=2)
+        arrivals = sample_arrivals(_stream(11), curve, 4000)
+        for t0, t1 in [(0.0, 60.0), (60.0, 120.0), (120.0, 240.0)]:
+            got = sum(1 for t in arrivals if t0 <= t < t1)
+            expect = curve.integral(t0, t1)
+            assert got == pytest.approx(expect, rel=0.08), (
+                f"window [{t0}, {t1}): {got} arrivals vs expected {expect:.0f}"
+            )
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(ValueError):
+            sample_arrivals(_stream(0), DiurnalCurve(1.0, 1.0), -1)
+
+
+class TestTrafficSpec:
+    def test_curve_and_flash_construction(self):
+        spec = TrafficSpec(
+            day_s=240.0,
+            peak_ratio=5.0,
+            peaks=1,
+            flash_at=100.0,
+            flash_magnitude=2.0,
+            flash_decay_s=9.0,
+            flash_epicenter_ap=2,
+            flash_radius=1,
+        )
+        curve = spec.curve(80.0)
+        assert curve.day_s == 240.0 and curve.peak_ratio == 5.0
+        flash = spec.flash()
+        assert flash is not None
+        assert (flash.at, flash.magnitude, flash.epicenter_ap) == (100.0, 2.0, 2)
+
+    def test_no_flash_when_magnitude_zero(self):
+        assert TrafficSpec(day_s=60.0).flash() is None
+
+
+# -- generator seed compatibility ---------------------------------------------
+
+#: Canonical-JSON SHA-256 of ``generate(seed).to_json()`` captured *before*
+#: the diversity streams landed, for every seed in 0..59 whose appended
+#: archetype/traffic/mobility gates all drew "off".  These seeds' scenarios
+#: must stay byte-identical forever: the diversity machinery only appends
+#: draws, and ``to_json`` scrubs default-valued diversity fields.
+PRE_DIVERSITY_SPEC_SHA256 = {
+    0: "0aafb9f9ff600e47ea17d793f64d2d1a6dae19f8b215b1b6dc36b5dbc228b35f",
+    2: "944409aa289df44619db5dda8c9d88f4654ca4c3dbd7792e8e5376174b8d77cc",
+    6: "a0fe870123d2b77a9978e6964976f36b0115210f144dbcbabefce74c0e0cb24b",
+    9: "9d3ae834060f849a2f213a04c622fbd75485139603d128d3b02a15be08699435",
+    15: "4fa8dd6dc217eee3690074ee3463a0ec31946039ee813354f2543eefb02f49be",
+    19: "7d0042e8a195a1e95675e15d38caf08f4ed45d3bca7f7d7a09c546026d99e3fe",
+    21: "13430aec940a6f3e0af4fecfd701a5508baedd7dea5b211d4f5d7b3655ff5c40",
+    22: "87517de7733607cf2f1a5f3db789d2a7d59eb7e2d084ae168a4aab878880255f",
+    25: "e7cfdb90b234bd1b29def3b92ec02afff4e35b0e29b3595b640dfec9c64f8686",
+    30: "e35f6e1d8ab47a647e744a1fae84500d1222f3e2285a49b6127cd63ce7461d47",
+    34: "b62506bc22384fb316758c035e9b6cf5016c9192ab73d108f6ec27aa29cde736",
+    35: "41f11fe066f2d1576fac3c340de461cbab5c78e42d87cc5b0e67c24a549231c2",
+    37: "efc60a58156f5a5ae8df82d4f9c030acf0300a6cb8bc1f0c08230ecd5ff5756d",
+    47: "9ee48d62c5556b0fcd2f149cb68f964fb72a45e6e0ba4e13a8bd9e548e868569",
+    50: "8c50d3f569037d5648d18dd179287e5e98e6d180313b3d93f457e3d2b191410a",
+    51: "af0e4e45a8e59939fb013976d0be0e0e06cfb33a7dd93d0cc4ad8818c2287ac6",
+    57: "1f64dfb2becfd1be6ac194ed23dc2ddc62f9612d1ece49601aa8635b8cb19557",
+    59: "c2780e15f3ac6442d6a32cd10338c91cb34a86ac75af9eeb6817e9af4b083d1f",
+}
+
+
+class TestSeedCompatibility:
+    def test_pre_diversity_seeds_byte_identical(self):
+        for seed, expect in PRE_DIVERSITY_SPEC_SHA256.items():
+            doc = json.dumps(generate(seed).to_json(), sort_keys=True)
+            got = hashlib.sha256(doc.encode("utf-8")).hexdigest()
+            assert got == expect, (
+                f"seed {seed}: ScenarioSpec drifted from its pre-diversity "
+                "pin — a new stream perturbed existing draws, or to_json "
+                "stopped scrubbing default diversity fields"
+            )
+
+    def test_every_seed_round_trips_with_diversity_fields(self):
+        for seed in range(60):
+            spec = generate(seed)
+            doc = json.loads(json.dumps(spec.to_json()))
+            assert spec_from_json(doc) == spec
+
+    def test_diversity_dimensions_reachable(self):
+        # The appended streams must actually fire across the seed space —
+        # otherwise the pins above would pass vacuously.
+        specs = [generate(s) for s in range(60)]
+        assert any(
+            t.app in ("ridedispatch", "auctionsnipe", "jobfarm")
+            for spec in specs
+            for dev in spec.devices
+            for t in dev.tasks
+        ), "no diverse archetype in the first 60 seeds"
+        assert any(spec.traffic is not None for spec in specs), (
+            "no traffic-shaped scenario in the first 60 seeds"
+        )
+        assert any(
+            dev.mobility is not None for spec in specs for dev in spec.devices
+        ), "no mobility route in the first 60 seeds"
